@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Regenerates Figure 8: run-time profiling of SmoothE per dataset —
+ * shares of Loss Calculation, Gradient Descent (backward + optimizer),
+ * Sampling, and Other, geometric-averaged across the e-graphs of each
+ * family. The paper's observation: optimization dominates, sampling is
+ * 4.8% - 21.8%.
+ *
+ * Run: ./build/bench/bench_fig8_profiling [--scale 0.1]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "smoothe/smoothe.hpp"
+
+using namespace smoothe;
+
+int
+main(int argc, char** argv)
+{
+    const bench::BenchOptions options =
+        bench::BenchOptions::parse(argc, argv);
+    std::printf("=== Figure 8: run-time profiling of SmoothE ===\n");
+    std::printf("scale %.2f; per-family geometric mean of phase shares\n\n",
+                options.scale);
+
+    util::TablePrinter table({"Dataset", "Loss Calc", "Gradient Descent",
+                              "Sampling", "Other", "total (s)"});
+
+    for (const std::string& family : datasets::allFamilies()) {
+        const auto graphs =
+            datasets::loadFamily(family, options.scale, options.seed);
+        std::vector<double> lossShares;
+        std::vector<double> gradShares;
+        std::vector<double> sampleShares;
+        std::vector<double> otherShares;
+        double totalTime = 0.0;
+        const std::size_t limit = std::min<std::size_t>(graphs.size(), 4);
+        for (std::size_t g = 0; g < limit; ++g) {
+            core::SmoothEConfig config;
+            config.numSeeds = 16;
+            config.maxIterations = 40;
+            config.patience = 1000;
+            core::SmoothEExtractor smoothe(config);
+            extract::ExtractOptions runOptions;
+            runOptions.seed = options.seed + g;
+            runOptions.timeLimitSeconds = options.timeLimit;
+            const auto result = smoothe.extract(graphs[g].graph,
+                                                runOptions);
+            const auto& profile = smoothe.diagnostics().profile;
+            const double total = std::max(profile.total(), 1e-9);
+            lossShares.push_back(profile.lossSeconds / total);
+            gradShares.push_back(profile.gradientSeconds / total);
+            sampleShares.push_back(profile.samplingSeconds / total);
+            otherShares.push_back(profile.otherSeconds / total);
+            totalTime += result.seconds;
+        }
+        table.addRow(
+            {family,
+             util::formatPercent(bench::geometricMean(lossShares)),
+             util::formatPercent(bench::geometricMean(gradShares)),
+             util::formatPercent(bench::geometricMean(sampleShares)),
+             util::formatPercent(bench::geometricMean(otherShares)),
+             util::formatSeconds(totalTime)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the tensor/autodiff kernels that
+ * dominate SmoothE's runtime: batched SpMV, segment softmax, segment
+ * product-complement, and the matrix exponential — each on both backends
+ * where applicable. Not a paper figure; used to sanity-check the
+ * Figure 6 ablation at the kernel level.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "autodiff/matexp.hpp"
+#include "autodiff/tape.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace st = smoothe::tensor;
+namespace ad = smoothe::ad;
+
+namespace {
+
+st::CsrMatrix
+randomCsr(std::size_t rows, std::size_t cols, std::size_t nnz_per_row,
+          smoothe::util::Rng& rng)
+{
+    st::CsrMatrix m;
+    m.numRows = rows;
+    m.numCols = cols;
+    m.rowOffsets.push_back(0);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t k = 0; k < nnz_per_row; ++k) {
+            m.colIndices.push_back(
+                static_cast<std::uint32_t>(rng.uniformIndex(cols)));
+            m.values.push_back(rng.uniformFloat());
+        }
+        m.rowOffsets.push_back(
+            static_cast<std::uint32_t>(m.colIndices.size()));
+    }
+    return m;
+}
+
+st::SegmentIndex
+uniformSegments(std::size_t items, std::size_t segments)
+{
+    std::vector<std::uint32_t> assignment(items);
+    for (std::size_t i = 0; i < items; ++i)
+        assignment[i] = static_cast<std::uint32_t>(i % segments);
+    return st::SegmentIndex::fromAssignment(assignment, segments);
+}
+
+void
+BM_SpmvScalar(benchmark::State& state)
+{
+    smoothe::util::Rng rng(1);
+    const auto m = randomCsr(2048, 2048, 4, rng);
+    st::Tensor x(8, 2048, 0.5f);
+    st::Tensor out(8, 2048);
+    for (auto _ : state) {
+        st::spmv(m, x, out, st::Backend::Scalar);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_SpmvScalar);
+
+void
+BM_SpmvVectorized(benchmark::State& state)
+{
+    smoothe::util::Rng rng(1);
+    const auto m = randomCsr(2048, 2048, 4, rng);
+    st::Tensor x(8, 2048, 0.5f);
+    st::Tensor out(8, 2048);
+    for (auto _ : state) {
+        st::spmv(m, x, out, st::Backend::Vectorized);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_SpmvVectorized);
+
+void
+BM_SegmentSoftmax(benchmark::State& state)
+{
+    const auto backend = state.range(0) == 0 ? st::Backend::Scalar
+                                             : st::Backend::Vectorized;
+    const auto segs = uniformSegments(8192, 2048);
+    smoothe::util::Rng rng(2);
+    ad::Tensor theta(8, 8192);
+    for (std::size_t i = 0; i < theta.size(); ++i)
+        theta.data()[i] = rng.uniformFloat();
+    for (auto _ : state) {
+        ad::Tape tape(backend);
+        const auto cp = tape.segmentSoftmax(tape.constant(theta), &segs);
+        benchmark::DoNotOptimize(tape.value(cp).data());
+    }
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(0)->Arg(1);
+
+void
+BM_SegmentProductComplement(benchmark::State& state)
+{
+    const auto segs = uniformSegments(8192, 2048);
+    smoothe::util::Rng rng(3);
+    ad::Tensor p(8, 8192);
+    for (std::size_t i = 0; i < p.size(); ++i)
+        p.data()[i] = 0.3f * rng.uniformFloat();
+    for (auto _ : state) {
+        ad::Tape tape;
+        const auto out =
+            tape.segmentProductComplement(tape.constant(p), &segs);
+        benchmark::DoNotOptimize(tape.value(out).data());
+    }
+}
+BENCHMARK(BM_SegmentProductComplement);
+
+void
+BM_Expm(benchmark::State& state)
+{
+    const std::size_t d = static_cast<std::size_t>(state.range(0));
+    smoothe::util::Rng rng(4);
+    std::vector<float> a(d * d);
+    for (auto& v : a)
+        v = 0.2f * rng.uniformFloat();
+    std::vector<float> out(d * d);
+    for (auto _ : state) {
+        ad::expm(a.data(), d, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_Expm)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_BackwardPass(benchmark::State& state)
+{
+    // One SmoothE-shaped forward+backward at medium size.
+    const std::size_t n = 4096;
+    const std::size_t m = 1024;
+    const auto members = uniformSegments(n, m);
+    const auto parents = uniformSegments(n, m);
+    std::vector<std::uint32_t> node2class(n);
+    for (std::size_t i = 0; i < n; ++i)
+        node2class[i] = static_cast<std::uint32_t>(i % m);
+    smoothe::util::Rng rng(5);
+    ad::Param theta{ad::Tensor(8, n)};
+    for (std::size_t i = 0; i < theta.value.size(); ++i)
+        theta.value.data()[i] = rng.uniformFloat();
+    std::vector<float> u(n, 1.0f);
+
+    for (auto _ : state) {
+        theta.zeroGrad();
+        ad::Tape tape;
+        const auto cp = tape.segmentSoftmax(tape.leaf(&theta), &members);
+        ad::Tensor q0(8, m, 0.1f);
+        auto q = tape.constant(q0);
+        for (int t = 0; t < 4; ++t) {
+            const auto p = tape.mul(cp, tape.gatherCols(q, &node2class));
+            const auto prod = tape.segmentProductComplement(p, &parents);
+            q = tape.addScalar(tape.scale(prod, -1.0f), 1.0f);
+        }
+        const auto p = tape.mul(cp, tape.gatherCols(q, &node2class));
+        const auto loss = tape.sumAll(tape.dotRowsConst(p, u));
+        tape.backward(loss);
+        benchmark::DoNotOptimize(theta.grad.data());
+    }
+}
+BENCHMARK(BM_BackwardPass);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Regenerates Table 1: dataset statistics (#G, d(v), max N, max M,
+ * average edge density) for all seven families, plus the paper's
+ * published values for side-by-side comparison.
+ *
+ * Run: ./build/bench/bench_table1_datasets [--scale 0.1] [--seed 2025]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace smoothe;
+
+namespace {
+
+struct PaperRow
+{
+    const char* family;
+    int graphs;
+    double degree;
+    std::size_t maxN;
+    std::size_t maxM;
+    double density;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"diospyros", 12, 2.5, 218933, 9584, 4.8e-3},
+    {"flexc", 14, 1.8, 19830, 4892, 2.5e-4},
+    {"impress", 3, 2.0, 102030, 90312, 4.7e-5},
+    {"rover", 9, 5.5, 16960, 2852, 1.4e-3},
+    {"tensat", 5, 2.3, 57800, 34800, 2.6e-4},
+    {"set", 4, 1.0, 996738, 104632, 1.2e-2},
+    {"maxsat", 6, 1.8, 3851, 3781, 4.0e-4},
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bench::BenchOptions options = bench::BenchOptions::parse(argc,
+                                                                   argv);
+    std::printf("=== Table 1: dataset statistics (scale %.2f) ===\n",
+                options.scale);
+    std::printf("paper values in parentheses; sizes are scaled down by "
+                "design (see DESIGN.md)\n\n");
+
+    util::TablePrinter table({"Dataset", "#G", "d(v)", "max(N)", "max(M)",
+                              "Avg. Density"});
+    for (const PaperRow& paper : kPaperRows) {
+        const auto graphs =
+            datasets::loadFamily(paper.family, options.scale, options.seed);
+        std::size_t maxN = 0;
+        std::size_t maxM = 0;
+        double degreeSum = 0.0;
+        double densitySum = 0.0;
+        for (const auto& named : graphs) {
+            const auto& stats = named.graph.stats();
+            maxN = std::max(maxN, stats.numNodes);
+            maxM = std::max(maxM, stats.numClasses);
+            degreeSum += stats.avgDegree;
+            densitySum += stats.density;
+        }
+        const double avgDegree = degreeSum / graphs.size();
+        const double avgDensity = densitySum / graphs.size();
+
+        char degreeCell[64];
+        std::snprintf(degreeCell, sizeof(degreeCell), "%.1f (%.1f)",
+                      avgDegree, paper.degree);
+        char maxNCell[64];
+        std::snprintf(maxNCell, sizeof(maxNCell), "%zu (%zu)", maxN,
+                      paper.maxN);
+        char maxMCell[64];
+        std::snprintf(maxMCell, sizeof(maxMCell), "%zu (%zu)", maxM,
+                      paper.maxM);
+        char densityCell[64];
+        std::snprintf(densityCell, sizeof(densityCell), "%.1e (%.1e)",
+                      avgDensity, paper.density);
+        table.addRow({paper.family,
+                      std::to_string(graphs.size()) + " (" +
+                          std::to_string(paper.graphs) + ")",
+                      degreeCell, maxNCell, maxMCell, densityCell});
+    }
+    table.print(std::cout);
+    return 0;
+}

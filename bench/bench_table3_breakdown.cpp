@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Regenerates Table 3: per-e-graph breakdown on the named tensat
+ * (NASNet-A, NASRNN, BERT, VGG, ResNet-50) and rover (fir_5..8,
+ * box_3..5, mcm_8..9) instances — cost and time per method, SmoothE over
+ * several runs with max-difference error bars.
+ *
+ * Run: ./build/bench/bench_table3_breakdown [--scale 0.1]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "extraction/bottom_up.hpp"
+#include "ilp/ilp_extractor.hpp"
+#include "smoothe/smoothe.hpp"
+
+using namespace smoothe;
+
+namespace {
+
+std::string
+costTimeCell(const extract::ExtractionResult& result)
+{
+    if (!result.ok())
+        return "Fails / " + util::formatSeconds(result.seconds);
+    return util::formatFixed(result.cost, 1) + " / " +
+           util::formatSeconds(result.seconds);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bench::BenchOptions options =
+        bench::BenchOptions::parse(argc, argv);
+    std::printf("=== Table 3: tensat and rover breakdown ===\n");
+    std::printf("scale %.2f, ILP time limit %.1fs\n\n", options.scale,
+                options.timeLimit);
+
+    util::TablePrinter table({"Dataset", "E-Graph", "ILP-strong",
+                              "ILP-medium", "ILP-weak", "Heuristic",
+                              "Heuristic+", "SmoothE (ours)"});
+
+    auto runRow = [&](const std::string& family,
+                      const datasets::NamedEGraph& named) {
+        const eg::EGraph& graph = named.graph;
+        extract::ExtractOptions timed;
+        timed.timeLimitSeconds = options.timeLimit;
+
+        ilp::IlpExtractor strong(ilp::IlpPreset::Strong);
+        ilp::IlpExtractor medium(ilp::IlpPreset::Medium);
+        ilp::IlpExtractor weak(ilp::IlpPreset::Weak);
+        extract::BottomUpExtractor heuristic;
+        extract::FasterBottomUpExtractor heuristicPlus;
+
+        const auto strongResult = strong.extract(graph, timed);
+        const auto mediumResult = medium.extract(graph, timed);
+        const auto weakResult = weak.extract(graph, timed);
+        const auto heuristicResult = heuristic.extract(graph, {});
+        const auto heuristicPlusResult = heuristicPlus.extract(graph, {});
+
+        // SmoothE: runs with different seeds; report mean +- max diff.
+        double costLo = 1e300;
+        double costHi = -1e300;
+        double costSum = 0.0;
+        double timeSum = 0.0;
+        std::size_t ok = 0;
+        for (std::size_t run = 0; run < options.runs; ++run) {
+            core::SmoothEConfig config;
+            config.assumption = core::Assumption::Correlated;
+            config.numSeeds = 64;
+            config.maxIterations = 300;
+            config.patience = 80;
+            core::SmoothEExtractor smoothe(config);
+            extract::ExtractOptions smootheOptions;
+            smootheOptions.seed = options.seed + 31 * run;
+            smootheOptions.timeLimitSeconds = options.timeLimit;
+            const auto result = smoothe.extract(graph, smootheOptions);
+            timeSum += result.seconds;
+            if (result.ok()) {
+                ++ok;
+                costSum += result.cost;
+                costLo = std::min(costLo, result.cost);
+                costHi = std::max(costHi, result.cost);
+            }
+        }
+        std::string smootheCell = "Fails";
+        if (ok > 0) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "%.1f±%.1f / %.1f",
+                          costSum / ok, (costHi - costLo) / 2.0,
+                          timeSum / options.runs);
+            smootheCell = buf;
+        }
+
+        table.addRow({family, named.name, costTimeCell(strongResult),
+                      costTimeCell(mediumResult), costTimeCell(weakResult),
+                      costTimeCell(heuristicResult),
+                      costTimeCell(heuristicPlusResult), smootheCell});
+    };
+
+    for (const auto& named :
+         datasets::tensatNamedInstances(options.scale, options.seed))
+        runRow("tensat", named);
+    table.addSeparator();
+    for (const auto& named :
+         datasets::roverNamedInstances(options.scale, options.seed))
+        runRow("rover", named);
+
+    table.print(std::cout);
+    std::printf("\ncell format: cost / time-seconds; ILP rows show the "
+                "incumbent at the time limit\n");
+    return 0;
+}

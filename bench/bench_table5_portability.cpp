@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates Table 5: performance portability across GPU memory classes.
+ * The A100 (80 GB) vs RTX 2080 Ti (11 GB) comparison is emulated with two
+ * tensor-arena budgets 8x apart: the small budget forces an 8x smaller
+ * seed batch and OOMs when even one seed does not fit — exactly the
+ * coupling the paper reports.
+ *
+ * Run: ./build/bench/bench_table5_portability [--scale 0.1]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "smoothe/smoothe.hpp"
+
+using namespace smoothe;
+
+namespace {
+
+struct DeviceClass
+{
+    const char* name;
+    std::size_t budgetBytes;
+    std::size_t seeds;
+};
+
+std::string
+runCell(const eg::EGraph& graph, const DeviceClass& device,
+        const bench::BenchOptions& options)
+{
+    core::SmoothEConfig config;
+    config.numSeeds = device.seeds;
+    config.maxIterations = 200;
+    config.memoryBudgetBytes = device.budgetBytes;
+    core::SmoothEExtractor smoothe(config);
+    extract::ExtractOptions runOptions;
+    runOptions.seed = options.seed;
+    runOptions.timeLimitSeconds = options.timeLimit;
+    const auto result = smoothe.extract(graph, runOptions);
+    if (smoothe.diagnostics().outOfMemory)
+        return "OOM";
+    if (!result.ok())
+        return "Fails";
+    return util::formatFixed(result.cost, 1) + " / " +
+           util::formatSeconds(result.seconds);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bench::BenchOptions options =
+        bench::BenchOptions::parse(argc, argv);
+
+    // Budgets sized for the scaled datasets: "A100-class" is ample;
+    // "2080Ti-class" is exactly 8x smaller, like 80 GB -> 11 GB.
+    const DeviceClass big{"A100-class (B=16)", 512ull << 20, 16};
+    const DeviceClass small{"2080Ti-class (B=2)", 64ull << 20, 2};
+
+    std::printf("=== Table 5: performance portability ===\n");
+    std::printf("emulated memory budgets: %zu MiB vs %zu MiB (8x), seed "
+                "batch 16 vs 2 (8x)\n\n",
+                big.budgetBytes >> 20, small.budgetBytes >> 20);
+
+    util::TablePrinter table({"Dataset", "E-Graph", big.name, small.name});
+
+    for (const auto& named :
+         datasets::tensatNamedInstances(options.scale, options.seed)) {
+        table.addRow({"tensat", named.name,
+                      runCell(named.graph, big, options),
+                      runCell(named.graph, small, options)});
+    }
+    table.addSeparator();
+    auto roverInstances =
+        datasets::roverNamedInstances(options.scale, options.seed);
+    for (std::size_t i = 0; i < 4 && i < roverInstances.size(); ++i) {
+        table.addRow({"rover", roverInstances[i].name,
+                      runCell(roverInstances[i].graph, big, options),
+                      runCell(roverInstances[i].graph, small, options)});
+    }
+    table.print(std::cout);
+    std::printf("\ncell format: cost / time-seconds, or OOM when a single "
+                "seed exceeds the budget\n");
+    return 0;
+}

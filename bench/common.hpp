@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries (one per paper table
+ * or figure). Each binary accepts --scale, --seed, --time-limit and
+ * prints paper-style rows; see DESIGN.md's per-experiment index.
+ */
+
+#ifndef SMOOTHE_BENCH_COMMON_HPP
+#define SMOOTHE_BENCH_COMMON_HPP
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datasets/registry.hpp"
+#include "extraction/extractor.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace smoothe::bench {
+
+/** Common CLI knobs for all harness binaries. */
+struct BenchOptions
+{
+    double scale = 0.1;        ///< dataset size multiplier
+    std::uint64_t seed = 2025; ///< base RNG seed
+    double timeLimit = 5.0;    ///< per-extraction budget (seconds)
+    std::size_t runs = 3;      ///< repeated stochastic runs (max-diff)
+    std::size_t maxGraphs = 4; ///< per-family cap for sweep benches
+    bool quick = false;        ///< shrink everything for smoke testing
+
+    static BenchOptions
+    parse(int argc, char** argv)
+    {
+        const util::Args args(argc, argv);
+        BenchOptions options;
+        options.scale = args.getDouble("scale", options.scale);
+        options.seed = static_cast<std::uint64_t>(
+            args.getInt("seed", static_cast<std::int64_t>(options.seed)));
+        options.timeLimit = args.getDouble("time-limit", options.timeLimit);
+        options.runs = static_cast<std::size_t>(
+            args.getInt("runs", static_cast<std::int64_t>(options.runs)));
+        options.maxGraphs = static_cast<std::size_t>(args.getInt(
+            "max-graphs", static_cast<std::int64_t>(options.maxGraphs)));
+        options.quick = args.getBool("quick", false);
+        if (options.quick) {
+            options.scale *= 0.4;
+            options.timeLimit = std::min(options.timeLimit, 2.0);
+            options.runs = 1;
+            options.maxGraphs = std::min<std::size_t>(options.maxGraphs, 2);
+        }
+        return options;
+    }
+
+    /** Applies the per-family graph cap. */
+    template <typename T>
+    std::vector<T>
+    capGraphs(std::vector<T> graphs) const
+    {
+        if (maxGraphs > 0 && graphs.size() > maxGraphs)
+            graphs.resize(maxGraphs);
+        return graphs;
+    }
+};
+
+/** Geometric mean of positive values (0 when empty). */
+inline double
+geometricMean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(std::max(v, 1e-12));
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+/** Normalized cost increase vs an oracle: (cost - oracle) / oracle. */
+inline double
+normalizedIncrease(double cost, double oracle)
+{
+    if (oracle <= 0.0)
+        return 0.0;
+    return (cost - oracle) / oracle;
+}
+
+/** Formats "worst / avg." cells like the paper's tables. */
+inline std::string
+worstAvgCell(double worst, double avg, std::size_t fails)
+{
+    std::string cell = util::formatPercent(std::max(0.0, worst)) + " / " +
+                       util::formatPercent(std::max(0.0, avg));
+    if (fails > 0)
+        cell = "Failed(" + std::to_string(fails) + ") / " +
+               util::formatPercent(std::max(0.0, avg));
+    return cell;
+}
+
+} // namespace smoothe::bench
+
+#endif // SMOOTHE_BENCH_COMMON_HPP

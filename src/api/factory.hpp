@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Top-level convenience API: construct any extractor by name (as the
+ * bench harness and the smoothe_extract CLI do) and enumerate what is
+ * available. This is the one-stop entry point for downstream users.
+ */
+
+#ifndef SMOOTHE_API_FACTORY_HPP
+#define SMOOTHE_API_FACTORY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "extraction/extractor.hpp"
+#include "smoothe/config.hpp"
+
+namespace smoothe::api {
+
+/** Names accepted by makeExtractor, in display order. */
+const std::vector<std::string>& extractorNames();
+
+/**
+ * Creates an extractor by name:
+ *  - "heuristic"              egg's bottom-up worklist
+ *  - "heuristic+"             extraction-gym faster-bottom-up
+ *  - "genetic"                random-key genetic algorithm
+ *  - "ilp-strong|medium|weak" branch-and-bound ILP presets
+ *  - "smoothe"                the differentiable extractor
+ * Returns nullptr for unknown names.
+ * @param smoothe_config used only by "smoothe"
+ */
+std::unique_ptr<extract::Extractor>
+makeExtractor(const std::string& name,
+              const core::SmoothEConfig& smoothe_config = {});
+
+} // namespace smoothe::api
+
+#endif // SMOOTHE_API_FACTORY_HPP

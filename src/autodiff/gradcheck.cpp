@@ -1,0 +1,63 @@
+#include "autodiff/gradcheck.hpp"
+
+#include <cmath>
+
+namespace smoothe::ad {
+
+namespace {
+
+double
+evaluateLoss(const GraphBuilder& build)
+{
+    Tape tape;
+    const VarId loss = build(tape);
+    const Tensor& v = tape.value(loss);
+    return v.sum();
+}
+
+} // namespace
+
+GradCheckResult
+checkGradients(const std::vector<Param*>& params, const GraphBuilder& build,
+               double epsilon, double tolerance)
+{
+    // Analytic gradients.
+    for (Param* p : params)
+        p->zeroGrad();
+    {
+        Tape tape;
+        const VarId loss = build(tape);
+        tape.backward(loss);
+    }
+
+    GradCheckResult result;
+    for (std::size_t pi = 0; pi < params.size(); ++pi) {
+        Param* p = params[pi];
+        for (std::size_t i = 0; i < p->value.size(); ++i) {
+            const float original = p->value.data()[i];
+            p->value.data()[i] = original + static_cast<float>(epsilon);
+            const double plus = evaluateLoss(build);
+            p->value.data()[i] = original - static_cast<float>(epsilon);
+            const double minus = evaluateLoss(build);
+            p->value.data()[i] = original;
+
+            const double numeric = (plus - minus) / (2.0 * epsilon);
+            const double analytic = p->grad.data()[i];
+            const double absErr = std::fabs(numeric - analytic);
+            const double scale =
+                std::max({1.0, std::fabs(numeric), std::fabs(analytic)});
+            const double relErr = absErr / scale;
+            if (relErr > result.maxRelError) {
+                result.maxRelError = relErr;
+                result.worstParam = pi;
+                result.worstIndex = i;
+            }
+            result.maxAbsError = std::max(result.maxAbsError, absErr);
+            if (relErr > tolerance)
+                result.ok = false;
+        }
+    }
+    return result;
+}
+
+} // namespace smoothe::ad

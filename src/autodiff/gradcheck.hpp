@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Finite-difference gradient checking, used by the autodiff unit and
+ * property tests to validate every tape op against numeric derivatives.
+ */
+
+#ifndef SMOOTHE_AUTODIFF_GRADCHECK_HPP
+#define SMOOTHE_AUTODIFF_GRADCHECK_HPP
+
+#include <functional>
+
+#include "autodiff/tape.hpp"
+
+namespace smoothe::ad {
+
+/**
+ * Builds a scalar-valued graph from params on a fresh tape and returns the
+ * loss VarId. Called repeatedly by checkGradients with perturbed params.
+ */
+using GraphBuilder = std::function<VarId(Tape&)>;
+
+/** Result of a gradient check. */
+struct GradCheckResult
+{
+    bool ok = true;
+    double maxAbsError = 0.0;
+    double maxRelError = 0.0;
+    std::size_t worstParam = 0;
+    std::size_t worstIndex = 0;
+};
+
+/**
+ * Compares analytic gradients against central finite differences.
+ * @param params leaves to perturb (grad fields are overwritten)
+ * @param build constructs the loss on a given tape
+ * @param epsilon finite-difference step
+ * @param tolerance max allowed |analytic - numeric| after relative scaling
+ */
+GradCheckResult checkGradients(const std::vector<Param*>& params,
+                               const GraphBuilder& build,
+                               double epsilon = 1e-3,
+                               double tolerance = 2e-2);
+
+} // namespace smoothe::ad
+
+#endif // SMOOTHE_AUTODIFF_GRADCHECK_HPP

@@ -1,0 +1,184 @@
+#include "autodiff/matexp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace smoothe::ad {
+
+namespace {
+
+/** c = a * b for row-major d x d doubles. */
+void
+matmulSquare(const double* a, const double* b, double* c, std::size_t d)
+{
+    std::fill(c, c + d * d, 0.0);
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t k = 0; k < d; ++k) {
+            const double aik = a[i * d + k];
+            if (aik == 0.0)
+                continue;
+            const double* bRow = b + k * d;
+            double* cRow = c + i * d;
+            for (std::size_t j = 0; j < d; ++j)
+                cRow[j] += aik * bRow[j];
+        }
+    }
+}
+
+double
+infinityNorm(const double* a, std::size_t d)
+{
+    double best = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+        double rowSum = 0.0;
+        for (std::size_t j = 0; j < d; ++j)
+            rowSum += std::fabs(a[i * d + j]);
+        best = std::max(best, rowSum);
+    }
+    return best;
+}
+
+} // namespace
+
+void
+expmDouble(const double* a, std::size_t d, double* out)
+{
+    if (d == 0)
+        return;
+    if (d == 1) {
+        out[0] = std::exp(a[0]);
+        return;
+    }
+
+    const std::size_t n2 = d * d;
+    std::vector<double> scaled(a, a + n2);
+
+    // Scaling: bring the norm under ~0.5 so the series converges fast.
+    const double norm = infinityNorm(a, d);
+    int squarings = 0;
+    if (norm > 0.5) {
+        squarings = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+        squarings = std::min(squarings, 60);
+        const double factor = std::ldexp(1.0, -squarings);
+        for (double& v : scaled)
+            v *= factor;
+    }
+
+    // Taylor series: I + A + A^2/2! + ... (18 terms is ample at norm 0.5;
+    // the tail is < 0.5^18/18! ~ 1e-21).
+    std::vector<double> result(n2, 0.0);
+    for (std::size_t i = 0; i < d; ++i)
+        result[i * d + i] = 1.0;
+    std::vector<double> power(scaled);
+    std::vector<double> temp(n2);
+    double factorial = 1.0;
+    constexpr int kTerms = 18;
+    for (int term = 1; term <= kTerms; ++term) {
+        factorial *= term;
+        const double inv = 1.0 / factorial;
+        for (std::size_t i = 0; i < n2; ++i)
+            result[i] += power[i] * inv;
+        if (term < kTerms) {
+            matmulSquare(power.data(), scaled.data(), temp.data(), d);
+            power.swap(temp);
+        }
+    }
+
+    // Squaring: exp(A) = (exp(A / 2^s))^(2^s).
+    for (int s = 0; s < squarings; ++s) {
+        matmulSquare(result.data(), result.data(), temp.data(), d);
+        result.swap(temp);
+    }
+
+    std::memcpy(out, result.data(), n2 * sizeof(double));
+}
+
+namespace {
+
+/** Cache-hostile ijk product with per-element accumulation. */
+__attribute__((noinline)) void
+matmulNaive(const double* a, const double* b, double* c, std::size_t d)
+{
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < d; ++k)
+                acc += a[i * d + k] * b[k * d + j];
+            c[i * d + j] = acc;
+        }
+    }
+}
+
+} // namespace
+
+void
+expmNaive(const float* a, std::size_t d, float* out)
+{
+    if (d == 0)
+        return;
+    const std::size_t n2 = d * d;
+    std::vector<double> scaled(n2);
+    for (std::size_t i = 0; i < n2; ++i)
+        scaled[i] = a[i];
+
+    // Fixed scaling by 2^6 regardless of norm (no adaptivity), full
+    // 18-term series, naive products throughout.
+    constexpr int squarings = 6;
+    const double factor = std::ldexp(1.0, -squarings);
+    for (double& v : scaled)
+        v *= factor;
+
+    std::vector<double> result(n2, 0.0);
+    for (std::size_t i = 0; i < d; ++i)
+        result[i * d + i] = 1.0;
+    std::vector<double> power(scaled);
+    std::vector<double> temp(n2);
+    double factorial = 1.0;
+    constexpr int kTerms = 18;
+    for (int term = 1; term <= kTerms; ++term) {
+        factorial *= term;
+        for (std::size_t i = 0; i < n2; ++i)
+            result[i] += power[i] / factorial;
+        if (term < kTerms) {
+            matmulNaive(power.data(), scaled.data(), temp.data(), d);
+            power.swap(temp);
+        }
+    }
+    for (int s = 0; s < squarings; ++s) {
+        matmulNaive(result.data(), result.data(), temp.data(), d);
+        result.swap(temp);
+    }
+    for (std::size_t i = 0; i < n2; ++i)
+        out[i] = static_cast<float>(result[i]);
+}
+
+void
+expm(const float* a, std::size_t d, float* out)
+{
+    const std::size_t n2 = d * d;
+    std::vector<double> input(n2);
+    std::vector<double> output(n2);
+    for (std::size_t i = 0; i < n2; ++i)
+        input[i] = a[i];
+    expmDouble(input.data(), d, output.data());
+    for (std::size_t i = 0; i < n2; ++i)
+        out[i] = static_cast<float>(output[i]);
+}
+
+double
+traceExpm(const float* a, std::size_t d)
+{
+    const std::size_t n2 = d * d;
+    std::vector<double> input(n2);
+    std::vector<double> output(n2);
+    for (std::size_t i = 0; i < n2; ++i)
+        input[i] = a[i];
+    expmDouble(input.data(), d, output.data());
+    double trace = 0.0;
+    for (std::size_t i = 0; i < d; ++i)
+        trace += output[i * d + i];
+    return trace;
+}
+
+} // namespace smoothe::ad

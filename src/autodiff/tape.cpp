@@ -1,0 +1,844 @@
+#include "autodiff/tape.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "autodiff/matexp.hpp"
+
+namespace smoothe::ad {
+
+namespace {
+
+/**
+ * Deliberately slow per-element application used by the Scalar backend:
+ * the function-pointer call per element defeats vectorization and fusion,
+ * mimicking an unoptimized eager interpreter (the paper's CPU baseline in
+ * Figure 6).
+ */
+__attribute__((noinline)) void
+scalarApply(float (*f)(float, float), const float* a, const float* b,
+            float* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = f(a[i], b ? b[i] : 0.0f);
+}
+
+float opAdd(float x, float y) { return x + y; }
+float opSub(float x, float y) { return x - y; }
+float opMul(float x, float y) { return x * y; }
+float opRelu(float x, float) { return x > 0.0f ? x : 0.0f; }
+
+} // namespace
+
+void
+Tape::clear()
+{
+    nodes_.clear();
+}
+
+const Tensor&
+Tape::value(VarId id) const
+{
+    return nodes_[static_cast<std::size_t>(id)].value;
+}
+
+const Tensor&
+Tape::grad(VarId id) const
+{
+    return nodes_[static_cast<std::size_t>(id)].grad;
+}
+
+VarId
+Tape::push(Node node)
+{
+    nodes_.push_back(std::move(node));
+    return static_cast<VarId>(nodes_.size() - 1);
+}
+
+Tensor&
+Tape::ensureGrad(VarId id)
+{
+    Node& node = nodes_[static_cast<std::size_t>(id)];
+    if (node.grad.empty())
+        node.grad = Tensor(node.value.rows(), node.value.cols(), arena_);
+    return node.grad;
+}
+
+VarId
+Tape::leaf(Param* param)
+{
+    assert(param != nullptr);
+    Node node;
+    node.op = Op::Leaf;
+    node.param = param;
+    node.value = param->value;
+    return push(std::move(node));
+}
+
+VarId
+Tape::constant(Tensor value)
+{
+    Node node;
+    node.op = Op::Constant;
+    node.value = std::move(value);
+    return push(std::move(node));
+}
+
+VarId
+Tape::add(VarId a, VarId b)
+{
+    const Tensor& av = value(a);
+    const Tensor& bv = value(b);
+    assert(av.rows() == bv.rows() && av.cols() == bv.cols());
+    Node node;
+    node.op = Op::Add;
+    node.in0 = a;
+    node.in1 = b;
+    node.value = Tensor(av.rows(), av.cols(), arena_);
+    if (backend_ == Backend::Scalar) {
+        scalarApply(opAdd, av.data(), bv.data(), node.value.data(),
+                    av.size());
+    } else {
+        const float* __restrict x = av.data();
+        const float* __restrict y = bv.data();
+        float* __restrict o = node.value.data();
+        for (std::size_t i = 0; i < av.size(); ++i)
+            o[i] = x[i] + y[i];
+    }
+    return push(std::move(node));
+}
+
+VarId
+Tape::sub(VarId a, VarId b)
+{
+    const Tensor& av = value(a);
+    const Tensor& bv = value(b);
+    assert(av.rows() == bv.rows() && av.cols() == bv.cols());
+    Node node;
+    node.op = Op::Sub;
+    node.in0 = a;
+    node.in1 = b;
+    node.value = Tensor(av.rows(), av.cols(), arena_);
+    if (backend_ == Backend::Scalar) {
+        scalarApply(opSub, av.data(), bv.data(), node.value.data(),
+                    av.size());
+    } else {
+        const float* __restrict x = av.data();
+        const float* __restrict y = bv.data();
+        float* __restrict o = node.value.data();
+        for (std::size_t i = 0; i < av.size(); ++i)
+            o[i] = x[i] - y[i];
+    }
+    return push(std::move(node));
+}
+
+VarId
+Tape::mul(VarId a, VarId b)
+{
+    const Tensor& av = value(a);
+    const Tensor& bv = value(b);
+    assert(av.rows() == bv.rows() && av.cols() == bv.cols());
+    Node node;
+    node.op = Op::Mul;
+    node.in0 = a;
+    node.in1 = b;
+    node.value = Tensor(av.rows(), av.cols(), arena_);
+    if (backend_ == Backend::Scalar) {
+        scalarApply(opMul, av.data(), bv.data(), node.value.data(),
+                    av.size());
+    } else {
+        const float* __restrict x = av.data();
+        const float* __restrict y = bv.data();
+        float* __restrict o = node.value.data();
+        for (std::size_t i = 0; i < av.size(); ++i)
+            o[i] = x[i] * y[i];
+    }
+    return push(std::move(node));
+}
+
+VarId
+Tape::scale(VarId a, float alpha)
+{
+    const Tensor& av = value(a);
+    Node node;
+    node.op = Op::Scale;
+    node.in0 = a;
+    node.alpha = alpha;
+    node.value = Tensor(av.rows(), av.cols(), arena_);
+    const float* x = av.data();
+    float* o = node.value.data();
+    for (std::size_t i = 0; i < av.size(); ++i)
+        o[i] = alpha * x[i];
+    return push(std::move(node));
+}
+
+VarId
+Tape::addScalar(VarId a, float alpha)
+{
+    const Tensor& av = value(a);
+    Node node;
+    node.op = Op::AddScalar;
+    node.in0 = a;
+    node.alpha = alpha;
+    node.value = Tensor(av.rows(), av.cols(), arena_);
+    const float* x = av.data();
+    float* o = node.value.data();
+    for (std::size_t i = 0; i < av.size(); ++i)
+        o[i] = x[i] + alpha;
+    return push(std::move(node));
+}
+
+VarId
+Tape::relu(VarId a)
+{
+    const Tensor& av = value(a);
+    Node node;
+    node.op = Op::Relu;
+    node.in0 = a;
+    node.value = Tensor(av.rows(), av.cols(), arena_);
+    if (backend_ == Backend::Scalar) {
+        scalarApply(opRelu, av.data(), nullptr, node.value.data(),
+                    av.size());
+    } else {
+        const float* __restrict x = av.data();
+        float* __restrict o = node.value.data();
+        for (std::size_t i = 0; i < av.size(); ++i)
+            o[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    }
+    return push(std::move(node));
+}
+
+VarId
+Tape::mulConst(VarId a, Tensor c)
+{
+    const Tensor& av = value(a);
+    assert(c.cols() == av.cols());
+    assert(c.rows() == av.rows() || c.rows() == 1);
+    Node node;
+    node.op = Op::MulConst;
+    node.in0 = a;
+    node.value = Tensor(av.rows(), av.cols(), arena_);
+    for (std::size_t r = 0; r < av.rows(); ++r) {
+        const float* x = av.row(r);
+        const float* m = c.row(c.rows() == 1 ? 0 : r);
+        float* o = node.value.row(r);
+        for (std::size_t i = 0; i < av.cols(); ++i)
+            o[i] = x[i] * m[i];
+    }
+    node.constTensor = std::move(c);
+    return push(std::move(node));
+}
+
+VarId
+Tape::addConst(VarId a, Tensor c)
+{
+    const Tensor& av = value(a);
+    assert(c.cols() == av.cols());
+    assert(c.rows() == av.rows() || c.rows() == 1);
+    Node node;
+    node.op = Op::AddConst;
+    node.in0 = a;
+    node.value = Tensor(av.rows(), av.cols(), arena_);
+    for (std::size_t r = 0; r < av.rows(); ++r) {
+        const float* x = av.row(r);
+        const float* m = c.row(c.rows() == 1 ? 0 : r);
+        float* o = node.value.row(r);
+        for (std::size_t i = 0; i < av.cols(); ++i)
+            o[i] = x[i] + m[i];
+    }
+    node.constTensor = std::move(c);
+    return push(std::move(node));
+}
+
+VarId
+Tape::dotRowsConst(VarId a, std::vector<float> u)
+{
+    const Tensor& av = value(a);
+    assert(u.size() == av.cols());
+    Node node;
+    node.op = Op::DotRowsConst;
+    node.in0 = a;
+    node.value = Tensor(av.rows(), 1, arena_);
+    if (backend_ == Backend::Scalar) {
+        for (std::size_t r = 0; r < av.rows(); ++r) {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < av.cols(); ++i)
+                acc += static_cast<double>(av.at(r, i)) * u[i];
+            node.value.at(r, 0) = static_cast<float>(acc);
+        }
+    } else {
+        const float* uv = u.data();
+        for (std::size_t r = 0; r < av.rows(); ++r) {
+            const float* __restrict x = av.row(r);
+            float acc = 0.0f;
+            for (std::size_t i = 0; i < av.cols(); ++i)
+                acc += x[i] * uv[i];
+            node.value.at(r, 0) = acc;
+        }
+    }
+    node.constVec = std::move(u);
+    return push(std::move(node));
+}
+
+VarId
+Tape::sumAll(VarId a)
+{
+    const Tensor& av = value(a);
+    Node node;
+    node.op = Op::SumAll;
+    node.in0 = a;
+    node.value = Tensor(1, 1, arena_);
+    node.value.at(0, 0) = static_cast<float>(av.sum());
+    return push(std::move(node));
+}
+
+VarId
+Tape::meanRows(VarId a)
+{
+    const Tensor& av = value(a);
+    Node node;
+    node.op = Op::MeanRows;
+    node.in0 = a;
+    node.value = Tensor(1, av.cols(), arena_);
+    const float inv = av.rows() ? 1.0f / static_cast<float>(av.rows()) : 0.0f;
+    for (std::size_t r = 0; r < av.rows(); ++r) {
+        const float* x = av.row(r);
+        float* o = node.value.row(0);
+        for (std::size_t i = 0; i < av.cols(); ++i)
+            o[i] += x[i] * inv;
+    }
+    return push(std::move(node));
+}
+
+VarId
+Tape::segmentSoftmax(VarId a, const SegmentIndex* segs)
+{
+    const Tensor& av = value(a);
+    Node node;
+    node.op = Op::SegmentSoftmax;
+    node.in0 = a;
+    node.segs = segs;
+    node.value = Tensor(av.rows(), av.cols(), arena_);
+    const std::size_t numSegments = segs->numSegments();
+    for (std::size_t r = 0; r < av.rows(); ++r) {
+        const float* x = av.row(r);
+        float* o = node.value.row(r);
+        for (std::size_t s = 0; s < numSegments; ++s) {
+            const std::uint32_t begin = segs->offsets[s];
+            const std::uint32_t end = segs->offsets[s + 1];
+            if (begin == end)
+                continue;
+            float maxVal = -std::numeric_limits<float>::infinity();
+            for (std::uint32_t e = begin; e < end; ++e)
+                maxVal = std::max(maxVal, x[segs->items[e]]);
+            float denom = 0.0f;
+            for (std::uint32_t e = begin; e < end; ++e) {
+                const float ev = std::exp(x[segs->items[e]] - maxVal);
+                o[segs->items[e]] = ev;
+                denom += ev;
+            }
+            const float inv = 1.0f / denom;
+            for (std::uint32_t e = begin; e < end; ++e)
+                o[segs->items[e]] *= inv;
+        }
+    }
+    return push(std::move(node));
+}
+
+VarId
+Tape::segmentProductComplement(VarId a, const SegmentIndex* segs)
+{
+    const Tensor& av = value(a);
+    Node node;
+    node.op = Op::SegmentProductComplement;
+    node.in0 = a;
+    node.segs = segs;
+    const std::size_t numSegments = segs->numSegments();
+    node.value = Tensor(av.rows(), numSegments, arena_);
+    for (std::size_t r = 0; r < av.rows(); ++r) {
+        const float* x = av.row(r);
+        float* o = node.value.row(r);
+        for (std::size_t s = 0; s < numSegments; ++s) {
+            float prod = 1.0f;
+            for (std::uint32_t e = segs->offsets[s];
+                 e < segs->offsets[s + 1]; ++e)
+                prod *= (1.0f - x[segs->items[e]]);
+            o[s] = prod;
+        }
+    }
+    return push(std::move(node));
+}
+
+VarId
+Tape::segmentMaxGather(VarId a, const SegmentIndex* segs)
+{
+    const Tensor& av = value(a);
+    Node node;
+    node.op = Op::SegmentMaxGather;
+    node.in0 = a;
+    node.segs = segs;
+    const std::size_t numSegments = segs->numSegments();
+    node.value = Tensor(av.rows(), numSegments, arena_);
+    node.savedIdx.assign(av.rows() * numSegments,
+                         std::numeric_limits<std::uint32_t>::max());
+    for (std::size_t r = 0; r < av.rows(); ++r) {
+        const float* x = av.row(r);
+        float* o = node.value.row(r);
+        for (std::size_t s = 0; s < numSegments; ++s) {
+            const std::uint32_t begin = segs->offsets[s];
+            const std::uint32_t end = segs->offsets[s + 1];
+            if (begin == end) {
+                o[s] = 0.0f;
+                continue;
+            }
+            float best = -std::numeric_limits<float>::infinity();
+            std::uint32_t arg = segs->items[begin];
+            for (std::uint32_t e = begin; e < end; ++e) {
+                const float v = x[segs->items[e]];
+                if (v > best) {
+                    best = v;
+                    arg = segs->items[e];
+                }
+            }
+            o[s] = best;
+            node.savedIdx[r * numSegments + s] = arg;
+        }
+    }
+    return push(std::move(node));
+}
+
+VarId
+Tape::gatherCols(VarId a, const std::vector<std::uint32_t>* index)
+{
+    const Tensor& av = value(a);
+    Node node;
+    node.op = Op::GatherCols;
+    node.in0 = a;
+    node.index = index;
+    node.value = Tensor(av.rows(), index->size(), arena_);
+    for (std::size_t r = 0; r < av.rows(); ++r) {
+        const float* x = av.row(r);
+        float* o = node.value.row(r);
+        for (std::size_t i = 0; i < index->size(); ++i)
+            o[i] = x[(*index)[i]];
+    }
+    return push(std::move(node));
+}
+
+VarId
+Tape::matmul(VarId a, VarId w)
+{
+    const Tensor& av = value(a);
+    const Tensor& wv = value(w);
+    assert(av.cols() == wv.rows());
+    Node node;
+    node.op = Op::MatMul;
+    node.in0 = a;
+    node.in1 = w;
+    node.value = Tensor(av.rows(), wv.cols(), arena_);
+    if (backend_ == Backend::Scalar) {
+        for (std::size_t b = 0; b < av.rows(); ++b) {
+            for (std::size_t h = 0; h < wv.cols(); ++h) {
+                double acc = 0.0;
+                for (std::size_t k = 0; k < av.cols(); ++k)
+                    acc += static_cast<double>(av.at(b, k)) * wv.at(k, h);
+                node.value.at(b, h) = static_cast<float>(acc);
+            }
+        }
+    } else {
+        // ikj order with restrict pointers for vectorizable inner loop.
+        for (std::size_t b = 0; b < av.rows(); ++b) {
+            const float* __restrict aRow = av.row(b);
+            float* __restrict oRow = node.value.row(b);
+            for (std::size_t k = 0; k < av.cols(); ++k) {
+                const float av_k = aRow[k];
+                if (av_k == 0.0f)
+                    continue;
+                const float* __restrict wRow = wv.row(k);
+                for (std::size_t h = 0; h < wv.cols(); ++h)
+                    oRow[h] += av_k * wRow[h];
+            }
+        }
+    }
+    return push(std::move(node));
+}
+
+VarId
+Tape::addRowBroadcast(VarId a, VarId bias)
+{
+    const Tensor& av = value(a);
+    const Tensor& bv = value(bias);
+    assert(bv.rows() == 1 && bv.cols() == av.cols());
+    Node node;
+    node.op = Op::AddRowBroadcast;
+    node.in0 = a;
+    node.in1 = bias;
+    node.value = Tensor(av.rows(), av.cols(), arena_);
+    for (std::size_t r = 0; r < av.rows(); ++r) {
+        const float* x = av.row(r);
+        const float* m = bv.row(0);
+        float* o = node.value.row(r);
+        for (std::size_t i = 0; i < av.cols(); ++i)
+            o[i] = x[i] + m[i];
+    }
+    return push(std::move(node));
+}
+
+VarId
+Tape::scatterMatrix(VarId a, const std::vector<MatrixEntry>* entries,
+                    std::size_t dim, bool mean_over_rows)
+{
+    const Tensor& av = value(a);
+    Node node;
+    node.op = Op::ScatterMatrix;
+    node.in0 = a;
+    node.entries = entries;
+    node.dim = dim;
+    node.meanOverRows = mean_over_rows;
+    const std::size_t outRows = mean_over_rows ? 1 : av.rows();
+    node.value = Tensor(outRows, dim * dim, arena_);
+    if (mean_over_rows) {
+        const float inv =
+            av.rows() ? 1.0f / static_cast<float>(av.rows()) : 0.0f;
+        float* o = node.value.row(0);
+        for (const MatrixEntry& entry : *entries) {
+            float acc = 0.0f;
+            for (std::size_t r = 0; r < av.rows(); ++r)
+                acc += av.at(r, entry.column);
+            o[entry.position] += acc * inv;
+        }
+    } else {
+        for (std::size_t r = 0; r < av.rows(); ++r) {
+            const float* x = av.row(r);
+            float* o = node.value.row(r);
+            for (const MatrixEntry& entry : *entries)
+                o[entry.position] += x[entry.column];
+        }
+    }
+    return push(std::move(node));
+}
+
+VarId
+Tape::trExpm(VarId a, std::size_t dim)
+{
+    const Tensor& av = value(a);
+    assert(av.cols() == dim * dim);
+    Node node;
+    node.op = Op::TrExpm;
+    node.in0 = a;
+    node.dim = dim;
+    node.value = Tensor(av.rows(), 1, arena_);
+    node.saved = Tensor(av.rows(), dim * dim, arena_);
+    for (std::size_t r = 0; r < av.rows(); ++r) {
+        if (backend_ == Backend::Scalar)
+            expmNaive(av.row(r), dim, node.saved.row(r));
+        else
+            expm(av.row(r), dim, node.saved.row(r));
+        double trace = 0.0;
+        for (std::size_t i = 0; i < dim; ++i)
+            trace += node.saved.at(r, i * dim + i);
+        node.value.at(r, 0) = static_cast<float>(trace);
+    }
+    return push(std::move(node));
+}
+
+void
+Tape::backward(VarId root)
+{
+    assert(root >= 0 && static_cast<std::size_t>(root) < nodes_.size());
+    ensureGrad(root).fill(1.0f);
+    for (VarId id = root; id >= 0; --id) {
+        Node& node = nodes_[static_cast<std::size_t>(id)];
+        if (node.grad.empty())
+            continue; // nothing flowed into this node
+        backwardNode(node);
+    }
+}
+
+void
+Tape::backwardNode(Node& node)
+{
+    const Tensor& g = node.grad;
+    switch (node.op) {
+      case Op::Leaf: {
+        Tensor& pg = node.param->grad;
+        assert(pg.rows() == g.rows() && pg.cols() == g.cols());
+        float* __restrict dst = pg.data();
+        const float* __restrict src = g.data();
+        for (std::size_t i = 0; i < g.size(); ++i)
+            dst[i] += src[i];
+        break;
+      }
+      case Op::Constant:
+        break;
+      case Op::Add: {
+        Tensor& ga = ensureGrad(node.in0);
+        Tensor& gb = ensureGrad(node.in1);
+        for (std::size_t i = 0; i < g.size(); ++i) {
+            ga.data()[i] += g.data()[i];
+            gb.data()[i] += g.data()[i];
+        }
+        break;
+      }
+      case Op::Sub: {
+        Tensor& ga = ensureGrad(node.in0);
+        Tensor& gb = ensureGrad(node.in1);
+        for (std::size_t i = 0; i < g.size(); ++i) {
+            ga.data()[i] += g.data()[i];
+            gb.data()[i] -= g.data()[i];
+        }
+        break;
+      }
+      case Op::Mul: {
+        Tensor& ga = ensureGrad(node.in0);
+        Tensor& gb = ensureGrad(node.in1);
+        const Tensor& av = value(node.in0);
+        const Tensor& bv = value(node.in1);
+        for (std::size_t i = 0; i < g.size(); ++i) {
+            ga.data()[i] += g.data()[i] * bv.data()[i];
+            gb.data()[i] += g.data()[i] * av.data()[i];
+        }
+        break;
+      }
+      case Op::Scale: {
+        Tensor& ga = ensureGrad(node.in0);
+        for (std::size_t i = 0; i < g.size(); ++i)
+            ga.data()[i] += node.alpha * g.data()[i];
+        break;
+      }
+      case Op::AddScalar: {
+        Tensor& ga = ensureGrad(node.in0);
+        for (std::size_t i = 0; i < g.size(); ++i)
+            ga.data()[i] += g.data()[i];
+        break;
+      }
+      case Op::Relu: {
+        Tensor& ga = ensureGrad(node.in0);
+        const Tensor& ov = node.value;
+        for (std::size_t i = 0; i < g.size(); ++i) {
+            if (ov.data()[i] > 0.0f)
+                ga.data()[i] += g.data()[i];
+        }
+        break;
+      }
+      case Op::MulConst: {
+        Tensor& ga = ensureGrad(node.in0);
+        const Tensor& c = node.constTensor;
+        for (std::size_t r = 0; r < g.rows(); ++r) {
+            const float* m = c.row(c.rows() == 1 ? 0 : r);
+            const float* gr = g.row(r);
+            float* gar = ga.row(r);
+            for (std::size_t i = 0; i < g.cols(); ++i)
+                gar[i] += gr[i] * m[i];
+        }
+        break;
+      }
+      case Op::AddConst: {
+        Tensor& ga = ensureGrad(node.in0);
+        for (std::size_t i = 0; i < g.size(); ++i)
+            ga.data()[i] += g.data()[i];
+        break;
+      }
+      case Op::DotRowsConst: {
+        Tensor& ga = ensureGrad(node.in0);
+        for (std::size_t r = 0; r < ga.rows(); ++r) {
+            const float gr = g.at(r, 0);
+            float* gar = ga.row(r);
+            const float* u = node.constVec.data();
+            for (std::size_t i = 0; i < ga.cols(); ++i)
+                gar[i] += gr * u[i];
+        }
+        break;
+      }
+      case Op::SumAll: {
+        Tensor& ga = ensureGrad(node.in0);
+        const float gr = g.at(0, 0);
+        for (std::size_t i = 0; i < ga.size(); ++i)
+            ga.data()[i] += gr;
+        break;
+      }
+      case Op::MeanRows: {
+        Tensor& ga = ensureGrad(node.in0);
+        const float inv =
+            ga.rows() ? 1.0f / static_cast<float>(ga.rows()) : 0.0f;
+        for (std::size_t r = 0; r < ga.rows(); ++r) {
+            float* gar = ga.row(r);
+            const float* gr = g.row(0);
+            for (std::size_t i = 0; i < ga.cols(); ++i)
+                gar[i] += gr[i] * inv;
+        }
+        break;
+      }
+      case Op::SegmentSoftmax: {
+        Tensor& ga = ensureGrad(node.in0);
+        const Tensor& y = node.value;
+        const SegmentIndex* segs = node.segs;
+        for (std::size_t r = 0; r < ga.rows(); ++r) {
+            const float* yr = y.row(r);
+            const float* gr = g.row(r);
+            float* gar = ga.row(r);
+            for (std::size_t s = 0; s < segs->numSegments(); ++s) {
+                const std::uint32_t begin = segs->offsets[s];
+                const std::uint32_t end = segs->offsets[s + 1];
+                if (begin == end)
+                    continue;
+                float dot = 0.0f;
+                for (std::uint32_t e = begin; e < end; ++e) {
+                    const std::uint32_t col = segs->items[e];
+                    dot += gr[col] * yr[col];
+                }
+                for (std::uint32_t e = begin; e < end; ++e) {
+                    const std::uint32_t col = segs->items[e];
+                    gar[col] += yr[col] * (gr[col] - dot);
+                }
+            }
+        }
+        break;
+      }
+      case Op::SegmentProductComplement: {
+        Tensor& ga = ensureGrad(node.in0);
+        const Tensor& x = value(node.in0);
+        const SegmentIndex* segs = node.segs;
+        std::vector<float> prefix;
+        std::vector<float> suffix;
+        for (std::size_t r = 0; r < ga.rows(); ++r) {
+            const float* xr = x.row(r);
+            const float* gr = g.row(r);
+            float* gar = ga.row(r);
+            for (std::size_t s = 0; s < segs->numSegments(); ++s) {
+                const std::uint32_t begin = segs->offsets[s];
+                const std::uint32_t end = segs->offsets[s + 1];
+                const std::size_t len = end - begin;
+                if (len == 0)
+                    continue;
+                prefix.assign(len + 1, 1.0f);
+                suffix.assign(len + 1, 1.0f);
+                for (std::size_t e = 0; e < len; ++e) {
+                    prefix[e + 1] =
+                        prefix[e] * (1.0f - xr[segs->items[begin + e]]);
+                }
+                for (std::size_t e = len; e > 0; --e) {
+                    suffix[e - 1] =
+                        suffix[e] * (1.0f - xr[segs->items[begin + e - 1]]);
+                }
+                for (std::size_t e = 0; e < len; ++e) {
+                    const std::uint32_t col = segs->items[begin + e];
+                    // d/dx_e prod (1 - x_k) = -prod_{k != e} (1 - x_k)
+                    gar[col] += gr[s] * (-prefix[e] * suffix[e + 1]);
+                }
+            }
+        }
+        break;
+      }
+      case Op::SegmentMaxGather: {
+        Tensor& ga = ensureGrad(node.in0);
+        const std::size_t numSegments = node.segs->numSegments();
+        for (std::size_t r = 0; r < ga.rows(); ++r) {
+            const float* gr = g.row(r);
+            float* gar = ga.row(r);
+            for (std::size_t s = 0; s < numSegments; ++s) {
+                const std::uint32_t arg = node.savedIdx[r * numSegments + s];
+                if (arg != std::numeric_limits<std::uint32_t>::max())
+                    gar[arg] += gr[s];
+            }
+        }
+        break;
+      }
+      case Op::GatherCols: {
+        Tensor& ga = ensureGrad(node.in0);
+        const auto& index = *node.index;
+        for (std::size_t r = 0; r < g.rows(); ++r) {
+            const float* gr = g.row(r);
+            float* gar = ga.row(r);
+            for (std::size_t i = 0; i < index.size(); ++i)
+                gar[index[i]] += gr[i];
+        }
+        break;
+      }
+      case Op::MatMul: {
+        Tensor& ga = ensureGrad(node.in0);
+        Tensor& gw = ensureGrad(node.in1);
+        const Tensor& av = value(node.in0);
+        const Tensor& wv = value(node.in1);
+        // grad_a = g * w^T
+        for (std::size_t b = 0; b < ga.rows(); ++b) {
+            const float* gr = g.row(b);
+            float* gar = ga.row(b);
+            for (std::size_t k = 0; k < ga.cols(); ++k) {
+                const float* wRow = wv.row(k);
+                float acc = 0.0f;
+                for (std::size_t h = 0; h < g.cols(); ++h)
+                    acc += gr[h] * wRow[h];
+                gar[k] += acc;
+            }
+        }
+        // grad_w = a^T * g
+        for (std::size_t b = 0; b < av.rows(); ++b) {
+            const float* aRow = av.row(b);
+            const float* gr = g.row(b);
+            for (std::size_t k = 0; k < av.cols(); ++k) {
+                const float a_bk = aRow[k];
+                if (a_bk == 0.0f)
+                    continue;
+                float* gwRow = gw.row(k);
+                for (std::size_t h = 0; h < g.cols(); ++h)
+                    gwRow[h] += a_bk * gr[h];
+            }
+        }
+        break;
+      }
+      case Op::AddRowBroadcast: {
+        Tensor& ga = ensureGrad(node.in0);
+        Tensor& gb = ensureGrad(node.in1);
+        for (std::size_t r = 0; r < g.rows(); ++r) {
+            const float* gr = g.row(r);
+            float* gar = ga.row(r);
+            float* gbr = gb.row(0);
+            for (std::size_t i = 0; i < g.cols(); ++i) {
+                gar[i] += gr[i];
+                gbr[i] += gr[i];
+            }
+        }
+        break;
+      }
+      case Op::ScatterMatrix: {
+        Tensor& ga = ensureGrad(node.in0);
+        if (node.meanOverRows) {
+            const float inv =
+                ga.rows() ? 1.0f / static_cast<float>(ga.rows()) : 0.0f;
+            const float* gr = g.row(0);
+            for (const MatrixEntry& entry : *node.entries) {
+                const float flow = gr[entry.position] * inv;
+                for (std::size_t r = 0; r < ga.rows(); ++r)
+                    ga.at(r, entry.column) += flow;
+            }
+        } else {
+            for (std::size_t r = 0; r < ga.rows(); ++r) {
+                const float* gr = g.row(r);
+                float* gar = ga.row(r);
+                for (const MatrixEntry& entry : *node.entries)
+                    gar[entry.column] += gr[entry.position];
+            }
+        }
+        break;
+      }
+      case Op::TrExpm: {
+        Tensor& ga = ensureGrad(node.in0);
+        const std::size_t d = node.dim;
+        for (std::size_t r = 0; r < ga.rows(); ++r) {
+            const float gr = g.at(r, 0);
+            const float* e = node.saved.row(r);
+            float* gar = ga.row(r);
+            for (std::size_t i = 0; i < d; ++i) {
+                for (std::size_t j = 0; j < d; ++j)
+                    gar[i * d + j] += gr * e[j * d + i];
+            }
+        }
+        break;
+      }
+    }
+}
+
+} // namespace smoothe::ad

@@ -1,0 +1,170 @@
+#include "costmodel/cost_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "autodiff/adam.hpp"
+#include "extraction/random_sample.hpp"
+
+namespace smoothe::cost {
+
+using ad::Param;
+using ad::Tape;
+using ad::Tensor;
+using ad::VarId;
+
+// --- LinearCost ---------------------------------------------------------
+
+LinearCost::LinearCost(const eg::EGraph& graph)
+{
+    weights_.reserve(graph.numNodes());
+    for (eg::NodeId nid = 0; nid < graph.numNodes(); ++nid)
+        weights_.push_back(static_cast<float>(graph.node(nid).cost));
+}
+
+LinearCost::LinearCost(std::vector<float> weights)
+    : weights_(std::move(weights))
+{}
+
+VarId
+LinearCost::build(Tape& tape, VarId p) const
+{
+    return tape.dotRowsConst(p, weights_);
+}
+
+double
+LinearCost::discrete(const std::vector<bool>& s) const
+{
+    assert(s.size() == weights_.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i])
+            total += weights_[i];
+    }
+    return total;
+}
+
+// --- MlpCost ------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kHidden1 = 64;
+constexpr std::size_t kHidden2 = 64;
+constexpr std::size_t kHidden3 = 8;
+
+Tensor
+heInit(std::size_t rows, std::size_t cols, util::Rng& rng)
+{
+    Tensor t(rows, cols);
+    const double stddev = std::sqrt(2.0 / static_cast<double>(rows));
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+} // namespace
+
+MlpCost::MlpCost(std::size_t num_nodes, util::Rng& rng)
+    : inputDim_(num_nodes),
+      w1_(heInit(num_nodes, kHidden1, rng)), b1_(Tensor(1, kHidden1)),
+      w2_(heInit(kHidden1, kHidden2, rng)), b2_(Tensor(1, kHidden2)),
+      w3_(heInit(kHidden2, kHidden3, rng)), b3_(Tensor(1, kHidden3)),
+      w4_(heInit(kHidden3, 1, rng)), b4_(Tensor(1, 1))
+{}
+
+VarId
+MlpCost::build(Tape& tape, VarId p) const
+{
+    VarId h = tape.matmul(p, tape.leaf(&w1_));
+    h = tape.relu(tape.addRowBroadcast(h, tape.leaf(&b1_)));
+    h = tape.matmul(h, tape.leaf(&w2_));
+    h = tape.relu(tape.addRowBroadcast(h, tape.leaf(&b2_)));
+    h = tape.matmul(h, tape.leaf(&w3_));
+    h = tape.relu(tape.addRowBroadcast(h, tape.leaf(&b3_)));
+    h = tape.matmul(h, tape.leaf(&w4_));
+    h = tape.addRowBroadcast(h, tape.leaf(&b4_));
+    return h; // B x 1
+}
+
+double
+MlpCost::discrete(const std::vector<bool>& s) const
+{
+    Tensor input(1, inputDim_);
+    for (std::size_t i = 0; i < s.size() && i < inputDim_; ++i)
+        input.at(0, i) = s[i] ? 1.0f : 0.0f;
+    return forwardBatch(input).front();
+}
+
+std::vector<double>
+MlpCost::forwardBatch(const Tensor& inputs) const
+{
+    Tape tape;
+    const VarId x = tape.constant(inputs);
+    const VarId out = build(tape, x);
+    const Tensor& v = tape.value(out);
+    std::vector<double> result(v.rows());
+    for (std::size_t r = 0; r < v.rows(); ++r)
+        result[r] = v.at(r, 0);
+    return result;
+}
+
+double
+MlpCost::trainSynthetic(const eg::EGraph& graph, std::size_t num_samples,
+                        std::size_t epochs, util::Rng& rng)
+{
+    // Synthetic dataset per the paper: inputs are random *valid* discrete
+    // extractions; targets are random negative numbers ("savings").
+    const auto selections =
+        extract::sampleRandomSelections(graph, num_samples, rng);
+    Tensor inputs(num_samples, inputDim_);
+    Tensor targets(num_samples, 1);
+    for (std::size_t row = 0; row < selections.size(); ++row) {
+        const auto indicator = selections[row].toNodeIndicator(graph);
+        for (std::size_t i = 0; i < inputDim_; ++i)
+            inputs.at(row, i) = indicator[i] ? 1.0f : 0.0f;
+        targets.at(row, 0) = static_cast<float>(rng.uniform(-10.0, -1.0));
+    }
+
+    ad::Adam optimizer({&w1_, &b1_, &w2_, &b2_, &w3_, &b3_, &w4_, &b4_},
+                       ad::AdamConfig{0.003f, 0.9f, 0.999f, 1e-8f});
+    double finalMse = 0.0;
+    for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+        optimizer.zeroGrad();
+        Tape tape;
+        const VarId x = tape.constant(inputs);
+        const VarId pred = build(tape, x);
+        const VarId diff = tape.sub(pred, tape.constant(targets));
+        const VarId sq = tape.mul(diff, diff);
+        const VarId loss = tape.scale(
+            tape.sumAll(sq), 1.0f / static_cast<float>(num_samples));
+        finalMse = tape.value(loss).at(0, 0);
+        tape.backward(loss);
+        optimizer.step();
+    }
+    return finalMse;
+}
+
+// --- CompositeCost ------------------------------------------------------
+
+CompositeCost::CompositeCost(std::shared_ptr<CostModel> linear,
+                             std::shared_ptr<CostModel> nonlinear,
+                             float scale)
+    : linear_(std::move(linear)), nonlinear_(std::move(nonlinear)),
+      scale_(scale)
+{}
+
+VarId
+CompositeCost::build(Tape& tape, VarId p) const
+{
+    const VarId base = linear_->build(tape, p);
+    const VarId correction = nonlinear_->build(tape, p);
+    return tape.add(base, tape.scale(correction, scale_));
+}
+
+double
+CompositeCost::discrete(const std::vector<bool>& s) const
+{
+    return linear_->discrete(s) + scale_ * nonlinear_->discrete(s);
+}
+
+} // namespace smoothe::cost

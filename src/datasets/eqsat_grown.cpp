@@ -1,0 +1,148 @@
+#include "datasets/eqsat_grown.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "eqsat/mut_egraph.hpp"
+#include "eqsat/rules.hpp"
+
+namespace smoothe::datasets {
+
+using eqsat::TermPtr;
+
+namespace {
+
+TermPtr
+randomArithTerm(std::size_t depth, std::size_t num_vars, util::Rng& rng)
+{
+    if (depth == 0 || rng.bernoulli(0.25)) {
+        // Leaf: variable or small constant.
+        const double pick = rng.uniform();
+        if (pick < 0.6) {
+            return eqsat::leaf("v" + std::to_string(
+                                         rng.uniformIndex(num_vars)));
+        }
+        if (pick < 0.75)
+            return eqsat::leaf("zero");
+        if (pick < 0.9)
+            return eqsat::leaf("one");
+        return eqsat::leaf("two");
+    }
+    const double pick = rng.uniform();
+    if (pick < 0.45) {
+        return eqsat::app("+", {randomArithTerm(depth - 1, num_vars, rng),
+                                randomArithTerm(depth - 1, num_vars, rng)});
+    }
+    if (pick < 0.85) {
+        return eqsat::app("*", {randomArithTerm(depth - 1, num_vars, rng),
+                                randomArithTerm(depth - 1, num_vars, rng)});
+    }
+    return eqsat::app("<<", {randomArithTerm(depth - 1, num_vars, rng),
+                             eqsat::leaf("one")});
+}
+
+TermPtr
+randomDatapathTerm(std::size_t depth, std::size_t num_vars, util::Rng& rng)
+{
+    if (depth == 0 || rng.bernoulli(0.3)) {
+        const double pick = rng.uniform();
+        if (pick < 0.7) {
+            return eqsat::leaf("v" + std::to_string(
+                                         rng.uniformIndex(num_vars)));
+        }
+        if (pick < 0.85)
+            return eqsat::leaf("three");
+        return eqsat::leaf("five");
+    }
+    const double pick = rng.uniform();
+    if (pick < 0.5) {
+        return eqsat::app(
+            "+", {randomDatapathTerm(depth - 1, num_vars, rng),
+                  randomDatapathTerm(depth - 1, num_vars, rng)});
+    }
+    return eqsat::app("*", {randomDatapathTerm(depth - 1, num_vars, rng),
+                            randomDatapathTerm(depth - 1, num_vars, rng)});
+}
+
+double
+operatorCost(const std::string& op)
+{
+    if (op == "zero" || op == "one" || op == "two" || op == "three" ||
+        op == "five" || op.rfind("v", 0) == 0)
+        return 0.0;
+    if (op == "+")
+        return 4.0;
+    if (op == "<<")
+        return 1.0;
+    if (op == "*" || op == "square")
+        return 16.0;
+    if (op == "mac")
+        return 17.0; // fused: cheaper than separate * then +
+    return 8.0;
+}
+
+} // namespace
+
+TermPtr
+randomTerm(TermFlavor flavor, std::size_t depth, std::size_t num_vars,
+           util::Rng& rng)
+{
+    switch (flavor) {
+      case TermFlavor::Arithmetic:
+        return randomArithTerm(depth, num_vars, rng);
+      case TermFlavor::Datapath:
+        return randomDatapathTerm(depth, num_vars, rng);
+    }
+    return eqsat::leaf("v0");
+}
+
+eg::EGraph
+growEGraph(TermFlavor flavor, std::size_t depth, std::size_t max_nodes,
+           util::Rng& rng)
+{
+    const TermPtr term = randomTerm(flavor, depth, 4, rng);
+    eqsat::MutEGraph mut;
+    const eqsat::Id root = mut.addTerm(*term);
+
+    const auto& rules = flavor == TermFlavor::Arithmetic
+                            ? eqsat::arithmeticRules()
+                            : eqsat::datapathRules();
+    eqsat::RunLimits limits;
+    limits.maxIterations = 8;
+    limits.maxNodes = max_nodes;
+    limits.maxMatchesPerRule = 2000;
+    mut.run(rules, limits);
+
+    return mut.exportGraph(root, [](const std::string& op, std::size_t) {
+        return operatorCost(op);
+    });
+}
+
+eg::EGraph
+growFirEGraph(std::size_t taps, std::size_t max_nodes, util::Rng& rng)
+{
+    // sum_k c_k * x_k with small-constant coefficients, like the rover
+    // fir_* kernels.
+    assert(taps >= 1);
+    const char* coefficients[] = {"two", "three", "five", "one"};
+    TermPtr acc;
+    for (std::size_t k = 0; k < taps; ++k) {
+        TermPtr tap = eqsat::app(
+            "*", {eqsat::leaf(coefficients[k % 4]),
+                  eqsat::leaf("v" + std::to_string(k))});
+        acc = acc ? eqsat::app("+", {acc, tap}) : tap;
+    }
+    eqsat::MutEGraph mut;
+    const eqsat::Id root = mut.addTerm(*acc);
+    eqsat::RunLimits limits;
+    limits.maxIterations = 7;
+    limits.maxNodes = max_nodes;
+    limits.maxMatchesPerRule = 2000;
+    mut.run(eqsat::datapathRules(), limits);
+    (void)rng;
+    return mut.exportGraph(root, [](const std::string& op, std::size_t) {
+        return operatorCost(op);
+    });
+}
+
+} // namespace smoothe::datasets

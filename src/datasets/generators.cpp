@@ -1,0 +1,437 @@
+#include "datasets/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace smoothe::datasets {
+
+using eg::ClassId;
+using eg::EGraph;
+using eg::NodeId;
+
+namespace {
+
+/** Knuth's Poisson sampler (fine for the small lambdas used here). */
+std::size_t
+poisson(util::Rng& rng, double lambda)
+{
+    if (lambda <= 0.0)
+        return 0;
+    if (lambda > 30.0) {
+        // Normal approximation for large lambda.
+        const double sample = rng.normal(lambda, std::sqrt(lambda));
+        return sample < 0.0 ? 0 : static_cast<std::size_t>(sample + 0.5);
+    }
+    const double limit = std::exp(-lambda);
+    double product = rng.uniform();
+    std::size_t count = 0;
+    while (product > limit) {
+        ++count;
+        product *= rng.uniform();
+    }
+    return count;
+}
+
+/** Operator vocabulary per family for realistic-looking labels. */
+const char* const kOps[] = {"add", "mul", "sub", "shl",  "mac",  "ld",
+                            "st",  "phi", "vec", "conv", "gemm", "relu"};
+
+} // namespace
+
+FamilyParams
+diospyrosParams()
+{
+    FamilyParams params;
+    params.name = "diospyros";
+    // Paper: N/M ~ 22.8, d(v) = 2.5, 12 graphs. Huge e-classes (many
+    // equivalent vectorizations of the same value).
+    params.numClasses = 400;
+    params.nodesPerClass = 12.0; // scaled-down but still class-heavy
+    params.classSizeSpread = 1.0;
+    params.avgArity = 2.5;
+    params.maxArity = 4;
+    params.leafFraction = 0.2;
+    params.shareProbability = 0.35;
+    params.cycleFraction = 0.01;
+    params.minCost = 1.0;
+    params.maxCost = 20.0;
+    params.zeroCostFraction = 0.1;
+    params.numGraphs = 12;
+    params.sizeJitter = 0.6;
+    return params;
+}
+
+FamilyParams
+flexcParams()
+{
+    FamilyParams params;
+    params.name = "flexc";
+    // Paper: N/M ~ 4.05, d(v) = 1.8, density 2.5e-4, 14 graphs.
+    params.numClasses = 900;
+    params.nodesPerClass = 4.0;
+    params.classSizeSpread = 0.7;
+    params.avgArity = 1.8;
+    params.maxArity = 3;
+    params.leafFraction = 0.3;
+    params.shareProbability = 0.15;
+    params.cycleFraction = 0.005;
+    params.minCost = 1.0;
+    params.maxCost = 8.0;
+    params.zeroCostFraction = 0.05;
+    params.numGraphs = 14;
+    params.sizeJitter = 0.5;
+    return params;
+}
+
+FamilyParams
+impressParams()
+{
+    FamilyParams params;
+    params.name = "impress";
+    // Paper: N/M ~ 1.13 (nearly singleton classes), d(v) = 2.0, only 3
+    // graphs, very low density. Deep multiplier decompositions.
+    params.numClasses = 3600;
+    params.nodesPerClass = 1.15;
+    params.classSizeSpread = 0.3;
+    params.avgArity = 2.0;
+    params.maxArity = 3;
+    params.leafFraction = 0.15;
+    params.shareProbability = 0.4; // karatsuba-style heavy sharing
+    params.cycleFraction = 0.0;
+    params.minCost = 1.0;
+    params.maxCost = 50.0;
+    params.zeroCostFraction = 0.05;
+    params.numGraphs = 3;
+    params.sizeJitter = 0.3;
+    return params;
+}
+
+FamilyParams
+roverParams()
+{
+    FamilyParams params;
+    params.name = "rover";
+    // Paper: N/M ~ 5.9, d(v) = 5.5 (wide datapath operators), 9 graphs.
+    params.numClasses = 420;
+    params.nodesPerClass = 5.5;
+    params.classSizeSpread = 0.8;
+    params.avgArity = 5.5;
+    params.maxArity = 9;
+    params.leafFraction = 0.18;
+    params.shareProbability = 0.35;
+    params.cycleFraction = 0.01;
+    params.minCost = 1.0;
+    params.maxCost = 40.0;
+    params.zeroCostFraction = 0.08;
+    params.numGraphs = 9;
+    params.sizeJitter = 0.4;
+    return params;
+}
+
+FamilyParams
+tensatParams()
+{
+    FamilyParams params;
+    params.name = "tensat";
+    // Paper: N/M ~ 1.66, d(v) = 2.3, 5 graphs, cycles present.
+    params.numClasses = 2200;
+    params.nodesPerClass = 1.7;
+    params.classSizeSpread = 0.5;
+    params.avgArity = 2.3;
+    params.maxArity = 4;
+    params.leafFraction = 0.2;
+    params.shareProbability = 0.3;
+    params.cycleFraction = 0.02;
+    params.minCost = 0.1;
+    params.maxCost = 5.0;
+    params.zeroCostFraction = 0.12;
+    params.numGraphs = 5;
+    params.sizeJitter = 0.5;
+    return params;
+}
+
+const std::vector<std::string>&
+realisticFamilies()
+{
+    static const std::vector<std::string> families = {
+        "diospyros", "flexc", "impress", "rover", "tensat"};
+    return families;
+}
+
+FamilyParams
+familyParams(const std::string& family)
+{
+    if (family == "diospyros")
+        return diospyrosParams();
+    if (family == "flexc")
+        return flexcParams();
+    if (family == "impress")
+        return impressParams();
+    if (family == "rover")
+        return roverParams();
+    if (family == "tensat")
+        return tensatParams();
+    std::fprintf(stderr, "unknown dataset family: %s\n", family.c_str());
+    std::abort();
+}
+
+EGraph
+generateStructured(const FamilyParams& params, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    const std::size_t m = std::max<std::size_t>(4, params.numClasses);
+    const std::size_t leafStart = m - std::max<std::size_t>(
+        1, static_cast<std::size_t>(params.leafFraction * m));
+
+    // In-memory node specs so we can patch parents before materializing.
+    struct NodeSpec
+    {
+        std::string op;
+        std::vector<ClassId> children;
+        double cost;
+    };
+    std::vector<std::vector<NodeSpec>> classes(m);
+
+    // Hubs: popular shared classes scattered through the middle/lower
+    // graph; sharing them creates the common subexpressions that separate
+    // DAG-aware extractors from tree-cost heuristics.
+    std::vector<ClassId> hubs;
+    const std::size_t hubCount = std::max<std::size_t>(3, m / 40);
+    for (std::size_t h = 0; h < hubCount; ++h) {
+        hubs.push_back(static_cast<ClassId>(
+            m / 3 + rng.uniformIndex(m - m / 3)));
+    }
+    std::sort(hubs.begin(), hubs.end());
+
+    std::vector<bool> referenced(m, false);
+    referenced[0] = true;
+    std::size_t nextUnreferenced = 1;
+
+    const double nonLeafArity =
+        params.avgArity / std::max(0.05, 1.0 - params.leafFraction);
+    const std::size_t window = std::max<std::size_t>(8, m / 10);
+
+    auto drawCost = [&]() -> double {
+        if (rng.bernoulli(params.zeroCostFraction))
+            return 0.0;
+        return std::round(rng.uniform(params.minCost, params.maxCost) *
+                          10.0) /
+               10.0;
+    };
+
+    for (ClassId cls = 0; cls < m; ++cls) {
+        const std::size_t extra =
+            params.nodesPerClass > 1.0
+                ? poisson(rng, (params.nodesPerClass - 1.0) *
+                                   std::exp(rng.normal(0.0,
+                                                       params
+                                                           .classSizeSpread) -
+                                            params.classSizeSpread *
+                                                params.classSizeSpread /
+                                                2.0))
+                : 0;
+        const std::size_t size = 1 + extra;
+        for (std::size_t k = 0; k < size; ++k) {
+            NodeSpec node;
+            node.op = kOps[rng.uniformIndex(std::size(kOps))];
+            node.cost = drawCost();
+            const bool isLeafClass = cls >= leafStart;
+            if (!isLeafClass) {
+                std::size_t arity = 1 + std::min<std::size_t>(
+                    params.maxArity - 1,
+                    poisson(rng, std::max(0.0, nonLeafArity - 1.0)));
+                for (std::size_t slot = 0; slot < arity; ++slot) {
+                    const double r = rng.uniform();
+                    ClassId child = eg::kNoClass;
+                    if (k > 0 && cls > 0 && r < params.cycleFraction) {
+                        // Back edge: only on non-first members so the
+                        // class always keeps a forward (feasible) node.
+                        child = static_cast<ClassId>(
+                            rng.uniformIndex(cls));
+                    } else if (r < params.cycleFraction +
+                                       params.shareProbability) {
+                        // Shared hub deeper than this class.
+                        const auto it = std::upper_bound(hubs.begin(),
+                                                         hubs.end(), cls);
+                        if (it != hubs.end()) {
+                            const std::size_t span =
+                                static_cast<std::size_t>(hubs.end() - it);
+                            child = *(it + rng.uniformIndex(span));
+                        }
+                    }
+                    if (child == eg::kNoClass) {
+                        // Forward edge, biased toward classes nobody
+                        // references yet so everything stays reachable.
+                        while (nextUnreferenced < m &&
+                               referenced[nextUnreferenced])
+                            ++nextUnreferenced;
+                        if (nextUnreferenced < m &&
+                            nextUnreferenced > cls && rng.bernoulli(0.5)) {
+                            child =
+                                static_cast<ClassId>(nextUnreferenced);
+                        } else {
+                            const std::size_t hi =
+                                std::min<std::size_t>(m - 1,
+                                                      cls + window);
+                            child = static_cast<ClassId>(
+                                cls + 1 + rng.uniformIndex(hi - cls));
+                        }
+                    }
+                    node.children.push_back(child);
+                    if (child > cls)
+                        referenced[child] = true;
+                }
+            }
+            classes[cls].push_back(std::move(node));
+        }
+    }
+
+    // Patch: attach any still-unreferenced class as an extra operand of a
+    // random earlier node, preserving reachability.
+    for (ClassId cls = 1; cls < m; ++cls) {
+        if (referenced[cls])
+            continue;
+        const ClassId parentClass =
+            static_cast<ClassId>(rng.uniformIndex(cls));
+        auto& members = classes[parentClass];
+        NodeSpec& host = members[rng.uniformIndex(members.size())];
+        host.children.push_back(cls);
+        referenced[cls] = true;
+    }
+
+    EGraph graph;
+    for (ClassId cls = 0; cls < m; ++cls)
+        graph.addClass();
+    for (ClassId cls = 0; cls < m; ++cls) {
+        for (NodeSpec& node : classes[cls])
+            graph.addNode(cls, std::move(node.op), std::move(node.children),
+                          node.cost);
+    }
+    graph.setRoot(0);
+    const auto err = graph.finalize();
+    assert(!err.has_value());
+    (void)err;
+    return graph;
+}
+
+std::vector<NamedEGraph>
+generateFamily(const FamilyParams& params, double scale, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<NamedEGraph> out;
+    out.reserve(params.numGraphs);
+    for (std::size_t g = 0; g < params.numGraphs; ++g) {
+        FamilyParams instance = params;
+        const double jitter =
+            std::exp(rng.normal(0.0, params.sizeJitter / 2.0));
+        instance.numClasses = std::max<std::size_t>(
+            8, static_cast<std::size_t>(params.numClasses * scale * jitter));
+        NamedEGraph named;
+        named.family = params.name;
+        named.name = params.name + "_" + std::to_string(g);
+        named.graph = generateStructured(instance, rng.next());
+        out.push_back(std::move(named));
+    }
+    return out;
+}
+
+std::vector<NamedEGraph>
+tensatNamedInstances(double scale, std::uint64_t seed)
+{
+    struct Spec
+    {
+        const char* name;
+        double sizeFactor;
+        double costScale;
+    };
+    // Relative sizes follow the tensat paper's model e-graphs; cost scale
+    // puts the extracted totals in the same magnitude as Table 3.
+    const Spec specs[] = {
+        {"NASNet-A", 1.4, 1.0},  {"NASRNN", 1.2, 0.10},
+        {"BERT", 1.0, 0.08},     {"VGG", 0.5, 0.5},
+        {"ResNet-50", 0.6, 0.4},
+    };
+    util::Rng rng(seed);
+    std::vector<NamedEGraph> out;
+    for (const Spec& spec : specs) {
+        FamilyParams params = tensatParams();
+        params.numClasses = std::max<std::size_t>(
+            8, static_cast<std::size_t>(params.numClasses * scale *
+                                        spec.sizeFactor));
+        params.minCost *= spec.costScale;
+        params.maxCost *= spec.costScale;
+        NamedEGraph named;
+        named.family = "tensat";
+        named.name = spec.name;
+        named.graph = generateStructured(params, rng.next());
+        out.push_back(std::move(named));
+    }
+    return out;
+}
+
+std::vector<NamedEGraph>
+roverNamedInstances(double scale, std::uint64_t seed)
+{
+    struct Spec
+    {
+        const char* name;
+        double sizeFactor;
+    };
+    const Spec specs[] = {
+        {"fir_5", 0.7}, {"fir_6", 0.8},  {"fir_7", 0.9},
+        {"fir_8", 1.0}, {"box_3", 0.45}, {"box_4", 0.6},
+        {"box_5", 0.5}, {"mcm_8", 0.8},  {"mcm_9", 0.9},
+    };
+    util::Rng rng(seed);
+    std::vector<NamedEGraph> out;
+    for (const Spec& spec : specs) {
+        FamilyParams params = roverParams();
+        params.numClasses = std::max<std::size_t>(
+            8, static_cast<std::size_t>(params.numClasses * scale *
+                                        spec.sizeFactor));
+        NamedEGraph named;
+        named.family = "rover";
+        named.name = spec.name;
+        named.graph = generateStructured(params, rng.next());
+        out.push_back(std::move(named));
+    }
+    return out;
+}
+
+EGraph
+paperExampleEGraph()
+{
+    // Figure 1/2/3 of the paper: sec^2(a) + tan(a) after the rewrites
+    // sec a -> 1/cos a and sec^2 a -> 1 + tan^2 a.
+    EGraph graph;
+    const ClassId cAlpha = graph.addClass();
+    const ClassId cCos = graph.addClass();
+    const ClassId cSec = graph.addClass();
+    const ClassId cTan = graph.addClass();
+    const ClassId cTan2 = graph.addClass();
+    const ClassId cOne = graph.addClass();
+    const ClassId cSec2 = graph.addClass();
+    const ClassId cRoot = graph.addClass();
+
+    graph.addNode(cAlpha, "alpha", {}, 0.0);
+    graph.addNode(cCos, "cos", {cAlpha}, 10.0);
+    graph.addNode(cSec, "sec", {cAlpha}, 10.0);
+    graph.addNode(cSec, "recip", {cCos}, 5.0);
+    graph.addNode(cTan, "tan", {cAlpha}, 10.0);
+    graph.addNode(cTan2, "square", {cTan}, 5.0);
+    graph.addNode(cOne, "one", {}, 0.0);
+    graph.addNode(cSec2, "square", {cSec}, 5.0);
+    graph.addNode(cSec2, "add", {cOne, cTan2}, 2.0);
+    graph.addNode(cRoot, "add", {cSec2, cTan}, 2.0);
+    graph.setRoot(cRoot);
+    const auto err = graph.finalize();
+    assert(!err.has_value());
+    (void)err;
+    return graph;
+}
+
+} // namespace smoothe::datasets

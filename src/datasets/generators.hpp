@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Dataset generators reproducing the structural statistics of the paper's
+ * seven e-graph families (Table 1).
+ *
+ * The real corpora (diospyros, flexc, impress, rover, tensat) are grown by
+ * equality saturation inside each upstream project; since those artifacts
+ * are not available offline, this module generates e-graphs that match the
+ * published *structural* statistics per family — average e-node degree
+ * d(v), e-nodes-per-class ratio N/M, edge density, common-subexpression
+ * richness, and cyclicity — because extraction difficulty is a function of
+ * that structure, not of operator spellings (see DESIGN.md substitutions).
+ * Sizes are scaled down for a single-core machine; `scale` restores larger
+ * instances.
+ *
+ * The adversarial `set` and `maxsat` families use exact NP-hard-problem
+ * reductions and live in nphard.hpp.
+ */
+
+#ifndef SMOOTHE_DATASETS_GENERATORS_HPP
+#define SMOOTHE_DATASETS_GENERATORS_HPP
+
+#include <string>
+#include <vector>
+
+#include "egraph/egraph.hpp"
+#include "util/rng.hpp"
+
+namespace smoothe::datasets {
+
+/** A generated e-graph with its identity. */
+struct NamedEGraph
+{
+    std::string family;
+    std::string name;
+    eg::EGraph graph;
+};
+
+/** Structural knobs for the generic layered generator. */
+struct FamilyParams
+{
+    std::string name;
+
+    std::size_t numClasses = 500;   ///< M at scale 1
+    double nodesPerClass = 2.0;     ///< N / M ratio
+    double classSizeSpread = 0.8;   ///< geometric spread of class sizes
+    double avgArity = 2.0;          ///< d(v)
+    std::size_t maxArity = 4;
+    double leafFraction = 0.25;     ///< classes that are pure leaves
+    double shareProbability = 0.3;  ///< CSE richness: reuse of hub classes
+    double cycleFraction = 0.0;     ///< nodes pointing at ancestor classes
+    double minCost = 1.0;
+    double maxCost = 10.0;
+    double zeroCostFraction = 0.05; ///< free ops (constants, wires)
+    std::size_t numGraphs = 5;      ///< #G in Table 1
+    double sizeJitter = 0.5;        ///< per-graph size variation
+};
+
+/** The five realistic families with paper-matched parameters. */
+FamilyParams diospyrosParams();
+FamilyParams flexcParams();
+FamilyParams impressParams();
+FamilyParams roverParams();
+FamilyParams tensatParams();
+
+/** All realistic family names in canonical order. */
+const std::vector<std::string>& realisticFamilies();
+
+/** Looks up family parameters by name; aborts on unknown name. */
+FamilyParams familyParams(const std::string& family);
+
+/**
+ * Generates one e-graph with the given structural parameters.
+ * @param params family parameters (numClasses already scaled if desired)
+ * @param seed generator seed (each named instance uses its own)
+ * @return a finalized, feasible, root-reachable e-graph
+ */
+eg::EGraph generateStructured(const FamilyParams& params,
+                              std::uint64_t seed);
+
+/**
+ * Generates the whole family: params.numGraphs e-graphs with jittered
+ * sizes, named "<family>_<index>".
+ * @param scale multiplies numClasses (0.1 = ten times smaller)
+ */
+std::vector<NamedEGraph> generateFamily(const FamilyParams& params,
+                                        double scale, std::uint64_t seed);
+
+/**
+ * The named tensat instances of Table 3 (NASNet-A, NASRNN, BERT, VGG,
+ * ResNet-50), sized per the relative sizes reported in the paper.
+ */
+std::vector<NamedEGraph> tensatNamedInstances(double scale,
+                                              std::uint64_t seed);
+
+/**
+ * The named rover instances of Table 3 (fir_5..fir_8, box_3..box_5,
+ * mcm_8, mcm_9).
+ */
+std::vector<NamedEGraph> roverNamedInstances(double scale,
+                                             std::uint64_t seed);
+
+/**
+ * The paper's running example (Figures 1-3): sec^2(a) + tan(a) grown with
+ * the two rewrites, with the paper's node costs. The optimal extraction
+ * costs 19, the bottom-up heuristic returns 27 (Figure 2).
+ */
+eg::EGraph paperExampleEGraph();
+
+} // namespace smoothe::datasets
+
+#endif // SMOOTHE_DATASETS_GENERATORS_HPP

@@ -1,0 +1,253 @@
+#include "datasets/nphard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace smoothe::datasets {
+
+using eg::ClassId;
+using eg::EGraph;
+
+SetCoverInstance
+randomSetCover(std::size_t num_elements, std::size_t num_sets,
+               double sets_per_element, util::Rng& rng)
+{
+    SetCoverInstance instance;
+    instance.numElements = num_elements;
+    instance.sets.assign(num_sets, {});
+    instance.weights.assign(num_sets, 0.0);
+
+    std::vector<std::set<std::uint32_t>> members(num_sets);
+    for (std::uint32_t element = 0; element < num_elements; ++element) {
+        // Guarantee coverage, then add extra memberships. Clamp before
+        // the cast: a negative normal sample must not wrap around.
+        const double drawn = rng.normal(sets_per_element,
+                                        std::sqrt(sets_per_element));
+        const double clamped =
+            std::clamp(drawn, 1.0, static_cast<double>(2 * num_sets));
+        const std::size_t copies =
+            static_cast<std::size_t>(clamped + 0.5);
+        for (std::size_t c = 0; c < copies; ++c)
+            members[rng.uniformIndex(num_sets)].insert(element);
+    }
+    for (std::size_t s = 0; s < num_sets; ++s) {
+        instance.sets[s].assign(members[s].begin(), members[s].end());
+        // Weight loosely proportional to coverage so greedy choices are
+        // non-trivial.
+        instance.weights[s] =
+            1.0 + std::floor(rng.uniform(0.0, 4.0)) +
+            0.5 * static_cast<double>(instance.sets[s].size());
+    }
+    return instance;
+}
+
+EGraph
+setCoverToEGraph(const SetCoverInstance& instance)
+{
+    EGraph graph;
+    const ClassId root = graph.addClass();
+    std::vector<ClassId> elementClass(instance.numElements);
+    for (std::size_t e = 0; e < instance.numElements; ++e)
+        elementClass[e] = graph.addClass();
+    std::vector<ClassId> setClass(instance.sets.size(), eg::kNoClass);
+
+    std::vector<ClassId> rootChildren;
+    for (std::size_t e = 0; e < instance.numElements; ++e)
+        rootChildren.push_back(elementClass[e]);
+    graph.addNode(root, "cover-all", std::move(rootChildren), 0.0);
+
+    for (std::size_t s = 0; s < instance.sets.size(); ++s) {
+        if (instance.sets[s].empty())
+            continue;
+        setClass[s] = graph.addClass();
+        graph.addNode(setClass[s], "set_" + std::to_string(s), {},
+                      instance.weights[s]);
+        for (std::uint32_t element : instance.sets[s]) {
+            graph.addNode(elementClass[element],
+                          "via_set_" + std::to_string(s), {setClass[s]},
+                          0.0);
+        }
+    }
+    graph.setRoot(root);
+    // Elements covered by no set make the instance infeasible; the caller
+    // guarantees coverage, so finalize must succeed.
+    const auto err = graph.finalize();
+    assert(!err.has_value());
+    (void)err;
+    return graph;
+}
+
+double
+bruteForceSetCover(const SetCoverInstance& instance)
+{
+    const std::size_t numSets = instance.sets.size();
+    assert(numSets <= 24);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint64_t mask = 0; mask < (1ULL << numSets); ++mask) {
+        std::vector<bool> covered(instance.numElements, false);
+        double cost = 0.0;
+        for (std::size_t s = 0; s < numSets; ++s) {
+            if (!(mask & (1ULL << s)))
+                continue;
+            cost += instance.weights[s];
+            for (std::uint32_t element : instance.sets[s])
+                covered[element] = true;
+        }
+        if (cost >= best)
+            continue;
+        bool all = true;
+        for (bool c : covered)
+            all = all && c;
+        if (all)
+            best = cost;
+    }
+    return best;
+}
+
+MaxSatInstance
+randomMaxSat(std::size_t num_variables, std::size_t num_clauses,
+             std::size_t clause_size, util::Rng& rng)
+{
+    MaxSatInstance instance;
+    instance.numVariables = num_variables;
+    instance.clauses.reserve(num_clauses);
+    for (std::size_t c = 0; c < num_clauses; ++c) {
+        std::set<int> literals;
+        while (literals.size() < clause_size) {
+            const int var =
+                1 + static_cast<int>(rng.uniformIndex(num_variables));
+            const int literal = rng.bernoulli(0.5) ? var : -var;
+            // Avoid tautological clauses (x OR NOT x).
+            if (!literals.count(-literal))
+                literals.insert(literal);
+        }
+        instance.clauses.emplace_back(literals.begin(), literals.end());
+    }
+    return instance;
+}
+
+EGraph
+maxSatToEGraph(const MaxSatInstance& instance)
+{
+    EGraph graph;
+    const ClassId root = graph.addClass();
+
+    // Literal classes: (variable, polarity) -> class with one unit-cost
+    // node. Shared by every clause choosing that literal (the CSE trap
+    // for tree-cost heuristics).
+    std::vector<ClassId> literalClass(2 * instance.numVariables);
+    for (std::size_t v = 0; v < instance.numVariables; ++v) {
+        for (int polarity = 0; polarity < 2; ++polarity) {
+            const ClassId cls = graph.addClass();
+            literalClass[2 * v + polarity] = cls;
+            graph.addNode(cls,
+                          (polarity ? "x" : "!x") + std::to_string(v), {},
+                          1.0);
+        }
+    }
+
+    std::vector<ClassId> clauseClasses;
+    for (std::size_t c = 0; c < instance.clauses.size(); ++c) {
+        const ClassId cls = graph.addClass();
+        clauseClasses.push_back(cls);
+        for (int literal : instance.clauses[c]) {
+            const std::size_t var =
+                static_cast<std::size_t>(std::abs(literal)) - 1;
+            const std::size_t polarity = literal > 0 ? 1 : 0;
+            graph.addNode(cls, "sat_by_" + std::to_string(literal),
+                          {literalClass[2 * var + polarity]}, 0.0);
+        }
+        graph.addNode(cls, "violated", {}, instance.violationPenalty);
+    }
+    graph.addNode(root, "all-clauses", std::move(clauseClasses), 0.0);
+    graph.setRoot(root);
+    const auto err = graph.finalize();
+    assert(!err.has_value());
+    (void)err;
+    return graph;
+}
+
+double
+bruteForceMaxSatCost(const MaxSatInstance& instance)
+{
+    // Each clause independently picks one of its literals or "violated";
+    // the extraction DAG cost is |distinct literals used| + penalty *
+    // #violated. That equals min over literal subsets L of
+    //   |L| + penalty * #{clauses with no literal in L},
+    // so enumerating all 2^(2V) literal subsets is exact.
+    assert(2 * instance.numVariables <= 20);
+    const std::size_t bits = 2 * instance.numVariables;
+    auto literalBit = [](int literal) {
+        const std::size_t var =
+            static_cast<std::size_t>(std::abs(literal)) - 1;
+        return 2 * var + (literal > 0 ? 1 : 0);
+    };
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint64_t mask = 0; mask < (1ULL << bits); ++mask) {
+        double cost = static_cast<double>(__builtin_popcountll(mask));
+        if (cost >= best)
+            continue;
+        for (const auto& clause : instance.clauses) {
+            bool satisfied = false;
+            for (int literal : clause) {
+                if (mask & (1ULL << literalBit(literal))) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (!satisfied)
+                cost += instance.violationPenalty;
+        }
+        best = std::min(best, cost);
+    }
+    return best;
+}
+
+std::vector<NamedEGraph>
+generateSetFamily(double scale, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<NamedEGraph> out;
+    const std::size_t sizes[][2] = {
+        {600, 90}, {800, 110}, {1000, 130}, {1200, 150}};
+    for (std::size_t g = 0; g < 4; ++g) {
+        const std::size_t elements = std::max<std::size_t>(
+            12, static_cast<std::size_t>(sizes[g][0] * scale));
+        const std::size_t sets = std::max<std::size_t>(
+            6, static_cast<std::size_t>(sizes[g][1] * scale));
+        auto instance = randomSetCover(elements, sets, 6.0, rng);
+        NamedEGraph named;
+        named.family = "set";
+        named.name = "set_" + std::to_string(g);
+        named.graph = setCoverToEGraph(instance);
+        out.push_back(std::move(named));
+    }
+    return out;
+}
+
+std::vector<NamedEGraph>
+generateMaxSatFamily(double scale, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<NamedEGraph> out;
+    const std::size_t sizes[][2] = {{120, 300}, {160, 420}, {200, 520},
+                                    {240, 650}, {280, 760}, {320, 900}};
+    for (std::size_t g = 0; g < 6; ++g) {
+        const std::size_t vars = std::max<std::size_t>(
+            8, static_cast<std::size_t>(sizes[g][0] * scale));
+        const std::size_t clauses = std::max<std::size_t>(
+            12, static_cast<std::size_t>(sizes[g][1] * scale));
+        auto instance = randomMaxSat(vars, clauses, 3, rng);
+        NamedEGraph named;
+        named.family = "maxsat";
+        named.name = "maxsat_" + std::to_string(g);
+        named.graph = maxSatToEGraph(instance);
+        out.push_back(std::move(named));
+    }
+    return out;
+}
+
+} // namespace smoothe::datasets

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Adversarial datasets: NP-hard problems reduced to e-graph extraction
+ * (Section 5.3), following the reductions of Stepp's thesis and Zhang's
+ * NP-completeness note. These e-graphs are rich in common subexpressions
+ * and nearly free of other graphical structure, which makes them easy for
+ * ILP and hard for the tree-cost heuristics — exactly the paper's point.
+ */
+
+#ifndef SMOOTHE_DATASETS_NPHARD_HPP
+#define SMOOTHE_DATASETS_NPHARD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/generators.hpp"
+#include "egraph/egraph.hpp"
+#include "util/rng.hpp"
+
+namespace smoothe::datasets {
+
+/** A weighted minimum set-cover instance. */
+struct SetCoverInstance
+{
+    std::size_t numElements = 0;
+    /** sets[s] = sorted element ids covered by set s. */
+    std::vector<std::vector<std::uint32_t>> sets;
+    /** weights[s] = cost of picking set s. */
+    std::vector<double> weights;
+};
+
+/**
+ * Generates a random feasible instance (every element covered by at least
+ * one set; average membership ~ sets_per_element).
+ */
+SetCoverInstance randomSetCover(std::size_t num_elements,
+                                std::size_t num_sets,
+                                double sets_per_element,
+                                util::Rng& rng);
+
+/**
+ * Exact reduction to e-graph extraction:
+ * root node's children are one e-class per element; element class e holds
+ * one zero-cost e-node per covering set s whose single child is the
+ * "use set s" class; that class holds one e-node of cost weights[s].
+ * The minimum DAG-cost extraction equals the minimum-weight set cover
+ * (shared set classes are paid once).
+ */
+eg::EGraph setCoverToEGraph(const SetCoverInstance& instance);
+
+/** Brute-force optimum (num_sets <= ~20 only); used in tests. */
+double bruteForceSetCover(const SetCoverInstance& instance);
+
+/** A weighted MaxSAT instance in CNF. */
+struct MaxSatInstance
+{
+    std::size_t numVariables = 0;
+    /** clauses[c] = literals; +v means variable v-1 true, -v false. */
+    std::vector<std::vector<int>> clauses;
+    /** Penalty for leaving a clause unsatisfied. */
+    double violationPenalty = 10.0;
+};
+
+/** Random k-SAT-style instance. */
+MaxSatInstance randomMaxSat(std::size_t num_variables,
+                            std::size_t num_clauses,
+                            std::size_t clause_size, util::Rng& rng);
+
+/**
+ * Reduction to extraction: one "literal" class per (variable, polarity)
+ * holding a unit-cost e-node; each clause class holds one zero-cost
+ * e-node per literal (child = that literal class) plus a "violated"
+ * e-node of cost violationPenalty; the root depends on every clause
+ * class. Using both polarities of a variable costs 2 instead of 1, so the
+ * minimum extraction corresponds to a (soft) consistent assignment
+ * maximizing satisfied clauses: cost = #variables-used + penalty *
+ * #violated, with inconsistent choices strictly dominated when the
+ * penalty outweighs the extra literal.
+ */
+eg::EGraph maxSatToEGraph(const MaxSatInstance& instance);
+
+/** Brute-force optimal extraction cost (num_variables <= ~20); tests. */
+double bruteForceMaxSatCost(const MaxSatInstance& instance);
+
+/** The `set` family at the given scale (4 graphs, Table 1). */
+std::vector<NamedEGraph> generateSetFamily(double scale,
+                                           std::uint64_t seed);
+
+/** The `maxsat` family at the given scale (6 graphs, Table 1). */
+std::vector<NamedEGraph> generateMaxSatFamily(double scale,
+                                              std::uint64_t seed);
+
+} // namespace smoothe::datasets
+
+#endif // SMOOTHE_DATASETS_NPHARD_HPP

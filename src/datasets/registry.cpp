@@ -1,0 +1,26 @@
+#include "datasets/registry.hpp"
+
+#include "datasets/nphard.hpp"
+
+namespace smoothe::datasets {
+
+const std::vector<std::string>&
+allFamilies()
+{
+    static const std::vector<std::string> families = {
+        "diospyros", "flexc", "impress", "rover",
+        "tensat",    "set",   "maxsat"};
+    return families;
+}
+
+std::vector<NamedEGraph>
+loadFamily(const std::string& family, double scale, std::uint64_t seed)
+{
+    if (family == "set")
+        return generateSetFamily(scale, seed);
+    if (family == "maxsat")
+        return generateMaxSatFamily(scale, seed);
+    return generateFamily(familyParams(family), scale, seed);
+}
+
+} // namespace smoothe::datasets

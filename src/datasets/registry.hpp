@@ -1,0 +1,29 @@
+/**
+ * @file
+ * One-stop dataset registry for tests, examples, and the bench harness.
+ */
+
+#ifndef SMOOTHE_DATASETS_REGISTRY_HPP
+#define SMOOTHE_DATASETS_REGISTRY_HPP
+
+#include <string>
+#include <vector>
+
+#include "datasets/generators.hpp"
+
+namespace smoothe::datasets {
+
+/** All seven family names in Table 1 order. */
+const std::vector<std::string>& allFamilies();
+
+/**
+ * Generates the named family at the given scale.
+ * Realistic families use the structured generator; "set" and "maxsat" use
+ * the NP-hard reductions. Deterministic in (family, scale, seed).
+ */
+std::vector<NamedEGraph> loadFamily(const std::string& family, double scale,
+                                    std::uint64_t seed);
+
+} // namespace smoothe::datasets
+
+#endif // SMOOTHE_DATASETS_REGISTRY_HPP

@@ -1,0 +1,363 @@
+#include "egraph/egraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace smoothe::eg {
+
+ClassId
+EGraph::addClass()
+{
+    assert(!finalized_);
+    classNodes_.emplace_back();
+    return static_cast<ClassId>(classNodes_.size() - 1);
+}
+
+NodeId
+EGraph::addNode(ClassId cls, ENode node)
+{
+    assert(!finalized_);
+    assert(cls < classNodes_.size());
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    nodeClass_.push_back(cls);
+    classNodes_[cls].push_back(id);
+    return id;
+}
+
+NodeId
+EGraph::addNode(ClassId cls, std::string op, std::vector<ClassId> children,
+                double cost)
+{
+    ENode node;
+    node.op = std::move(op);
+    node.children = std::move(children);
+    node.cost = cost;
+    return addNode(cls, std::move(node));
+}
+
+std::optional<std::string>
+EGraph::finalize()
+{
+    if (finalized_)
+        return std::nullopt;
+    if (root_ == kNoClass)
+        return "e-graph has no root e-class";
+    if (root_ >= classNodes_.size())
+        return "root e-class id out of range";
+    for (std::size_t j = 0; j < classNodes_.size(); ++j) {
+        if (classNodes_[j].empty()) {
+            std::ostringstream oss;
+            oss << "e-class " << j << " is empty";
+            return oss.str();
+        }
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        for (ClassId child : nodes_[i].children) {
+            if (child >= classNodes_.size()) {
+                std::ostringstream oss;
+                oss << "e-node " << i << " references unknown e-class "
+                    << child;
+                return oss.str();
+            }
+        }
+    }
+
+    classParents_.assign(classNodes_.size(), {});
+    std::size_t edges = 0;
+    std::size_t leaves = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const auto& children = nodes_[i].children;
+        edges += children.size();
+        if (children.empty())
+            ++leaves;
+        // A node may reference the same child class twice (e.g. x * x);
+        // record the parent once per distinct child class.
+        std::vector<ClassId> distinct = children;
+        std::sort(distinct.begin(), distinct.end());
+        distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                       distinct.end());
+        for (ClassId child : distinct)
+            classParents_[child].push_back(static_cast<NodeId>(i));
+    }
+
+    stats_.numNodes = nodes_.size();
+    stats_.numClasses = classNodes_.size();
+    stats_.numEdges = edges;
+    stats_.numLeaves = leaves;
+    stats_.avgDegree =
+        nodes_.empty() ? 0.0 : static_cast<double>(edges) / nodes_.size();
+    stats_.density =
+        nodes_.empty() || classNodes_.empty()
+            ? 0.0
+            : static_cast<double>(edges) /
+                  (static_cast<double>(nodes_.size()) * classNodes_.size());
+    stats_.maxClassSize = 0;
+    for (const auto& members : classNodes_)
+        stats_.maxClassSize = std::max(stats_.maxClassSize, members.size());
+
+    finalized_ = true;
+    return std::nullopt;
+}
+
+const std::vector<NodeId>&
+EGraph::parents(ClassId cls) const
+{
+    requireFinalized();
+    return classParents_[cls];
+}
+
+const EGraphStats&
+EGraph::stats() const
+{
+    requireFinalized();
+    return stats_;
+}
+
+void
+EGraph::requireFinalized() const
+{
+    if (!finalized_)
+        throw std::logic_error("EGraph used before finalize()");
+}
+
+std::vector<std::vector<ClassId>>
+EGraph::classSccs() const
+{
+    requireFinalized();
+    const std::size_t m = numClasses();
+
+    // Build the class dependency adjacency (deduplicated per class).
+    std::vector<std::vector<ClassId>> adj(m);
+    for (std::size_t j = 0; j < m; ++j) {
+        std::vector<ClassId> out;
+        for (NodeId nid : classNodes_[j]) {
+            for (ClassId child : nodes_[nid].children)
+                out.push_back(child);
+        }
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        adj[j] = std::move(out);
+    }
+
+    // Iterative Tarjan SCC.
+    constexpr std::uint32_t unvisited = std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> index(m, unvisited);
+    std::vector<std::uint32_t> lowlink(m, 0);
+    std::vector<bool> onStack(m, false);
+    std::vector<ClassId> stack;
+    std::vector<std::vector<ClassId>> sccs;
+    std::uint32_t counter = 0;
+
+    struct Frame
+    {
+        ClassId v;
+        std::size_t childIdx;
+    };
+    std::vector<Frame> callStack;
+
+    for (ClassId start = 0; start < m; ++start) {
+        if (index[start] != unvisited)
+            continue;
+        callStack.push_back({start, 0});
+        while (!callStack.empty()) {
+            Frame& frame = callStack.back();
+            const ClassId v = frame.v;
+            if (frame.childIdx == 0) {
+                index[v] = lowlink[v] = counter++;
+                stack.push_back(v);
+                onStack[v] = true;
+            }
+            bool descended = false;
+            while (frame.childIdx < adj[v].size()) {
+                const ClassId w = adj[v][frame.childIdx++];
+                if (index[w] == unvisited) {
+                    callStack.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (onStack[w])
+                    lowlink[v] = std::min(lowlink[v], index[w]);
+            }
+            if (descended)
+                continue;
+            if (lowlink[v] == index[v]) {
+                std::vector<ClassId> component;
+                while (true) {
+                    const ClassId w = stack.back();
+                    stack.pop_back();
+                    onStack[w] = false;
+                    component.push_back(w);
+                    if (w == v)
+                        break;
+                }
+                sccs.push_back(std::move(component));
+            }
+            callStack.pop_back();
+            if (!callStack.empty()) {
+                Frame& parent = callStack.back();
+                lowlink[parent.v] = std::min(lowlink[parent.v], lowlink[v]);
+            }
+        }
+    }
+    return sccs;
+}
+
+bool
+EGraph::dependencyGraphIsAcyclic() const
+{
+    requireFinalized();
+    // A class-level self edge (node whose child is its own class) is a
+    // 1-cycle; otherwise any SCC with more than one member is a cycle.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        for (ClassId child : nodes_[i].children) {
+            if (child == nodeClass_[i])
+                return false;
+        }
+    }
+    for (const auto& scc : classSccs()) {
+        if (scc.size() > 1)
+            return false;
+    }
+    return true;
+}
+
+std::vector<ClassId>
+EGraph::reachableClasses() const
+{
+    requireFinalized();
+    std::vector<bool> seen(numClasses(), false);
+    std::vector<ClassId> order;
+    std::vector<ClassId> worklist{root_};
+    seen[root_] = true;
+    while (!worklist.empty()) {
+        const ClassId cls = worklist.back();
+        worklist.pop_back();
+        order.push_back(cls);
+        for (NodeId nid : classNodes_[cls]) {
+            for (ClassId child : nodes_[nid].children) {
+                if (!seen[child]) {
+                    seen[child] = true;
+                    worklist.push_back(child);
+                }
+            }
+        }
+    }
+    return order;
+}
+
+EGraph
+EGraph::pruned() const
+{
+    requireFinalized();
+
+    // Pass 1: find satisfiable nodes/classes bottom-up. A node is live when
+    // every child class has at least one live node; a class is live when it
+    // has a live node. Fixed-point iteration (cycles cannot become live
+    // through themselves alone, matching extractor feasibility).
+    const std::size_t n = numNodes();
+    const std::size_t m = numClasses();
+    std::vector<bool> nodeLive(n, false);
+    std::vector<bool> classLive(m, false);
+    std::vector<std::size_t> pendingChildren(n, 0);
+
+    std::vector<NodeId> queue;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<ClassId> distinct = nodes_[i].children;
+        std::sort(distinct.begin(), distinct.end());
+        distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                       distinct.end());
+        pendingChildren[i] = distinct.size();
+        if (distinct.empty())
+            queue.push_back(static_cast<NodeId>(i));
+    }
+    while (!queue.empty()) {
+        const NodeId nid = queue.back();
+        queue.pop_back();
+        if (nodeLive[nid])
+            continue;
+        nodeLive[nid] = true;
+        const ClassId cls = nodeClass_[nid];
+        if (classLive[cls])
+            continue;
+        classLive[cls] = true;
+        // Class became live: decrement pending count of parents that wait
+        // on it.
+        for (NodeId parent : classParents_[cls]) {
+            if (nodeLive[parent])
+                continue;
+            if (--pendingChildren[parent] == 0)
+                queue.push_back(parent);
+        }
+    }
+
+    // Pass 2: keep classes reachable from the root through live nodes.
+    std::vector<bool> keepClass(m, false);
+    if (root_ < m && classLive[root_]) {
+        std::vector<ClassId> stack{root_};
+        keepClass[root_] = true;
+        while (!stack.empty()) {
+            const ClassId cls = stack.back();
+            stack.pop_back();
+            for (NodeId nid : classNodes_[cls]) {
+                if (!nodeLive[nid])
+                    continue;
+                for (ClassId child : nodes_[nid].children) {
+                    if (!keepClass[child] && classLive[child]) {
+                        keepClass[child] = true;
+                        stack.push_back(child);
+                    }
+                }
+            }
+        }
+    }
+
+    EGraph out;
+    std::vector<ClassId> remap(m, kNoClass);
+    for (std::size_t j = 0; j < m; ++j) {
+        if (keepClass[j])
+            remap[j] = out.addClass();
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+        if (!keepClass[j])
+            continue;
+        for (NodeId nid : classNodes_[j]) {
+            if (!nodeLive[nid])
+                continue;
+            // Drop nodes referencing pruned child classes.
+            bool ok = true;
+            std::vector<ClassId> children;
+            children.reserve(nodes_[nid].children.size());
+            for (ClassId child : nodes_[nid].children) {
+                if (remap[child] == kNoClass) {
+                    ok = false;
+                    break;
+                }
+                children.push_back(remap[child]);
+            }
+            if (ok)
+                out.addNode(remap[j], nodes_[nid].op, std::move(children),
+                            nodes_[nid].cost);
+        }
+    }
+    if (root_ < m && remap[root_] != kNoClass)
+        out.setRoot(remap[root_]);
+    else if (out.numClasses() > 0)
+        out.setRoot(0);
+    else {
+        // Degenerate: no feasible extraction; return a single-class stub so
+        // finalize() still succeeds and extractors can report infeasible.
+        const ClassId cls = out.addClass();
+        out.addNode(cls, "<infeasible>", {}, 0.0);
+        out.setRoot(cls);
+    }
+    const auto err = out.finalize();
+    assert(!err.has_value());
+    (void)err;
+    return out;
+}
+
+} // namespace smoothe::eg

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * JSON (de)serialization for e-graphs.
+ *
+ * The on-disk format is compatible with the extraction-gym corpus
+ * (https://github.com/egraphs-good/extraction-gym):
+ *
+ * @code{.json}
+ * {
+ *   "nodes": {
+ *     "node-id": {
+ *       "op": "+",
+ *       "children": ["other-node-id", ...],
+ *       "eclass": "class-id",
+ *       "cost": 2.0
+ *     }, ...
+ *   },
+ *   "root_eclasses": ["class-id"]
+ * }
+ * @endcode
+ *
+ * Children reference *node* ids; the child e-class is the e-class of the
+ * referenced node (any member works since they are equivalent).
+ */
+
+#ifndef SMOOTHE_EGRAPH_SERIALIZE_HPP
+#define SMOOTHE_EGRAPH_SERIALIZE_HPP
+
+#include <optional>
+#include <string>
+
+#include "egraph/egraph.hpp"
+
+namespace smoothe::eg {
+
+/** Serializes a finalized e-graph into the extraction-gym JSON format. */
+std::string toJson(const EGraph& graph, bool pretty = false);
+
+/**
+ * Parses an e-graph from extraction-gym JSON.
+ * @param text the JSON document
+ * @param error receives a message on failure (may be null)
+ * @return a finalized e-graph, or std::nullopt on malformed input
+ */
+std::optional<EGraph> fromJson(const std::string& text,
+                               std::string* error = nullptr);
+
+/** Loads an e-graph from a JSON file. */
+std::optional<EGraph> loadFromFile(const std::string& path,
+                                   std::string* error = nullptr);
+
+/** Saves an e-graph to a JSON file. Returns false on I/O error. */
+bool saveToFile(const EGraph& graph, const std::string& path);
+
+} // namespace smoothe::eg
+
+#endif // SMOOTHE_EGRAPH_SERIALIZE_HPP

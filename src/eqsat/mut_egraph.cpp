@@ -1,0 +1,368 @@
+#include "eqsat/mut_egraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace smoothe::eqsat {
+
+std::uint32_t
+MutEGraph::internSymbol(const std::string& name)
+{
+    const auto it = symbolIds_.find(name);
+    if (it != symbolIds_.end())
+        return it->second;
+    const std::uint32_t id = static_cast<std::uint32_t>(symbols_.size());
+    symbols_.push_back(name);
+    symbolIds_[name] = id;
+    return id;
+}
+
+const std::string&
+MutEGraph::symbolName(std::uint32_t id) const
+{
+    return symbols_[id];
+}
+
+Id
+MutEGraph::find(Id id) const
+{
+    // Path halving.
+    while (parent_[id] != id) {
+        parent_[id] = parent_[parent_[id]];
+        id = parent_[id];
+    }
+    return id;
+}
+
+Id
+MutEGraph::findMutable(Id id)
+{
+    return find(id);
+}
+
+Node
+MutEGraph::canonicalize(const Node& node) const
+{
+    Node out;
+    out.op = node.op;
+    out.children.reserve(node.children.size());
+    for (Id child : node.children)
+        out.children.push_back(find(child));
+    return out;
+}
+
+Id
+MutEGraph::add(const std::string& op, std::vector<Id> children)
+{
+    Node node;
+    node.op = internSymbol(op);
+    node.children = std::move(children);
+    for (Id& child : node.children)
+        child = find(child);
+
+    const auto it = hashcons_.find(node);
+    if (it != hashcons_.end())
+        return find(it->second);
+
+    const Id id = static_cast<Id>(parent_.size());
+    parent_.push_back(id);
+    classes_.emplace_back();
+    classes_[id].nodes.push_back(node);
+    hashcons_[node] = id;
+    for (Id child : node.children)
+        classes_[child].parents.emplace_back(node, id);
+    return id;
+}
+
+Id
+MutEGraph::addTerm(const Term& term)
+{
+    std::vector<Id> children;
+    children.reserve(term.children.size());
+    for (const auto& child : term.children)
+        children.push_back(addTerm(*child));
+    return add(term.op, std::move(children));
+}
+
+Id
+MutEGraph::merge(Id a, Id b)
+{
+    a = find(a);
+    b = find(b);
+    if (a == b)
+        return a;
+    // Union by parent-list size so congruence repair touches fewer uses.
+    if (classes_[a].parents.size() < classes_[b].parents.size())
+        std::swap(a, b);
+    parent_[b] = a;
+    // Move nodes and parents into the survivor.
+    auto& survivor = classes_[a];
+    auto& absorbed = classes_[b];
+    survivor.nodes.insert(survivor.nodes.end(), absorbed.nodes.begin(),
+                          absorbed.nodes.end());
+    survivor.parents.insert(survivor.parents.end(), absorbed.parents.begin(),
+                            absorbed.parents.end());
+    absorbed.nodes.clear();
+    absorbed.nodes.shrink_to_fit();
+    absorbed.parents.clear();
+    absorbed.parents.shrink_to_fit();
+    worklist_.push_back(a);
+    return a;
+}
+
+void
+MutEGraph::rebuild()
+{
+    while (!worklist_.empty()) {
+        std::vector<Id> todo;
+        todo.swap(worklist_);
+        std::set<Id> deduped;
+        for (Id id : todo)
+            deduped.insert(find(id));
+        for (Id cls : deduped) {
+            // Repair the uses of this class: re-canonicalize each parent
+            // node; congruent duplicates trigger upward merges.
+            auto parents = classes_[cls].parents;
+            classes_[cls].parents.clear();
+            std::unordered_map<Node, Id, NodeHash> seen;
+            for (auto& [node, useClass] : parents) {
+                const Node canon = canonicalize(node);
+                // Update the hashcons entry for the canonical form.
+                const auto old = hashcons_.find(node);
+                if (old != hashcons_.end() && !(node == canon)) {
+                    const Id target = old->second;
+                    hashcons_.erase(old);
+                    // Keep the canonical entry pointing at the merged class.
+                    const auto existing = hashcons_.find(canon);
+                    if (existing == hashcons_.end())
+                        hashcons_[canon] = target;
+                }
+                const Id canonUse = find(useClass);
+                const auto it = seen.find(canon);
+                if (it != seen.end()) {
+                    merge(it->second, canonUse);
+                } else {
+                    seen[canon] = canonUse;
+                    classes_[find(cls)].parents.emplace_back(canon,
+                                                             canonUse);
+                }
+                // Also merge with any other class holding the same node.
+                const auto hc = hashcons_.find(canon);
+                if (hc != hashcons_.end() && find(hc->second) != find(canonUse))
+                    merge(hc->second, canonUse);
+                else if (hc == hashcons_.end())
+                    hashcons_[canon] = canonUse;
+            }
+            // Deduplicate the class's own node list.
+            auto& nodes = classes_[find(cls)].nodes;
+            std::unordered_map<Node, bool, NodeHash> nodeSeen;
+            std::vector<Node> unique;
+            unique.reserve(nodes.size());
+            for (const Node& node : nodes) {
+                const Node canon = canonicalize(node);
+                if (!nodeSeen.count(canon)) {
+                    nodeSeen[canon] = true;
+                    unique.push_back(canon);
+                }
+            }
+            nodes = std::move(unique);
+        }
+    }
+}
+
+std::size_t
+MutEGraph::numClasses() const
+{
+    std::size_t count = 0;
+    for (Id id = 0; id < parent_.size(); ++id) {
+        if (find(id) == id)
+            ++count;
+    }
+    return count;
+}
+
+std::vector<Subst>
+MutEGraph::ematch(const Pattern& pattern, Id cls) const
+{
+    cls = find(cls);
+    std::vector<Subst> results;
+    if (pattern.isVar()) {
+        Subst subst;
+        subst[pattern.var] = cls;
+        results.push_back(std::move(subst));
+        return results;
+    }
+    const auto opIt = symbolIds_.find(pattern.op);
+    if (opIt == symbolIds_.end())
+        return results;
+    const std::uint32_t opId = opIt->second;
+
+    for (const Node& node : classes_[cls].nodes) {
+        if (node.op != opId || node.children.size() != pattern.children.size())
+            continue;
+        // Recursively match children with backtracking over substitutions.
+        std::vector<Subst> partials{Subst{}};
+        bool dead = false;
+        for (std::size_t i = 0; i < pattern.children.size() && !dead; ++i) {
+            std::vector<Subst> next;
+            for (const Subst& partial : partials) {
+                // Bind pattern child i against node child class i.
+                const Pattern& childPattern = *pattern.children[i];
+                if (childPattern.isVar()) {
+                    const auto bound = partial.find(childPattern.var);
+                    if (bound != partial.end()) {
+                        if (find(bound->second) == find(node.children[i]))
+                            next.push_back(partial);
+                        continue;
+                    }
+                    Subst extended = partial;
+                    extended[childPattern.var] = find(node.children[i]);
+                    next.push_back(std::move(extended));
+                    continue;
+                }
+                for (Subst sub :
+                     ematch(childPattern, node.children[i])) {
+                    bool ok = true;
+                    for (const auto& [var, boundCls] : partial) {
+                        const auto it = sub.find(var);
+                        if (it != sub.end() &&
+                            find(it->second) != find(boundCls)) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if (!ok)
+                        continue;
+                    for (const auto& [var, boundCls] : partial)
+                        sub.emplace(var, boundCls);
+                    next.push_back(std::move(sub));
+                }
+            }
+            partials = std::move(next);
+            if (partials.empty())
+                dead = true;
+        }
+        for (auto& subst : partials)
+            results.push_back(std::move(subst));
+    }
+    return results;
+}
+
+std::vector<std::pair<Id, Subst>>
+MutEGraph::ematchAll(const Pattern& pattern) const
+{
+    std::vector<std::pair<Id, Subst>> results;
+    std::set<Id> canonical;
+    for (Id id = 0; id < parent_.size(); ++id)
+        canonical.insert(find(id));
+    for (Id cls : canonical) {
+        for (Subst& subst : ematch(pattern, cls))
+            results.emplace_back(cls, std::move(subst));
+    }
+    return results;
+}
+
+Id
+MutEGraph::instantiate(const Pattern& pattern, const Subst& subst)
+{
+    if (pattern.isVar()) {
+        const auto it = subst.find(pattern.var);
+        assert(it != subst.end() && "unbound pattern variable");
+        return find(it->second);
+    }
+    std::vector<Id> children;
+    children.reserve(pattern.children.size());
+    for (const auto& child : pattern.children)
+        children.push_back(instantiate(*child, subst));
+    return add(pattern.op, std::move(children));
+}
+
+RunStats
+MutEGraph::run(const std::vector<Rewrite>& rules, const RunLimits& limits)
+{
+    RunStats stats;
+    for (std::size_t iter = 0; iter < limits.maxIterations; ++iter) {
+        ++stats.iterations;
+        // Phase 1: read-only match collection (egg's two-phase scheme
+        // keeps match sets consistent while the graph mutates).
+        std::vector<std::tuple<const Rewrite*, Id, Subst>> matches;
+        for (const Rewrite& rule : rules) {
+            auto found = ematchAll(*rule.lhs);
+            if (found.size() > limits.maxMatchesPerRule)
+                found.resize(limits.maxMatchesPerRule);
+            for (auto& [cls, subst] : found)
+                matches.emplace_back(&rule, cls, std::move(subst));
+        }
+        stats.totalMatches += matches.size();
+
+        // Phase 2: apply.
+        const std::size_t nodesBefore = numNodes();
+        bool changed = false;
+        for (auto& [rule, cls, subst] : matches) {
+            const Id rhsClass = instantiate(*rule->rhs, subst);
+            if (find(rhsClass) != find(cls)) {
+                merge(cls, rhsClass);
+                changed = true;
+            }
+            if (numNodes() > limits.maxNodes) {
+                stats.hitNodeLimit = true;
+                break;
+            }
+        }
+        rebuild();
+        if (numNodes() != nodesBefore)
+            changed = true;
+        if (stats.hitNodeLimit)
+            break;
+        if (!changed) {
+            stats.saturated = true;
+            break;
+        }
+    }
+    stats.finalNodes = numNodes();
+    stats.finalClasses = numClasses();
+    return stats;
+}
+
+eg::EGraph
+MutEGraph::exportGraph(
+    Id root,
+    const std::function<double(const std::string&, std::size_t)>& cost_of)
+    const
+{
+    eg::EGraph out;
+    // Map canonical mutable ids -> dense export class ids.
+    std::vector<Id> canonical;
+    std::unordered_map<Id, eg::ClassId> classMap;
+    for (Id id = 0; id < parent_.size(); ++id) {
+        if (find(id) == id) {
+            classMap[id] = out.addClass();
+            canonical.push_back(id);
+        }
+    }
+    // Emit each class's member nodes, deduplicated after canonicalization.
+    for (Id cls : canonical) {
+        std::unordered_map<Node, bool, NodeHash> emitted;
+        for (const Node& node : classes_[cls].nodes) {
+            const Node canon = canonicalize(node);
+            if (emitted.count(canon))
+                continue;
+            emitted[canon] = true;
+            std::vector<eg::ClassId> children;
+            children.reserve(canon.children.size());
+            for (Id child : canon.children)
+                children.push_back(classMap.at(find(child)));
+            const std::string& opName = symbols_[canon.op];
+            out.addNode(classMap.at(cls), opName, std::move(children),
+                        cost_of(opName, canon.children.size()));
+        }
+    }
+    out.setRoot(classMap.at(find(root)));
+    const auto err = out.finalize();
+    assert(!err.has_value() && "exported e-graph must be well-formed");
+    (void)err;
+    return out;
+}
+
+} // namespace smoothe::eqsat

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * A mutable e-graph for equality saturation: union-find over e-class ids
+ * with hashconsing of e-nodes, congruence-closure rebuilding, e-matching,
+ * and a saturation runner. Mirrors the architecture of egg (Willsey et
+ * al., POPL 2021) at a smaller scale.
+ *
+ * After saturation, exportGraph() converts into the immutable
+ * extraction-oriented smoothe::eg::EGraph with a caller-provided per-op
+ * cost function.
+ */
+
+#ifndef SMOOTHE_EQSAT_MUT_EGRAPH_HPP
+#define SMOOTHE_EQSAT_MUT_EGRAPH_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "egraph/egraph.hpp"
+#include "eqsat/term.hpp"
+
+namespace smoothe::eqsat {
+
+/** Id of an equivalence class in the mutable e-graph. */
+using Id = std::uint32_t;
+
+/** A hashconsed e-node: interned op symbol + canonical child class ids. */
+struct Node
+{
+    std::uint32_t op; ///< symbol id
+    std::vector<Id> children;
+
+    bool
+    operator==(const Node& other) const
+    {
+        return op == other.op && children == other.children;
+    }
+};
+
+/** Hash for hashconsing nodes. */
+struct NodeHash
+{
+    std::size_t
+    operator()(const Node& node) const
+    {
+        std::size_t h = node.op * 0x9e3779b97f4a7c15ULL;
+        for (Id child : node.children)
+            h = (h ^ child) * 0x100000001b3ULL;
+        return h;
+    }
+};
+
+/** Variable bindings produced by e-matching: var name -> e-class. */
+using Subst = std::map<std::string, Id>;
+
+/** Statistics for one saturation run. */
+struct RunStats
+{
+    std::size_t iterations = 0;
+    std::size_t totalMatches = 0;
+    std::size_t finalNodes = 0;
+    std::size_t finalClasses = 0;
+    bool saturated = false;   ///< no new nodes/merges in the last iteration
+    bool hitNodeLimit = false;
+};
+
+/** Limits for the saturation runner. */
+struct RunLimits
+{
+    std::size_t maxIterations = 16;
+    std::size_t maxNodes = 100000;
+    /** Per-rule match cap per iteration to keep growth polynomial. */
+    std::size_t maxMatchesPerRule = 10000;
+};
+
+/** The mutable e-graph. */
+class MutEGraph
+{
+  public:
+    MutEGraph() = default;
+
+    /** Interns an operator symbol. */
+    std::uint32_t internSymbol(const std::string& name);
+
+    /** Returns the symbol string for an interned id. */
+    const std::string& symbolName(std::uint32_t id) const;
+
+    /** Adds (or finds) an e-node; children are canonicalized. */
+    Id add(const std::string& op, std::vector<Id> children);
+
+    /** Adds a ground term bottom-up; returns its e-class. */
+    Id addTerm(const Term& term);
+
+    /** Canonical representative of an e-class id. */
+    Id find(Id id) const;
+
+    /** Merges two e-classes; returns the surviving representative. */
+    Id merge(Id a, Id b);
+
+    /**
+     * Restores the congruence invariant after merges (egg-style deferred
+     * rebuild): re-canonicalizes nodes and merges classes that became
+     * congruent.
+     */
+    void rebuild();
+
+    /** Number of canonical e-classes. */
+    std::size_t numClasses() const;
+
+    /** Total number of distinct e-nodes. */
+    std::size_t numNodes() const { return hashcons_.size(); }
+
+    /**
+     * E-matching: finds all substitutions under which the pattern matches
+     * some node in the given e-class.
+     */
+    std::vector<Subst> ematch(const Pattern& pattern, Id cls) const;
+
+    /** E-matching across all classes; returns (class, subst) pairs. */
+    std::vector<std::pair<Id, Subst>> ematchAll(const Pattern& pattern) const;
+
+    /** Instantiates a pattern under a substitution, adding nodes. */
+    Id instantiate(const Pattern& pattern, const Subst& subst);
+
+    /**
+     * Runs equality saturation with the given rules and limits.
+     * The graph must already contain the initial term(s).
+     */
+    RunStats run(const std::vector<Rewrite>& rules, const RunLimits& limits);
+
+    /**
+     * Exports into the immutable extraction e-graph.
+     * @param root e-class that becomes the extraction root
+     * @param cost_of maps an operator name (and arity) to a per-node cost
+     */
+    eg::EGraph exportGraph(
+        Id root,
+        const std::function<double(const std::string&, std::size_t)>&
+            cost_of) const;
+
+  private:
+    /** Nodes currently stored in a class (canonical forms, may go stale
+     *  between merges and rebuild()). */
+    struct ClassData
+    {
+        std::vector<Node> nodes;
+        /** (node, class) uses for congruence repair. */
+        std::vector<std::pair<Node, Id>> parents;
+    };
+
+    Id findMutable(Id id);
+    Node canonicalize(const Node& node) const;
+
+    std::vector<std::string> symbols_;
+    std::unordered_map<std::string, std::uint32_t> symbolIds_;
+
+    mutable std::vector<Id> parent_; // union-find with path halving
+    std::vector<ClassData> classes_; // indexed by id (valid at canonical ids)
+    std::unordered_map<Node, Id, NodeHash> hashcons_;
+    std::vector<Id> worklist_; // classes needing congruence repair
+};
+
+} // namespace smoothe::eqsat
+
+#endif // SMOOTHE_EQSAT_MUT_EGRAPH_HPP

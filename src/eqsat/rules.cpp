@@ -1,0 +1,60 @@
+#include "eqsat/rules.hpp"
+
+namespace smoothe::eqsat {
+
+const std::vector<Rewrite>&
+arithmeticRules()
+{
+    static const std::vector<Rewrite> rules = {
+        rewrite("add-comm", "(+ ?a ?b)", "(+ ?b ?a)"),
+        rewrite("mul-comm", "(* ?a ?b)", "(* ?b ?a)"),
+        rewrite("add-assoc", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)"),
+        rewrite("mul-assoc", "(* ?a (* ?b ?c))", "(* (* ?a ?b) ?c)"),
+        rewrite("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
+        rewrite("factor", "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))"),
+        rewrite("add-zero", "(+ ?a zero)", "?a"),
+        rewrite("mul-one", "(* ?a one)", "?a"),
+        rewrite("mul-zero", "(* ?a zero)", "zero"),
+        rewrite("mul-two-shift", "(* ?a two)", "(<< ?a one)"),
+        rewrite("shift-mul-two", "(<< ?a one)", "(* ?a two)"),
+        rewrite("square-form", "(* ?a ?a)", "(square ?a)"),
+        rewrite("square-unform", "(square ?a)", "(* ?a ?a)"),
+        rewrite("double", "(+ ?a ?a)", "(* ?a two)"),
+    };
+    return rules;
+}
+
+const std::vector<Rewrite>&
+trigRules()
+{
+    static const std::vector<Rewrite> rules = {
+        rewrite("sec-to-cos", "(sec ?x)", "(recip (cos ?x))"),
+        rewrite("cos-to-sec", "(recip (cos ?x))", "(sec ?x)"),
+        rewrite("sec2-to-tan2", "(square (sec ?x))",
+                "(+ one (square (tan ?x)))"),
+        rewrite("tan-as-ratio", "(tan ?x)", "(* (sin ?x) (recip (cos ?x)))"),
+        rewrite("add-comm", "(+ ?a ?b)", "(+ ?b ?a)"),
+    };
+    return rules;
+}
+
+const std::vector<Rewrite>&
+datapathRules()
+{
+    static const std::vector<Rewrite> rules = {
+        rewrite("mac-fuse", "(+ (* ?a ?b) ?c)", "(mac ?a ?b ?c)"),
+        rewrite("mac-unfuse", "(mac ?a ?b ?c)", "(+ (* ?a ?b) ?c)"),
+        rewrite("add-comm", "(+ ?a ?b)", "(+ ?b ?a)"),
+        rewrite("mul-comm", "(* ?a ?b)", "(* ?b ?a)"),
+        rewrite("add-assoc", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)"),
+        rewrite("mul-three", "(* ?a three)", "(+ ?a (<< ?a one))"),
+        rewrite("mul-five", "(* ?a five)", "(+ ?a (<< ?a two))"),
+        rewrite("shift-combine", "(<< (<< ?a one) one)", "(<< ?a two)"),
+        rewrite("distribute", "(* ?a (+ ?b ?c))",
+                "(+ (* ?a ?b) (* ?a ?c))"),
+        rewrite("factor", "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))"),
+    };
+    return rules;
+}
+
+} // namespace smoothe::eqsat

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reusable rewrite-rule libraries for the equality-saturation engine,
+ * mirroring the rule sets of the systems the paper's datasets come from:
+ * generic arithmetic (rover-style datapath identities), trigonometric
+ * rules (the paper's running example), and vectorization-flavored rules
+ * (diospyros-style shuffles). Used by examples, tests, and the
+ * eqsat-grown dataset generators.
+ */
+
+#ifndef SMOOTHE_EQSAT_RULES_HPP
+#define SMOOTHE_EQSAT_RULES_HPP
+
+#include <vector>
+
+#include "eqsat/term.hpp"
+
+namespace smoothe::eqsat {
+
+/**
+ * Arithmetic identities over {+, *, <<, neg, zero, one, two}:
+ * commutativity, associativity, distributivity, identity/annihilator
+ * elimination, strength reduction (x * 2 -> x << 1), and square forming.
+ */
+const std::vector<Rewrite>& arithmeticRules();
+
+/** The paper's two trig rewrites plus supporting identities. */
+const std::vector<Rewrite>& trigRules();
+
+/**
+ * Datapath-style rules used to grow rover-like e-graphs: multiply-add
+ * fusion/unfusion, shift-add decompositions of constant multiplies.
+ */
+const std::vector<Rewrite>& datapathRules();
+
+} // namespace smoothe::eqsat
+
+#endif // SMOOTHE_EQSAT_RULES_HPP

@@ -1,0 +1,213 @@
+#include "eqsat/term.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+namespace smoothe::eqsat {
+
+std::string
+Term::toString() const
+{
+    if (children.empty())
+        return op;
+    std::ostringstream oss;
+    oss << "(" << op;
+    for (const auto& child : children)
+        oss << " " << child->toString();
+    oss << ")";
+    return oss.str();
+}
+
+TermPtr
+leaf(std::string op)
+{
+    return std::make_shared<Term>(std::move(op));
+}
+
+TermPtr
+app(std::string op, std::vector<TermPtr> children)
+{
+    return std::make_shared<Term>(std::move(op), std::move(children));
+}
+
+std::string
+Pattern::toString() const
+{
+    if (isVar())
+        return var;
+    if (children.empty())
+        return op;
+    std::ostringstream oss;
+    oss << "(" << op;
+    for (const auto& child : children)
+        oss << " " << child->toString();
+    oss << ")";
+    return oss.str();
+}
+
+PatternPtr
+pvar(std::string name)
+{
+    auto p = std::make_shared<Pattern>();
+    p->var = std::move(name);
+    return p;
+}
+
+PatternPtr
+papp(std::string op, std::vector<PatternPtr> children)
+{
+    auto p = std::make_shared<Pattern>();
+    p->op = std::move(op);
+    p->children = std::move(children);
+    return p;
+}
+
+namespace {
+
+/** Shared s-expression tokenizer/parser for terms and patterns. */
+class SexpParser
+{
+  public:
+    explicit SexpParser(const std::string& text) : text_(text) {}
+
+    std::optional<TermPtr>
+    parseTermTop()
+    {
+        auto term = parseTermNode();
+        skipSpace();
+        if (!term || pos_ != text_.size())
+            return std::nullopt;
+        return term;
+    }
+
+    std::optional<PatternPtr>
+    parsePatternTop()
+    {
+        auto pattern = parsePatternNode();
+        skipSpace();
+        if (!pattern || pos_ != text_.size())
+            return std::nullopt;
+        return pattern;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    std::optional<std::string>
+    parseAtom()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+                c == ')')
+                break;
+            ++pos_;
+        }
+        if (pos_ == start)
+            return std::nullopt;
+        return text_.substr(start, pos_ - start);
+    }
+
+    std::optional<TermPtr>
+    parseTermNode()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return std::nullopt;
+        if (text_[pos_] == '(') {
+            ++pos_;
+            auto head = parseAtom();
+            if (!head)
+                return std::nullopt;
+            std::vector<TermPtr> children;
+            while (true) {
+                skipSpace();
+                if (pos_ < text_.size() && text_[pos_] == ')') {
+                    ++pos_;
+                    return app(*head, std::move(children));
+                }
+                auto child = parseTermNode();
+                if (!child)
+                    return std::nullopt;
+                children.push_back(std::move(*child));
+            }
+        }
+        auto atom = parseAtom();
+        if (!atom)
+            return std::nullopt;
+        return leaf(*atom);
+    }
+
+    std::optional<PatternPtr>
+    parsePatternNode()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return std::nullopt;
+        if (text_[pos_] == '(') {
+            ++pos_;
+            auto head = parseAtom();
+            if (!head)
+                return std::nullopt;
+            std::vector<PatternPtr> children;
+            while (true) {
+                skipSpace();
+                if (pos_ < text_.size() && text_[pos_] == ')') {
+                    ++pos_;
+                    return papp(*head, std::move(children));
+                }
+                auto child = parsePatternNode();
+                if (!child)
+                    return std::nullopt;
+                children.push_back(std::move(*child));
+            }
+        }
+        auto atom = parseAtom();
+        if (!atom)
+            return std::nullopt;
+        if ((*atom)[0] == '?')
+            return pvar(*atom);
+        return papp(*atom);
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<TermPtr>
+parseTerm(const std::string& text)
+{
+    return SexpParser(text).parseTermTop();
+}
+
+std::optional<PatternPtr>
+parsePattern(const std::string& text)
+{
+    return SexpParser(text).parsePatternTop();
+}
+
+Rewrite
+rewrite(std::string name, const std::string& lhs, const std::string& rhs)
+{
+    auto lhsPattern = parsePattern(lhs);
+    auto rhsPattern = parsePattern(rhs);
+    assert(lhsPattern && rhsPattern && "rewrite patterns must parse");
+    Rewrite rule;
+    rule.name = std::move(name);
+    rule.lhs = std::move(*lhsPattern);
+    rule.rhs = std::move(*rhsPattern);
+    return rule;
+}
+
+} // namespace smoothe::eqsat

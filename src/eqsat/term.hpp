@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Term language for the equality-saturation engine: ground terms (ASTs)
+ * and patterns (terms with variables) plus an s-expression parser so
+ * examples and tests can write rules like "(* (sec a) (sec a))".
+ */
+
+#ifndef SMOOTHE_EQSAT_TERM_HPP
+#define SMOOTHE_EQSAT_TERM_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smoothe::eqsat {
+
+/** A ground term: operator applied to subterms (leaves have none). */
+struct Term
+{
+    std::string op;
+    std::vector<std::shared_ptr<Term>> children;
+
+    Term(std::string op_, std::vector<std::shared_ptr<Term>> children_ = {})
+        : op(std::move(op_)), children(std::move(children_))
+    {}
+
+    /** Renders as an s-expression, e.g. "(+ a (* b c))". */
+    std::string toString() const;
+};
+
+using TermPtr = std::shared_ptr<Term>;
+
+/** Builds a leaf term. */
+TermPtr leaf(std::string op);
+
+/** Builds an application term. */
+TermPtr app(std::string op, std::vector<TermPtr> children);
+
+/**
+ * A pattern: like a term, but identifiers beginning with '?' are pattern
+ * variables that bind to e-classes during matching.
+ */
+struct Pattern
+{
+    /** Variable name when this is a variable (e.g. "?x"), else empty. */
+    std::string var;
+    /** Operator when this is an application. */
+    std::string op;
+    std::vector<std::shared_ptr<Pattern>> children;
+
+    bool isVar() const { return !var.empty(); }
+
+    std::string toString() const;
+};
+
+using PatternPtr = std::shared_ptr<Pattern>;
+
+/** Builds a pattern variable node ("?x"). */
+PatternPtr pvar(std::string name);
+
+/** Builds a pattern application node. */
+PatternPtr papp(std::string op, std::vector<PatternPtr> children = {});
+
+/**
+ * Parses an s-expression into a ground term.
+ * Examples: "x", "(+ x y)", "(* (sec a) (sec a))".
+ */
+std::optional<TermPtr> parseTerm(const std::string& text);
+
+/** Parses an s-expression into a pattern ('?'-prefixed ids are vars). */
+std::optional<PatternPtr> parsePattern(const std::string& text);
+
+/** A named rewrite rule lhs -> rhs. */
+struct Rewrite
+{
+    std::string name;
+    PatternPtr lhs;
+    PatternPtr rhs;
+};
+
+/** Convenience: builds a rewrite from two s-expressions; asserts on parse
+ *  failure (rules are compile-time constants in practice). */
+Rewrite rewrite(std::string name, const std::string& lhs,
+                const std::string& rhs);
+
+} // namespace smoothe::eqsat
+
+#endif // SMOOTHE_EQSAT_TERM_HPP

@@ -1,0 +1,17 @@
+#include "extraction/extractor.hpp"
+
+namespace smoothe::extract {
+
+const char*
+toString(SolveStatus status)
+{
+    switch (status) {
+      case SolveStatus::Optimal: return "optimal";
+      case SolveStatus::Feasible: return "feasible";
+      case SolveStatus::Infeasible: return "infeasible";
+      case SolveStatus::Failed: return "failed";
+    }
+    return "?";
+}
+
+} // namespace smoothe::extract

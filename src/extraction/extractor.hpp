@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Common interface for all e-graph extractors (SmoothE, ILP, heuristics,
+ * genetic) plus the shared result type and anytime trace.
+ */
+
+#ifndef SMOOTHE_EXTRACTION_EXTRACTOR_HPP
+#define SMOOTHE_EXTRACTION_EXTRACTOR_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "egraph/egraph.hpp"
+#include "extraction/solution.hpp"
+
+namespace smoothe::extract {
+
+/** Terminal status of an extraction run. */
+enum class SolveStatus {
+    Optimal,    ///< proven optimal (ILP with closed gap)
+    Feasible,   ///< valid solution, optimality unknown
+    Infeasible, ///< no valid extraction exists
+    Failed,     ///< solver could not produce a valid solution in time
+};
+
+/** Returns a short human-readable name for a status. */
+const char* toString(SolveStatus status);
+
+/** One point on the anytime cost-vs-time curve (Figure 4). */
+struct AnytimePoint
+{
+    double seconds = 0.0;
+    double cost = 0.0;
+};
+
+/** Outcome of one extractor invocation. */
+struct ExtractionResult
+{
+    SolveStatus status = SolveStatus::Failed;
+    Selection selection;
+    /** DAG cost under the graph's linear costs (infinity when failed). */
+    double cost = 0.0;
+    /** Wall-clock seconds spent. */
+    double seconds = 0.0;
+    /** Incumbent improvements over time, for anytime plots. */
+    std::vector<AnytimePoint> trace;
+    /** Extractor-specific diagnostics. */
+    std::string note;
+
+    bool ok() const
+    {
+        return status == SolveStatus::Optimal ||
+               status == SolveStatus::Feasible;
+    }
+};
+
+/** Options shared by all extractors. */
+struct ExtractOptions
+{
+    /** Wall-clock budget in seconds; <= 0 means unlimited. */
+    double timeLimitSeconds = 0.0;
+    /** Base random seed for stochastic extractors. */
+    std::uint64_t seed = 1;
+    /** Record the anytime trace (costs a little bookkeeping). */
+    bool recordTrace = false;
+};
+
+/** Abstract extractor. Implementations must be stateless across calls. */
+class Extractor
+{
+  public:
+    virtual ~Extractor() = default;
+
+    /** Human-readable extractor name for tables. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Extracts a valid solution from a finalized e-graph, minimizing the
+     * graph's per-node linear costs (non-linear objectives are handled by
+     * extractor-specific entry points).
+     */
+    virtual ExtractionResult extract(const eg::EGraph& graph,
+                                     const ExtractOptions& options) = 0;
+};
+
+} // namespace smoothe::extract
+
+#endif // SMOOTHE_EXTRACTION_EXTRACTOR_HPP

@@ -1,0 +1,161 @@
+#include "extraction/genetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "extraction/random_sample.hpp"
+#include "util/timer.hpp"
+
+namespace smoothe::extract {
+
+using eg::EGraph;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using Genome = std::vector<double>;
+
+Genome
+randomGenome(std::size_t n, util::Rng& rng)
+{
+    Genome g(n);
+    for (double& key : g)
+        key = rng.uniform(0.01, 1.0);
+    return g;
+}
+
+} // namespace
+
+ExtractionResult
+GeneticExtractor::extract(const EGraph& graph, const ExtractOptions& options)
+{
+    return extractWithCost(graph, dagCost, options);
+}
+
+ExtractionResult
+GeneticExtractor::extractWithCost(const EGraph& graph,
+                                  const DiscreteCost& cost,
+                                  const ExtractOptions& options)
+{
+    util::Timer timer;
+    util::Deadline deadline(options.timeLimitSeconds);
+    util::Rng rng(options.seed);
+
+    const std::size_t n = graph.numNodes();
+    const std::size_t pop = std::max<std::size_t>(4, config_.populationSize);
+
+    struct Individual
+    {
+        Genome genome;
+        Selection selection;
+        double fitness = kInf;
+    };
+
+    auto evaluate = [&](Individual& ind) {
+        ind.selection = bottomUpWithCosts(graph, ind.genome);
+        if (!ind.selection.chosen(graph.root())) {
+            ind.fitness = kInf;
+            return;
+        }
+        ind.fitness = cost(graph, ind.selection);
+    };
+
+    std::vector<Individual> population(pop);
+    for (auto& ind : population) {
+        ind.genome = randomGenome(n, rng);
+        evaluate(ind);
+    }
+
+    auto best = [&]() -> const Individual& {
+        const auto it = std::min_element(
+            population.begin(), population.end(),
+            [](const Individual& a, const Individual& b) {
+                return a.fitness < b.fitness;
+            });
+        return *it;
+    };
+
+    ExtractionResult result;
+    double incumbent = best().fitness;
+    if (options.recordTrace && incumbent < kInf)
+        result.trace.push_back({timer.seconds(), incumbent});
+
+    auto tournament = [&]() -> const Individual& {
+        const Individual* winner =
+            &population[rng.uniformIndex(population.size())];
+        for (std::size_t k = 1; k < config_.tournamentSize; ++k) {
+            const Individual& candidate =
+                population[rng.uniformIndex(population.size())];
+            if (candidate.fitness < winner->fitness)
+                winner = &candidate;
+        }
+        return *winner;
+    };
+
+    for (std::size_t gen = 0;
+         gen < config_.generations && !deadline.expired(); ++gen) {
+        std::vector<Individual> next;
+        next.reserve(pop);
+
+        // Elitism: carry the best genomes unchanged.
+        std::vector<std::size_t> order(population.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::partial_sort(
+            order.begin(),
+            order.begin() +
+                std::min(config_.eliteCount, order.size()),
+            order.end(), [&](std::size_t a, std::size_t b) {
+                return population[a].fitness < population[b].fitness;
+            });
+        for (std::size_t e = 0;
+             e < std::min(config_.eliteCount, order.size()); ++e)
+            next.push_back(population[order[e]]);
+
+        while (next.size() < pop) {
+            Individual child;
+            const Individual& parentA = tournament();
+            if (rng.bernoulli(config_.crossoverRate)) {
+                const Individual& parentB = tournament();
+                child.genome.resize(n);
+                for (std::size_t i = 0; i < n; ++i) {
+                    child.genome[i] = rng.bernoulli(0.5)
+                                          ? parentA.genome[i]
+                                          : parentB.genome[i];
+                }
+            } else {
+                child.genome = parentA.genome;
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                if (rng.bernoulli(config_.mutationRate))
+                    child.genome[i] = rng.uniform(0.01, 1.0);
+            }
+            evaluate(child);
+            next.push_back(std::move(child));
+        }
+        population = std::move(next);
+
+        const double current = best().fitness;
+        if (current < incumbent) {
+            incumbent = current;
+            if (options.recordTrace)
+                result.trace.push_back({timer.seconds(), incumbent});
+        }
+    }
+
+    const Individual& winner = best();
+    result.seconds = timer.seconds();
+    if (winner.fitness == kInf) {
+        result.status = SolveStatus::Failed;
+        result.cost = kInf;
+        return result;
+    }
+    result.status = SolveStatus::Feasible;
+    result.selection = winner.selection;
+    result.cost = winner.fitness;
+    return result;
+}
+
+} // namespace smoothe::extract

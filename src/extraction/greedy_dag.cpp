@@ -1,0 +1,146 @@
+#include "extraction/greedy_dag.hpp"
+
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "extraction/bottom_up.hpp"
+#include "util/timer.hpp"
+
+namespace smoothe::extract {
+
+using eg::ClassId;
+using eg::EGraph;
+using eg::kNoNode;
+using eg::NodeId;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** A class's best known solution: per-class choices + cached DAG cost. */
+struct CostSet
+{
+    std::map<ClassId, NodeId> choices;
+    double cost = kInf;
+};
+
+} // namespace
+
+ExtractionResult
+GreedyDagExtractor::extract(const EGraph& graph,
+                            const ExtractOptions& options)
+{
+    util::Timer timer;
+    util::Deadline deadline(options.timeLimitSeconds);
+
+    const std::size_t m = graph.numClasses();
+    std::vector<CostSet> best(m);
+
+    std::deque<NodeId> queue;
+    std::vector<bool> inQueue(graph.numNodes(), false);
+    for (NodeId nid = 0; nid < graph.numNodes(); ++nid) {
+        if (graph.node(nid).children.empty()) {
+            queue.push_back(nid);
+            inQueue[nid] = true;
+        }
+    }
+
+    while (!queue.empty() && !deadline.expired()) {
+        const NodeId nid = queue.front();
+        queue.pop_front();
+        inQueue[nid] = false;
+        const ClassId owner = graph.classOf(nid);
+
+        // Merge the children's cost sets around this node's choice.
+        CostSet candidate;
+        candidate.choices[owner] = nid;
+        bool feasible = true;
+        for (ClassId child : graph.node(nid).children) {
+            if (best[child].cost == kInf) {
+                feasible = false;
+                break;
+            }
+            for (const auto& [cls, choice] : best[child].choices) {
+                // A child solution that already uses this node's class
+                // would close a cycle through `owner`; reject.
+                if (cls == owner) {
+                    feasible = false;
+                    break;
+                }
+                candidate.choices.emplace(cls, choice); // keep first
+            }
+            if (!feasible)
+                break;
+        }
+        if (!feasible)
+            continue;
+
+        candidate.cost = 0.0;
+        for (const auto& [cls, choice] : candidate.choices)
+            candidate.cost += graph.node(choice).cost;
+
+        if (candidate.cost + 1e-12 < best[owner].cost) {
+            best[owner] = std::move(candidate);
+            for (NodeId parent : graph.parents(owner)) {
+                if (!inQueue[parent]) {
+                    queue.push_back(parent);
+                    inQueue[parent] = true;
+                }
+            }
+        }
+    }
+
+    ExtractionResult result;
+    result.seconds = timer.seconds();
+    if (best[graph.root()].cost == kInf) {
+        result.status = SolveStatus::Infeasible;
+        result.cost = kInf;
+        return result;
+    }
+
+    Selection sel = Selection::empty(graph);
+    for (const auto& [cls, choice] : best[graph.root()].choices)
+        sel.choice[cls] = choice;
+    // The union may contain entries no longer needed after conflicts were
+    // resolved by "keep first"; restrict to the rooted closure.
+    Selection rooted = Selection::empty(graph);
+    std::vector<ClassId> worklist{graph.root()};
+    rooted.choice[graph.root()] = sel.choice[graph.root()];
+    bool complete = true;
+    while (!worklist.empty() && complete) {
+        const ClassId cls = worklist.back();
+        worklist.pop_back();
+        for (ClassId child : graph.node(rooted.choice[cls]).children) {
+            if (rooted.choice[child] != kNoNode)
+                continue;
+            if (sel.choice[child] == kNoNode) {
+                complete = false;
+                break;
+            }
+            rooted.choice[child] = sel.choice[child];
+            worklist.push_back(child);
+        }
+    }
+
+    const auto check = complete
+                           ? validate(graph, rooted)
+                           : ValidationResult{Violation::MissingChild,
+                                              "incomplete cost set"};
+    if (!check.ok()) {
+        // Inconsistent union (possible when conflicting child sets were
+        // resolved keep-first): fall back to the tree-cost fixed point.
+        FasterBottomUpExtractor fallback;
+        ExtractionResult safe = fallback.extract(graph, options);
+        safe.seconds += timer.seconds();
+        safe.note = "greedy-dag union invalid (" + check.message +
+                    "); fell back to heuristic+";
+        return safe;
+    }
+    result.status = SolveStatus::Feasible;
+    result.selection = std::move(rooted);
+    result.cost = dagCost(graph, result.selection);
+    return result;
+}
+
+} // namespace smoothe::extract

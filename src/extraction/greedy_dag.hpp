@@ -1,0 +1,29 @@
+/**
+ * @file
+ * DAG-aware greedy extraction (the extraction gym's "greedy-dag"
+ * baseline): instead of scalar tree costs, each e-class carries a *cost
+ * set* — the concrete per-class choices its best known solution uses —
+ * so shared subexpressions are charged once during propagation. Strictly
+ * stronger than the tree-cost heuristics on CSE-rich e-graphs, at the
+ * price of set unions per update.
+ */
+
+#ifndef SMOOTHE_EXTRACTION_GREEDY_DAG_HPP
+#define SMOOTHE_EXTRACTION_GREEDY_DAG_HPP
+
+#include "extraction/extractor.hpp"
+
+namespace smoothe::extract {
+
+/** Cost-set greedy extractor. */
+class GreedyDagExtractor : public Extractor
+{
+  public:
+    std::string name() const override { return "greedy-dag"; }
+    ExtractionResult extract(const eg::EGraph& graph,
+                             const ExtractOptions& options) override;
+};
+
+} // namespace smoothe::extract
+
+#endif // SMOOTHE_EXTRACTION_GREEDY_DAG_HPP

@@ -1,0 +1,237 @@
+#include "extraction/solution.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace smoothe::extract {
+
+using eg::ClassId;
+using eg::EGraph;
+using eg::kNoNode;
+using eg::NodeId;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+std::vector<bool>
+Selection::toNodeIndicator(const eg::EGraph& graph) const
+{
+    std::vector<bool> s(graph.numNodes(), false);
+    for (ClassId cls = 0; cls < choice.size(); ++cls) {
+        if (choice[cls] != kNoNode)
+            s[choice[cls]] = true;
+    }
+    return s;
+}
+
+ValidationResult
+validate(const EGraph& graph, const Selection& sel, bool allow_unreachable)
+{
+    ValidationResult result;
+    auto fail = [&](Violation v, const std::string& message) {
+        result.violation = v;
+        result.message = message;
+        return result;
+    };
+
+    if (sel.choice.size() != graph.numClasses())
+        return fail(Violation::DanglingNode, "selection size mismatch");
+
+    // Membership consistency.
+    for (ClassId cls = 0; cls < graph.numClasses(); ++cls) {
+        const NodeId nid = sel.choice[cls];
+        if (nid == kNoNode)
+            continue;
+        if (nid >= graph.numNodes() || graph.classOf(nid) != cls) {
+            std::ostringstream oss;
+            oss << "choice for class " << cls
+                << " is not a member of that class";
+            return fail(Violation::DanglingNode, oss.str());
+        }
+    }
+
+    // Constraint (a).
+    if (!sel.chosen(graph.root()))
+        return fail(Violation::RootUnchosen, "root e-class has no choice");
+
+    // Constraint (b) + reachability, via BFS from the root.
+    std::vector<bool> needed(graph.numClasses(), false);
+    std::vector<ClassId> worklist{graph.root()};
+    needed[graph.root()] = true;
+    while (!worklist.empty()) {
+        const ClassId cls = worklist.back();
+        worklist.pop_back();
+        const NodeId nid = sel.choice[cls];
+        if (nid == kNoNode) {
+            std::ostringstream oss;
+            oss << "needed class " << cls << " has no chosen e-node";
+            return fail(Violation::MissingChild, oss.str());
+        }
+        for (ClassId child : graph.node(nid).children) {
+            if (!needed[child]) {
+                needed[child] = true;
+                worklist.push_back(child);
+            }
+        }
+    }
+
+    if (!allow_unreachable) {
+        for (ClassId cls = 0; cls < graph.numClasses(); ++cls) {
+            if (sel.chosen(cls) && !needed[cls]) {
+                std::ostringstream oss;
+                oss << "class " << cls
+                    << " is chosen but not needed by the extraction";
+                return fail(Violation::UnreachableChoice, oss.str());
+            }
+        }
+    }
+
+    // Constraint (c): DFS cycle detection on the chosen subgraph.
+    enum class Color : unsigned char { White, Gray, Black };
+    std::vector<Color> color(graph.numClasses(), Color::White);
+    struct Frame
+    {
+        ClassId cls;
+        std::size_t childIdx;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({graph.root(), 0});
+    color[graph.root()] = Color::Gray;
+    while (!stack.empty()) {
+        Frame& frame = stack.back();
+        const NodeId nid = sel.choice[frame.cls];
+        const auto& children = graph.node(nid).children;
+        if (frame.childIdx < children.size()) {
+            const ClassId child = children[frame.childIdx++];
+            if (color[child] == Color::Gray) {
+                std::ostringstream oss;
+                oss << "cycle through class " << child;
+                return fail(Violation::Cyclic, oss.str());
+            }
+            if (color[child] == Color::White) {
+                color[child] = Color::Gray;
+                stack.push_back({child, 0});
+            }
+        } else {
+            color[frame.cls] = Color::Black;
+            stack.pop_back();
+        }
+    }
+
+    return result;
+}
+
+double
+dagCost(const EGraph& graph, const Selection& sel)
+{
+    if (!sel.chosen(graph.root()))
+        return kInf;
+    std::vector<bool> counted(graph.numClasses(), false);
+    std::vector<ClassId> worklist{graph.root()};
+    counted[graph.root()] = true;
+    double total = 0.0;
+    while (!worklist.empty()) {
+        const ClassId cls = worklist.back();
+        worklist.pop_back();
+        const NodeId nid = sel.choice[cls];
+        if (nid == kNoNode)
+            return kInf;
+        total += graph.node(nid).cost;
+        for (ClassId child : graph.node(nid).children) {
+            if (!counted[child]) {
+                counted[child] = true;
+                worklist.push_back(child);
+            }
+        }
+    }
+    return total;
+}
+
+double
+treeCost(const EGraph& graph, const Selection& sel)
+{
+    if (!sel.chosen(graph.root()))
+        return kInf;
+
+    // Memoized DFS; Gray on the stack means a cycle.
+    enum class State : unsigned char { Unvisited, InProgress, Done };
+    std::vector<State> state(graph.numClasses(), State::Unvisited);
+    std::vector<double> memo(graph.numClasses(), 0.0);
+
+    struct Frame
+    {
+        ClassId cls;
+        std::size_t childIdx;
+        double partial;
+    };
+    std::vector<Frame> stack;
+    auto push = [&](ClassId cls) -> bool {
+        if (sel.choice[cls] == kNoNode)
+            return false;
+        state[cls] = State::InProgress;
+        stack.push_back({cls, 0, graph.node(sel.choice[cls]).cost});
+        return true;
+    };
+    if (!push(graph.root()))
+        return kInf;
+    while (!stack.empty()) {
+        Frame& frame = stack.back();
+        const auto& children = graph.node(sel.choice[frame.cls]).children;
+        if (frame.childIdx < children.size()) {
+            const ClassId child = children[frame.childIdx++];
+            switch (state[child]) {
+              case State::Done:
+                frame.partial += memo[child];
+                break;
+              case State::InProgress:
+                return kInf; // cycle
+              case State::Unvisited:
+                if (!push(child))
+                    return kInf;
+                break;
+            }
+        } else {
+            memo[frame.cls] = frame.partial;
+            state[frame.cls] = State::Done;
+            const double value = frame.partial;
+            stack.pop_back();
+            if (!stack.empty())
+                stack.back().partial += value;
+            else
+                return value;
+        }
+    }
+    return memo[graph.root()];
+}
+
+std::optional<std::vector<ClassId>>
+neededClasses(const EGraph& graph, const Selection& sel)
+{
+    if (!sel.chosen(graph.root()))
+        return std::nullopt;
+    std::vector<bool> seen(graph.numClasses(), false);
+    std::vector<ClassId> order;
+    std::vector<ClassId> worklist{graph.root()};
+    seen[graph.root()] = true;
+    while (!worklist.empty()) {
+        const ClassId cls = worklist.back();
+        worklist.pop_back();
+        order.push_back(cls);
+        const NodeId nid = sel.choice[cls];
+        if (nid == kNoNode)
+            return std::nullopt;
+        for (ClassId child : graph.node(nid).children) {
+            if (!seen[child]) {
+                seen[child] = true;
+                worklist.push_back(child);
+            }
+        }
+    }
+    return order;
+}
+
+} // namespace smoothe::extract

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Extraction solutions, validity checking, and DAG cost evaluation.
+ *
+ * An extraction assigns to each *needed* e-class exactly one chosen e-node.
+ * Needed classes are the root plus, transitively, every child class of a
+ * chosen e-node. The paper's constraints (Section 2):
+ *   (a) exactly one e-node chosen in the root e-class,
+ *   (b) for every chosen e-node, exactly one e-node chosen in each child
+ *       e-class (completeness),
+ *   (c) the chosen subgraph is acyclic.
+ */
+
+#ifndef SMOOTHE_EXTRACTION_SOLUTION_HPP
+#define SMOOTHE_EXTRACTION_SOLUTION_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "egraph/egraph.hpp"
+
+namespace smoothe::extract {
+
+/**
+ * A (possibly partial) extraction: choice[c] is the chosen e-node of
+ * e-class c, or eg::kNoNode when the class is not part of the extraction.
+ */
+struct Selection
+{
+    std::vector<eg::NodeId> choice;
+
+    /** Creates an empty selection sized for the graph. */
+    static Selection
+    empty(const eg::EGraph& graph)
+    {
+        Selection sel;
+        sel.choice.assign(graph.numClasses(), eg::kNoNode);
+        return sel;
+    }
+
+    bool
+    chosen(eg::ClassId cls) const
+    {
+        return choice[cls] != eg::kNoNode;
+    }
+
+    /** Converts to the paper's binary e-node indicator vector s. */
+    std::vector<bool> toNodeIndicator(const eg::EGraph& graph) const;
+};
+
+/** Why a selection failed validation. */
+enum class Violation {
+    None,
+    RootUnchosen,        ///< constraint (a)
+    MissingChild,        ///< constraint (b): chosen node, unchosen child class
+    UnreachableChoice,   ///< a chosen class not needed by the extraction
+    Cyclic,              ///< constraint (c)
+    DanglingNode,        ///< choice[c] is not a member of class c
+};
+
+/** Validation outcome with a message suitable for test diagnostics. */
+struct ValidationResult
+{
+    Violation violation = Violation::None;
+    std::string message;
+
+    bool ok() const { return violation == Violation::None; }
+};
+
+/**
+ * Checks constraints (a), (b), (c) plus internal consistency.
+ * @param graph a finalized e-graph
+ * @param sel the candidate extraction
+ * @param allow_unreachable when true, chosen classes that are not needed
+ *        are tolerated (useful for intermediate sampler states)
+ */
+ValidationResult validate(const eg::EGraph& graph, const Selection& sel,
+                          bool allow_unreachable = false);
+
+/**
+ * DAG cost of a complete selection: the sum of chosen e-node costs over
+ * the classes reachable from the root through the selection, counting each
+ * class once (this is the paper's linear objective u^T s, which naturally
+ * accounts for common-subexpression reuse).
+ *
+ * Returns infinity when the selection is incomplete along the way.
+ */
+double dagCost(const eg::EGraph& graph, const Selection& sel);
+
+/**
+ * Tree cost: expands the selection as a tree from the root, counting
+ * shared subexpressions once per use. Guarded against cycles (returns
+ * infinity) and against astronomically deep expansions via memoization on
+ * the class level — cost(c) = cost(node) + sum cost(children).
+ */
+double treeCost(const eg::EGraph& graph, const Selection& sel);
+
+/**
+ * The classes actually needed by the selection (root + transitive chosen
+ * children). Returns std::nullopt when the selection is incomplete.
+ */
+std::optional<std::vector<eg::ClassId>>
+neededClasses(const eg::EGraph& graph, const Selection& sel);
+
+} // namespace smoothe::extract
+
+#endif // SMOOTHE_EXTRACTION_SOLUTION_HPP

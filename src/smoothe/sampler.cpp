@@ -1,0 +1,106 @@
+#include "smoothe/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace smoothe::core {
+
+using eg::ClassId;
+using eg::kNoNode;
+using eg::NodeId;
+using extract::Selection;
+
+Selection
+GreedySampler::sample(const float* cp_row, bool repair, float temperature,
+                      util::Rng& rng)
+{
+    priority_.assign(graph_.numNodes(), 0.0);
+    for (std::size_t i = 0; i < graph_.numNodes(); ++i) {
+        if (temperature > 0.0f) {
+            const double gumbel =
+                -std::log(-std::log(rng.uniform() + 1e-12) + 1e-12);
+            priority_[i] =
+                std::log(static_cast<double>(cp_row[i]) + 1e-12) /
+                    temperature +
+                gumbel;
+        } else {
+            priority_[i] = cp_row[i];
+        }
+    }
+
+    Selection sel = Selection::empty(graph_);
+    std::vector<ClassId> stack{graph_.root()};
+    while (!stack.empty()) {
+        const ClassId cls = stack.back();
+        stack.pop_back();
+        if (sel.choice[cls] != kNoNode)
+            continue;
+
+        const auto& members = graph_.nodesInClass(cls);
+        NodeId chosen = kNoNode;
+        if (!repair) {
+            double best = -std::numeric_limits<double>::infinity();
+            for (NodeId nid : members) {
+                if (priority_[nid] > best) {
+                    best = priority_[nid];
+                    chosen = nid;
+                }
+            }
+        } else {
+            // Try members in decreasing priority until one is acyclic.
+            scratch_.assign(members.begin(), members.end());
+            std::sort(scratch_.begin(), scratch_.end(),
+                      [&](NodeId a, NodeId b) {
+                          return priority_[a] > priority_[b];
+                      });
+            for (NodeId nid : scratch_) {
+                sel.choice[cls] = nid;
+                if (!createsCycle(sel, cls)) {
+                    chosen = nid;
+                    break;
+                }
+                sel.choice[cls] = kNoNode;
+            }
+        }
+        if (chosen == kNoNode) {
+            // Dead end; report an invalid selection.
+            sel.choice[graph_.root()] = kNoNode;
+            return sel;
+        }
+        sel.choice[cls] = chosen;
+        for (ClassId child : graph_.node(chosen).children) {
+            if (sel.choice[child] == kNoNode)
+                stack.push_back(child);
+        }
+    }
+    return sel;
+}
+
+bool
+GreedySampler::createsCycle(const Selection& sel, ClassId cls)
+{
+    visited_.assign(graph_.numClasses(), false);
+    dfs_.clear();
+    for (ClassId child : graph_.node(sel.choice[cls]).children) {
+        if (sel.choice[child] != kNoNode && !visited_[child]) {
+            visited_[child] = true;
+            dfs_.push_back(child);
+        }
+    }
+    while (!dfs_.empty()) {
+        const ClassId cur = dfs_.back();
+        dfs_.pop_back();
+        if (cur == cls)
+            return true;
+        for (ClassId child : graph_.node(sel.choice[cur]).children) {
+            if (sel.choice[child] != kNoNode && !visited_[child]) {
+                visited_[child] = true;
+                dfs_.push_back(child);
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace smoothe::core

@@ -1,0 +1,499 @@
+#include "smoothe/smoothe.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "autodiff/adam.hpp"
+#include "autodiff/tape.hpp"
+#include "smoothe/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace smoothe::core {
+
+using ad::MatrixEntry;
+using ad::Param;
+using ad::Tape;
+using ad::Tensor;
+using ad::VarId;
+using eg::ClassId;
+using eg::EGraph;
+using eg::kNoNode;
+using eg::NodeId;
+using extract::ExtractionResult;
+using extract::ExtractOptions;
+using extract::Selection;
+using extract::SolveStatus;
+using tensor::Arena;
+using tensor::SegmentIndex;
+
+const char*
+toString(Assumption assumption)
+{
+    switch (assumption) {
+      case Assumption::Independent: return "independent";
+      case Assumption::Correlated: return "correlated";
+      case Assumption::Hybrid: return "hybrid";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Immutable per-graph index structures shared by all iterations. */
+struct Prepared
+{
+    std::size_t numNodes = 0;
+    std::size_t numClasses = 0;
+    ClassId root = eg::kNoClass;
+
+    SegmentIndex classMembers;           ///< class -> member node columns
+    SegmentIndex parentIndex;            ///< class -> distinct parent nodes
+    std::vector<std::uint32_t> node2class;
+
+    Tensor rootMask;    ///< 1 x M, 1 at root
+    Tensor notRootMask; ///< 1 x M, 0 at root
+
+    struct Scc
+    {
+        std::size_t dim = 0;
+        std::vector<MatrixEntry> entries;
+    };
+    std::vector<Scc> sccs;
+
+    std::size_t propIterations = 0;
+
+    static Prepared build(const EGraph& graph, const SmoothEConfig& config);
+};
+
+Prepared
+Prepared::build(const EGraph& graph, const SmoothEConfig& config)
+{
+    Prepared prep;
+    const std::size_t n = graph.numNodes();
+    const std::size_t m = graph.numClasses();
+    prep.numNodes = n;
+    prep.numClasses = m;
+    prep.root = graph.root();
+
+    // class -> member nodes.
+    std::vector<std::uint32_t> nodeClass(n);
+    for (NodeId nid = 0; nid < n; ++nid)
+        nodeClass[nid] = graph.classOf(nid);
+    prep.classMembers = SegmentIndex::fromAssignment(nodeClass, m);
+    prep.node2class = std::move(nodeClass);
+
+    // class -> distinct parent nodes (already deduplicated by EGraph).
+    prep.parentIndex.offsets.assign(m + 1, 0);
+    for (ClassId cls = 0; cls < m; ++cls) {
+        prep.parentIndex.offsets[cls + 1] =
+            prep.parentIndex.offsets[cls] +
+            static_cast<std::uint32_t>(graph.parents(cls).size());
+    }
+    prep.parentIndex.items.reserve(prep.parentIndex.offsets[m]);
+    for (ClassId cls = 0; cls < m; ++cls) {
+        for (NodeId parent : graph.parents(cls))
+            prep.parentIndex.items.push_back(parent);
+    }
+
+    prep.rootMask = Tensor(1, m);
+    prep.notRootMask = Tensor(1, m, 1.0f);
+    prep.rootMask.at(0, prep.root) = 1.0f;
+    prep.notRootMask.at(0, prep.root) = 0.0f;
+
+    // NOTEARS structure.
+    auto addScc = [&](const std::vector<ClassId>& classes) {
+        Scc scc;
+        scc.dim = classes.size();
+        std::vector<std::uint32_t> local(m,
+                                         std::numeric_limits<
+                                             std::uint32_t>::max());
+        for (std::size_t i = 0; i < classes.size(); ++i)
+            local[classes[i]] = static_cast<std::uint32_t>(i);
+        for (ClassId cls : classes) {
+            for (NodeId nid : graph.nodesInClass(cls)) {
+                std::vector<ClassId> children = graph.node(nid).children;
+                std::sort(children.begin(), children.end());
+                children.erase(
+                    std::unique(children.begin(), children.end()),
+                    children.end());
+                for (ClassId child : children) {
+                    if (local[child] ==
+                        std::numeric_limits<std::uint32_t>::max())
+                        continue;
+                    MatrixEntry entry;
+                    entry.column = nid;
+                    entry.position = local[cls] * scc.dim + local[child];
+                    scc.entries.push_back(entry);
+                }
+            }
+        }
+        prep.sccs.push_back(std::move(scc));
+    };
+
+    if (config.sccDecomposition) {
+        // Only non-trivial SCCs (size > 1, or self-loop classes) can hold
+        // cycles; everything else needs no penalty (Section 4.3).
+        std::vector<bool> selfLoop(m, false);
+        for (NodeId nid = 0; nid < n; ++nid) {
+            for (ClassId child : graph.node(nid).children) {
+                if (child == graph.classOf(nid))
+                    selfLoop[child] = true;
+            }
+        }
+        for (const auto& scc : graph.classSccs()) {
+            if (scc.size() > 1 || selfLoop[scc.front()])
+                addScc(scc);
+        }
+    } else if (!graph.dependencyGraphIsAcyclic()) {
+        // Ablation: one dense M x M transition matrix for the whole graph.
+        std::vector<ClassId> all(m);
+        for (ClassId cls = 0; cls < m; ++cls)
+            all[cls] = cls;
+        addScc(all);
+    }
+
+    // Propagation depth: BFS levels of the class dependency graph from the
+    // root (probabilities flow root -> leaves), clamped.
+    if (config.propagationIterations > 0) {
+        prep.propIterations = config.propagationIterations;
+    } else {
+        std::vector<std::uint32_t> level(
+            m, std::numeric_limits<std::uint32_t>::max());
+        std::vector<ClassId> frontier{graph.root()};
+        level[graph.root()] = 0;
+        std::uint32_t depth = 0;
+        std::size_t head = 0;
+        std::vector<ClassId> order = std::move(frontier);
+        while (head < order.size()) {
+            const ClassId cls = order[head++];
+            depth = std::max(depth, level[cls]);
+            for (NodeId nid : graph.nodesInClass(cls)) {
+                for (ClassId child : graph.node(nid).children) {
+                    if (level[child] ==
+                        std::numeric_limits<std::uint32_t>::max()) {
+                        level[child] = level[cls] + 1;
+                        order.push_back(child);
+                    }
+                }
+            }
+        }
+        prep.propIterations =
+            std::clamp<std::size_t>(static_cast<std::size_t>(depth) + 2,
+                                    4, 48);
+    }
+    return prep;
+}
+
+/**
+ * Builds one forward pass on the tape.
+ * Returns the scalar training loss; outputs cp / per-seed-cost handles.
+ */
+VarId
+buildForward(Tape& tape, Param& theta, const Prepared& prep,
+             const cost::CostModel& model, const SmoothEConfig& config,
+             float effective_lambda, VarId* out_cp, VarId* out_costs,
+             VarId* out_penalty)
+{
+    const std::size_t batch = theta.value.rows();
+    const VarId thetaVar = tape.leaf(&theta);
+    const VarId cp = tape.segmentSoftmax(thetaVar, &prep.classMembers);
+
+    // q0: root has probability 1, everything else 0.
+    Tensor q0(batch, prep.numClasses);
+    for (std::size_t b = 0; b < batch; ++b)
+        q0.at(b, prep.root) = 1.0f;
+    VarId q = tape.constant(std::move(q0));
+
+    VarId p = -1;
+    for (std::size_t t = 0; t < prep.propIterations; ++t) {
+        const VarId qByNode = tape.gatherCols(q, &prep.node2class);
+        p = tape.mul(cp, qByNode); // Eq. (5)
+
+        VarId qNew = -1;
+        switch (config.assumption) {
+          case Assumption::Independent: {
+            const VarId prod =
+                tape.segmentProductComplement(p, &prep.parentIndex);
+            qNew = tape.addScalar(tape.scale(prod, -1.0f), 1.0f); // Eq. (6)
+            break;
+          }
+          case Assumption::Correlated:
+            qNew = tape.segmentMaxGather(p, &prep.parentIndex); // Eq. (7)
+            break;
+          case Assumption::Hybrid: {
+            const VarId prod =
+                tape.segmentProductComplement(p, &prep.parentIndex);
+            const VarId ind =
+                tape.addScalar(tape.scale(prod, -1.0f), 1.0f);
+            const VarId corr =
+                tape.segmentMaxGather(p, &prep.parentIndex);
+            qNew = tape.scale(tape.add(ind, corr), 0.5f);
+            break;
+          }
+        }
+        // Optional damping (loopy-BP style) before pinning the root.
+        if (config.damping > 0.0f) {
+            qNew = tape.add(tape.scale(qNew, 1.0f - config.damping),
+                            tape.scale(q, config.damping));
+        }
+        // Pin the root probability to 1.
+        q = tape.addConst(tape.mulConst(qNew, prep.notRootMask),
+                          prep.rootMask);
+    }
+    p = tape.mul(cp, tape.gatherCols(q, &prep.node2class));
+
+    const VarId costs = model.build(tape, p); // B x 1
+    VarId loss = tape.sumAll(costs);
+
+    VarId penalty = -1;
+    for (const Prepared::Scc& scc : prep.sccs) {
+        const VarId a = tape.scatterMatrix(cp, &scc.entries, scc.dim,
+                                           config.batchedMatexp);
+        // tr(exp(A)) - d; the constant d does not affect gradients but we
+        // subtract it so the reported penalty is the paper's h(A).
+        const VarId tr = tape.trExpm(a, scc.dim);
+        const VarId h = tape.addScalar(
+            tape.sumAll(tr),
+            -static_cast<float>(scc.dim) *
+                static_cast<float>(tape.value(tr).rows()));
+        penalty = penalty < 0 ? h : tape.add(penalty, h);
+    }
+    if (penalty >= 0) {
+        // With the batched approximation the penalty is computed once for
+        // the averaged matrix; scale by B to keep the per-seed gradient
+        // magnitude comparable to the per-seed mode.
+        const float scale =
+            config.batchedMatexp ? static_cast<float>(batch) : 1.0f;
+        loss = tape.add(loss,
+                        tape.scale(penalty, effective_lambda * scale));
+    }
+
+    if (out_cp)
+        *out_cp = cp;
+    if (out_costs)
+        *out_costs = costs;
+    if (out_penalty)
+        *out_penalty = penalty;
+    return loss;
+}
+
+} // namespace
+
+Probabilities
+computeProbabilities(const EGraph& graph, const Tensor& theta,
+                     Assumption assumption,
+                     std::size_t propagation_iterations)
+{
+    SmoothEConfig config;
+    config.assumption = assumption;
+    config.propagationIterations = propagation_iterations;
+    const Prepared prep = Prepared::build(graph, config);
+
+    Tape tape;
+    Param thetaParam{theta};
+    const VarId thetaVar = tape.leaf(&thetaParam);
+    const VarId cp = tape.segmentSoftmax(thetaVar, &prep.classMembers);
+
+    const std::size_t batch = theta.rows();
+    Tensor q0(batch, prep.numClasses);
+    for (std::size_t b = 0; b < batch; ++b)
+        q0.at(b, prep.root) = 1.0f;
+    VarId q = tape.constant(std::move(q0));
+    VarId p = -1;
+    for (std::size_t t = 0; t < prep.propIterations; ++t) {
+        const VarId qByNode = tape.gatherCols(q, &prep.node2class);
+        p = tape.mul(cp, qByNode);
+        VarId qNew = -1;
+        switch (assumption) {
+          case Assumption::Independent: {
+            const VarId prod =
+                tape.segmentProductComplement(p, &prep.parentIndex);
+            qNew = tape.addScalar(tape.scale(prod, -1.0f), 1.0f);
+            break;
+          }
+          case Assumption::Correlated:
+            qNew = tape.segmentMaxGather(p, &prep.parentIndex);
+            break;
+          case Assumption::Hybrid: {
+            const VarId prod =
+                tape.segmentProductComplement(p, &prep.parentIndex);
+            const VarId ind =
+                tape.addScalar(tape.scale(prod, -1.0f), 1.0f);
+            const VarId corr =
+                tape.segmentMaxGather(p, &prep.parentIndex);
+            qNew = tape.scale(tape.add(ind, corr), 0.5f);
+            break;
+          }
+        }
+        q = tape.addConst(tape.mulConst(qNew, prep.notRootMask),
+                          prep.rootMask);
+    }
+    p = tape.mul(cp, tape.gatherCols(q, &prep.node2class));
+
+    Probabilities out;
+    out.cp = tape.value(cp);
+    out.q = tape.value(q);
+    out.p = tape.value(p);
+    return out;
+}
+
+ExtractionResult
+SmoothEExtractor::extract(const EGraph& graph, const ExtractOptions& options)
+{
+    const cost::LinearCost linear(graph);
+    return extractWithCost(graph, linear, options);
+}
+
+ExtractionResult
+SmoothEExtractor::extractWithCost(const EGraph& graph,
+                                  const cost::CostModel& model,
+                                  const ExtractOptions& options)
+{
+    diagnostics_ = SmoothEDiagnostics{};
+    ExtractionResult result;
+    util::Timer timer;
+    util::Deadline deadline(options.timeLimitSeconds);
+    util::Rng rng(options.seed);
+
+    Arena arena(config_.memoryBudgetBytes);
+
+    try {
+        std::optional<Prepared> prepStorage;
+        {
+            auto setupScope = diagnostics_.profile.other();
+            prepStorage.emplace(Prepared::build(graph, config_));
+        }
+        const Prepared& prep = *prepStorage;
+        diagnostics_.propagationIterations = prep.propIterations;
+        diagnostics_.sccCount = prep.sccs.size();
+        for (const auto& scc : prep.sccs)
+            diagnostics_.largestScc =
+                std::max(diagnostics_.largestScc, scc.dim);
+
+        const std::size_t batch = std::max<std::size_t>(1, config_.numSeeds);
+        Param theta{Tensor(batch, prep.numNodes, &arena)};
+        for (std::size_t i = 0; i < theta.value.size(); ++i)
+            theta.value.data()[i] = static_cast<float>(rng.normal(0.0, 1.0));
+
+        ad::Adam optimizer({&theta},
+                           ad::AdamConfig{config_.learningRate, 0.9f,
+                                          0.999f, 1e-8f},
+                           &arena);
+        GreedySampler sampler(graph);
+
+        Selection bestSelection = Selection::empty(graph);
+        double bestCost = kInf;
+        std::size_t sinceImprovement = 0;
+
+        for (std::size_t iter = 0; iter < config_.maxIterations; ++iter) {
+            if (deadline.expired())
+                break;
+            ++diagnostics_.iterations;
+
+            Tape tape(config_.backend, &arena);
+            VarId cpVar = -1;
+            VarId costsVar = -1;
+            VarId penaltyVar = -1;
+            VarId loss = -1;
+            {
+                auto scope = diagnostics_.profile.loss();
+                float lambda = config_.lambda;
+                if (config_.lambdaWarmupIterations > 0 &&
+                    iter < config_.lambdaWarmupIterations) {
+                    lambda *= static_cast<float>(iter + 1) /
+                              static_cast<float>(
+                                  config_.lambdaWarmupIterations);
+                }
+                loss = buildForward(tape, theta, prep, model, config_,
+                                    lambda, &cpVar, &costsVar,
+                                    &penaltyVar);
+            }
+            {
+                auto scope = diagnostics_.profile.gradient();
+                optimizer.zeroGrad();
+                tape.backward(loss);
+                optimizer.step();
+            }
+
+            double relaxedLoss = 0.0;
+            if (config_.recordLossCurves) {
+                const Tensor& costs = tape.value(costsVar);
+                for (std::size_t b = 0; b < costs.rows(); ++b)
+                    relaxedLoss += costs.at(b, 0);
+                relaxedLoss /= static_cast<double>(costs.rows());
+            }
+
+            // Sampling stage.
+            double iterBest = kInf;
+            if ((iter % std::max<std::size_t>(1, config_.sampleEvery)) ==
+                0) {
+                auto scope = diagnostics_.profile.sampling();
+                const Tensor& cp = tape.value(cpVar);
+                for (std::size_t b = 0; b < cp.rows(); ++b) {
+                    Selection candidate = sampler.sample(
+                        cp.row(b), config_.repairSampling,
+                        config_.sampleTemperature, rng);
+                    if (!candidate.chosen(graph.root()))
+                        continue;
+                    const auto check = extract::validate(graph, candidate);
+                    if (!check.ok())
+                        continue;
+                    const double cost =
+                        model.discrete(candidate.toNodeIndicator(graph));
+                    iterBest = std::min(iterBest, cost);
+                    if (cost < bestCost) {
+                        bestCost = cost;
+                        bestSelection = std::move(candidate);
+                        sinceImprovement = 0;
+                        if (options.recordTrace) {
+                            result.trace.push_back(
+                                {timer.seconds(), bestCost});
+                        }
+                    }
+                }
+                ++sinceImprovement;
+            }
+
+            if (config_.recordLossCurves) {
+                LossCurvePoint point;
+                point.iteration = iter;
+                point.relaxedLoss = relaxedLoss;
+                point.sampledLoss = iterBest;
+                if (penaltyVar >= 0)
+                    point.penalty = tape.value(penaltyVar).at(0, 0);
+                diagnostics_.lossCurve.push_back(point);
+            }
+
+            if (sinceImprovement > config_.patience)
+                break;
+        }
+
+        diagnostics_.peakMemoryBytes = arena.peak();
+        result.seconds = timer.seconds();
+        if (bestCost == kInf) {
+            result.status = SolveStatus::Failed;
+            result.cost = kInf;
+            result.note = "no valid sample";
+            return result;
+        }
+        result.status = SolveStatus::Feasible;
+        result.selection = std::move(bestSelection);
+        result.cost = bestCost;
+        return result;
+    } catch (const tensor::OomError& oom) {
+        diagnostics_.outOfMemory = true;
+        diagnostics_.peakMemoryBytes = arena.peak();
+        result.status = SolveStatus::Failed;
+        result.cost = kInf;
+        result.seconds = timer.seconds();
+        result.note = std::string("OOM: ") + oom.what();
+        return result;
+    }
+}
+
+} // namespace smoothe::core

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SmoothE: differentiable e-graph extraction (the paper's contribution).
+ *
+ * Pipeline per optimization step (Sections 3 and 4):
+ *   1. theta (B x N free parameters, one row per seed) -> softmax within
+ *      each e-class -> conditional probabilities cp (Eq. 3).
+ *   2. phi: propagate unconditional probabilities p from the root through
+ *      the whole e-graph with the parallel schedule (Eqs. 5-7), iterated a
+ *      fixed number of times so cyclic graphs converge.
+ *   3. Differentiable objective f(p) from the cost model (linear or any
+ *      non-linear differentiable model, e.g. an MLP).
+ *   4. NOTEARS acyclicity penalty tr(exp(A)) - d per SCC of the class
+ *      dependency graph, optionally with the batched approximation of
+ *      Eq. 11.
+ *   5. Adam update of theta; then per-seed discrete sampling by arg-max
+ *      cp, keeping the best valid solution seen (Section 3.5).
+ */
+
+#ifndef SMOOTHE_SMOOTHE_SMOOTHE_HPP
+#define SMOOTHE_SMOOTHE_SMOOTHE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "costmodel/cost_model.hpp"
+#include "extraction/extractor.hpp"
+#include "smoothe/config.hpp"
+#include "util/timer.hpp"
+
+namespace smoothe::core {
+
+/** Per-iteration record for Figure 9 (relaxed vs sampled loss). */
+struct LossCurvePoint
+{
+    std::size_t iteration = 0;
+    double relaxedLoss = 0.0;  ///< mean f(p) across seeds
+    double sampledLoss = 0.0;  ///< best valid f_b(s) across seeds this iter
+    double penalty = 0.0;      ///< NOTEARS h(A) total
+};
+
+/** Extended result with SmoothE-specific diagnostics. */
+struct SmoothEDiagnostics
+{
+    std::size_t iterations = 0;
+    std::size_t propagationIterations = 0;
+    std::size_t sccCount = 0;        ///< non-trivial SCCs penalized
+    std::size_t largestScc = 0;
+    std::size_t peakMemoryBytes = 0;
+    bool outOfMemory = false;
+    std::vector<LossCurvePoint> lossCurve;
+    util::PhaseProfiler profile;     ///< Figure 8 phase breakdown
+};
+
+/** Relaxed probabilities from one phi evaluation (analysis API). */
+struct Probabilities
+{
+    /** Conditional probabilities cp (Eq. 3), batch x numNodes. */
+    ad::Tensor cp;
+    /** Class-chosen probabilities q, batch x numClasses. */
+    ad::Tensor q;
+    /** Unconditional e-node probabilities p (Eq. 5), batch x numNodes. */
+    ad::Tensor p;
+};
+
+/**
+ * Evaluates the differentiable probability computation phi once, without
+ * optimization: theta -> softmax-per-class -> cp -> propagate ->
+ * (cp, q, p). Exposed so users (and the tests) can inspect exactly what
+ * SmoothE optimizes; mirrors the paper's Figure 3 walkthrough.
+ *
+ * @param theta batch x numNodes free parameters
+ * @param propagation_iterations 0 = auto (class-graph depth, clamped)
+ */
+Probabilities computeProbabilities(const eg::EGraph& graph,
+                                   const ad::Tensor& theta,
+                                   Assumption assumption,
+                                   std::size_t propagation_iterations = 0);
+
+/** The SmoothE extractor. */
+class SmoothEExtractor : public extract::Extractor
+{
+  public:
+    SmoothEExtractor() = default;
+    explicit SmoothEExtractor(SmoothEConfig config)
+        : config_(std::move(config))
+    {}
+
+    std::string name() const override { return "SmoothE"; }
+
+    /** Linear objective taken from the graph's per-node costs. */
+    extract::ExtractionResult
+    extract(const eg::EGraph& graph,
+            const extract::ExtractOptions& options) override;
+
+    /** Arbitrary differentiable objective. */
+    extract::ExtractionResult
+    extractWithCost(const eg::EGraph& graph, const cost::CostModel& model,
+                    const extract::ExtractOptions& options);
+
+    /** Diagnostics from the most recent extract() call. */
+    const SmoothEDiagnostics& diagnostics() const { return diagnostics_; }
+
+    const SmoothEConfig& config() const { return config_; }
+    SmoothEConfig& config() { return config_; }
+
+  private:
+    SmoothEConfig config_;
+    SmoothEDiagnostics diagnostics_;
+};
+
+} // namespace smoothe::core
+
+#endif // SMOOTHE_SMOOTHE_SMOOTHE_HPP

@@ -1,0 +1,164 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smoothe::tensor {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, Arena* arena)
+    : rows_(rows), cols_(cols), arena_(arena)
+{
+    registerBytes();
+    data_.assign(rows * cols, 0.0f);
+}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, float fill, Arena* arena)
+    : rows_(rows), cols_(cols), arena_(arena)
+{
+    registerBytes();
+    data_.assign(rows * cols, fill);
+}
+
+Tensor::Tensor(const Tensor& other)
+    : rows_(other.rows_), cols_(other.cols_), arena_(other.arena_)
+{
+    registerBytes();
+    data_ = other.data_;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)),
+      arena_(other.arena_)
+{
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.arena_ = nullptr;
+}
+
+Tensor&
+Tensor::operator=(const Tensor& other)
+{
+    if (this == &other)
+        return *this;
+    releaseBytes();
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    arena_ = other.arena_;
+    registerBytes();
+    data_ = other.data_;
+    return *this;
+}
+
+Tensor&
+Tensor::operator=(Tensor&& other) noexcept
+{
+    if (this == &other)
+        return *this;
+    releaseBytes();
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    arena_ = other.arena_;
+    data_ = std::move(other.data_);
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.arena_ = nullptr;
+    return *this;
+}
+
+Tensor::~Tensor()
+{
+    releaseBytes();
+}
+
+void
+Tensor::registerBytes()
+{
+    if (arena_)
+        arena_->allocate(rows_ * cols_ * sizeof(float));
+}
+
+void
+Tensor::releaseBytes()
+{
+    if (arena_)
+        arena_->release(rows_ * cols_ * sizeof(float));
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+double
+Tensor::sum() const
+{
+    double total = 0.0;
+    for (float v : data_)
+        total += v;
+    return total;
+}
+
+SegmentIndex
+SegmentIndex::fromAssignment(const std::vector<std::uint32_t>& item_segment,
+                             std::size_t num_segments)
+{
+    SegmentIndex index;
+    index.offsets.assign(num_segments + 1, 0);
+    for (std::uint32_t seg : item_segment) {
+        assert(seg < num_segments);
+        ++index.offsets[seg + 1];
+    }
+    for (std::size_t s = 0; s < num_segments; ++s)
+        index.offsets[s + 1] += index.offsets[s];
+    index.items.resize(item_segment.size());
+    std::vector<std::uint32_t> cursor(index.offsets.begin(),
+                                      index.offsets.end() - 1);
+    for (std::uint32_t item = 0; item < item_segment.size(); ++item)
+        index.items[cursor[item_segment[item]]++] = item;
+    return index;
+}
+
+void
+spmv(const CsrMatrix& a, const Tensor& x, Tensor& out, Backend backend)
+{
+    assert(x.cols() == a.numCols);
+    assert(out.rows() == x.rows() && out.cols() == a.numRows);
+    const std::size_t batch = x.rows();
+
+    if (backend == Backend::Scalar) {
+        // Reference path: per batch row, per matrix row, indexed access.
+        for (std::size_t b = 0; b < batch; ++b) {
+            for (std::size_t i = 0; i < a.numRows; ++i) {
+                double acc = 0.0;
+                for (std::uint32_t e = a.rowOffsets[i];
+                     e < a.rowOffsets[i + 1]; ++e) {
+                    acc += static_cast<double>(a.values[e]) *
+                           x.at(b, a.colIndices[e]);
+                }
+                out.at(b, i) = static_cast<float>(acc);
+            }
+        }
+        return;
+    }
+
+    // Vectorized path: raw pointers, float accumulation, tight loops.
+    const float* __restrict xv = x.data();
+    float* __restrict ov = out.data();
+    const std::size_t xCols = x.cols();
+    const std::size_t oCols = out.cols();
+    for (std::size_t b = 0; b < batch; ++b) {
+        const float* __restrict xRow = xv + b * xCols;
+        float* __restrict oRow = ov + b * oCols;
+        for (std::size_t i = 0; i < a.numRows; ++i) {
+            float acc = 0.0f;
+            const std::uint32_t begin = a.rowOffsets[i];
+            const std::uint32_t end = a.rowOffsets[i + 1];
+            for (std::uint32_t e = begin; e < end; ++e)
+                acc += a.values[e] * xRow[a.colIndices[e]];
+            oRow[i] = acc;
+        }
+    }
+}
+
+} // namespace smoothe::tensor

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Batched dense tensors, sparse index structures, and the memory arena.
+ *
+ * This module is the stand-in for the paper's PyTorch + torch_sparse
+ * substrate. Tensors are 2-D row-major float32 buffers, conventionally
+ * (batch B) x (length N); the batch dimension carries the paper's *seed
+ * batching* (Section 4.2). The Arena tracks live tensor bytes against an
+ * optional budget so experiments can emulate GPU memory capacities
+ * (Table 5 portability, Figure 6 OOM entries).
+ */
+
+#ifndef SMOOTHE_TENSOR_TENSOR_HPP
+#define SMOOTHE_TENSOR_TENSOR_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smoothe::tensor {
+
+/** Execution backend selector (Figure 6 ablation). */
+enum class Backend {
+    Scalar,     ///< unoptimized per-element reference loops ("CPU baseline")
+    Vectorized, ///< contiguous batched kernels (the "GPU-style" fast path)
+};
+
+/** Thrown when an allocation would exceed the arena budget (emulated OOM). */
+class OomError : public std::runtime_error
+{
+  public:
+    explicit OomError(const std::string& message)
+        : std::runtime_error(message)
+    {}
+};
+
+/**
+ * Tracks live tensor bytes against an optional budget.
+ *
+ * budgetBytes == 0 means unlimited. Allocation beyond the budget throws
+ * OomError, which SmoothE surfaces as an OOM failure exactly like a CUDA
+ * allocator would.
+ */
+class Arena
+{
+  public:
+    explicit Arena(std::size_t budget_bytes = 0) : budget_(budget_bytes) {}
+
+    /** Registers an allocation; throws OomError when over budget. */
+    void
+    allocate(std::size_t bytes)
+    {
+        if (budget_ != 0 && used_ + bytes > budget_) {
+            throw OomError("arena budget exceeded: " +
+                           std::to_string(used_ + bytes) + " > " +
+                           std::to_string(budget_) + " bytes");
+        }
+        used_ += bytes;
+        if (used_ > peak_)
+            peak_ = used_;
+    }
+
+    /** Releases a previously registered allocation. */
+    void
+    release(std::size_t bytes)
+    {
+        used_ = bytes > used_ ? 0 : used_ - bytes;
+    }
+
+    std::size_t used() const { return used_; }
+    std::size_t peak() const { return peak_; }
+    std::size_t budget() const { return budget_; }
+    void setBudget(std::size_t bytes) { budget_ = bytes; }
+    void resetPeak() { peak_ = used_; }
+
+  private:
+    std::size_t budget_;
+    std::size_t used_ = 0;
+    std::size_t peak_ = 0;
+};
+
+/**
+ * A 2-D row-major float32 tensor, optionally arena-accounted.
+ *
+ * Rows usually carry the seed batch; a 1 x N tensor is a plain vector.
+ */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocates rows x cols zeros, registering with the arena if given. */
+    Tensor(std::size_t rows, std::size_t cols, Arena* arena = nullptr);
+
+    /** Allocates and fills with a constant. */
+    Tensor(std::size_t rows, std::size_t cols, float fill,
+           Arena* arena = nullptr);
+
+    Tensor(const Tensor& other);
+    Tensor(Tensor&& other) noexcept;
+    Tensor& operator=(const Tensor& other);
+    Tensor& operator=(Tensor&& other) noexcept;
+    ~Tensor();
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    float at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    float* row(std::size_t r) { return data_.data() + r * cols_; }
+    const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+    /** Sets every element to the given value. */
+    void fill(float value);
+
+    /** Sum of all elements (double accumulator). */
+    double sum() const;
+
+  private:
+    void registerBytes();
+    void releaseBytes();
+
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+    Arena* arena_ = nullptr;
+};
+
+/**
+ * CSR-style segment index: segment s owns items[offsets[s] .. offsets[s+1]).
+ * Used for e-class -> member-e-node and e-class -> parent-e-node maps.
+ */
+struct SegmentIndex
+{
+    std::vector<std::uint32_t> offsets; ///< size = numSegments + 1
+    std::vector<std::uint32_t> items;
+
+    std::size_t numSegments() const
+    {
+        return offsets.empty() ? 0 : offsets.size() - 1;
+    }
+    std::size_t
+    segmentSize(std::size_t s) const
+    {
+        return offsets[s + 1] - offsets[s];
+    }
+
+    /** Builds from per-item segment assignment (items sorted by segment). */
+    static SegmentIndex fromAssignment(
+        const std::vector<std::uint32_t>& item_segment,
+        std::size_t num_segments);
+};
+
+/** A CSR sparse matrix with float values (for SpMV micro-benchmarks). */
+struct CsrMatrix
+{
+    std::size_t numRows = 0;
+    std::size_t numCols = 0;
+    std::vector<std::uint32_t> rowOffsets; ///< size numRows + 1
+    std::vector<std::uint32_t> colIndices;
+    std::vector<float> values;
+
+    std::size_t nnz() const { return colIndices.size(); }
+};
+
+/**
+ * Batched SpMV: out[b, i] = sum_j A[i, j] * x[b, j].
+ * @param backend Scalar iterates per batch row; Vectorized keeps the batch
+ *        innermost so memory access is contiguous.
+ */
+void spmv(const CsrMatrix& a, const Tensor& x, Tensor& out, Backend backend);
+
+} // namespace smoothe::tensor
+
+#endif // SMOOTHE_TENSOR_TENSOR_HPP

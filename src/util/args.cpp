@@ -1,0 +1,67 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+namespace smoothe::util {
+
+Args::Args(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) != 0)
+            continue;
+        token = token.substr(2);
+        const auto eq = token.find('=');
+        if (eq != std::string::npos) {
+            values_[token.substr(0, eq)] = token.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            values_[token] = argv[++i];
+        } else {
+            values_[token] = "";
+        }
+    }
+}
+
+bool
+Args::has(const std::string& name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+Args::getString(const std::string& name, const std::string& fallback) const
+{
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double
+Args::getDouble(const std::string& name, double fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty())
+        return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::int64_t
+Args::getInt(const std::string& name, std::int64_t fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty())
+        return fallback;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool
+Args::getBool(const std::string& name, bool fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    if (it->second.empty() || it->second == "true" || it->second == "1")
+        return true;
+    return false;
+}
+
+} // namespace smoothe::util

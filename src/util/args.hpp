@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tiny command-line flag parser for the bench and example binaries.
+ *
+ * Supports `--name value` and `--name=value` forms plus boolean switches.
+ */
+
+#ifndef SMOOTHE_UTIL_ARGS_HPP
+#define SMOOTHE_UTIL_ARGS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace smoothe::util {
+
+/** Parsed command-line flags with typed, defaulted accessors. */
+class Args
+{
+  public:
+    /** Parses argv; unknown positional arguments are ignored. */
+    Args(int argc, char** argv);
+
+    /** Returns true when the flag was passed (with or without a value). */
+    bool has(const std::string& name) const;
+
+    /** Returns the string value or the default when absent. */
+    std::string getString(const std::string& name,
+                          const std::string& fallback) const;
+
+    /** Returns the flag parsed as double or the default. */
+    double getDouble(const std::string& name, double fallback) const;
+
+    /** Returns the flag parsed as int64 or the default. */
+    std::int64_t getInt(const std::string& name, std::int64_t fallback) const;
+
+    /** Returns the flag parsed as bool ("--x", "--x=true/false"). */
+    bool getBool(const std::string& name, bool fallback) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace smoothe::util
+
+#endif // SMOOTHE_UTIL_ARGS_HPP

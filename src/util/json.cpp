@@ -1,0 +1,466 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace smoothe::util {
+
+void
+Json::set(const std::string& key, Json value)
+{
+    for (auto& kv : object_) {
+        if (kv.first == key) {
+            kv.second = std::move(value);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(value));
+}
+
+const Json*
+Json::find(const std::string& key) const
+{
+    for (const auto& kv : object_) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+namespace {
+
+void
+escapeString(const std::string& in, std::string& out)
+{
+    out.push_back('"');
+    for (char c : in) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+appendNumber(double value, std::string& out)
+{
+    if (std::isnan(value) || std::isinf(value)) {
+        out += "null"; // JSON has no NaN/Inf; emit null.
+        return;
+    }
+    const double rounded = std::nearbyint(value);
+    if (rounded == value && std::fabs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        out += buf;
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        out += buf;
+    }
+}
+
+void
+appendIndent(std::string& out, int indent, int depth)
+{
+    if (indent > 0) {
+        out.push_back('\n');
+        out.append(static_cast<std::size_t>(indent) * depth, ' ');
+    }
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string& out, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number:
+        appendNumber(number_, out);
+        break;
+      case Type::String:
+        escapeString(string_, out);
+        break;
+      case Type::Array:
+        out.push_back('[');
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            appendIndent(out, indent, depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!array_.empty())
+            appendIndent(out, indent, depth);
+        out.push_back(']');
+        break;
+      case Type::Object:
+        out.push_back('{');
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            appendIndent(out, indent, depth + 1);
+            escapeString(object_[i].first, out);
+            out.push_back(':');
+            if (indent > 0)
+                out.push_back(' ');
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!object_.empty())
+            appendIndent(out, indent, depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(out, 0, 0);
+    return out;
+}
+
+std::string
+Json::dumpPretty() const
+{
+    std::string out;
+    dumpTo(out, 2, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a raw character range. */
+class Parser
+{
+  public:
+    Parser(const std::string& text, std::string* error)
+        : text_(text), error_(error)
+    {}
+
+    std::optional<Json>
+    run()
+    {
+        skipSpace();
+        auto value = parseValue(0);
+        if (!value)
+            return std::nullopt;
+        skipSpace();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+            return std::nullopt;
+        }
+        return value;
+    }
+
+  private:
+    static constexpr int maxDepth = 512;
+
+    void
+    fail(const std::string& message)
+    {
+        if (error_ && error_->empty()) {
+            std::ostringstream oss;
+            oss << message << " at offset " << pos_;
+            *error_ = oss.str();
+        }
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeLiteral(const char* literal)
+    {
+        std::size_t len = 0;
+        while (literal[len])
+            ++len;
+        if (text_.compare(pos_, len, literal) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<Json>
+    parseValue(int depth)
+    {
+        if (depth > maxDepth) {
+            fail("nesting too deep");
+            return std::nullopt;
+        }
+        skipSpace();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return std::nullopt;
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(depth);
+        if (c == '[')
+            return parseArray(depth);
+        if (c == '"')
+            return parseString();
+        if (c == 't') {
+            if (consumeLiteral("true"))
+                return Json(true);
+            fail("invalid literal");
+            return std::nullopt;
+        }
+        if (c == 'f') {
+            if (consumeLiteral("false"))
+                return Json(false);
+            fail("invalid literal");
+            return std::nullopt;
+        }
+        if (c == 'n') {
+            if (consumeLiteral("null"))
+                return Json(nullptr);
+            fail("invalid literal");
+            return std::nullopt;
+        }
+        return parseNumber();
+    }
+
+    std::optional<Json>
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool any = false;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+                c == 'e' || c == 'E' || c == '+' || c == '-') {
+                ++pos_;
+                any = true;
+            } else {
+                break;
+            }
+        }
+        if (!any) {
+            fail("invalid number");
+            return std::nullopt;
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == token.c_str() || *end != '\0') {
+            fail("invalid number");
+            return std::nullopt;
+        }
+        return Json(value);
+    }
+
+    std::optional<Json>
+    parseString()
+    {
+        std::string out;
+        if (!parseRawString(out))
+            return std::nullopt;
+        return Json(std::move(out));
+    }
+
+    bool
+    parseRawString(std::string& out)
+    {
+        if (!consume('"')) {
+            fail("expected string");
+            return false;
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size()) {
+                    fail("unterminated escape");
+                    return false;
+                }
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'b': out.push_back('\b'); break;
+                  case 'f': out.push_back('\f'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("bad \\u escape");
+                        return false;
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else {
+                            fail("bad \\u escape");
+                            return false;
+                        }
+                    }
+                    // Encode as UTF-8 (basic multilingual plane only).
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                    } else {
+                        out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                        out.push_back(
+                            static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                    return false;
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    std::optional<Json>
+    parseArray(int depth)
+    {
+        consume('[');
+        Json::Array items;
+        skipSpace();
+        if (consume(']'))
+            return Json(std::move(items));
+        while (true) {
+            auto value = parseValue(depth + 1);
+            if (!value)
+                return std::nullopt;
+            items.push_back(std::move(*value));
+            skipSpace();
+            if (consume(']'))
+                return Json(std::move(items));
+            if (!consume(',')) {
+                fail("expected ',' or ']'");
+                return std::nullopt;
+            }
+        }
+    }
+
+    std::optional<Json>
+    parseObject(int depth)
+    {
+        consume('{');
+        Json::Object members;
+        skipSpace();
+        if (consume('}'))
+            return Json(std::move(members));
+        while (true) {
+            skipSpace();
+            std::string key;
+            if (!parseRawString(key))
+                return std::nullopt;
+            skipSpace();
+            if (!consume(':')) {
+                fail("expected ':'");
+                return std::nullopt;
+            }
+            auto value = parseValue(depth + 1);
+            if (!value)
+                return std::nullopt;
+            members.emplace_back(std::move(key), std::move(*value));
+            skipSpace();
+            if (consume('}'))
+                return Json(std::move(members));
+            if (!consume(',')) {
+                fail("expected ',' or '}'");
+                return std::nullopt;
+            }
+        }
+    }
+
+    const std::string& text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<Json>
+Json::parse(const std::string& text, std::string* error)
+{
+    if (error)
+        error->clear();
+    return Parser(text, error).run();
+}
+
+std::optional<std::string>
+readFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+bool
+writeFile(const std::string& path, const std::string& contents)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << contents;
+    return static_cast<bool>(out);
+}
+
+} // namespace smoothe::util

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal self-contained JSON value, parser, and writer.
+ *
+ * Supports the subset of JSON needed for extraction-gym compatible e-graph
+ * serialization and for bench-harness result dumps: null, bool, number,
+ * string, array, object. Object key order is preserved on output.
+ */
+
+#ifndef SMOOTHE_UTIL_JSON_HPP
+#define SMOOTHE_UTIL_JSON_HPP
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smoothe::util {
+
+/** A dynamically-typed JSON value. */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    using Array = std::vector<Json>;
+    /// Insertion-ordered key/value list; keys are unique.
+    using Object = std::vector<std::pair<std::string, Json>>;
+
+    Json() : type_(Type::Null) {}
+    Json(std::nullptr_t) : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double d) : type_(Type::Number), number_(d) {}
+    Json(int i) : type_(Type::Number), number_(i) {}
+    Json(long i) : type_(Type::Number), number_(static_cast<double>(i)) {}
+    Json(std::size_t i) : type_(Type::Number), number_(static_cast<double>(i)) {}
+    Json(const char* s) : type_(Type::String), string_(s) {}
+    Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+    Json(Array a) : type_(Type::Array), array_(std::move(a)) {}
+    Json(Object o) : type_(Type::Object), object_(std::move(o)) {}
+
+    /** Creates an empty array value. */
+    static Json makeArray() { return Json(Array{}); }
+    /** Creates an empty object value. */
+    static Json makeObject() { return Json(Object{}); }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return number_; }
+    const std::string& asString() const { return string_; }
+    const Array& asArray() const { return array_; }
+    Array& asArray() { return array_; }
+    const Object& asObject() const { return object_; }
+    Object& asObject() { return object_; }
+
+    /** Appends an element; value must be an array. */
+    void push(Json value) { array_.push_back(std::move(value)); }
+
+    /** Sets (or replaces) a key; value must be an object. */
+    void set(const std::string& key, Json value);
+
+    /** Looks up a key in an object; returns nullptr when absent. */
+    const Json* find(const std::string& key) const;
+
+    /** Serializes to a compact JSON string. */
+    std::string dump() const;
+
+    /** Serializes with 2-space indentation. */
+    std::string dumpPretty() const;
+
+    /**
+     * Parses a JSON document.
+     * @param text the document
+     * @param error set to a human-readable message on failure
+     * @return the parsed value, or std::nullopt on malformed input
+     */
+    static std::optional<Json> parse(const std::string& text,
+                                     std::string* error = nullptr);
+
+  private:
+    void dumpTo(std::string& out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/** Reads an entire file into a string; returns std::nullopt on I/O error. */
+std::optional<std::string> readFile(const std::string& path);
+
+/** Writes a string to a file, replacing contents. Returns false on error. */
+bool writeFile(const std::string& path, const std::string& contents);
+
+} // namespace smoothe::util
+
+#endif // SMOOTHE_UTIL_JSON_HPP

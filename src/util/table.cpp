@@ -1,0 +1,100 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace smoothe::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header))
+{}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    row.resize(std::max(row.size(), header_.size()));
+    rows_.push_back(std::move(row));
+    ++dataRows_;
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+void
+TablePrinter::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto measure = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    measure(header_);
+    for (const auto& row : rows_) {
+        if (!row.empty())
+            measure(row);
+    }
+
+    auto emitRow = [&](const std::vector<std::string>& row) {
+        os << "|";
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& cell = i < row.size() ? row[i] : std::string();
+            os << " " << cell;
+            os << std::string(widths[i] - cell.size() + 1, ' ') << "|";
+        }
+        os << "\n";
+    };
+    auto emitSeparator = [&]() {
+        os << "|";
+        for (std::size_t w : widths)
+            os << std::string(w + 2, '-') << "|";
+        os << "\n";
+    };
+
+    emitRow(header_);
+    emitSeparator();
+    for (const auto& row : rows_) {
+        if (row.empty())
+            emitSeparator();
+        else
+            emitRow(row);
+    }
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[32];
+    if (seconds < 10.0)
+        std::snprintf(buf, sizeof(buf), "%.2f", seconds);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f", seconds);
+    return buf;
+}
+
+std::string
+formatPercent(double ratio)
+{
+    char buf[32];
+    if (ratio >= 10.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fx", ratio);
+    } else if (ratio >= 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.0f%%", ratio * 100.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f%%", ratio * 100.0);
+    }
+    return buf;
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+} // namespace smoothe::util

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harness to emit
+ * paper-style rows (Tables 1-5, Figures 4-9 series dumps).
+ */
+
+#ifndef SMOOTHE_UTIL_TABLE_HPP
+#define SMOOTHE_UTIL_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smoothe::util {
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TablePrinter table({"Dataset", "time", "worst", "avg."});
+ *   table.addRow({"rover", "20.6", "4.4%", "0.2%"});
+ *   table.print(std::cout);
+ * @endcode
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Appends a data row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Appends a horizontal separator row. */
+    void addSeparator();
+
+    /** Renders the table to the stream. */
+    void print(std::ostream& os) const;
+
+    /** Number of data rows added so far (separators excluded). */
+    std::size_t rowCount() const { return dataRows_; }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty vector = separator
+    std::size_t dataRows_ = 0;
+};
+
+/** Formats seconds with sensible precision (e.g. "0.04", "211.8"). */
+std::string formatSeconds(double seconds);
+
+/** Formats a ratio as a percentage string (e.g. "4.4%", "2.0x" when huge). */
+std::string formatPercent(double ratio);
+
+/** Formats a double with the given number of significant decimals. */
+std::string formatFixed(double value, int decimals);
+
+} // namespace smoothe::util
+
+#endif // SMOOTHE_UTIL_TABLE_HPP

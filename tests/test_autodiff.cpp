@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Autodiff tests: forward values, analytic vs numeric gradients for every
+ * op, matrix exponential correctness, Adam convergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/adam.hpp"
+#include "autodiff/gradcheck.hpp"
+#include "autodiff/matexp.hpp"
+#include "autodiff/tape.hpp"
+#include "util/rng.hpp"
+
+namespace ad = smoothe::ad;
+namespace st = smoothe::tensor;
+using ad::Param;
+using ad::Tape;
+using ad::Tensor;
+using ad::VarId;
+
+namespace {
+
+Tensor
+randomTensor(std::size_t rows, std::size_t cols, smoothe::util::Rng& rng,
+             double lo = -1.0, double hi = 1.0)
+{
+    Tensor t(rows, cols);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+} // namespace
+
+TEST(Matexp, IdentityOnZero)
+{
+    const std::size_t d = 4;
+    std::vector<float> a(d * d, 0.0f);
+    std::vector<float> out(d * d);
+    ad::expm(a.data(), d, out.data());
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < d; ++j)
+            EXPECT_NEAR(out[i * d + j], i == j ? 1.0f : 0.0f, 1e-6);
+    }
+    EXPECT_NEAR(ad::traceExpm(a.data(), d), 4.0, 1e-9);
+}
+
+TEST(Matexp, DiagonalMatrix)
+{
+    const std::size_t d = 3;
+    std::vector<float> a(d * d, 0.0f);
+    a[0] = 1.0f;
+    a[4] = 2.0f;
+    a[8] = -0.5f;
+    std::vector<float> out(d * d);
+    ad::expm(a.data(), d, out.data());
+    EXPECT_NEAR(out[0], std::exp(1.0), 1e-4);
+    EXPECT_NEAR(out[4], std::exp(2.0), 1e-3);
+    EXPECT_NEAR(out[8], std::exp(-0.5), 1e-5);
+    EXPECT_NEAR(out[1], 0.0, 1e-6);
+}
+
+TEST(Matexp, NilpotentMatrix)
+{
+    // A = [[0, 1], [0, 0]] -> exp(A) = [[1, 1], [0, 1]].
+    std::vector<float> a = {0.0f, 1.0f, 0.0f, 0.0f};
+    std::vector<float> out(4);
+    ad::expm(a.data(), 2, out.data());
+    EXPECT_NEAR(out[0], 1.0, 1e-6);
+    EXPECT_NEAR(out[1], 1.0, 1e-6);
+    EXPECT_NEAR(out[2], 0.0, 1e-6);
+    EXPECT_NEAR(out[3], 1.0, 1e-6);
+}
+
+TEST(Matexp, TwoByTwoCycleTrace)
+{
+    // A = [[0, w], [w, 0]] -> tr(exp(A)) = 2 cosh(w) > 2 when w > 0:
+    // the NOTEARS signal for a 2-cycle.
+    std::vector<float> a = {0.0f, 0.7f, 0.7f, 0.0f};
+    EXPECT_NEAR(ad::traceExpm(a.data(), 2), 2.0 * std::cosh(0.7), 1e-5);
+}
+
+TEST(Matexp, LargeNormScaling)
+{
+    // Norm >> 0.5 exercises scaling-and-squaring.
+    std::vector<float> a = {3.0f, 1.0f, 0.0f, 2.0f};
+    std::vector<float> out(4);
+    ad::expm(a.data(), 2, out.data());
+    // Upper triangular: exp keeps triangularity; diag = exp(diag).
+    EXPECT_NEAR(out[0], std::exp(3.0), 1e-2);
+    EXPECT_NEAR(out[3], std::exp(2.0), 1e-3);
+    EXPECT_NEAR(out[2], 0.0, 1e-5);
+    // Off-diagonal of exp([[3,1],[0,2]]) = e^3 - e^2.
+    EXPECT_NEAR(out[1], std::exp(3.0) - std::exp(2.0), 2e-2);
+}
+
+TEST(Matexp, NaiveMatchesOptimized)
+{
+    smoothe::util::Rng rng(77);
+    for (const std::size_t d : {1u, 2u, 5u, 16u}) {
+        std::vector<float> a(d * d);
+        for (auto& v : a)
+            v = static_cast<float>(rng.uniform(-0.5, 1.5));
+        std::vector<float> fast(d * d);
+        std::vector<float> naive(d * d);
+        ad::expm(a.data(), d, fast.data());
+        ad::expmNaive(a.data(), d, naive.data());
+        for (std::size_t i = 0; i < d * d; ++i)
+            EXPECT_NEAR(fast[i], naive[i],
+                        1e-4 * (1.0 + std::fabs(fast[i])))
+                << "d=" << d << " i=" << i;
+    }
+}
+
+TEST(Tape, ForwardElementwise)
+{
+    Tape tape;
+    Tensor a(1, 3);
+    a.at(0, 0) = 1.0f;
+    a.at(0, 1) = -2.0f;
+    a.at(0, 2) = 3.0f;
+    Tensor b(1, 3, 2.0f);
+    const VarId va = tape.constant(a);
+    const VarId vb = tape.constant(b);
+    EXPECT_FLOAT_EQ(tape.value(tape.add(va, vb)).at(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(tape.value(tape.sub(va, vb)).at(0, 0), -1.0f);
+    EXPECT_FLOAT_EQ(tape.value(tape.mul(va, vb)).at(0, 2), 6.0f);
+    EXPECT_FLOAT_EQ(tape.value(tape.scale(va, -2.0f)).at(0, 0), -2.0f);
+    EXPECT_FLOAT_EQ(tape.value(tape.addScalar(va, 5.0f)).at(0, 1), 3.0f);
+    EXPECT_FLOAT_EQ(tape.value(tape.relu(va)).at(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(tape.value(tape.relu(va)).at(0, 2), 3.0f);
+}
+
+TEST(Tape, ScalarAndVectorizedAgree)
+{
+    smoothe::util::Rng rng(5);
+    Tensor a = randomTensor(3, 17, rng);
+    Tensor b = randomTensor(3, 17, rng);
+    Tape fast(st::Backend::Vectorized);
+    Tape slow(st::Backend::Scalar);
+    const VarId fa = fast.constant(a);
+    const VarId fb = fast.constant(b);
+    const VarId sa = slow.constant(a);
+    const VarId sb = slow.constant(b);
+    const VarId f = fast.mul(fast.add(fa, fb), fb);
+    const VarId s = slow.mul(slow.add(sa, sb), sb);
+    for (std::size_t i = 0; i < 3 * 17; ++i)
+        EXPECT_NEAR(fast.value(f).data()[i], slow.value(s).data()[i], 1e-5);
+}
+
+TEST(Tape, BackendsAgreeOnMatmulAndTrExpm)
+{
+    smoothe::util::Rng rng(88);
+    Tensor a = randomTensor(3, 5, rng);
+    Tensor w = randomTensor(5, 4, rng);
+    Tensor m = randomTensor(2, 9, rng, -0.3, 0.8);
+
+    Tape fast(st::Backend::Vectorized);
+    Tape slow(st::Backend::Scalar);
+    const VarId fm = fast.matmul(fast.constant(a), fast.constant(w));
+    const VarId sm = slow.matmul(slow.constant(a), slow.constant(w));
+    for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_NEAR(fast.value(fm).data()[i], slow.value(sm).data()[i],
+                    1e-4);
+
+    const VarId ft = fast.trExpm(fast.constant(m), 3);
+    const VarId stv = slow.trExpm(slow.constant(m), 3);
+    for (std::size_t r = 0; r < 2; ++r)
+        EXPECT_NEAR(fast.value(ft).at(r, 0), slow.value(stv).at(r, 0),
+                    1e-3);
+}
+
+TEST(Tape, SegmentSoftmaxNormalizes)
+{
+    // Segments over 5 columns: {0,1}, {2,3,4}.
+    st::SegmentIndex segs;
+    segs.offsets = {0, 2, 5};
+    segs.items = {0, 1, 2, 3, 4};
+    smoothe::util::Rng rng(9);
+    Param theta{randomTensor(2, 5, rng, -3.0, 3.0)};
+    Tape tape;
+    const VarId cp = tape.segmentSoftmax(tape.leaf(&theta), &segs);
+    const Tensor& v = tape.value(cp);
+    for (std::size_t r = 0; r < 2; ++r) {
+        EXPECT_NEAR(v.at(r, 0) + v.at(r, 1), 1.0, 1e-5);
+        EXPECT_NEAR(v.at(r, 2) + v.at(r, 3) + v.at(r, 4), 1.0, 1e-5);
+        for (std::size_t c = 0; c < 5; ++c)
+            EXPECT_GT(v.at(r, c), 0.0f);
+    }
+}
+
+TEST(Tape, GatherAndDotForward)
+{
+    Tape tape;
+    Tensor q(1, 3);
+    q.at(0, 0) = 0.1f;
+    q.at(0, 1) = 0.5f;
+    q.at(0, 2) = 0.9f;
+    const std::vector<std::uint32_t> index = {2, 0, 1, 2};
+    const VarId g = tape.gatherCols(tape.constant(q), &index);
+    EXPECT_FLOAT_EQ(tape.value(g).at(0, 0), 0.9f);
+    EXPECT_FLOAT_EQ(tape.value(g).at(0, 3), 0.9f);
+
+    const VarId dot = tape.dotRowsConst(g, {1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_NEAR(tape.value(dot).at(0, 0),
+                0.9 + 0.2 + 1.5 + 3.6, 1e-5);
+}
+
+// --- gradient checks per op --------------------------------------------
+
+namespace {
+
+void
+expectGradCheck(const std::vector<Param*>& params,
+                const ad::GraphBuilder& build)
+{
+    const auto result = ad::checkGradients(params, build);
+    EXPECT_TRUE(result.ok)
+        << "max rel error " << result.maxRelError << " at param "
+        << result.worstParam << "[" << result.worstIndex << "]";
+}
+
+} // namespace
+
+TEST(GradCheck, Elementwise)
+{
+    smoothe::util::Rng rng(21);
+    Param a{randomTensor(2, 4, rng)};
+    Param b{randomTensor(2, 4, rng)};
+    expectGradCheck({&a, &b}, [&](Tape& tape) {
+        const VarId va = tape.leaf(&a);
+        const VarId vb = tape.leaf(&b);
+        const VarId expr = tape.mul(tape.add(va, tape.scale(vb, 0.5f)),
+                                    tape.sub(va, vb));
+        return tape.sumAll(expr);
+    });
+}
+
+TEST(GradCheck, ReluAwayFromKink)
+{
+    smoothe::util::Rng rng(22);
+    Param a{randomTensor(2, 6, rng, 0.2, 1.0)}; // stay off the kink
+    for (std::size_t i = 0; i < 6; ++i)
+        a.value.at(1, i) = static_cast<float>(-0.2 - 0.1 * i);
+    expectGradCheck({&a}, [&](Tape& tape) {
+        return tape.sumAll(tape.relu(tape.leaf(&a)));
+    });
+}
+
+TEST(GradCheck, MulAddConstBroadcast)
+{
+    smoothe::util::Rng rng(23);
+    Param a{randomTensor(3, 4, rng)};
+    Tensor mask(1, 4);
+    mask.at(0, 0) = 0.0f;
+    mask.at(0, 1) = 1.0f;
+    mask.at(0, 2) = 2.0f;
+    mask.at(0, 3) = -1.0f;
+    expectGradCheck({&a}, [&](Tape& tape) {
+        const VarId x = tape.mulConst(tape.leaf(&a), mask);
+        return tape.sumAll(tape.addConst(x, mask));
+    });
+}
+
+TEST(GradCheck, DotRowsMeanRows)
+{
+    smoothe::util::Rng rng(24);
+    Param a{randomTensor(3, 5, rng)};
+    expectGradCheck({&a}, [&](Tape& tape) {
+        const VarId d =
+            tape.dotRowsConst(tape.leaf(&a), {1.0f, -2.0f, 0.5f, 3.0f, 2.0f});
+        const VarId m = tape.meanRows(tape.leaf(&a));
+        return tape.add(tape.sumAll(d), tape.sumAll(m));
+    });
+}
+
+TEST(GradCheck, SegmentSoftmax)
+{
+    st::SegmentIndex segs;
+    segs.offsets = {0, 3, 5, 6};
+    segs.items = {0, 1, 2, 3, 4, 5};
+    smoothe::util::Rng rng(25);
+    Param theta{randomTensor(2, 6, rng, -2.0, 2.0)};
+    expectGradCheck({&theta}, [&](Tape& tape) {
+        const VarId cp = tape.segmentSoftmax(tape.leaf(&theta), &segs);
+        // Weighted sum makes the gradient non-trivial per element.
+        return tape.sumAll(tape.dotRowsConst(
+            cp, {1.0f, 3.0f, -2.0f, 0.5f, 2.0f, -1.0f}));
+    });
+}
+
+TEST(GradCheck, SegmentProductComplement)
+{
+    st::SegmentIndex segs;
+    segs.offsets = {0, 2, 2, 5};
+    segs.items = {1, 3, 0, 2, 4};
+    smoothe::util::Rng rng(26);
+    Param p{randomTensor(2, 5, rng, 0.1, 0.8)};
+    expectGradCheck({&p}, [&](Tape& tape) {
+        const VarId prod =
+            tape.segmentProductComplement(tape.leaf(&p), &segs);
+        return tape.sumAll(tape.dotRowsConst(prod, {2.0f, -1.0f, 1.5f}));
+    });
+}
+
+TEST(GradCheck, SegmentMaxGather)
+{
+    st::SegmentIndex segs;
+    segs.offsets = {0, 2, 5};
+    segs.items = {0, 1, 2, 3, 4};
+    smoothe::util::Rng rng(27);
+    // Well-separated values keep the argmax stable under epsilon.
+    Param p{Tensor(1, 5)};
+    p.value.at(0, 0) = 0.9f;
+    p.value.at(0, 1) = 0.1f;
+    p.value.at(0, 2) = 0.2f;
+    p.value.at(0, 3) = 0.7f;
+    p.value.at(0, 4) = 0.3f;
+    expectGradCheck({&p}, [&](Tape& tape) {
+        const VarId mx = tape.segmentMaxGather(tape.leaf(&p), &segs);
+        return tape.sumAll(tape.dotRowsConst(mx, {2.0f, 3.0f}));
+    });
+}
+
+TEST(GradCheck, GatherCols)
+{
+    const std::vector<std::uint32_t> index = {1, 0, 2, 1};
+    smoothe::util::Rng rng(28);
+    Param q{randomTensor(2, 3, rng)};
+    expectGradCheck({&q}, [&](Tape& tape) {
+        const VarId g = tape.gatherCols(tape.leaf(&q), &index);
+        return tape.sumAll(
+            tape.dotRowsConst(g, {1.0f, 2.0f, 3.0f, 4.0f}));
+    });
+}
+
+TEST(GradCheck, MatMulAndBias)
+{
+    smoothe::util::Rng rng(29);
+    Param a{randomTensor(2, 3, rng)};
+    Param w{randomTensor(3, 4, rng)};
+    Param bias{randomTensor(1, 4, rng)};
+    expectGradCheck({&a, &w, &bias}, [&](Tape& tape) {
+        const VarId h = tape.addRowBroadcast(
+            tape.matmul(tape.leaf(&a), tape.leaf(&w)), tape.leaf(&bias));
+        return tape.sumAll(tape.mul(h, h));
+    });
+}
+
+TEST(GradCheck, ScatterMatrixPerSeed)
+{
+    const std::vector<ad::MatrixEntry> entries = {
+        {0, 1}, {1, 2}, {2, 1}, {0, 3}};
+    smoothe::util::Rng rng(30);
+    Param cp{randomTensor(2, 3, rng, 0.1, 0.9)};
+    expectGradCheck({&cp}, [&](Tape& tape) {
+        const VarId a =
+            tape.scatterMatrix(tape.leaf(&cp), &entries, 2, false);
+        return tape.sumAll(tape.mul(a, a));
+    });
+}
+
+TEST(GradCheck, ScatterMatrixMeanAndTrExpm)
+{
+    // Two classes forming a 2-cycle; entries place cp mass on the
+    // off-diagonals, so tr(exp(A)) = 2 cosh(sqrt(a01 * a10)).
+    const std::vector<ad::MatrixEntry> entries = {
+        {0, 1}, {1, 2}};
+    smoothe::util::Rng rng(31);
+    Param cp{randomTensor(3, 2, rng, 0.1, 0.9)};
+    expectGradCheck({&cp}, [&](Tape& tape) {
+        const VarId a =
+            tape.scatterMatrix(tape.leaf(&cp), &entries, 2, true);
+        return tape.sumAll(tape.trExpm(a, 2));
+    });
+}
+
+TEST(GradCheck, TrExpmPerSeed)
+{
+    smoothe::util::Rng rng(32);
+    Param a{randomTensor(2, 9, rng, -0.4, 0.4)};
+    expectGradCheck({&a}, [&](Tape& tape) {
+        return tape.sumAll(tape.trExpm(tape.leaf(&a), 3));
+    });
+}
+
+TEST(GradCheck, CompositePipeline)
+{
+    // A miniature SmoothE-like pipeline: softmax -> gather -> mul ->
+    // product-complement -> dot.
+    st::SegmentIndex members;
+    members.offsets = {0, 2, 4};
+    members.items = {0, 1, 2, 3};
+    st::SegmentIndex parents;
+    parents.offsets = {0, 0, 2};
+    parents.items = {0, 1};
+    const std::vector<std::uint32_t> node2class = {0, 0, 1, 1};
+
+    smoothe::util::Rng rng(33);
+    Param theta{randomTensor(2, 4, rng, -1.5, 1.5)};
+    expectGradCheck({&theta}, [&](Tape& tape) {
+        const VarId cp = tape.segmentSoftmax(tape.leaf(&theta), &members);
+        Tensor q0(2, 2);
+        q0.at(0, 0) = 1.0f;
+        q0.at(1, 0) = 1.0f;
+        VarId q = tape.constant(q0);
+        for (int t = 0; t < 3; ++t) {
+            const VarId p = tape.mul(cp, tape.gatherCols(q, &node2class));
+            const VarId prod = tape.segmentProductComplement(p, &parents);
+            const VarId ind =
+                tape.addScalar(tape.scale(prod, -1.0f), 1.0f);
+            Tensor notRoot(1, 2, 1.0f);
+            notRoot.at(0, 0) = 0.0f;
+            Tensor root(1, 2);
+            root.at(0, 0) = 1.0f;
+            q = tape.addConst(tape.mulConst(ind, notRoot), root);
+        }
+        const VarId p = tape.mul(cp, tape.gatherCols(q, &node2class));
+        return tape.sumAll(
+            tape.dotRowsConst(p, {1.0f, 5.0f, 2.0f, 3.0f}));
+    });
+}
+
+TEST(Tape, ScalarBackendSegmentOpsAgree)
+{
+    st::SegmentIndex segs;
+    segs.offsets = {0, 3, 5, 6};
+    segs.items = {0, 1, 2, 3, 4, 5};
+    smoothe::util::Rng rng(91);
+    Tensor theta = randomTensor(3, 6, rng, -2.0, 2.0);
+    Tensor p = randomTensor(3, 6, rng, 0.05, 0.9);
+
+    Tape fast(st::Backend::Vectorized);
+    Tape slow(st::Backend::Scalar);
+    const VarId fsm = fast.segmentSoftmax(fast.constant(theta), &segs);
+    const VarId ssm = slow.segmentSoftmax(slow.constant(theta), &segs);
+    const VarId fpc =
+        fast.segmentProductComplement(fast.constant(p), &segs);
+    const VarId spc =
+        slow.segmentProductComplement(slow.constant(p), &segs);
+    const VarId fmx = fast.segmentMaxGather(fast.constant(p), &segs);
+    const VarId smx = slow.segmentMaxGather(slow.constant(p), &segs);
+    for (std::size_t i = 0; i < 18; ++i) {
+        EXPECT_NEAR(fast.value(fsm).data()[i], slow.value(ssm).data()[i],
+                    1e-6);
+    }
+    for (std::size_t i = 0; i < 9; ++i) {
+        EXPECT_NEAR(fast.value(fpc).data()[i], slow.value(spc).data()[i],
+                    1e-6);
+        EXPECT_NEAR(fast.value(fmx).data()[i], slow.value(smx).data()[i],
+                    1e-6);
+    }
+}
+
+TEST(Tape, ClearDropsNodes)
+{
+    Tape tape;
+    const VarId a = tape.constant(Tensor(1, 3, 1.0f));
+    tape.scale(a, 2.0f);
+    EXPECT_EQ(tape.numNodes(), 2u);
+    tape.clear();
+    EXPECT_EQ(tape.numNodes(), 0u);
+}
+
+TEST(Adam, LearningRateAdjustable)
+{
+    Param x{Tensor(1, 1, 0.0f)};
+    ad::Adam opt({&x}, ad::AdamConfig{0.5f, 0.9f, 0.999f, 1e-8f});
+    EXPECT_FLOAT_EQ(opt.learningRate(), 0.5f);
+    opt.setLearningRate(0.01f);
+    EXPECT_FLOAT_EQ(opt.learningRate(), 0.01f);
+
+    // One step with grad 1 moves by ~lr (bias-corrected first step).
+    x.zeroGrad();
+    x.grad.at(0, 0) = 1.0f;
+    opt.step();
+    EXPECT_NEAR(x.value.at(0, 0), -0.01, 2e-3);
+}
+
+TEST(GradCheck, ReportsTightErrorOnLinearGraph)
+{
+    // d(sum(a))/da == 1 exactly; the checker must report near-zero error.
+    Param a{Tensor(1, 4, 0.5f)};
+    const auto result = ad::checkGradients({&a}, [&](Tape& tape) {
+        return tape.sumAll(tape.leaf(&a));
+    });
+    EXPECT_TRUE(result.ok);
+    EXPECT_LT(result.maxRelError, 1e-3);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    // minimize ||x - target||^2.
+    Param x{Tensor(1, 4, 0.0f)};
+    Tensor target(1, 4);
+    target.at(0, 0) = 1.0f;
+    target.at(0, 1) = -2.0f;
+    target.at(0, 2) = 0.5f;
+    target.at(0, 3) = 3.0f;
+
+    ad::Adam opt({&x}, ad::AdamConfig{0.1f, 0.9f, 0.999f, 1e-8f});
+    for (int i = 0; i < 400; ++i) {
+        opt.zeroGrad();
+        Tape tape;
+        const VarId diff = tape.sub(tape.leaf(&x), tape.constant(target));
+        const VarId loss = tape.sumAll(tape.mul(diff, diff));
+        tape.backward(loss);
+        opt.step();
+    }
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(x.value.data()[i], target.data()[i], 0.05);
+}
+
+TEST(Tape, BackwardThroughSharedSubexpression)
+{
+    // y = a * a (same input twice) -> dy/da = 2a.
+    Param a{Tensor(1, 1, 3.0f)};
+    a.zeroGrad();
+    Tape tape;
+    const VarId va = tape.leaf(&a);
+    const VarId loss = tape.sumAll(tape.mul(va, va));
+    tape.backward(loss);
+    EXPECT_NEAR(a.grad.at(0, 0), 6.0f, 1e-5);
+}
+
+TEST(Tape, GradAccumulatesAcrossBackwardCalls)
+{
+    Param a{Tensor(1, 1, 2.0f)};
+    a.zeroGrad();
+    for (int i = 0; i < 3; ++i) {
+        Tape tape;
+        const VarId loss = tape.sumAll(tape.leaf(&a));
+        tape.backward(loss);
+    }
+    EXPECT_NEAR(a.grad.at(0, 0), 3.0f, 1e-6);
+}
+
+TEST(Tape, ArenaAccountsNodeTensors)
+{
+    st::Arena arena;
+    Tape tape(st::Backend::Vectorized, &arena);
+    Tensor a(4, 100);
+    const VarId va = tape.constant(std::move(a));
+    tape.scale(va, 2.0f);
+    EXPECT_GE(arena.used(), 4 * 100 * sizeof(float));
+}

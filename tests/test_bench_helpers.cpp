@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for the bench-harness helpers (statistics, cell formatting,
+ * option parsing) so the reported tables are trustworthy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/common.hpp"
+
+namespace bench = smoothe::bench;
+
+TEST(BenchHelpers, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(bench::geometricMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(bench::geometricMean({4.0}), 4.0);
+    EXPECT_NEAR(bench::geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(bench::geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(BenchHelpers, NormalizedIncrease)
+{
+    EXPECT_DOUBLE_EQ(bench::normalizedIncrease(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(bench::normalizedIncrease(100.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(bench::normalizedIncrease(50.0, 0.0), 0.0); // guard
+    EXPECT_NEAR(bench::normalizedIncrease(730.0, 100.0), 6.3, 1e-12);
+}
+
+TEST(BenchHelpers, WorstAvgCell)
+{
+    EXPECT_EQ(bench::worstAvgCell(0.044, 0.002, 0), "4.4% / 0.2%");
+    const std::string failed = bench::worstAvgCell(0.0, 0.075, 2);
+    EXPECT_NE(failed.find("Failed(2)"), std::string::npos);
+    EXPECT_NE(failed.find("7.5%"), std::string::npos);
+}
+
+TEST(BenchHelpers, OptionsParseAndQuickMode)
+{
+    const char* argv[] = {"bench", "--scale", "0.5", "--time-limit=3",
+                          "--runs", "2", "--max-graphs", "7"};
+    smoothe::bench::BenchOptions options =
+        bench::BenchOptions::parse(8, const_cast<char**>(argv));
+    EXPECT_DOUBLE_EQ(options.scale, 0.5);
+    EXPECT_DOUBLE_EQ(options.timeLimit, 3.0);
+    EXPECT_EQ(options.runs, 2u);
+    EXPECT_EQ(options.maxGraphs, 7u);
+
+    const char* quickArgv[] = {"bench", "--quick"};
+    const auto quick =
+        bench::BenchOptions::parse(2, const_cast<char**>(quickArgv));
+    EXPECT_LT(quick.scale, 0.1);
+    EXPECT_LE(quick.timeLimit, 2.0);
+    EXPECT_EQ(quick.runs, 1u);
+}
+
+TEST(BenchHelpers, CapGraphs)
+{
+    smoothe::bench::BenchOptions options;
+    options.maxGraphs = 2;
+    std::vector<int> items = {1, 2, 3, 4};
+    EXPECT_EQ(options.capGraphs(items).size(), 2u);
+    options.maxGraphs = 0;
+    EXPECT_EQ(options.capGraphs(items).size(), 4u);
+}

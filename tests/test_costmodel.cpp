@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Cost model tests: linear cost equivalence with DAG cost, MLP forward /
+ * training / differentiability, composite model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "autodiff/gradcheck.hpp"
+#include "costmodel/cost_model.hpp"
+#include "datasets/generators.hpp"
+#include "extraction/random_sample.hpp"
+
+namespace ad = smoothe::ad;
+namespace cm = smoothe::cost;
+namespace ds = smoothe::datasets;
+namespace ex = smoothe::extract;
+namespace eg = smoothe::eg;
+
+TEST(LinearCost, MatchesDagCostOnValidSelections)
+{
+    const eg::EGraph g = ds::paperExampleEGraph();
+    const cm::LinearCost cost(g);
+    smoothe::util::Rng rng(2);
+    for (int i = 0; i < 20; ++i) {
+        const auto sel = ex::sampleRandomSelection(g, rng);
+        ASSERT_TRUE(sel.chosen(g.root()));
+        EXPECT_DOUBLE_EQ(cost.discrete(sel.toNodeIndicator(g)),
+                         ex::dagCost(g, sel));
+    }
+}
+
+TEST(LinearCost, BuildComputesDotProduct)
+{
+    const cm::LinearCost cost(std::vector<float>{1.0f, 2.0f, 3.0f});
+    ad::Tape tape;
+    ad::Tensor p(2, 3);
+    p.at(0, 0) = 1.0f;
+    p.at(0, 1) = 0.5f;
+    p.at(0, 2) = 0.0f;
+    p.at(1, 0) = 0.0f;
+    p.at(1, 1) = 1.0f;
+    p.at(1, 2) = 1.0f;
+    const auto out = cost.build(tape, tape.constant(p));
+    EXPECT_FLOAT_EQ(tape.value(out).at(0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(tape.value(out).at(1, 0), 5.0f);
+}
+
+TEST(MlpCost, ForwardIsDeterministic)
+{
+    smoothe::util::Rng rng(10);
+    cm::MlpCost mlp(12, rng);
+    std::vector<bool> s(12, false);
+    s[2] = s[5] = true;
+    const double a = mlp.discrete(s);
+    const double b = mlp.discrete(s);
+    EXPECT_DOUBLE_EQ(a, b);
+    s[7] = true;
+    EXPECT_NE(mlp.discrete(s), a); // input sensitivity (almost surely)
+}
+
+TEST(MlpCost, TrainingReducesMse)
+{
+    const eg::EGraph g = ds::paperExampleEGraph();
+    smoothe::util::Rng rng(11);
+    cm::MlpCost mlp(g.numNodes(), rng);
+
+    // Capture MSE after 1 epoch vs after many.
+    smoothe::util::Rng rngA(13);
+    cm::MlpCost fresh(g.numNodes(), rngA);
+    smoothe::util::Rng dataRng(17);
+    const double early = fresh.trainSynthetic(g, 32, 1, dataRng);
+    smoothe::util::Rng rngB(13);
+    cm::MlpCost trained(g.numNodes(), rngB);
+    smoothe::util::Rng dataRng2(17);
+    const double late = trained.trainSynthetic(g, 32, 120, dataRng2);
+    EXPECT_LT(late, early);
+}
+
+TEST(MlpCost, GradientsFlowToInput)
+{
+    smoothe::util::Rng rng(19);
+    cm::MlpCost mlp(6, rng);
+    ad::Param p{ad::Tensor(2, 6, 0.5f)};
+    const auto result = ad::checkGradients(
+        {&p},
+        [&](ad::Tape& tape) {
+            return tape.sumAll(mlp.build(tape, tape.leaf(&p)));
+        },
+        1e-3, 5e-2);
+    EXPECT_TRUE(result.ok) << result.maxRelError;
+}
+
+TEST(MlpCost, ForwardBatchMatchesDiscrete)
+{
+    smoothe::util::Rng rng(41);
+    cm::MlpCost mlp(10, rng);
+    ad::Tensor batch(3, 10);
+    std::vector<std::vector<bool>> rows(3, std::vector<bool>(10, false));
+    rows[0][1] = rows[0][4] = true;
+    rows[1][0] = true;
+    rows[2][9] = rows[2][3] = rows[2][7] = true;
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t i = 0; i < 10; ++i)
+            batch.at(r, i) = rows[r][i] ? 1.0f : 0.0f;
+    }
+    const auto outputs = mlp.forwardBatch(batch);
+    ASSERT_EQ(outputs.size(), 3u);
+    for (std::size_t r = 0; r < 3; ++r)
+        EXPECT_NEAR(outputs[r], mlp.discrete(rows[r]), 1e-5);
+}
+
+TEST(MlpCost, DifferentSeedsDifferentModels)
+{
+    smoothe::util::Rng rngA(1);
+    smoothe::util::Rng rngB(2);
+    cm::MlpCost a(8, rngA);
+    cm::MlpCost b(8, rngB);
+    std::vector<bool> s(8, false);
+    s[2] = s[6] = true;
+    EXPECT_NE(a.discrete(s), b.discrete(s));
+}
+
+TEST(CompositeCost, AddsComponents)
+{
+    const eg::EGraph g = ds::paperExampleEGraph();
+    auto linear = std::make_shared<cm::LinearCost>(g);
+    smoothe::util::Rng rng(23);
+    auto mlp = std::make_shared<cm::MlpCost>(g.numNodes(), rng);
+    const cm::CompositeCost composite(linear, mlp, 0.5f);
+
+    std::vector<bool> s(g.numNodes(), false);
+    s[0] = s[3] = true;
+    EXPECT_NEAR(composite.discrete(s),
+                linear->discrete(s) + 0.5 * mlp->discrete(s), 1e-9);
+}
+
+TEST(CompositeCost, BuildMatchesDiscreteOnBinaryInput)
+{
+    const eg::EGraph g = ds::paperExampleEGraph();
+    auto linear = std::make_shared<cm::LinearCost>(g);
+    smoothe::util::Rng rng(29);
+    auto mlp = std::make_shared<cm::MlpCost>(g.numNodes(), rng);
+    const cm::CompositeCost composite(linear, mlp, 1.0f);
+
+    smoothe::util::Rng selRng(31);
+    const auto sel = ex::sampleRandomSelection(g, selRng);
+    const auto indicator = sel.toNodeIndicator(g);
+
+    ad::Tape tape;
+    ad::Tensor p(1, g.numNodes());
+    for (std::size_t i = 0; i < indicator.size(); ++i)
+        p.at(0, i) = indicator[i] ? 1.0f : 0.0f;
+    const auto out = composite.build(tape, tape.constant(p));
+    EXPECT_NEAR(tape.value(out).at(0, 0), composite.discrete(indicator),
+                1e-3);
+}

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Unit tests for the e-graph data structure, serialization, and graph
+ * algorithms (SCC, pruning, reachability).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "egraph/egraph.hpp"
+#include "egraph/serialize.hpp"
+
+namespace eg = smoothe::eg;
+
+namespace {
+
+/** Small diamond: root -> {a, b} -> shared leaf. */
+eg::EGraph
+diamond()
+{
+    eg::EGraph g;
+    const auto root = g.addClass();
+    const auto a = g.addClass();
+    const auto b = g.addClass();
+    const auto leaf = g.addClass();
+    g.addNode(root, "+", {a, b}, 1.0);
+    g.addNode(a, "f", {leaf}, 2.0);
+    g.addNode(b, "g", {leaf}, 3.0);
+    g.addNode(leaf, "x", {}, 0.5);
+    g.setRoot(root);
+    EXPECT_FALSE(g.finalize().has_value());
+    return g;
+}
+
+} // namespace
+
+TEST(EGraph, BuildAndQuery)
+{
+    eg::EGraph g = diamond();
+    EXPECT_EQ(g.numClasses(), 4u);
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_EQ(g.root(), 0u);
+    EXPECT_EQ(g.node(0).op, "+");
+    EXPECT_EQ(g.classOf(0), 0u);
+    EXPECT_EQ(g.nodesInClass(3).size(), 1u);
+}
+
+TEST(EGraph, ParentIndex)
+{
+    eg::EGraph g = diamond();
+    const auto& leafParents = g.parents(3);
+    EXPECT_EQ(leafParents.size(), 2u);
+    EXPECT_TRUE(g.parents(0).empty());
+}
+
+TEST(EGraph, ParentsDeduplicatedForRepeatedChild)
+{
+    eg::EGraph g;
+    const auto root = g.addClass();
+    const auto leaf = g.addClass();
+    g.addNode(root, "sq", {leaf, leaf}, 1.0); // x * x
+    g.addNode(leaf, "x", {}, 1.0);
+    g.setRoot(root);
+    ASSERT_FALSE(g.finalize().has_value());
+    EXPECT_EQ(g.parents(leaf).size(), 1u);
+    EXPECT_EQ(g.stats().numEdges, 2u);
+}
+
+TEST(EGraph, FinalizeRejectsEmptyClass)
+{
+    eg::EGraph g;
+    const auto root = g.addClass();
+    g.addClass(); // left empty
+    g.addNode(root, "x", {}, 1.0);
+    g.setRoot(root);
+    const auto err = g.finalize();
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("empty"), std::string::npos);
+}
+
+TEST(EGraph, FinalizeRejectsMissingRoot)
+{
+    eg::EGraph g;
+    const auto cls = g.addClass();
+    g.addNode(cls, "x", {}, 1.0);
+    EXPECT_TRUE(g.finalize().has_value());
+}
+
+TEST(EGraph, FinalizeRejectsBadChildReference)
+{
+    eg::EGraph g;
+    const auto root = g.addClass();
+    g.addNode(root, "f", {7}, 1.0);
+    g.setRoot(root);
+    EXPECT_TRUE(g.finalize().has_value());
+}
+
+TEST(EGraph, Stats)
+{
+    eg::EGraph g = diamond();
+    const auto& stats = g.stats();
+    EXPECT_EQ(stats.numNodes, 4u);
+    EXPECT_EQ(stats.numClasses, 4u);
+    EXPECT_EQ(stats.numEdges, 4u);
+    EXPECT_DOUBLE_EQ(stats.avgDegree, 1.0);
+    EXPECT_DOUBLE_EQ(stats.density, 4.0 / 16.0);
+    EXPECT_EQ(stats.numLeaves, 1u);
+    EXPECT_EQ(stats.maxClassSize, 1u);
+}
+
+TEST(EGraph, SccAcyclic)
+{
+    eg::EGraph g = diamond();
+    const auto sccs = g.classSccs();
+    EXPECT_EQ(sccs.size(), 4u);
+    for (const auto& scc : sccs)
+        EXPECT_EQ(scc.size(), 1u);
+    EXPECT_TRUE(g.dependencyGraphIsAcyclic());
+}
+
+TEST(EGraph, SccDetectsCycle)
+{
+    eg::EGraph g;
+    const auto root = g.addClass();
+    const auto a = g.addClass();
+    const auto b = g.addClass();
+    g.addNode(root, "r", {a}, 1.0);
+    g.addNode(a, "f", {b}, 1.0);
+    g.addNode(a, "leafA", {}, 5.0);
+    g.addNode(b, "g", {a}, 1.0); // cycle a <-> b
+    g.addNode(b, "leafB", {}, 5.0);
+    g.setRoot(root);
+    ASSERT_FALSE(g.finalize().has_value());
+
+    const auto sccs = g.classSccs();
+    std::size_t big = 0;
+    for (const auto& scc : sccs)
+        big = std::max(big, scc.size());
+    EXPECT_EQ(big, 2u);
+    EXPECT_FALSE(g.dependencyGraphIsAcyclic());
+}
+
+TEST(EGraph, SelfLoopIsCyclic)
+{
+    eg::EGraph g;
+    const auto root = g.addClass();
+    g.addNode(root, "id", {root}, 0.0);
+    g.addNode(root, "x", {}, 1.0);
+    g.setRoot(root);
+    ASSERT_FALSE(g.finalize().has_value());
+    EXPECT_FALSE(g.dependencyGraphIsAcyclic());
+}
+
+TEST(EGraph, SccReverseTopologicalOrder)
+{
+    eg::EGraph g = diamond();
+    const auto sccs = g.classSccs();
+    // Tarjan emits SCCs in reverse topological order: the leaf's component
+    // must appear before the root's.
+    std::size_t leafPos = 0;
+    std::size_t rootPos = 0;
+    for (std::size_t i = 0; i < sccs.size(); ++i) {
+        if (sccs[i].front() == 3)
+            leafPos = i;
+        if (sccs[i].front() == 0)
+            rootPos = i;
+    }
+    EXPECT_LT(leafPos, rootPos);
+}
+
+TEST(EGraph, ReachableClasses)
+{
+    eg::EGraph g;
+    const auto root = g.addClass();
+    const auto a = g.addClass();
+    const auto orphan = g.addClass();
+    g.addNode(root, "r", {a}, 1.0);
+    g.addNode(a, "x", {}, 1.0);
+    g.addNode(orphan, "y", {}, 1.0);
+    g.setRoot(root);
+    ASSERT_FALSE(g.finalize().has_value());
+    const auto reachable = g.reachableClasses();
+    EXPECT_EQ(reachable.size(), 2u);
+    EXPECT_EQ(std::count(reachable.begin(), reachable.end(), orphan), 0);
+}
+
+TEST(EGraph, PrunedDropsOrphans)
+{
+    eg::EGraph g;
+    const auto root = g.addClass();
+    const auto a = g.addClass();
+    const auto orphan = g.addClass();
+    g.addNode(root, "r", {a}, 1.0);
+    g.addNode(a, "x", {}, 1.0);
+    g.addNode(orphan, "y", {}, 1.0);
+    g.setRoot(root);
+    ASSERT_FALSE(g.finalize().has_value());
+    const eg::EGraph pruned = g.pruned();
+    EXPECT_EQ(pruned.numClasses(), 2u);
+    EXPECT_EQ(pruned.numNodes(), 2u);
+}
+
+TEST(EGraph, PrunedDropsInfeasibleNodes)
+{
+    eg::EGraph g;
+    const auto root = g.addClass();
+    const auto dead = g.addClass();
+    g.addNode(root, "good", {}, 1.0);
+    g.addNode(root, "bad", {dead}, 0.1);
+    g.addNode(dead, "self", {dead}, 0.0); // never satisfiable
+    g.setRoot(root);
+    ASSERT_FALSE(g.finalize().has_value());
+    const eg::EGraph pruned = g.pruned();
+    EXPECT_EQ(pruned.numClasses(), 1u);
+    EXPECT_EQ(pruned.numNodes(), 1u);
+    EXPECT_EQ(pruned.node(0).op, "good");
+}
+
+TEST(EGraph, PrunedKeepsCyclesWithEscape)
+{
+    eg::EGraph g;
+    const auto root = g.addClass();
+    const auto a = g.addClass();
+    g.addNode(root, "r", {a}, 1.0);
+    g.addNode(a, "rec", {a}, 0.0); // cyclic alternative
+    g.addNode(a, "base", {}, 2.0); // escape hatch
+    g.setRoot(root);
+    ASSERT_FALSE(g.finalize().has_value());
+    const eg::EGraph pruned = g.pruned();
+    // Both the cyclic and base nodes stay (class a is feasible via base).
+    EXPECT_EQ(pruned.numClasses(), 2u);
+    EXPECT_EQ(pruned.numNodes(), 3u);
+}
+
+TEST(EGraph, PrunedIsIdempotent)
+{
+    eg::EGraph g;
+    const auto root = g.addClass();
+    const auto a = g.addClass();
+    const auto orphan = g.addClass();
+    const auto dead = g.addClass();
+    g.addNode(root, "r", {a}, 1.0);
+    g.addNode(root, "bad", {dead}, 0.1);
+    g.addNode(a, "x", {}, 1.0);
+    g.addNode(orphan, "y", {}, 1.0);
+    g.addNode(dead, "self", {dead}, 0.0);
+    g.setRoot(root);
+    ASSERT_FALSE(g.finalize().has_value());
+
+    const eg::EGraph once = g.pruned();
+    const eg::EGraph twice = once.pruned();
+    EXPECT_EQ(once.numNodes(), twice.numNodes());
+    EXPECT_EQ(once.numClasses(), twice.numClasses());
+    EXPECT_EQ(once.stats().numEdges, twice.stats().numEdges);
+}
+
+TEST(EGraph, PrunedInfeasibleRootYieldsStub)
+{
+    eg::EGraph g;
+    const auto root = g.addClass();
+    g.addNode(root, "self", {root}, 1.0);
+    g.setRoot(root);
+    ASSERT_FALSE(g.finalize().has_value());
+    const eg::EGraph pruned = g.pruned();
+    // Degenerate graphs collapse to the documented infeasible stub.
+    EXPECT_EQ(pruned.numClasses(), 1u);
+    EXPECT_EQ(pruned.node(0).op, "<infeasible>");
+}
+
+TEST(EGraph, SccPartitionsAllClasses)
+{
+    // Property: SCC decomposition is a partition — every class appears in
+    // exactly one component — on a larger random cyclic graph.
+    // (Constructed inline to avoid a datasets dependency cycle.)
+    eg::EGraph g;
+    const std::size_t m = 60;
+    for (std::size_t i = 0; i < m; ++i)
+        g.addClass();
+    // Chain with alternatives and a few back edges.
+    for (eg::ClassId cls = 0; cls + 1 < m; ++cls) {
+        g.addNode(cls, "f", {static_cast<eg::ClassId>(cls + 1)}, 1.0);
+        if (cls % 7 == 3 && cls >= 5) {
+            g.addNode(cls, "back",
+                      {static_cast<eg::ClassId>(cls - 5)}, 1.0);
+        }
+    }
+    g.addNode(m - 1, "leaf", {}, 1.0);
+    g.setRoot(0);
+    ASSERT_FALSE(g.finalize().has_value());
+
+    const auto sccs = g.classSccs();
+    std::vector<int> seen(m, 0);
+    for (const auto& scc : sccs) {
+        for (eg::ClassId cls : scc)
+            ++seen[cls];
+    }
+    for (std::size_t i = 0; i < m; ++i)
+        EXPECT_EQ(seen[i], 1) << "class " << i;
+    EXPECT_FALSE(g.dependencyGraphIsAcyclic());
+}
+
+TEST(Serialize, RoundTrip)
+{
+    eg::EGraph g = diamond();
+    const std::string json = eg::toJson(g, /*pretty=*/true);
+    std::string error;
+    auto loaded = eg::fromJson(json, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_EQ(loaded->numNodes(), g.numNodes());
+    EXPECT_EQ(loaded->numClasses(), g.numClasses());
+    EXPECT_EQ(loaded->stats().numEdges, g.stats().numEdges);
+
+    // Costs survive.
+    double total = 0.0;
+    for (eg::NodeId nid = 0; nid < loaded->numNodes(); ++nid)
+        total += loaded->node(nid).cost;
+    EXPECT_DOUBLE_EQ(total, 6.5);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    eg::EGraph g = diamond();
+    const std::string path = "/tmp/smoothe_test_egraph.json";
+    ASSERT_TRUE(eg::saveToFile(g, path));
+    std::string error;
+    auto loaded = eg::loadFromFile(path, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_EQ(loaded->numNodes(), 4u);
+}
+
+TEST(Serialize, RejectsGarbage)
+{
+    std::string error;
+    EXPECT_FALSE(eg::fromJson("not json", &error).has_value());
+    EXPECT_FALSE(eg::fromJson("{}", &error).has_value());
+    EXPECT_FALSE(
+        eg::fromJson(R"({"nodes": {}, "root_eclasses": []})", &error)
+            .has_value());
+    EXPECT_FALSE(
+        eg::fromJson(
+            R"({"nodes": {"0": {"op": "x", "children": ["99"],
+                "eclass": "c0", "cost": 1}}, "root_eclasses": ["c0"]})",
+            &error)
+            .has_value());
+}
+
+TEST(Serialize, AcceptsNodeIdAsRootReference)
+{
+    // Some gym dumps put a node id (not a class id) in root_eclasses.
+    const std::string text = R"({
+        "nodes": {
+            "n0": {"op": "x", "children": [], "eclass": "c0", "cost": 1.0}
+        },
+        "root_eclasses": ["n0"]
+    })";
+    std::string error;
+    auto graph = eg::fromJson(text, &error);
+    ASSERT_TRUE(graph.has_value()) << error;
+    EXPECT_EQ(graph->numClasses(), 1u);
+    EXPECT_EQ(graph->root(), 0u);
+}
+
+TEST(Serialize, DefaultsMissingOpAndCost)
+{
+    const std::string text = R"({
+        "nodes": {
+            "n0": {"children": [], "eclass": "c0"}
+        },
+        "root_eclasses": ["c0"]
+    })";
+    std::string error;
+    auto graph = eg::fromJson(text, &error);
+    ASSERT_TRUE(graph.has_value()) << error;
+    EXPECT_EQ(graph->node(0).op, "?");
+    EXPECT_DOUBLE_EQ(graph->node(0).cost, 1.0);
+}
+
+TEST(Serialize, AcceptsGymStyleDocument)
+{
+    const std::string text = R"({
+        "nodes": {
+            "n0": {"op": "+", "children": ["n1", "n2"], "eclass": "c0",
+                   "cost": 1.0},
+            "n1": {"op": "a", "children": [], "eclass": "c1", "cost": 2.0},
+            "n2": {"op": "b", "children": [], "eclass": "c2", "cost": 3.0},
+            "n3": {"op": "a2", "children": [], "eclass": "c1", "cost": 1.5}
+        },
+        "root_eclasses": ["c0"]
+    })";
+    std::string error;
+    auto graph = eg::fromJson(text, &error);
+    ASSERT_TRUE(graph.has_value()) << error;
+    EXPECT_EQ(graph->numNodes(), 4u);
+    EXPECT_EQ(graph->numClasses(), 3u);
+    EXPECT_EQ(graph->nodesInClass(graph->root()).size(), 1u);
+}

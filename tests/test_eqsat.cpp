@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Equality-saturation engine tests: terms, patterns, hashconsing,
+ * union-find + congruence, e-matching, rewriting, export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eqsat/mut_egraph.hpp"
+#include "eqsat/rules.hpp"
+#include "eqsat/term.hpp"
+#include "extraction/bottom_up.hpp"
+
+namespace es = smoothe::eqsat;
+namespace eg = smoothe::eg;
+
+TEST(Term, ParseAndPrint)
+{
+    auto term = es::parseTerm("(+ x (* y z))");
+    ASSERT_TRUE(term.has_value());
+    EXPECT_EQ((*term)->toString(), "(+ x (* y z))");
+    EXPECT_EQ((*term)->op, "+");
+    EXPECT_EQ((*term)->children.size(), 2u);
+
+    EXPECT_FALSE(es::parseTerm("(+ x").has_value());
+    EXPECT_FALSE(es::parseTerm("").has_value());
+    EXPECT_FALSE(es::parseTerm("x y").has_value());
+}
+
+TEST(Term, ParsePattern)
+{
+    auto pattern = es::parsePattern("(* ?a (+ ?b one))");
+    ASSERT_TRUE(pattern.has_value());
+    EXPECT_FALSE((*pattern)->isVar());
+    EXPECT_TRUE((*pattern)->children[0]->isVar());
+    EXPECT_EQ((*pattern)->children[0]->var, "?a");
+    EXPECT_FALSE((*pattern)->children[1]->isVar());
+    EXPECT_EQ((*pattern)->children[1]->children[1]->op, "one");
+}
+
+TEST(MutEGraph, HashconsingDeduplicates)
+{
+    es::MutEGraph g;
+    const auto x1 = g.add("x", {});
+    const auto x2 = g.add("x", {});
+    EXPECT_EQ(x1, x2);
+    const auto f1 = g.add("f", {x1});
+    const auto f2 = g.add("f", {x2});
+    EXPECT_EQ(f1, f2);
+    EXPECT_EQ(g.numNodes(), 2u);
+}
+
+TEST(MutEGraph, MergeAndCongruence)
+{
+    es::MutEGraph g;
+    const auto a = g.add("a", {});
+    const auto b = g.add("b", {});
+    const auto fa = g.add("f", {a});
+    const auto fb = g.add("f", {b});
+    EXPECT_NE(g.find(fa), g.find(fb));
+    g.merge(a, b);
+    g.rebuild();
+    // Congruence: a = b implies f(a) = f(b).
+    EXPECT_EQ(g.find(fa), g.find(fb));
+}
+
+TEST(MutEGraph, DeepCongruenceChain)
+{
+    es::MutEGraph g;
+    const auto a = g.add("a", {});
+    const auto b = g.add("b", {});
+    const auto fa = g.add("f", {a});
+    const auto fb = g.add("f", {b});
+    const auto gfa = g.add("g", {fa});
+    const auto gfb = g.add("g", {fb});
+    g.merge(a, b);
+    g.rebuild();
+    EXPECT_EQ(g.find(gfa), g.find(gfb));
+}
+
+TEST(MutEGraph, AddTerm)
+{
+    es::MutEGraph g;
+    auto term = es::parseTerm("(+ x (+ x x))");
+    ASSERT_TRUE(term.has_value());
+    g.addTerm(**term);
+    // x shared: nodes are x, (+ x x), (+ x (+ x x)).
+    EXPECT_EQ(g.numNodes(), 3u);
+}
+
+TEST(MutEGraph, EMatchBindsVariables)
+{
+    es::MutEGraph g;
+    auto term = es::parseTerm("(* (sec a) (sec a))");
+    const auto root = g.addTerm(**term);
+    auto pattern = es::parsePattern("(* ?x ?x)");
+    const auto matches = g.ematch(**pattern, root);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches.front().count("?x"), 1u);
+
+    auto mismatched = es::parsePattern("(+ ?x ?x)");
+    EXPECT_TRUE(g.ematch(**mismatched, root).empty());
+}
+
+TEST(MutEGraph, EMatchNonlinearRejectsDifferentClasses)
+{
+    es::MutEGraph g;
+    auto term = es::parseTerm("(* a b)");
+    const auto root = g.addTerm(**term);
+    auto pattern = es::parsePattern("(* ?x ?x)");
+    EXPECT_TRUE(g.ematch(**pattern, root).empty());
+}
+
+TEST(MutEGraph, RunAppliesRewrite)
+{
+    es::MutEGraph g;
+    auto term = es::parseTerm("(sec a)");
+    const auto root = g.addTerm(**term);
+
+    const std::vector<es::Rewrite> rules = {
+        es::rewrite("sec-to-cos", "(sec ?x)", "(recip (cos ?x))"),
+    };
+    es::RunLimits limits;
+    const auto stats = g.run(rules, limits);
+    EXPECT_TRUE(stats.saturated);
+    EXPECT_GE(stats.totalMatches, 1u);
+
+    // The root class now contains both forms.
+    auto recipPattern = es::parsePattern("(recip (cos ?x))");
+    EXPECT_FALSE(g.ematch(**recipPattern, root).empty());
+    auto secPattern = es::parsePattern("(sec ?x)");
+    EXPECT_FALSE(g.ematch(**secPattern, root).empty());
+}
+
+TEST(MutEGraph, CommutativitySaturates)
+{
+    es::MutEGraph g;
+    auto term = es::parseTerm("(+ a b)");
+    const auto root = g.addTerm(**term);
+    const std::vector<es::Rewrite> rules = {
+        es::rewrite("comm", "(+ ?x ?y)", "(+ ?y ?x)"),
+    };
+    const auto stats = g.run(rules, {});
+    EXPECT_TRUE(stats.saturated);
+    auto flipped = es::parsePattern("(+ b a)");
+    EXPECT_FALSE(g.ematchAll(**flipped).empty());
+    (void)root;
+}
+
+TEST(MutEGraph, NodeLimitStopsGrowth)
+{
+    es::MutEGraph g;
+    auto term = es::parseTerm("(+ a (+ b (+ c d)))");
+    g.addTerm(**term);
+    const std::vector<es::Rewrite> rules = {
+        es::rewrite("assoc", "(+ ?x (+ ?y ?z))", "(+ (+ ?x ?y) ?z)"),
+        es::rewrite("comm", "(+ ?x ?y)", "(+ ?y ?x)"),
+    };
+    es::RunLimits limits;
+    limits.maxNodes = 30;
+    limits.maxIterations = 50;
+    const auto stats = g.run(rules, limits);
+    EXPECT_TRUE(stats.hitNodeLimit || stats.saturated);
+}
+
+TEST(MutEGraph, ExportProducesValidEGraph)
+{
+    es::MutEGraph g;
+    auto term = es::parseTerm("(* (sec a) (sec a))");
+    const auto root = g.addTerm(**term);
+    const std::vector<es::Rewrite> rules = {
+        es::rewrite("sec-to-cos", "(sec ?x)", "(recip (cos ?x))"),
+    };
+    g.run(rules, {});
+
+    const eg::EGraph exported = g.exportGraph(root, [](const std::string& op,
+                                                       std::size_t) {
+        return op == "a" ? 0.0 : 1.0;
+    });
+    EXPECT_TRUE(exported.finalized());
+    EXPECT_GT(exported.numNodes(), 3u);
+
+    // The exported graph must be extractable.
+    smoothe::extract::BottomUpExtractor extractor;
+    const auto result = extractor.extract(exported, {});
+    EXPECT_TRUE(result.ok());
+}
+
+TEST(Rules, ArithmeticStrengthReduction)
+{
+    // (* a two) must become equivalent to (<< a one) under saturation.
+    es::MutEGraph g;
+    auto term = es::parseTerm("(* a two)");
+    const auto root = g.addTerm(**term);
+    g.run(es::arithmeticRules(), {});
+    auto shifted = es::parsePattern("(<< a one)");
+    EXPECT_FALSE(g.ematch(**shifted, root).empty());
+}
+
+TEST(Rules, ArithmeticIdentityElimination)
+{
+    // (+ (* a one) zero) saturates to contain plain a in the root class.
+    es::MutEGraph g;
+    auto term = es::parseTerm("(+ (* a one) zero)");
+    const auto root = g.addTerm(**term);
+    const auto a = g.add("a", {});
+    g.run(es::arithmeticRules(), {});
+    EXPECT_EQ(g.find(root), g.find(a));
+}
+
+TEST(Rules, DatapathMacFusion)
+{
+    es::MutEGraph g;
+    auto term = es::parseTerm("(+ (* a b) c)");
+    const auto root = g.addTerm(**term);
+    g.run(es::datapathRules(), {});
+    auto mac = es::parsePattern("(mac a b c)");
+    EXPECT_FALSE(g.ematch(**mac, root).empty());
+}
+
+TEST(Rules, DistributivityBothWays)
+{
+    es::MutEGraph g;
+    auto term = es::parseTerm("(* a (+ b c))");
+    const auto root = g.addTerm(**term);
+    g.run(es::arithmeticRules(), {});
+    auto expanded = es::parsePattern("(+ (* a b) (* a c))");
+    EXPECT_FALSE(g.ematch(**expanded, root).empty());
+}
+
+TEST(MutEGraph, SymbolInterning)
+{
+    es::MutEGraph g;
+    const auto idA = g.internSymbol("foo");
+    const auto idB = g.internSymbol("bar");
+    EXPECT_NE(idA, idB);
+    EXPECT_EQ(g.internSymbol("foo"), idA);
+    EXPECT_EQ(g.symbolName(idA), "foo");
+    EXPECT_EQ(g.symbolName(idB), "bar");
+}
+
+TEST(MutEGraph, MatchCapLimitsWork)
+{
+    es::MutEGraph g;
+    auto term = es::parseTerm("(+ a (+ b (+ c (+ d e))))");
+    g.addTerm(**term);
+    es::RunLimits limits;
+    limits.maxMatchesPerRule = 1; // starve the engine
+    limits.maxIterations = 2;
+    const auto stats = g.run(
+        {es::rewrite("comm", "(+ ?x ?y)", "(+ ?y ?x)")}, limits);
+    EXPECT_LE(stats.totalMatches, 2u); // 1 per iteration
+}
+
+TEST(MutEGraph, PaperFigureOneRewrites)
+{
+    // Reproduce the Figure 1 flow: sec^2(a) + tan(a) with both rewrites.
+    es::MutEGraph g;
+    auto term = es::parseTerm("(+ (square (sec a)) (tan a))");
+    ASSERT_TRUE(term.has_value());
+    const auto root = g.addTerm(**term);
+    const std::vector<es::Rewrite> rules = {
+        es::rewrite("sec-to-cos", "(sec ?x)", "(recip (cos ?x))"),
+        es::rewrite("sec2-to-tan2", "(square (sec ?x))",
+                    "(+ one (square (tan ?x)))"),
+    };
+    const auto stats = g.run(rules, {});
+    EXPECT_TRUE(stats.saturated);
+
+    // Both rewritten forms are representable now.
+    auto form1 = es::parsePattern("(+ (+ one (square (tan ?x))) (tan ?x))");
+    EXPECT_FALSE(g.ematch(**form1, root).empty());
+    auto form2 = es::parsePattern("(square (recip (cos ?x)))");
+    EXPECT_FALSE(g.ematchAll(**form2).empty());
+}

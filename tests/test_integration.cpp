@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Cross-module integration tests: all extractors agree on optima of small
+ * graphs, the eqsat -> extraction pipeline, non-linear (MLP) extraction
+ * end to end, and serialization through the full stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "costmodel/cost_model.hpp"
+#include "datasets/eqsat_grown.hpp"
+#include "datasets/generators.hpp"
+#include "datasets/nphard.hpp"
+#include "egraph/serialize.hpp"
+#include "eqsat/mut_egraph.hpp"
+#include "extraction/bottom_up.hpp"
+#include "extraction/genetic.hpp"
+#include "ilp/ilp_extractor.hpp"
+#include "smoothe/smoothe.hpp"
+
+namespace cm = smoothe::cost;
+namespace core = smoothe::core;
+namespace ds = smoothe::datasets;
+namespace eg = smoothe::eg;
+namespace es = smoothe::eqsat;
+namespace ex = smoothe::extract;
+namespace il = smoothe::ilp;
+
+TEST(Integration, AllExtractorsValidOnSmallRandomGraphs)
+{
+    smoothe::util::Rng rng(1001);
+    for (int trial = 0; trial < 3; ++trial) {
+        ds::FamilyParams params = ds::flexcParams();
+        params.numClasses = 40;
+        params.cycleFraction = trial == 2 ? 0.05 : 0.0;
+        const eg::EGraph g = ds::generateStructured(params, rng.next());
+
+        il::IlpExtractor ilp(il::IlpPreset::Strong);
+        ex::ExtractOptions ilpOptions;
+        ilpOptions.timeLimitSeconds = 10.0;
+        const auto optimal = ilp.extract(g, ilpOptions);
+        ASSERT_TRUE(optimal.ok());
+
+        ex::BottomUpExtractor heuristic;
+        ex::FasterBottomUpExtractor heuristicPlus;
+        ex::GeneticExtractor genetic;
+        core::SmoothEConfig config;
+        config.numSeeds = 8;
+        config.maxIterations = 80;
+        core::SmoothEExtractor smoothe(config);
+
+        ex::ExtractOptions options;
+        options.seed = 42;
+        for (ex::Extractor* extractor :
+             std::initializer_list<ex::Extractor*>{
+                 &heuristic, &heuristicPlus, &genetic, &smoothe}) {
+            const auto result = extractor->extract(g, options);
+            ASSERT_TRUE(result.ok()) << extractor->name();
+            EXPECT_TRUE(ex::validate(g, result.selection).ok())
+                << extractor->name();
+            // Nobody beats the proven optimum.
+            if (optimal.status == ex::SolveStatus::Optimal) {
+                EXPECT_GE(result.cost, optimal.cost - 1e-6)
+                    << extractor->name();
+            }
+        }
+    }
+}
+
+TEST(Integration, EqsatToExtractionPipeline)
+{
+    // Grow the paper's example with eqsat, export with Figure 2's costs,
+    // and check the extractor hierarchy: heuristic 27, ILP/SmoothE 19.
+    es::MutEGraph mut;
+    auto term = es::parseTerm("(+ (square (sec a)) (tan a))");
+    ASSERT_TRUE(term.has_value());
+    const auto root = mut.addTerm(**term);
+    const std::vector<es::Rewrite> rules = {
+        es::rewrite("sec-to-cos", "(sec ?x)", "(recip (cos ?x))"),
+        es::rewrite("sec2-to-tan2", "(square (sec ?x))",
+                    "(+ one (square (tan ?x)))"),
+    };
+    mut.run(rules, {});
+
+    const eg::EGraph g = mut.exportGraph(
+        root, [](const std::string& op, std::size_t) -> double {
+            if (op == "a" || op == "one")
+                return 0.0;
+            if (op == "+")
+                return 2.0;
+            if (op == "square" || op == "recip")
+                return 5.0;
+            return 10.0; // sec, cos, tan
+        });
+
+    ex::BottomUpExtractor heuristic;
+    const auto heuristicResult = heuristic.extract(g, {});
+    ASSERT_TRUE(heuristicResult.ok());
+    EXPECT_DOUBLE_EQ(heuristicResult.cost, 27.0);
+
+    il::IlpExtractor ilp(il::IlpPreset::Strong);
+    const auto ilpResult = ilp.extract(g, {});
+    ASSERT_EQ(ilpResult.status, ex::SolveStatus::Optimal);
+    EXPECT_DOUBLE_EQ(ilpResult.cost, 19.0);
+
+    core::SmoothEConfig config;
+    config.numSeeds = 8;
+    config.maxIterations = 120;
+    core::SmoothEExtractor smoothe(config);
+    ex::ExtractOptions options;
+    options.seed = 8;
+    const auto smootheResult = smoothe.extract(g, options);
+    ASSERT_TRUE(smootheResult.ok());
+    EXPECT_LE(smootheResult.cost, 19.0 + 1e-6);
+}
+
+TEST(Integration, NonlinearMlpExtractionEndToEnd)
+{
+    // Section 5.5 pipeline: train an MLP correction on synthetic data,
+    // then extract with SmoothE vs genetic vs the linear-oracle (ILP*).
+    ds::FamilyParams params = ds::roverParams();
+    params.numClasses = 40;
+    const eg::EGraph g = ds::generateStructured(params, 2024);
+
+    smoothe::util::Rng rng(5);
+    auto linear = std::make_shared<cm::LinearCost>(g);
+    auto mlp = std::make_shared<cm::MlpCost>(g.numNodes(), rng);
+    smoothe::util::Rng trainRng(6);
+    mlp->trainSynthetic(g, 24, 40, trainRng);
+    const cm::CompositeCost composite(linear, mlp, 1.0f);
+
+    // SmoothE on the composite objective.
+    core::SmoothEConfig config;
+    config.numSeeds = 8;
+    config.maxIterations = 80;
+    core::SmoothEExtractor smoothe(config);
+    ex::ExtractOptions options;
+    options.seed = 9;
+    const auto smootheResult =
+        smoothe.extractWithCost(g, composite, options);
+    ASSERT_TRUE(smootheResult.ok());
+    EXPECT_TRUE(ex::validate(g, smootheResult.selection).ok());
+
+    // Genetic on the same objective.
+    ex::GeneticExtractor genetic;
+    const auto geneticResult = genetic.extractWithCost(
+        g,
+        [&](const eg::EGraph& graph, const ex::Selection& sel) {
+            return composite.discrete(sel.toNodeIndicator(graph));
+        },
+        options);
+    ASSERT_TRUE(geneticResult.ok());
+
+    // ILP* proxy: linear-oracle solution re-scored under the full model.
+    il::IlpExtractor ilp(il::IlpPreset::Strong);
+    ex::ExtractOptions ilpOptions;
+    ilpOptions.timeLimitSeconds = 10.0;
+    const auto linearOracle = ilp.extract(g, ilpOptions);
+    ASSERT_TRUE(linearOracle.ok());
+    const double ilpStar =
+        composite.discrete(linearOracle.selection.toNodeIndicator(g));
+
+    // SmoothE optimizes the true objective, so it should not lose badly
+    // to the linear-oracle re-scoring.
+    EXPECT_LE(smootheResult.cost, ilpStar + 0.2 * std::fabs(ilpStar) + 2.0);
+}
+
+TEST(Integration, SerializationSurvivesFullPipeline)
+{
+    ds::FamilyParams params = ds::tensatParams();
+    params.numClasses = 50;
+    const eg::EGraph original = ds::generateStructured(params, 3030);
+    const std::string json = eg::toJson(original);
+    std::string error;
+    const auto loaded = eg::fromJson(json, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+
+    // Extraction on the round-tripped graph gives the same optimum.
+    il::IlpExtractor ilp(il::IlpPreset::Strong);
+    ex::ExtractOptions options;
+    options.timeLimitSeconds = 10.0;
+    const auto a = ilp.extract(original, options);
+    const auto b = ilp.extract(*loaded, options);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    if (a.status == ex::SolveStatus::Optimal &&
+        b.status == ex::SolveStatus::Optimal) {
+        EXPECT_NEAR(a.cost, b.cost, 1e-9);
+    }
+}
+
+TEST(Integration, EqsatGrownFirEndToEnd)
+{
+    // Full realistic pipeline: FIR kernel -> datapath saturation ->
+    // extraction. MAC fusion must let global extractors beat the original
+    // implementation, and ILP/SmoothE must agree on small instances.
+    smoothe::util::Rng rng(606);
+    const eg::EGraph g = ds::growFirEGraph(4, 4000, rng);
+
+    il::IlpExtractor ilp(il::IlpPreset::Strong);
+    ex::ExtractOptions ilpOptions;
+    ilpOptions.timeLimitSeconds = 20.0;
+    const auto exact = ilp.extract(g, ilpOptions);
+    ASSERT_TRUE(exact.ok());
+    // Original form: 4 muls (16) + 3 adds (4) = 76; rewrites must help.
+    EXPECT_LT(exact.cost, 76.0);
+
+    core::SmoothEConfig config;
+    config.numSeeds = 32;
+    config.maxIterations = 200;
+    core::SmoothEExtractor smoothe(config);
+    ex::ExtractOptions options;
+    options.seed = 21;
+    const auto relaxed = smoothe.extract(g, options);
+    ASSERT_TRUE(relaxed.ok());
+    EXPECT_TRUE(ex::validate(g, relaxed.selection).ok());
+    if (exact.status == ex::SolveStatus::Optimal)
+        EXPECT_GE(relaxed.cost, exact.cost - 1e-6);
+    EXPECT_LE(relaxed.cost, exact.cost * 1.3 + 1e-6);
+}
+
+TEST(Integration, AdversarialSetCoverHierarchy)
+{
+    // Table 4's qualitative result: ILP optimal, heuristic much worse,
+    // SmoothE in between.
+    smoothe::util::Rng rng(4040);
+    const auto instance = ds::randomSetCover(60, 14, 5.0, rng);
+    const eg::EGraph g = ds::setCoverToEGraph(instance);
+
+    il::IlpExtractor ilp(il::IlpPreset::Strong);
+    ex::ExtractOptions ilpOptions;
+    ilpOptions.timeLimitSeconds = 20.0;
+    const auto optimal = ilp.extract(g, ilpOptions);
+    ASSERT_TRUE(optimal.ok());
+
+    ex::BottomUpExtractor heuristic;
+    const auto heuristicResult = heuristic.extract(g, {});
+    ASSERT_TRUE(heuristicResult.ok());
+
+    core::SmoothEConfig config;
+    config.numSeeds = 16;
+    config.maxIterations = 150;
+    core::SmoothEExtractor smoothe(config);
+    ex::ExtractOptions options;
+    options.seed = 12;
+    const auto smootheResult = smoothe.extract(g, options);
+    ASSERT_TRUE(smootheResult.ok());
+
+    EXPECT_GE(heuristicResult.cost, optimal.cost);
+    EXPECT_GE(smootheResult.cost, optimal.cost - 1e-9);
+    // SmoothE beats the tree heuristic on CSE-rich adversarial inputs.
+    EXPECT_LE(smootheResult.cost, heuristicResult.cost + 1e-9);
+}
