@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_anytime.dir/bench_fig4_anytime.cpp.o"
+  "CMakeFiles/bench_fig4_anytime.dir/bench_fig4_anytime.cpp.o.d"
+  "bench_fig4_anytime"
+  "bench_fig4_anytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

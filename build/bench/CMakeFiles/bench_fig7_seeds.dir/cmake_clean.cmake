@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_seeds.dir/bench_fig7_seeds.cpp.o"
+  "CMakeFiles/bench_fig7_seeds.dir/bench_fig7_seeds.cpp.o.d"
+  "bench_fig7_seeds"
+  "bench_fig7_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

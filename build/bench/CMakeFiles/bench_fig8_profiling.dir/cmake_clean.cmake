@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_profiling.dir/bench_fig8_profiling.cpp.o"
+  "CMakeFiles/bench_fig8_profiling.dir/bench_fig8_profiling.cpp.o.d"
+  "bench_fig8_profiling"
+  "bench_fig8_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

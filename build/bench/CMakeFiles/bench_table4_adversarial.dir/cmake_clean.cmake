@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_adversarial.dir/bench_table4_adversarial.cpp.o"
+  "CMakeFiles/bench_table4_adversarial.dir/bench_table4_adversarial.cpp.o.d"
+  "bench_table4_adversarial"
+  "bench_table4_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

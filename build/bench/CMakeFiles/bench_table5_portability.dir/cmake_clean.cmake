@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_portability.dir/bench_table5_portability.cpp.o"
+  "CMakeFiles/bench_table5_portability.dir/bench_table5_portability.cpp.o.d"
+  "bench_table5_portability"
+  "bench_table5_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial.dir/adversarial.cpp.o"
+  "CMakeFiles/adversarial.dir/adversarial.cpp.o.d"
+  "adversarial"
+  "adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datapath.dir/datapath.cpp.o"
+  "CMakeFiles/datapath.dir/datapath.cpp.o.d"
+  "datapath"
+  "datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

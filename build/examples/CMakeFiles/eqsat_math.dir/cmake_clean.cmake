@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsat_math.dir/eqsat_math.cpp.o"
+  "CMakeFiles/eqsat_math.dir/eqsat_math.cpp.o.d"
+  "eqsat_math"
+  "eqsat_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsat_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

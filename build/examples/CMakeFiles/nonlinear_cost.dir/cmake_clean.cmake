@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonlinear_cost.dir/nonlinear_cost.cpp.o"
+  "CMakeFiles/nonlinear_cost.dir/nonlinear_cost.cpp.o.d"
+  "nonlinear_cost"
+  "nonlinear_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonlinear_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_graph.dir/tensor_graph.cpp.o"
+  "CMakeFiles/tensor_graph.dir/tensor_graph.cpp.o.d"
+  "tensor_graph"
+  "tensor_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_api.dir/factory.cpp.o"
+  "CMakeFiles/smoothe_api.dir/factory.cpp.o.d"
+  "libsmoothe_api.a"
+  "libsmoothe_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

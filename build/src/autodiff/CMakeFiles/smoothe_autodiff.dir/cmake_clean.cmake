@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_autodiff.dir/adam.cpp.o"
+  "CMakeFiles/smoothe_autodiff.dir/adam.cpp.o.d"
+  "CMakeFiles/smoothe_autodiff.dir/gradcheck.cpp.o"
+  "CMakeFiles/smoothe_autodiff.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/smoothe_autodiff.dir/matexp.cpp.o"
+  "CMakeFiles/smoothe_autodiff.dir/matexp.cpp.o.d"
+  "CMakeFiles/smoothe_autodiff.dir/tape.cpp.o"
+  "CMakeFiles/smoothe_autodiff.dir/tape.cpp.o.d"
+  "libsmoothe_autodiff.a"
+  "libsmoothe_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_costmodel.dir/cost_model.cpp.o"
+  "CMakeFiles/smoothe_costmodel.dir/cost_model.cpp.o.d"
+  "libsmoothe_costmodel.a"
+  "libsmoothe_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

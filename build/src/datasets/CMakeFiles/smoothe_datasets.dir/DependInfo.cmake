@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/eqsat_grown.cpp" "src/datasets/CMakeFiles/smoothe_datasets.dir/eqsat_grown.cpp.o" "gcc" "src/datasets/CMakeFiles/smoothe_datasets.dir/eqsat_grown.cpp.o.d"
+  "/root/repo/src/datasets/generators.cpp" "src/datasets/CMakeFiles/smoothe_datasets.dir/generators.cpp.o" "gcc" "src/datasets/CMakeFiles/smoothe_datasets.dir/generators.cpp.o.d"
+  "/root/repo/src/datasets/nphard.cpp" "src/datasets/CMakeFiles/smoothe_datasets.dir/nphard.cpp.o" "gcc" "src/datasets/CMakeFiles/smoothe_datasets.dir/nphard.cpp.o.d"
+  "/root/repo/src/datasets/registry.cpp" "src/datasets/CMakeFiles/smoothe_datasets.dir/registry.cpp.o" "gcc" "src/datasets/CMakeFiles/smoothe_datasets.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/egraph/CMakeFiles/smoothe_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/eqsat/CMakeFiles/smoothe_eqsat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smoothe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_datasets.dir/eqsat_grown.cpp.o"
+  "CMakeFiles/smoothe_datasets.dir/eqsat_grown.cpp.o.d"
+  "CMakeFiles/smoothe_datasets.dir/generators.cpp.o"
+  "CMakeFiles/smoothe_datasets.dir/generators.cpp.o.d"
+  "CMakeFiles/smoothe_datasets.dir/nphard.cpp.o"
+  "CMakeFiles/smoothe_datasets.dir/nphard.cpp.o.d"
+  "CMakeFiles/smoothe_datasets.dir/registry.cpp.o"
+  "CMakeFiles/smoothe_datasets.dir/registry.cpp.o.d"
+  "libsmoothe_datasets.a"
+  "libsmoothe_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

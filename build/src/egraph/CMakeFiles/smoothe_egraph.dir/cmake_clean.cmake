@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_egraph.dir/egraph.cpp.o"
+  "CMakeFiles/smoothe_egraph.dir/egraph.cpp.o.d"
+  "CMakeFiles/smoothe_egraph.dir/serialize.cpp.o"
+  "CMakeFiles/smoothe_egraph.dir/serialize.cpp.o.d"
+  "libsmoothe_egraph.a"
+  "libsmoothe_egraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_egraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eqsat/mut_egraph.cpp" "src/eqsat/CMakeFiles/smoothe_eqsat.dir/mut_egraph.cpp.o" "gcc" "src/eqsat/CMakeFiles/smoothe_eqsat.dir/mut_egraph.cpp.o.d"
+  "/root/repo/src/eqsat/rules.cpp" "src/eqsat/CMakeFiles/smoothe_eqsat.dir/rules.cpp.o" "gcc" "src/eqsat/CMakeFiles/smoothe_eqsat.dir/rules.cpp.o.d"
+  "/root/repo/src/eqsat/term.cpp" "src/eqsat/CMakeFiles/smoothe_eqsat.dir/term.cpp.o" "gcc" "src/eqsat/CMakeFiles/smoothe_eqsat.dir/term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/egraph/CMakeFiles/smoothe_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smoothe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_eqsat.dir/mut_egraph.cpp.o"
+  "CMakeFiles/smoothe_eqsat.dir/mut_egraph.cpp.o.d"
+  "CMakeFiles/smoothe_eqsat.dir/rules.cpp.o"
+  "CMakeFiles/smoothe_eqsat.dir/rules.cpp.o.d"
+  "CMakeFiles/smoothe_eqsat.dir/term.cpp.o"
+  "CMakeFiles/smoothe_eqsat.dir/term.cpp.o.d"
+  "libsmoothe_eqsat.a"
+  "libsmoothe_eqsat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_eqsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

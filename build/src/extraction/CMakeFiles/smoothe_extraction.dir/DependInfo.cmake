@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extraction/bottom_up.cpp" "src/extraction/CMakeFiles/smoothe_extraction.dir/bottom_up.cpp.o" "gcc" "src/extraction/CMakeFiles/smoothe_extraction.dir/bottom_up.cpp.o.d"
+  "/root/repo/src/extraction/extractor.cpp" "src/extraction/CMakeFiles/smoothe_extraction.dir/extractor.cpp.o" "gcc" "src/extraction/CMakeFiles/smoothe_extraction.dir/extractor.cpp.o.d"
+  "/root/repo/src/extraction/genetic.cpp" "src/extraction/CMakeFiles/smoothe_extraction.dir/genetic.cpp.o" "gcc" "src/extraction/CMakeFiles/smoothe_extraction.dir/genetic.cpp.o.d"
+  "/root/repo/src/extraction/greedy_dag.cpp" "src/extraction/CMakeFiles/smoothe_extraction.dir/greedy_dag.cpp.o" "gcc" "src/extraction/CMakeFiles/smoothe_extraction.dir/greedy_dag.cpp.o.d"
+  "/root/repo/src/extraction/random_sample.cpp" "src/extraction/CMakeFiles/smoothe_extraction.dir/random_sample.cpp.o" "gcc" "src/extraction/CMakeFiles/smoothe_extraction.dir/random_sample.cpp.o.d"
+  "/root/repo/src/extraction/solution.cpp" "src/extraction/CMakeFiles/smoothe_extraction.dir/solution.cpp.o" "gcc" "src/extraction/CMakeFiles/smoothe_extraction.dir/solution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/egraph/CMakeFiles/smoothe_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smoothe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_extraction.dir/bottom_up.cpp.o"
+  "CMakeFiles/smoothe_extraction.dir/bottom_up.cpp.o.d"
+  "CMakeFiles/smoothe_extraction.dir/extractor.cpp.o"
+  "CMakeFiles/smoothe_extraction.dir/extractor.cpp.o.d"
+  "CMakeFiles/smoothe_extraction.dir/genetic.cpp.o"
+  "CMakeFiles/smoothe_extraction.dir/genetic.cpp.o.d"
+  "CMakeFiles/smoothe_extraction.dir/greedy_dag.cpp.o"
+  "CMakeFiles/smoothe_extraction.dir/greedy_dag.cpp.o.d"
+  "CMakeFiles/smoothe_extraction.dir/random_sample.cpp.o"
+  "CMakeFiles/smoothe_extraction.dir/random_sample.cpp.o.d"
+  "CMakeFiles/smoothe_extraction.dir/solution.cpp.o"
+  "CMakeFiles/smoothe_extraction.dir/solution.cpp.o.d"
+  "libsmoothe_extraction.a"
+  "libsmoothe_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

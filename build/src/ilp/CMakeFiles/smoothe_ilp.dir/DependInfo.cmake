@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ilp/ilp_extractor.cpp" "src/ilp/CMakeFiles/smoothe_ilp.dir/ilp_extractor.cpp.o" "gcc" "src/ilp/CMakeFiles/smoothe_ilp.dir/ilp_extractor.cpp.o.d"
+  "/root/repo/src/ilp/lp.cpp" "src/ilp/CMakeFiles/smoothe_ilp.dir/lp.cpp.o" "gcc" "src/ilp/CMakeFiles/smoothe_ilp.dir/lp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extraction/CMakeFiles/smoothe_extraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/egraph/CMakeFiles/smoothe_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smoothe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

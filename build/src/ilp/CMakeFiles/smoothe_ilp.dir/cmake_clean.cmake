@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_ilp.dir/ilp_extractor.cpp.o"
+  "CMakeFiles/smoothe_ilp.dir/ilp_extractor.cpp.o.d"
+  "CMakeFiles/smoothe_ilp.dir/lp.cpp.o"
+  "CMakeFiles/smoothe_ilp.dir/lp.cpp.o.d"
+  "libsmoothe_ilp.a"
+  "libsmoothe_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

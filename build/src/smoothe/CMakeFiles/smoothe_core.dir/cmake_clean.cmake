@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_core.dir/sampler.cpp.o"
+  "CMakeFiles/smoothe_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/smoothe_core.dir/smoothe.cpp.o"
+  "CMakeFiles/smoothe_core.dir/smoothe.cpp.o.d"
+  "libsmoothe_core.a"
+  "libsmoothe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/smoothe_tensor.dir/tensor.cpp.o.d"
+  "libsmoothe_tensor.a"
+  "libsmoothe_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

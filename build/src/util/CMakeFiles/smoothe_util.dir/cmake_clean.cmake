@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_util.dir/args.cpp.o"
+  "CMakeFiles/smoothe_util.dir/args.cpp.o.d"
+  "CMakeFiles/smoothe_util.dir/json.cpp.o"
+  "CMakeFiles/smoothe_util.dir/json.cpp.o.d"
+  "CMakeFiles/smoothe_util.dir/rng.cpp.o"
+  "CMakeFiles/smoothe_util.dir/rng.cpp.o.d"
+  "CMakeFiles/smoothe_util.dir/table.cpp.o"
+  "CMakeFiles/smoothe_util.dir/table.cpp.o.d"
+  "libsmoothe_util.a"
+  "libsmoothe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_helpers.dir/test_bench_helpers.cpp.o"
+  "CMakeFiles/test_bench_helpers.dir/test_bench_helpers.cpp.o.d"
+  "test_bench_helpers"
+  "test_bench_helpers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_egraph.dir/test_egraph.cpp.o"
+  "CMakeFiles/test_egraph.dir/test_egraph.cpp.o.d"
+  "test_egraph"
+  "test_egraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_egraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

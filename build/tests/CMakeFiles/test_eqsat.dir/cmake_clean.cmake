@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eqsat.dir/test_eqsat.cpp.o"
+  "CMakeFiles/test_eqsat.dir/test_eqsat.cpp.o.d"
+  "test_eqsat"
+  "test_eqsat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eqsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smoothe.dir/test_smoothe.cpp.o"
+  "CMakeFiles/test_smoothe.dir/test_smoothe.cpp.o.d"
+  "test_smoothe"
+  "test_smoothe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smoothe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

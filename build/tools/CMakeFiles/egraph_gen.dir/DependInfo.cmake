@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/egraph_gen.cpp" "tools/CMakeFiles/egraph_gen.dir/egraph_gen.cpp.o" "gcc" "tools/CMakeFiles/egraph_gen.dir/egraph_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datasets/CMakeFiles/smoothe_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/eqsat/CMakeFiles/smoothe_eqsat.dir/DependInfo.cmake"
+  "/root/repo/build/src/egraph/CMakeFiles/smoothe_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smoothe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_gen.dir/egraph_gen.cpp.o"
+  "CMakeFiles/egraph_gen.dir/egraph_gen.cpp.o.d"
+  "egraph_gen"
+  "egraph_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_extract.dir/smoothe_extract.cpp.o"
+  "CMakeFiles/smoothe_extract.dir/smoothe_extract.cpp.o.d"
+  "smoothe_extract"
+  "smoothe_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
