@@ -21,7 +21,7 @@ int
 main(int argc, char** argv)
 {
     const bench::BenchOptions options =
-        bench::BenchOptions::parse(argc, argv);
+        bench::BenchOptions::parse(argc, argv, {"max-seeds"});
     const util::Args args(argc, argv);
     const std::size_t maxSeeds = static_cast<std::size_t>(
         args.getInt("max-seeds", options.quick ? 64 : 256));

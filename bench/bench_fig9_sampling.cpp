@@ -19,7 +19,7 @@ int
 main(int argc, char** argv)
 {
     const bench::BenchOptions options =
-        bench::BenchOptions::parse(argc, argv);
+        bench::BenchOptions::parse(argc, argv, {"iters"});
     const util::Args args(argc, argv);
     const std::size_t iters =
         static_cast<std::size_t>(args.getInt("iters", 60));

@@ -95,7 +95,7 @@ int
 main(int argc, char** argv)
 {
     const bench::BenchOptions options =
-        bench::BenchOptions::parse(argc, argv);
+        bench::BenchOptions::parse(argc, argv, {"sweep-assumption"});
     const util::Args args(argc, argv);
     const bool sweepAssumption = args.getBool("sweep-assumption", false);
 

@@ -10,11 +10,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
 #include "datasets/registry.hpp"
 #include "extraction/extractor.hpp"
+#include "obs/cli.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -30,8 +33,15 @@ struct BenchOptions
     std::size_t maxGraphs = 4; ///< per-family cap for sweep benches
     bool quick = false;        ///< shrink everything for smoke testing
 
+    /**
+     * Parses the shared harness flags, installs telemetry (--log-level,
+     * --log-json, --trace-out, --metrics-out), and exits with status 2 on
+     * any flag nobody understands. Benches with extra private flags list
+     * them in extra_known so they are not rejected here.
+     */
     static BenchOptions
-    parse(int argc, char** argv)
+    parse(int argc, char** argv,
+          std::initializer_list<const char*> extra_known = {})
     {
         const util::Args args(argc, argv);
         BenchOptions options;
@@ -50,6 +60,11 @@ struct BenchOptions
             options.runs = 1;
             options.maxGraphs = std::min<std::size_t>(options.maxGraphs, 2);
         }
+        obs::installCliTelemetry(args);
+        for (const char* name : extra_known)
+            args.acknowledge(name);
+        if (obs::reportUnknownFlags(args, argv[0] ? argv[0] : "bench") > 0)
+            std::exit(2);
         return options;
     }
 

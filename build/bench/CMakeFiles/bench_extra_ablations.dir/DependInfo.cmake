@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/tensor/CMakeFiles/smoothe_tensor.dir/DependInfo.cmake"
   "/root/repo/build/src/egraph/CMakeFiles/smoothe_egraph.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/smoothe_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/smoothe_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

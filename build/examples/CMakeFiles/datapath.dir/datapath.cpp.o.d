@@ -206,15 +206,19 @@ examples/CMakeFiles/datapath.dir/datapath.cpp.o: \
  /root/repo/src/extraction/solution.hpp \
  /root/repo/src/smoothe/smoothe.hpp \
  /root/repo/src/costmodel/cost_model.hpp /root/repo/src/autodiff/tape.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/smoothe/config.hpp \
+ /root/repo/src/tensor/tensor.hpp /root/repo/src/obs/phase_profiler.hpp \
+ /root/repo/src/obs/trace.hpp /usr/include/c++/12/atomic \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/args.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/smoothe/config.hpp \
+ /root/repo/src/util/args.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h

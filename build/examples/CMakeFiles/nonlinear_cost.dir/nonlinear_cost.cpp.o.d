@@ -218,13 +218,16 @@ examples/CMakeFiles/nonlinear_cost.dir/nonlinear_cost.cpp.o: \
  /root/repo/src/extraction/extractor.hpp \
  /root/repo/src/extraction/solution.hpp \
  /root/repo/src/ilp/ilp_extractor.hpp /root/repo/src/ilp/lp.hpp \
- /root/repo/src/smoothe/smoothe.hpp /root/repo/src/smoothe/config.hpp \
+ /root/repo/src/smoothe/smoothe.hpp /root/repo/src/obs/phase_profiler.hpp \
+ /root/repo/src/obs/trace.hpp /usr/include/c++/12/atomic \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/args.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/smoothe/config.hpp \
+ /root/repo/src/util/args.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h

@@ -219,9 +219,11 @@ src/api/CMakeFiles/smoothe_api.dir/factory.cpp.o: \
  /root/repo/src/ilp/ilp_extractor.hpp /root/repo/src/ilp/lp.hpp \
  /root/repo/src/smoothe/smoothe.hpp \
  /root/repo/src/costmodel/cost_model.hpp /root/repo/src/autodiff/tape.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/util/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/util/rng.hpp /root/repo/src/obs/phase_profiler.hpp \
+ /root/repo/src/obs/trace.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

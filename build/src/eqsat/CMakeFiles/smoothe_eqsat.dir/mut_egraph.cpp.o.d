@@ -218,4 +218,6 @@ src/eqsat/CMakeFiles/smoothe_eqsat.dir/mut_egraph.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/obs/log.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstdarg \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/obs/trace.hpp

@@ -236,9 +236,12 @@ src/extraction/CMakeFiles/smoothe_extraction.dir/genetic.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/extraction/random_sample.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/util/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/cstddef /root/repo/src/obs/log.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstdarg \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -235,9 +235,12 @@ src/ilp/CMakeFiles/smoothe_ilp.dir/ilp_extractor.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/extraction/bottom_up.hpp /root/repo/src/util/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/extraction/bottom_up.hpp /root/repo/src/obs/log.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstdarg \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

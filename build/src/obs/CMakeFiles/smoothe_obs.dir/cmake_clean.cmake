@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothe_obs.dir/cli.cpp.o"
+  "CMakeFiles/smoothe_obs.dir/cli.cpp.o.d"
+  "CMakeFiles/smoothe_obs.dir/log.cpp.o"
+  "CMakeFiles/smoothe_obs.dir/log.cpp.o.d"
+  "CMakeFiles/smoothe_obs.dir/metrics.cpp.o"
+  "CMakeFiles/smoothe_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/smoothe_obs.dir/trace.cpp.o"
+  "CMakeFiles/smoothe_obs.dir/trace.cpp.o.d"
+  "libsmoothe_obs.a"
+  "libsmoothe_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothe_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

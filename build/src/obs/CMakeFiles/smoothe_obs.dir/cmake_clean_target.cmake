@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmoothe_obs.a"
+)

@@ -204,14 +204,15 @@ src/smoothe/CMakeFiles/smoothe_core.dir/smoothe.cpp.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/util/rng.hpp /root/repo/src/extraction/extractor.hpp \
- /root/repo/src/extraction/solution.hpp /root/repo/src/smoothe/config.hpp \
- /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/extraction/solution.hpp \
+ /root/repo/src/obs/phase_profiler.hpp /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/util/timer.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/smoothe/config.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
@@ -241,4 +242,6 @@ src/smoothe/CMakeFiles/smoothe_core.dir/smoothe.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/autodiff/adam.hpp /root/repo/src/smoothe/sampler.hpp
+ /root/repo/src/autodiff/adam.hpp /root/repo/src/obs/obs.hpp \
+ /root/repo/src/obs/log.hpp /usr/include/c++/12/cstdarg \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/smoothe/sampler.hpp

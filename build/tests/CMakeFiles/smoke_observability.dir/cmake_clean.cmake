@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_observability.dir/smoke_observability.cpp.o"
+  "CMakeFiles/smoke_observability.dir/smoke_observability.cpp.o.d"
+  "smoke_observability"
+  "smoke_observability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

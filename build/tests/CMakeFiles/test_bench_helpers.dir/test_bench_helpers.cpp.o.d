@@ -318,5 +318,5 @@ tests/CMakeFiles/test_bench_helpers.dir/test_bench_helpers.cpp.o: \
  /root/repo/src/datasets/registry.hpp \
  /root/repo/src/datasets/generators.hpp /root/repo/src/egraph/egraph.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/extraction/extractor.hpp \
- /root/repo/src/extraction/solution.hpp /root/repo/src/util/args.hpp \
- /root/repo/src/util/table.hpp
+ /root/repo/src/extraction/solution.hpp /root/repo/src/obs/cli.hpp \
+ /root/repo/src/util/args.hpp /root/repo/src/util/table.hpp

@@ -326,6 +326,7 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /root/repo/src/extraction/solution.hpp \
  /root/repo/src/extraction/genetic.hpp \
  /root/repo/src/ilp/ilp_extractor.hpp /root/repo/src/ilp/lp.hpp \
- /root/repo/src/smoothe/smoothe.hpp /root/repo/src/smoothe/config.hpp \
- /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio
+ /root/repo/src/smoothe/smoothe.hpp /root/repo/src/obs/phase_profiler.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/util/timer.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/smoothe/config.hpp

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_obs.cpp" "tests/CMakeFiles/test_obs.dir/test_obs.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/test_obs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/smoothe_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoothe/CMakeFiles/smoothe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/smoothe_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/smoothe_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/eqsat/CMakeFiles/smoothe_eqsat.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/smoothe_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/extraction/CMakeFiles/smoothe_extraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/smoothe_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/smoothe_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/egraph/CMakeFiles/smoothe_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smoothe_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/smoothe_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

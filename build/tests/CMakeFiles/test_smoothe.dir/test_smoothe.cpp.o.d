@@ -322,6 +322,7 @@ tests/CMakeFiles/test_smoothe.dir/test_smoothe.cpp.o: \
  /root/repo/src/extraction/extractor.hpp /root/repo/src/ilp/lp.hpp \
  /root/repo/src/smoothe/smoothe.hpp \
  /root/repo/src/costmodel/cost_model.hpp /root/repo/src/autodiff/tape.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/smoothe/config.hpp \
- /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio
+ /root/repo/src/tensor/tensor.hpp /root/repo/src/obs/phase_profiler.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/util/timer.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/smoothe/config.hpp

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/datasets/CMakeFiles/smoothe_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/smoothe_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/eqsat/CMakeFiles/smoothe_eqsat.dir/DependInfo.cmake"
   "/root/repo/build/src/egraph/CMakeFiles/smoothe_egraph.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/smoothe_util.dir/DependInfo.cmake"

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/api/CMakeFiles/smoothe_api.dir/DependInfo.cmake"
   "/root/repo/build/src/datasets/CMakeFiles/smoothe_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/smoothe_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/smoothe/CMakeFiles/smoothe_core.dir/DependInfo.cmake"
   "/root/repo/build/src/costmodel/CMakeFiles/smoothe_costmodel.dir/DependInfo.cmake"
   "/root/repo/build/src/autodiff/CMakeFiles/smoothe_autodiff.dir/DependInfo.cmake"

@@ -202,10 +202,13 @@ tools/CMakeFiles/smoothe_extract.dir/smoothe_extract.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/extraction/solution.hpp /root/repo/src/smoothe/config.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/tensor/tensor.hpp \
- /root/repo/src/egraph/serialize.hpp /root/repo/src/util/args.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/egraph/serialize.hpp /root/repo/src/obs/cli.hpp \
+ /root/repo/src/util/args.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/util/json.hpp \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/json.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "autodiff/matexp.hpp"
+#include "obs/metrics.hpp"
 
 namespace smoothe::ad {
 
@@ -53,6 +54,12 @@ Tape::grad(VarId id) const
 VarId
 Tape::push(Node node)
 {
+    // Every tape node funnels through here; cache the metric refs so the
+    // per-node cost is two relaxed atomic adds.
+    static obs::Counter& nodeCount = obs::counter("tape.nodes");
+    static obs::Counter& byteCount = obs::counter("tape.bytes");
+    nodeCount.add(1);
+    byteCount.add(node.value.size() * sizeof(float));
     nodes_.push_back(std::move(node));
     return static_cast<VarId>(nodes_.size() - 1);
 }
@@ -316,6 +323,10 @@ VarId
 Tape::segmentSoftmax(VarId a, const SegmentIndex* segs)
 {
     const Tensor& av = value(a);
+    static obs::Counter& calls = obs::counter("kernel.softmax.calls");
+    static obs::Counter& bytes = obs::counter("kernel.softmax.bytes");
+    calls.add(1);
+    bytes.add(av.size() * sizeof(float));
     Node node;
     node.op = Op::SegmentSoftmax;
     node.in0 = a;
@@ -525,6 +536,10 @@ Tape::trExpm(VarId a, std::size_t dim)
 {
     const Tensor& av = value(a);
     assert(av.cols() == dim * dim);
+    static obs::Counter& calls = obs::counter("kernel.matexp.calls");
+    static obs::Counter& bytes = obs::counter("kernel.matexp.bytes");
+    calls.add(1);
+    bytes.add(av.size() * sizeof(float));
     Node node;
     node.op = Op::TrExpm;
     node.in0 = a;
@@ -548,6 +563,7 @@ void
 Tape::backward(VarId root)
 {
     assert(root >= 0 && static_cast<std::size_t>(root) < nodes_.size());
+    obs::counter("tape.backward.calls").add(1);
     ensureGrad(root).fill(1.0f);
     for (VarId id = root; id >= 0; --id) {
         Node& node = nodes_[static_cast<std::size_t>(id)];

@@ -4,6 +4,10 @@
 #include <cassert>
 #include <set>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace smoothe::eqsat {
 
 std::uint32_t
@@ -92,6 +96,8 @@ MutEGraph::merge(Id a, Id b)
     b = find(b);
     if (a == b)
         return a;
+    static obs::Counter& merges = obs::counter("eqsat.merges");
+    merges.add(1);
     // Union by parent-list size so congruence repair touches fewer uses.
     if (classes_[a].parents.size() < classes_[b].parents.size())
         std::swap(a, b);
@@ -114,6 +120,10 @@ MutEGraph::merge(Id a, Id b)
 void
 MutEGraph::rebuild()
 {
+    obs::Span span("rebuild", "eqsat");
+    static obs::Counter& rebuildMerges =
+        obs::counter("eqsat.rebuild_merges");
+    const std::uint64_t mergesBefore = obs::counter("eqsat.merges").get();
     while (!worklist_.empty()) {
         std::vector<Id> todo;
         todo.swap(worklist_);
@@ -169,6 +179,7 @@ MutEGraph::rebuild()
             nodes = std::move(unique);
         }
     }
+    rebuildMerges.add(obs::counter("eqsat.merges").get() - mergesBefore);
 }
 
 std::size_t
@@ -281,9 +292,12 @@ MutEGraph::instantiate(const Pattern& pattern, const Subst& subst)
 RunStats
 MutEGraph::run(const std::vector<Rewrite>& rules, const RunLimits& limits)
 {
+    static obs::Logger logger("eqsat");
+    obs::Span runSpan("eqsat.run", "eqsat");
     RunStats stats;
     for (std::size_t iter = 0; iter < limits.maxIterations; ++iter) {
         ++stats.iterations;
+        obs::Span iterSpan("eqsat.iteration", "eqsat");
         // Phase 1: read-only match collection (egg's two-phase scheme
         // keeps match sets consistent while the graph mutates).
         std::vector<std::tuple<const Rewrite*, Id, Subst>> matches;
@@ -295,6 +309,7 @@ MutEGraph::run(const std::vector<Rewrite>& rules, const RunLimits& limits)
                 matches.emplace_back(&rule, cls, std::move(subst));
         }
         stats.totalMatches += matches.size();
+        obs::counter("eqsat.matches").add(matches.size());
 
         // Phase 2: apply.
         const std::size_t nodesBefore = numNodes();
@@ -313,15 +328,23 @@ MutEGraph::run(const std::vector<Rewrite>& rules, const RunLimits& limits)
         rebuild();
         if (numNodes() != nodesBefore)
             changed = true;
-        if (stats.hitNodeLimit)
+        if (stats.hitNodeLimit) {
+            logger.debug("iteration %zu: node limit hit (%zu nodes)",
+                         iter, numNodes());
             break;
+        }
         if (!changed) {
             stats.saturated = true;
+            logger.debug("saturated after %zu iterations",
+                         stats.iterations);
             break;
         }
     }
     stats.finalNodes = numNodes();
     stats.finalClasses = numClasses();
+    logger.info("run: %zu iterations, %zu matches, %zu nodes, %zu classes",
+                stats.iterations, stats.totalMatches, stats.finalNodes,
+                stats.finalClasses);
     return stats;
 }
 

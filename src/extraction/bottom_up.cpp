@@ -4,6 +4,8 @@
 #include <deque>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace smoothe::extract {
@@ -32,6 +34,8 @@ struct FixedPoint
 FixedPoint
 runWorklist(const EGraph& graph, bool tie_break_children)
 {
+    obs::Span span("bottom_up.worklist", "extraction");
+    static obs::Counter& updates = obs::counter("bottom_up.relaxations");
     const std::size_t m = graph.numClasses();
     FixedPoint fp;
     fp.classCost.assign(m, kInf);
@@ -72,6 +76,7 @@ runWorklist(const EGraph& graph, bool tie_break_children)
                      graph.node(fp.classChoice[cls]).children.size();
         }
         if (better) {
+            updates.add(1);
             fp.classCost[cls] = cost;
             fp.classChoice[cls] = nid;
             for (NodeId parent : graph.parents(cls)) {

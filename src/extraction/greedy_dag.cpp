@@ -5,6 +5,9 @@
 #include <map>
 
 #include "extraction/bottom_up.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace smoothe::extract {
@@ -33,6 +36,8 @@ GreedyDagExtractor::extract(const EGraph& graph,
 {
     util::Timer timer;
     util::Deadline deadline(options.timeLimitSeconds);
+    obs::Span span("greedy_dag.extract", "extraction");
+    static obs::Counter& updates = obs::counter("greedy_dag.updates");
 
     const std::size_t m = graph.numClasses();
     std::vector<CostSet> best(m);
@@ -81,6 +86,7 @@ GreedyDagExtractor::extract(const EGraph& graph,
             candidate.cost += graph.node(choice).cost;
 
         if (candidate.cost + 1e-12 < best[owner].cost) {
+            updates.add(1);
             best[owner] = std::move(candidate);
             for (NodeId parent : graph.parents(owner)) {
                 if (!inQueue[parent]) {
@@ -130,6 +136,11 @@ GreedyDagExtractor::extract(const EGraph& graph,
     if (!check.ok()) {
         // Inconsistent union (possible when conflicting child sets were
         // resolved keep-first): fall back to the tree-cost fixed point.
+        static obs::Logger logger("extraction");
+        logger.warn("greedy-dag union invalid (%s); falling back to "
+                    "heuristic+",
+                    check.message.c_str());
+        obs::counter("greedy_dag.fallbacks").add(1);
         FasterBottomUpExtractor fallback;
         ExtractionResult safe = fallback.extract(graph, options);
         safe.seconds += timer.seconds();

@@ -7,6 +7,9 @@
 #include <limits>
 
 #include "extraction/bottom_up.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace smoothe::ilp {
@@ -224,7 +227,12 @@ class BnBSearch
         neededCount_[graph_.root()] = 1;
         open_.push_back(graph_.root());
         complete_ = true;
-        search();
+        {
+            obs::Span span("bnb_search", "ilp");
+            search();
+        }
+        // One add after the run, not per node: search() is far too hot.
+        obs::counter("ilp.bnb_nodes").add(nodesExplored_);
 
         result.seconds = timer_.seconds();
         result.trace = std::move(trace_);
@@ -571,6 +579,8 @@ class LpBnB
             }
         }
 
+        obs::counter("ilp.bnb_nodes").add(solved);
+
         result.seconds = timer_.seconds();
         result.trace = std::move(trace_);
         if (incumbentCost_ == kInf) {
@@ -665,6 +675,8 @@ IlpExtractor::extract(const EGraph& graph, const ExtractOptions& options)
     // O(rows^2 * cols) per solve, so the gate looks at the actual LP
     // dimensions, not just the graph size. Everything else: the
     // combinatorial class-choice search.
+    static obs::Logger logger("ilp");
+    obs::Span extractSpan("ilp.extract", "ilp");
     if (preset_ != IlpPreset::Weak) {
         const double capScale = preset_ == IlpPreset::Strong ? 1.0 : 0.5;
         const LinearProgram lp = buildExtractionLp(graph);
@@ -672,11 +684,19 @@ IlpExtractor::extract(const EGraph& graph, const ExtractOptions& options)
                 static_cast<std::size_t>(1100 * capScale) &&
             lp.numConstraints() <=
                 static_cast<std::size_t>(1300 * capScale)) {
+            logger.debug("LP B&B: %zu vars, %zu constraints",
+                         lp.numVariables(), lp.numConstraints());
             LpBnB solver(graph, options, lp);
             ExtractionResult result = solver.run();
             if (result.ok() || result.status == SolveStatus::Infeasible)
                 return result;
+            logger.debug("LP B&B failed; falling back to "
+                         "combinatorial search");
             // fall through to the combinatorial search on failure
+        } else {
+            logger.debug("LP too large (%zu vars, %zu constraints); "
+                         "using combinatorial search",
+                         lp.numVariables(), lp.numConstraints());
         }
     }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace smoothe::ilp {
@@ -182,6 +183,10 @@ class Tableau
     void
     pivot(std::size_t pivotRow, std::size_t pivotCol)
     {
+        // Each pivot rewrites the whole O(rows x cols) tableau, so one
+        // relaxed add per call is noise by comparison.
+        static obs::Counter& pivots = obs::counter("ilp.simplex_pivots");
+        pivots.add(1);
         const double pivotValue = at(pivotRow, pivotCol);
         assert(std::fabs(pivotValue) > 0.0);
         const double inv = 1.0 / pivotValue;

@@ -1,0 +1,116 @@
+#include "obs/cli.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/args.hpp"
+
+namespace smoothe::obs {
+
+namespace {
+
+struct CliState
+{
+    std::mutex mutex;
+    std::string traceOut;
+    std::string metricsOut;
+    bool atexitRegistered = false;
+};
+
+CliState&
+cliState()
+{
+    static CliState state;
+    return state;
+}
+
+void
+flushAtExit()
+{
+    flushCliTelemetry();
+}
+
+} // namespace
+
+void
+installCliTelemetry(const util::Args& args)
+{
+    Logger log("obs");
+
+    const std::string level = args.getString("log-level", "");
+    if (!level.empty() && !configureLogging(level))
+        log.warn("ignoring invalid --log-level \"%s\"", level.c_str());
+
+    const std::string logJson = args.getString("log-json", "");
+    if (!logJson.empty() && !addJsonlLogSink(logJson))
+        log.warn("cannot open --log-json file %s", logJson.c_str());
+
+    const std::string traceOut = args.getString("trace-out", "");
+    const std::string metricsOut = args.getString("metrics-out", "");
+
+    // Force the registry singletons into existence now, so their static
+    // storage outlives the atexit flush handler registered below.
+    counter("obs.cli_installs").add(1);
+
+    CliState& state = cliState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.traceOut = traceOut;
+    state.metricsOut = metricsOut;
+    if (!traceOut.empty())
+        TraceSession::instance().start();
+    if ((!traceOut.empty() || !metricsOut.empty()) &&
+        !state.atexitRegistered) {
+        std::atexit(flushAtExit);
+        state.atexitRegistered = true;
+    }
+}
+
+bool
+flushCliTelemetry()
+{
+    std::string traceOut;
+    std::string metricsOut;
+    {
+        CliState& state = cliState();
+        std::lock_guard<std::mutex> lock(state.mutex);
+        traceOut = state.traceOut;
+        metricsOut = state.metricsOut;
+    }
+    bool ok = true;
+    Logger log("obs");
+    if (!traceOut.empty()) {
+        TraceSession::instance().stop();
+        if (TraceSession::instance().writeTo(traceOut)) {
+            log.info("wrote trace to %s", traceOut.c_str());
+        } else {
+            log.error("cannot write trace file %s", traceOut.c_str());
+            ok = false;
+        }
+    }
+    if (!metricsOut.empty()) {
+        if (writeMetricsFile(metricsOut)) {
+            log.info("wrote metrics to %s", metricsOut.c_str());
+        } else {
+            log.error("cannot write metrics file %s", metricsOut.c_str());
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+std::size_t
+reportUnknownFlags(const util::Args& args, const char* program)
+{
+    const std::vector<std::string> unknown = args.unrecognized();
+    if (!unknown.empty()) {
+        Logger log("cli");
+        for (const std::string& name : unknown)
+            log.error("%s: unrecognized flag --%s", program, name.c_str());
+    }
+    return unknown.size();
+}
+
+} // namespace smoothe::obs

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared command-line surface for telemetry: every tool and bench binary
+ * gains `--log-level LVL`, `--log-json FILE`, `--trace-out FILE`, and
+ * `--metrics-out FILE` by routing its parsed util::Args through
+ * installCliTelemetry(). Trace and metrics files are flushed automatically
+ * at process exit so harness binaries need no explicit teardown.
+ */
+
+#ifndef SMOOTHE_OBS_CLI_HPP
+#define SMOOTHE_OBS_CLI_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace smoothe::util {
+class Args;
+} // namespace smoothe::util
+
+namespace smoothe::obs {
+
+/**
+ * Reads the telemetry flags from parsed args and applies them:
+ * configures log levels (--log-level beats SMOOTHE_LOG), attaches a JSONL
+ * log sink, starts a trace session when --trace-out is given, and
+ * registers an atexit hook that writes the trace and metrics files.
+ * Safe to call once per process; later calls override the output paths.
+ */
+void installCliTelemetry(const util::Args& args);
+
+/**
+ * Writes any configured --trace-out / --metrics-out files immediately
+ * (also runs at exit). Returns false if a write failed.
+ */
+bool flushCliTelemetry();
+
+/**
+ * Logs an error for every flag the program never queried (call after all
+ * known flags — including the telemetry ones — have been read) and
+ * returns how many there were. Callers treat a nonzero return as a usage
+ * error and exit with a nonzero status.
+ */
+std::size_t reportUnknownFlags(const util::Args& args, const char* program);
+
+} // namespace smoothe::obs
+
+#endif // SMOOTHE_OBS_CLI_HPP

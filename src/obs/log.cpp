@@ -1,0 +1,300 @@
+#include "obs/log.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace smoothe::obs {
+
+namespace {
+
+constexpr Level kDefaultLevel = Level::Warn;
+
+/** Process-wide logger registry: component states, sinks, default level. */
+struct LogRegistry
+{
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<detail::LoggerState>> states;
+    std::map<std::string, Level> overrides; ///< from configure specs
+    Level defaultLevel = kDefaultLevel;
+    std::vector<std::unique_ptr<Sink>> sinks;
+    util::Timer clock; ///< process-relative timestamps
+
+    LogRegistry()
+    {
+        sinks.push_back(std::make_unique<StderrSink>());
+        if (const char* env = std::getenv("SMOOTHE_LOG"))
+            applySpecLocked(env);
+    }
+
+    detail::LoggerState&
+    state(const char* component)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = states.find(component);
+        if (it == states.end()) {
+            auto owned = std::make_unique<detail::LoggerState>();
+            owned->name = component;
+            Level level = defaultLevel;
+            const auto override = overrides.find(component);
+            if (override != overrides.end())
+                level = override->second;
+            owned->level.store(static_cast<int>(level),
+                               std::memory_order_relaxed);
+            it = states.emplace(component, std::move(owned)).first;
+        }
+        return *it->second;
+    }
+
+    bool
+    applySpecLocked(const std::string& spec)
+    {
+        bool ok = true;
+        std::size_t start = 0;
+        while (start <= spec.size()) {
+            const std::size_t comma = spec.find(',', start);
+            const std::string entry =
+                spec.substr(start, comma == std::string::npos
+                                       ? std::string::npos
+                                       : comma - start);
+            start = comma == std::string::npos ? spec.size() + 1
+                                               : comma + 1;
+            if (entry.empty())
+                continue;
+            const std::size_t eq = entry.find('=');
+            std::string name =
+                eq == std::string::npos ? "*" : entry.substr(0, eq);
+            const std::string levelText =
+                eq == std::string::npos ? entry : entry.substr(eq + 1);
+            const auto level = parseLevel(levelText);
+            if (!level) {
+                ok = false;
+                continue;
+            }
+            if (name == "*" || name.empty()) {
+                defaultLevel = *level;
+                for (auto& [_, state] : states) {
+                    if (!overrides.count(state->name))
+                        state->level.store(static_cast<int>(*level),
+                                           std::memory_order_relaxed);
+                }
+            } else {
+                overrides[name] = *level;
+                const auto it = states.find(name);
+                if (it != states.end())
+                    it->second->level.store(static_cast<int>(*level),
+                                            std::memory_order_relaxed);
+            }
+        }
+        return ok;
+    }
+
+    void
+    dispatch(const LogRecord& record)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (auto& sink : sinks)
+            sink->write(record);
+    }
+};
+
+LogRegistry&
+registry()
+{
+    static LogRegistry instance;
+    return instance;
+}
+
+} // namespace
+
+const char*
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Trace: return "trace";
+      case Level::Debug: return "debug";
+      case Level::Info: return "info";
+      case Level::Warn: return "warn";
+      case Level::Error: return "error";
+      case Level::Off: return "off";
+    }
+    return "?";
+}
+
+std::optional<Level>
+parseLevel(const std::string& name)
+{
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    for (Level level : {Level::Trace, Level::Debug, Level::Info,
+                        Level::Warn, Level::Error, Level::Off}) {
+        if (lower == levelName(level))
+            return level;
+    }
+    if (lower == "warning")
+        return Level::Warn;
+    return std::nullopt;
+}
+
+void
+StderrSink::write(const LogRecord& record)
+{
+    std::fprintf(stderr, "[%9.3fs] %-5s %s: %s\n", record.seconds,
+                 levelName(record.level), record.component,
+                 record.message);
+}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w"))
+{}
+
+JsonlSink::~JsonlSink()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+JsonlSink::write(const LogRecord& record)
+{
+    if (file_ == nullptr)
+        return;
+    util::Json line = util::Json::makeObject();
+    line.set("ts", record.seconds);
+    line.set("level", levelName(record.level));
+    line.set("component", record.component);
+    line.set("msg", record.message);
+    const std::string text = line.dump();
+    std::fwrite(text.data(), 1, text.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+}
+
+Logger::Logger(const char* component) : state_(&registry().state(component))
+{}
+
+Level
+Logger::level() const
+{
+    return static_cast<Level>(state_->level.load(std::memory_order_relaxed));
+}
+
+void
+Logger::vlog(Level level, const char* format, va_list args)
+{
+    char buffer[512];
+    std::vsnprintf(buffer, sizeof(buffer), format, args);
+    LogRecord record;
+    record.seconds = registry().clock.seconds();
+    record.level = level;
+    record.component = state_->name.c_str();
+    record.message = buffer;
+    registry().dispatch(record);
+}
+
+// The five convenience wrappers share this shape; a macro keeps the
+// va_list plumbing in one place.
+#define SMOOTHE_OBS_LOG_BODY(levelExpr)                                    \
+    do {                                                                   \
+        if (!enabled(levelExpr))                                           \
+            return;                                                        \
+        va_list args;                                                      \
+        va_start(args, format);                                            \
+        vlog(levelExpr, format, args);                                     \
+        va_end(args);                                                      \
+    } while (0)
+
+void
+Logger::log(Level level, const char* format, ...)
+{
+    SMOOTHE_OBS_LOG_BODY(level);
+}
+
+void
+Logger::trace(const char* format, ...)
+{
+    SMOOTHE_OBS_LOG_BODY(Level::Trace);
+}
+
+void
+Logger::debug(const char* format, ...)
+{
+    SMOOTHE_OBS_LOG_BODY(Level::Debug);
+}
+
+void
+Logger::info(const char* format, ...)
+{
+    SMOOTHE_OBS_LOG_BODY(Level::Info);
+}
+
+void
+Logger::warn(const char* format, ...)
+{
+    SMOOTHE_OBS_LOG_BODY(Level::Warn);
+}
+
+void
+Logger::error(const char* format, ...)
+{
+    SMOOTHE_OBS_LOG_BODY(Level::Error);
+}
+
+#undef SMOOTHE_OBS_LOG_BODY
+
+bool
+configureLogging(const std::string& spec)
+{
+    LogRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.applySpecLocked(spec);
+}
+
+void
+setGlobalLogLevel(Level level)
+{
+    LogRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.defaultLevel = level;
+    reg.overrides.clear();
+    for (auto& [_, state] : reg.states)
+        state->level.store(static_cast<int>(level),
+                           std::memory_order_relaxed);
+}
+
+void
+addLogSink(std::unique_ptr<Sink> sink)
+{
+    LogRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.sinks.push_back(std::move(sink));
+}
+
+bool
+addJsonlLogSink(const std::string& path)
+{
+    auto sink = std::make_unique<JsonlSink>(path);
+    if (!sink->ok())
+        return false;
+    addLogSink(std::move(sink));
+    return true;
+}
+
+void
+resetLogSinks()
+{
+    LogRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.sinks.clear();
+    reg.sinks.push_back(std::make_unique<StderrSink>());
+}
+
+} // namespace smoothe::obs

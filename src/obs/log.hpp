@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Structured, severity-leveled logging with component-named loggers.
+ *
+ * Each component ("smoothe", "ilp", "eqsat", ...) owns an atomic level in a
+ * process-wide registry; a disabled call site costs one relaxed atomic load
+ * and a branch, and formats nothing. Output goes to pluggable sinks — a
+ * human-readable stderr sink is installed by default, and a JSONL file sink
+ * can be added for machine consumption.
+ *
+ * Levels are configured programmatically or from the SMOOTHE_LOG
+ * environment variable, e.g. `SMOOTHE_LOG=ilp=debug,*=warn`.
+ */
+
+#ifndef SMOOTHE_OBS_LOG_HPP
+#define SMOOTHE_OBS_LOG_HPP
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace smoothe::obs {
+
+/** Log severity, ordered; Off disables everything. */
+enum class Level : std::uint8_t { Trace, Debug, Info, Warn, Error, Off };
+
+/** Lower-case level name ("trace", ..., "off"). */
+const char* levelName(Level level);
+
+/** Parses a level name (case-insensitive); nullopt on unknown. */
+std::optional<Level> parseLevel(const std::string& name);
+
+/** One formatted log event, handed to every sink. */
+struct LogRecord
+{
+    double seconds = 0.0;    ///< process-relative timestamp
+    Level level = Level::Info;
+    const char* component = "";
+    const char* message = "";
+};
+
+/** Output backend for log records. */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+    virtual void write(const LogRecord& record) = 0;
+};
+
+/** Human-readable `[   0.123s] warn  ilp: message` lines on stderr. */
+class StderrSink : public Sink
+{
+  public:
+    void write(const LogRecord& record) override;
+};
+
+/** One JSON object per line, appended to a file. */
+class JsonlSink : public Sink
+{
+  public:
+    /** Opens (truncates) the file; a failed open disables the sink. */
+    explicit JsonlSink(const std::string& path);
+    ~JsonlSink() override;
+    void write(const LogRecord& record) override;
+    bool ok() const { return file_ != nullptr; }
+
+  private:
+    std::FILE* file_ = nullptr;
+};
+
+namespace detail {
+
+/** Shared per-component state owned by the registry (never freed). */
+struct LoggerState
+{
+    std::string name;
+    std::atomic<int> level;
+};
+
+} // namespace detail
+
+/**
+ * Lightweight handle to a component's logging state.
+ *
+ * Construction looks the component up in the registry (mutex-protected);
+ * keep loggers in statics or members rather than constructing per call.
+ */
+class Logger
+{
+  public:
+    explicit Logger(const char* component);
+
+    /** True when records at this level would be emitted. */
+    bool
+    enabled(Level level) const
+    {
+        return static_cast<int>(level) >=
+               state_->level.load(std::memory_order_relaxed);
+    }
+
+    /** printf-style; formatting is skipped entirely when disabled. */
+    void log(Level level, const char* format, ...)
+        __attribute__((format(printf, 3, 4)));
+
+    void trace(const char* format, ...)
+        __attribute__((format(printf, 2, 3)));
+    void debug(const char* format, ...)
+        __attribute__((format(printf, 2, 3)));
+    void info(const char* format, ...)
+        __attribute__((format(printf, 2, 3)));
+    void warn(const char* format, ...)
+        __attribute__((format(printf, 2, 3)));
+    void error(const char* format, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    Level level() const;
+    const std::string& component() const { return state_->name; }
+
+  private:
+    void vlog(Level level, const char* format, va_list args);
+
+    detail::LoggerState* state_;
+};
+
+/**
+ * Applies a comma-separated level spec: `component=level` entries plus a
+ * bare `level` or `*=level` default, e.g. "ilp=debug,*=warn".
+ * Returns false (and changes nothing for that entry) on unknown levels.
+ */
+bool configureLogging(const std::string& spec);
+
+/** Sets the default level and every existing component's level. */
+void setGlobalLogLevel(Level level);
+
+/** Adds a sink; records go to every installed sink. */
+void addLogSink(std::unique_ptr<Sink> sink);
+
+/** Convenience: adds a JsonlSink for the path; false on open failure. */
+bool addJsonlLogSink(const std::string& path);
+
+/** Restores the default single-stderr-sink configuration (tests). */
+void resetLogSinks();
+
+} // namespace smoothe::obs
+
+#endif // SMOOTHE_OBS_LOG_HPP

@@ -1,0 +1,181 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/json.hpp"
+
+namespace smoothe::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1)
+{
+}
+
+void
+Histogram::observe(double value)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const std::size_t bucket =
+        static_cast<std::size_t>(it - bounds_.begin());
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double expected = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(expected, expected + value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    return counts_[i].load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (auto& bucket : counts_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl
+{
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry&
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+MetricsRegistry::Impl&
+MetricsRegistry::impl() const
+{
+    static Impl storage;
+    return storage;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto& slot = state.counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto& slot = state.gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name,
+                           std::vector<double> upper_bounds)
+{
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto& slot = state.histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(upper_bounds));
+    return *slot;
+}
+
+util::Json
+MetricsRegistry::toJson() const
+{
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    util::Json doc = util::Json::makeObject();
+    for (const auto& [name, counter] : state.counters)
+        doc.set(name, static_cast<double>(counter->get()));
+    for (const auto& [name, gauge] : state.gauges)
+        doc.set(name, gauge->get());
+    for (const auto& [name, histogram] : state.histograms) {
+        util::Json entry = util::Json::makeObject();
+        util::Json bounds = util::Json::makeArray();
+        for (double bound : histogram->bounds())
+            bounds.push(bound);
+        util::Json counts = util::Json::makeArray();
+        for (std::size_t i = 0; i < histogram->numBuckets(); ++i)
+            counts.push(static_cast<double>(histogram->bucketCount(i)));
+        entry.set("bounds", std::move(bounds));
+        entry.set("counts", std::move(counts));
+        entry.set("count", static_cast<double>(histogram->count()));
+        entry.set("sum", histogram->sum());
+        doc.set(name, std::move(entry));
+    }
+    return doc;
+}
+
+void
+MetricsRegistry::reset()
+{
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (auto& [_, counter] : state.counters)
+        counter->reset();
+    for (auto& [_, gauge] : state.gauges)
+        gauge->reset();
+    for (auto& [_, histogram] : state.histograms)
+        histogram->reset();
+}
+
+Counter&
+counter(const std::string& name)
+{
+    return MetricsRegistry::instance().counter(name);
+}
+
+Gauge&
+gauge(const std::string& name)
+{
+    return MetricsRegistry::instance().gauge(name);
+}
+
+Histogram&
+histogram(const std::string& name, std::vector<double> upper_bounds)
+{
+    return MetricsRegistry::instance().histogram(name,
+                                                 std::move(upper_bounds));
+}
+
+bool
+writeMetricsFile(const std::string& path)
+{
+    return util::writeFile(
+        path, MetricsRegistry::instance().toJson().dumpPretty());
+}
+
+} // namespace smoothe::obs

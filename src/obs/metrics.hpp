@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and fixed-bucket
+ * histograms, dumpable as JSON.
+ *
+ * Metrics are registered lazily on first use and live for the process
+ * lifetime, so call sites can cache a reference once (typically in a
+ * function-local static) and then update it with a single relaxed atomic
+ * operation — cheap enough for kernel-level hot paths. The registry is
+ * thread-safe; updates never allocate.
+ */
+
+#ifndef SMOOTHE_OBS_METRICS_HPP
+#define SMOOTHE_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smoothe::util {
+class Json;
+} // namespace smoothe::util
+
+namespace smoothe::obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    get() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+    double get() const { return value_.load(std::memory_order_relaxed); }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram: bucket i counts observations <= bounds[i], with
+ * an implicit +inf overflow bucket. Bucket bounds are fixed at
+ * registration; observe() is lock-free and allocation-free.
+ */
+class Histogram
+{
+  public:
+    /** @param upper_bounds ascending inclusive upper bounds */
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void observe(double value);
+
+    /** Number of buckets including the overflow bucket. */
+    std::size_t numBuckets() const { return bounds_.size() + 1; }
+    std::uint64_t bucketCount(std::size_t i) const;
+    const std::vector<double>& bounds() const { return bounds_; }
+    std::uint64_t count() const;
+    double sum() const;
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> counts_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** The process-wide named-metric registry. */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry& instance();
+
+    /** Returns (registering on first use) the named metric; the reference
+     *  stays valid for the process lifetime. */
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    /** bounds are used only on first registration of the name. */
+    Histogram& histogram(const std::string& name,
+                         std::vector<double> upper_bounds);
+
+    /**
+     * Flat JSON object: counters and gauges as numbers, histograms as
+     * {"bounds": [...], "counts": [...], "count": n, "sum": s}.
+     */
+    util::Json toJson() const;
+
+    /** Zeroes every metric, keeping registrations (tests, multi-run). */
+    void reset();
+
+  private:
+    MetricsRegistry() = default;
+    struct Impl;
+    Impl& impl() const;
+};
+
+/** Shorthand for MetricsRegistry::instance().counter(name) etc. */
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name,
+                     std::vector<double> upper_bounds);
+
+/** Writes the registry JSON (pretty) to a file; false on I/O error. */
+bool writeMetricsFile(const std::string& path);
+
+} // namespace smoothe::obs
+
+#endif // SMOOTHE_OBS_METRICS_HPP

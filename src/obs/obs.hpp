@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Umbrella header for the telemetry subsystem: structured logging
+ * (obs/log.hpp), the metrics registry (obs/metrics.hpp), Chrome trace
+ * spans (obs/trace.hpp), and the span-backed phase profiler
+ * (obs/phase_profiler.hpp). See DESIGN.md's "Observability" section for
+ * the metric name catalogue and usage conventions.
+ */
+
+#ifndef SMOOTHE_OBS_OBS_HPP
+#define SMOOTHE_OBS_OBS_HPP
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_profiler.hpp"
+#include "obs/trace.hpp"
+
+#endif // SMOOTHE_OBS_OBS_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 8 phase accumulator, reimplemented on top of trace spans.
+ *
+ * The wall-clock accumulation API (lossSeconds et al.) is unchanged from
+ * the original util::PhaseProfiler, so the Figure 8 bench output is
+ * byte-identical; additionally each scope now emits a "phase"-category
+ * trace span when a TraceSession is recording.
+ */
+
+#ifndef SMOOTHE_OBS_PHASE_PROFILER_HPP
+#define SMOOTHE_OBS_PHASE_PROFILER_HPP
+
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
+namespace smoothe::obs {
+
+/** Accumulates time spent in named phases (used for Figure 8 profiling). */
+class PhaseProfiler
+{
+  public:
+    /** RAII scope: adds its lifetime to the slot and emits a span. */
+    class Scope
+    {
+      public:
+        Scope(const char* name, double& slot)
+            : slot_(slot), span_(name, "phase")
+        {}
+        ~Scope() { slot_ += timer_.seconds(); }
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+      private:
+        double& slot_;
+        Span span_;
+        util::Timer timer_;
+    };
+
+    double lossSeconds = 0.0;     ///< forward pass / loss calculation
+    double gradientSeconds = 0.0; ///< backward pass + optimizer step
+    double samplingSeconds = 0.0; ///< discrete sampling + validation
+    double otherSeconds = 0.0;    ///< setup, bookkeeping
+
+    Scope loss() { return Scope("loss", lossSeconds); }
+    Scope gradient() { return Scope("gradient", gradientSeconds); }
+    Scope sampling() { return Scope("sampling", samplingSeconds); }
+    Scope other() { return Scope("other", otherSeconds); }
+
+    double
+    total() const
+    {
+        return lossSeconds + gradientSeconds + samplingSeconds + otherSeconds;
+    }
+};
+
+} // namespace smoothe::obs
+
+#endif // SMOOTHE_OBS_PHASE_PROFILER_HPP

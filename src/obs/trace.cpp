@@ -1,0 +1,194 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace smoothe::obs {
+
+namespace detail {
+std::atomic<bool> traceEnabled{false};
+} // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Small dense per-process thread ids (Chrome wants integers). */
+std::uint32_t
+currentTid()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t tid = next.fetch_add(1);
+    return tid;
+}
+
+} // namespace
+
+struct TraceSession::Impl
+{
+    mutable std::mutex mutex;
+    Clock::time_point t0 = Clock::now();
+
+    struct Event
+    {
+        const char* name; ///< string literals at call sites
+        const char* category;
+        char phase;  ///< 'X' complete, 'C' counter, 'i' instant
+        double tsUs; ///< relative microseconds
+        double durUs = 0.0;
+        double value = 0.0; ///< counter events
+        std::uint32_t tid = 0;
+    };
+    std::vector<Event> events;
+};
+
+TraceSession&
+TraceSession::instance()
+{
+    static TraceSession session;
+    return session;
+}
+
+TraceSession::Impl&
+TraceSession::impl() const
+{
+    static Impl storage;
+    return storage;
+}
+
+void
+TraceSession::start()
+{
+    Impl& state = impl();
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.events.clear();
+        state.t0 = Clock::now();
+    }
+    detail::traceEnabled.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceSession::stop()
+{
+    detail::traceEnabled.store(false, std::memory_order_relaxed);
+}
+
+double
+TraceSession::nowMicros() const
+{
+    const Impl& state = impl();
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     state.t0)
+        .count();
+}
+
+void
+TraceSession::addComplete(const char* name, const char* category,
+                          double start_us)
+{
+    if (!enabled())
+        return;
+    Impl& state = impl();
+    Impl::Event event;
+    event.name = name;
+    event.category = category;
+    event.phase = 'X';
+    event.tsUs = start_us;
+    event.durUs = nowMicros() - start_us;
+    event.tid = currentTid();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.events.push_back(event);
+}
+
+void
+TraceSession::addCounter(const char* name, double value)
+{
+    if (!enabled())
+        return;
+    Impl& state = impl();
+    Impl::Event event;
+    event.name = name;
+    event.category = "metric";
+    event.phase = 'C';
+    event.tsUs = nowMicros();
+    event.value = value;
+    event.tid = currentTid();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.events.push_back(event);
+}
+
+void
+TraceSession::addInstant(const char* name, const char* category)
+{
+    if (!enabled())
+        return;
+    Impl& state = impl();
+    Impl::Event event;
+    event.name = name;
+    event.category = category;
+    event.phase = 'i';
+    event.tsUs = nowMicros();
+    event.tid = currentTid();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.events.push_back(event);
+}
+
+std::size_t
+TraceSession::eventCount() const
+{
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.events.size();
+}
+
+util::Json
+TraceSession::toJson() const
+{
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    util::Json events = util::Json::makeArray();
+    for (const Impl::Event& event : state.events) {
+        util::Json entry = util::Json::makeObject();
+        entry.set("name", event.name);
+        entry.set("cat", event.category);
+        entry.set("ph", std::string(1, event.phase));
+        entry.set("pid", 1);
+        entry.set("tid", static_cast<double>(event.tid));
+        entry.set("ts", event.tsUs);
+        if (event.phase == 'X')
+            entry.set("dur", event.durUs);
+        if (event.phase == 'C') {
+            util::Json args = util::Json::makeObject();
+            args.set("value", event.value);
+            entry.set("args", std::move(args));
+        }
+        if (event.phase == 'i')
+            entry.set("s", "t"); // thread-scoped instant
+        events.push(std::move(entry));
+    }
+    util::Json doc = util::Json::makeObject();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+bool
+TraceSession::writeTo(const std::string& path) const
+{
+    return util::writeFile(path, toJson().dump());
+}
+
+void
+TraceSession::clear()
+{
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.events.clear();
+}
+
+} // namespace smoothe::obs

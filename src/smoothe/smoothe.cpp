@@ -8,6 +8,7 @@
 
 #include "autodiff/adam.hpp"
 #include "autodiff/tape.hpp"
+#include "obs/obs.hpp"
 #include "smoothe/sampler.hpp"
 #include "util/rng.hpp"
 
@@ -201,7 +202,11 @@ buildForward(Tape& tape, Param& theta, const Prepared& prep,
 {
     const std::size_t batch = theta.value.rows();
     const VarId thetaVar = tape.leaf(&theta);
-    const VarId cp = tape.segmentSoftmax(thetaVar, &prep.classMembers);
+    VarId cp = -1;
+    {
+        obs::Span span("softmax");
+        cp = tape.segmentSoftmax(thetaVar, &prep.classMembers);
+    }
 
     // q0: root has probability 1, everything else 0.
     Tensor q0(batch, prep.numClasses);
@@ -209,6 +214,7 @@ buildForward(Tape& tape, Param& theta, const Prepared& prep,
         q0.at(b, prep.root) = 1.0f;
     VarId q = tape.constant(std::move(q0));
 
+    obs::Span propagateSpan("propagate");
     VarId p = -1;
     for (std::size_t t = 0; t < prep.propIterations; ++t) {
         const VarId qByNode = tape.gatherCols(q, &prep.node2class);
@@ -246,10 +252,12 @@ buildForward(Tape& tape, Param& theta, const Prepared& prep,
                           prep.rootMask);
     }
     p = tape.mul(cp, tape.gatherCols(q, &prep.node2class));
+    propagateSpan.end();
 
     const VarId costs = model.build(tape, p); // B x 1
     VarId loss = tape.sumAll(costs);
 
+    obs::Span penaltySpan("penalty");
     VarId penalty = -1;
     for (const Prepared::Scc& scc : prep.sccs) {
         const VarId a = tape.scatterMatrix(cp, &scc.entries, scc.dim,
@@ -263,6 +271,7 @@ buildForward(Tape& tape, Param& theta, const Prepared& prep,
                 static_cast<float>(tape.value(tr).rows()));
         penalty = penalty < 0 ? h : tape.add(penalty, h);
     }
+    penaltySpan.end();
     if (penalty >= 0) {
         // With the batched approximation the penalty is computed once for
         // the averaged matrix; scale by B to keep the per-seed gradient
@@ -354,6 +363,13 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                                   const cost::CostModel& model,
                                   const ExtractOptions& options)
 {
+    static obs::Logger logger("smoothe");
+    obs::Counter& iterationsMetric = obs::counter("smoothe.iterations");
+    obs::Counter& samplesTotal = obs::counter("sampler.samples");
+    obs::Counter& samplesValid = obs::counter("sampler.valid_samples");
+    const std::uint64_t samplesTotalBefore = samplesTotal.get();
+    const std::uint64_t samplesValidBefore = samplesValid.get();
+
     diagnostics_ = SmoothEDiagnostics{};
     ExtractionResult result;
     util::Timer timer;
@@ -361,6 +377,30 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
     util::Rng rng(options.seed);
 
     Arena arena(config_.memoryBudgetBytes);
+
+    obs::Span extractSpan("smoothe.extract");
+    logger.info("extract: %zu nodes, %zu classes, batch %zu, assumption %s",
+                graph.numNodes(), graph.numClasses(),
+                std::max<std::size_t>(1, config_.numSeeds),
+                toString(config_.assumption));
+
+    // Shared by the success and OOM paths: record peak arena usage and
+    // the sampler hit rate for whatever portion of the run completed.
+    auto finalizeDiagnostics = [&]() {
+        diagnostics_.peakMemoryBytes = arena.peak();
+        obs::gauge("arena.peak_bytes")
+            .set(static_cast<double>(arena.peak()));
+        obs::gauge("tape.last_nodes")
+            .set(static_cast<double>(diagnostics_.tapeNodes));
+        const std::uint64_t attempts =
+            samplesTotal.get() - samplesTotalBefore;
+        const std::uint64_t valid = samplesValid.get() - samplesValidBefore;
+        obs::gauge("sampler.valid_rate")
+            .set(attempts == 0
+                     ? 0.0
+                     : static_cast<double>(valid) /
+                           static_cast<double>(attempts));
+    };
 
     try {
         std::optional<Prepared> prepStorage;
@@ -370,6 +410,8 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
         }
         const Prepared& prep = *prepStorage;
         diagnostics_.propagationIterations = prep.propIterations;
+        obs::gauge("smoothe.propagation_iterations")
+            .set(static_cast<double>(prep.propIterations));
         diagnostics_.sccCount = prep.sccs.size();
         for (const auto& scc : prep.sccs)
             diagnostics_.largestScc =
@@ -391,10 +433,14 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
         std::size_t sinceImprovement = 0;
 
         for (std::size_t iter = 0; iter < config_.maxIterations; ++iter) {
-            if (deadline.expired())
+            if (deadline.expired()) {
+                logger.debug("iteration %zu: deadline expired", iter);
                 break;
+            }
             ++diagnostics_.iterations;
+            iterationsMetric.add(1);
 
+            obs::Span iterSpan("iteration");
             Tape tape(config_.backend, &arena);
             VarId cpVar = -1;
             VarId costsVar = -1;
@@ -413,11 +459,21 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                                     lambda, &cpVar, &costsVar,
                                     &penaltyVar);
             }
+            diagnostics_.tapeNodes = tape.numNodes();
             {
                 auto scope = diagnostics_.profile.gradient();
+                obs::Span adamSpan("adam");
                 optimizer.zeroGrad();
                 tape.backward(loss);
                 optimizer.step();
+            }
+            if (obs::traceEnabled()) {
+                obs::traceCounter("smoothe.loss",
+                                  tape.value(loss).at(0, 0));
+                if (penaltyVar >= 0) {
+                    obs::traceCounter("smoothe.penalty",
+                                      tape.value(penaltyVar).at(0, 0));
+                }
             }
 
             double relaxedLoss = 0.0;
@@ -438,11 +494,13 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                     Selection candidate = sampler.sample(
                         cp.row(b), config_.repairSampling,
                         config_.sampleTemperature, rng);
+                    samplesTotal.add(1);
                     if (!candidate.chosen(graph.root()))
                         continue;
                     const auto check = extract::validate(graph, candidate);
                     if (!check.ok())
                         continue;
+                    samplesValid.add(1);
                     const double cost =
                         model.discrete(candidate.toNodeIndicator(graph));
                     iterBest = std::min(iterBest, cost);
@@ -450,6 +508,10 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                         bestCost = cost;
                         bestSelection = std::move(candidate);
                         sinceImprovement = 0;
+                        logger.debug("iteration %zu: new incumbent %.6g",
+                                     iter, bestCost);
+                        obs::traceInstant("smoothe.incumbent");
+                        obs::traceCounter("smoothe.best_cost", bestCost);
                         if (options.recordTrace) {
                             result.trace.push_back(
                                 {timer.seconds(), bestCost});
@@ -469,25 +531,37 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                 diagnostics_.lossCurve.push_back(point);
             }
 
-            if (sinceImprovement > config_.patience)
+            if (sinceImprovement > config_.patience) {
+                logger.debug("iteration %zu: patience exhausted", iter);
                 break;
+            }
         }
 
-        diagnostics_.peakMemoryBytes = arena.peak();
+        finalizeDiagnostics();
         result.seconds = timer.seconds();
         if (bestCost == kInf) {
+            logger.warn("no valid sample after %zu iterations",
+                        diagnostics_.iterations);
             result.status = SolveStatus::Failed;
             result.cost = kInf;
             result.note = "no valid sample";
             return result;
         }
+        logger.info("done: cost %.6g after %zu iterations (%.3fs, "
+                    "peak %zu bytes)",
+                    bestCost, diagnostics_.iterations, result.seconds,
+                    diagnostics_.peakMemoryBytes);
         result.status = SolveStatus::Feasible;
         result.selection = std::move(bestSelection);
         result.cost = bestCost;
         return result;
     } catch (const tensor::OomError& oom) {
         diagnostics_.outOfMemory = true;
-        diagnostics_.peakMemoryBytes = arena.peak();
+        finalizeDiagnostics();
+        obs::counter("extraction.oom").add(1);
+        obs::traceInstant("smoothe.oom");
+        logger.error("out of memory after %zu iterations: %s",
+                     diagnostics_.iterations, oom.what());
         result.status = SolveStatus::Failed;
         result.cost = kInf;
         result.seconds = timer.seconds();

@@ -25,6 +25,7 @@
 
 #include "costmodel/cost_model.hpp"
 #include "extraction/extractor.hpp"
+#include "obs/phase_profiler.hpp"
 #include "smoothe/config.hpp"
 #include "util/timer.hpp"
 
@@ -47,9 +48,10 @@ struct SmoothEDiagnostics
     std::size_t sccCount = 0;        ///< non-trivial SCCs penalized
     std::size_t largestScc = 0;
     std::size_t peakMemoryBytes = 0;
+    std::size_t tapeNodes = 0;       ///< autodiff tape size, last iteration
     bool outOfMemory = false;
     std::vector<LossCurvePoint> lossCurve;
-    util::PhaseProfiler profile;     ///< Figure 8 phase breakdown
+    obs::PhaseProfiler profile;      ///< Figure 8 phase breakdown
 };
 
 /** Relaxed probabilities from one phi evaluation (analysis API). */

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace smoothe::tensor {
 
 Tensor::Tensor(std::size_t rows, std::size_t cols, Arena* arena)
@@ -125,6 +127,13 @@ spmv(const CsrMatrix& a, const Tensor& x, Tensor& out, Backend backend)
     assert(x.cols() == a.numCols);
     assert(out.rows() == x.rows() && out.cols() == a.numRows);
     const std::size_t batch = x.rows();
+
+    static obs::Counter& calls = obs::counter("kernel.spmv.calls");
+    static obs::Counter& bytes = obs::counter("kernel.spmv.bytes");
+    calls.add(1);
+    // Bytes touched: nnz values + column indices, plus in/out vectors.
+    bytes.add(a.values.size() * (sizeof(float) + sizeof(std::uint32_t)) +
+              (x.size() + out.size()) * sizeof(float));
 
     if (backend == Backend::Scalar) {
         // Reference path: per batch row, per matrix row, indexed access.

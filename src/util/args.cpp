@@ -11,26 +11,41 @@ Args::Args(int argc, char** argv)
         if (token.rfind("--", 0) != 0)
             continue;
         token = token.substr(2);
+        std::string name;
         const auto eq = token.find('=');
         if (eq != std::string::npos) {
-            values_[token.substr(0, eq)] = token.substr(eq + 1);
+            name = token.substr(0, eq);
+            values_[name] = token.substr(eq + 1);
         } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-            values_[token] = argv[++i];
+            name = token;
+            values_[name] = argv[++i];
         } else {
-            values_[token] = "";
+            name = token;
+            values_[name] = "";
         }
+        order_.push_back(name);
     }
+    // Repeated flags keep the last value; list each name once.
+    std::set<std::string> seen;
+    std::vector<std::string> unique;
+    for (const std::string& name : order_) {
+        if (seen.insert(name).second)
+            unique.push_back(name);
+    }
+    order_ = std::move(unique);
 }
 
 bool
 Args::has(const std::string& name) const
 {
+    queried_.insert(name);
     return values_.count(name) > 0;
 }
 
 std::string
 Args::getString(const std::string& name, const std::string& fallback) const
 {
+    queried_.insert(name);
     const auto it = values_.find(name);
     return it == values_.end() ? fallback : it->second;
 }
@@ -38,6 +53,7 @@ Args::getString(const std::string& name, const std::string& fallback) const
 double
 Args::getDouble(const std::string& name, double fallback) const
 {
+    queried_.insert(name);
     const auto it = values_.find(name);
     if (it == values_.end() || it->second.empty())
         return fallback;
@@ -47,6 +63,7 @@ Args::getDouble(const std::string& name, double fallback) const
 std::int64_t
 Args::getInt(const std::string& name, std::int64_t fallback) const
 {
+    queried_.insert(name);
     const auto it = values_.find(name);
     if (it == values_.end() || it->second.empty())
         return fallback;
@@ -56,12 +73,30 @@ Args::getInt(const std::string& name, std::int64_t fallback) const
 bool
 Args::getBool(const std::string& name, bool fallback) const
 {
+    queried_.insert(name);
     const auto it = values_.find(name);
     if (it == values_.end())
         return fallback;
     if (it->second.empty() || it->second == "true" || it->second == "1")
         return true;
     return false;
+}
+
+void
+Args::acknowledge(const std::string& name) const
+{
+    queried_.insert(name);
+}
+
+std::vector<std::string>
+Args::unrecognized() const
+{
+    std::vector<std::string> unknown;
+    for (const std::string& name : order_) {
+        if (!queried_.count(name))
+            unknown.push_back(name);
+    }
+    return unknown;
 }
 
 } // namespace smoothe::util

@@ -10,11 +10,20 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 namespace smoothe::util {
 
-/** Parsed command-line flags with typed, defaulted accessors. */
+/**
+ * Parsed command-line flags with typed, defaulted accessors.
+ *
+ * Every accessor records which flag names the program asked about; after
+ * all flags are queried, unrecognized() lists what the user passed that
+ * the program never looked at — the binaries use this to reject typos
+ * like `--seeeds` instead of silently running with defaults.
+ */
 class Args
 {
   public:
@@ -37,8 +46,23 @@ class Args
     /** Returns the flag parsed as bool ("--x", "--x=true/false"). */
     bool getBool(const std::string& name, bool fallback) const;
 
+    /** Marks a flag as known without reading its value. */
+    void acknowledge(const std::string& name) const;
+
+    /** All flag names that were passed, in command-line order. */
+    const std::vector<std::string>& flags() const { return order_; }
+
+    /**
+     * Flags that were passed but never queried through any accessor (nor
+     * acknowledge()d), in command-line order. Call only after querying
+     * every flag the program understands.
+     */
+    std::vector<std::string> unrecognized() const;
+
   private:
     std::map<std::string, std::string> values_;
+    std::vector<std::string> order_;
+    mutable std::set<std::string> queried_;
 };
 
 } // namespace smoothe::util

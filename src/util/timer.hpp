@@ -73,43 +73,8 @@ class Deadline
     double budget_;
 };
 
-/** Accumulates time spent in named phases (used for Figure 8 profiling). */
-class PhaseProfiler
-{
-  public:
-    /** RAII scope that adds its lifetime to the named accumulator. */
-    class Scope
-    {
-      public:
-        Scope(PhaseProfiler& profiler, double& slot)
-            : profiler_(profiler), slot_(slot)
-        {}
-        ~Scope() { slot_ += timer_.seconds(); (void)profiler_; }
-        Scope(const Scope&) = delete;
-        Scope& operator=(const Scope&) = delete;
-
-      private:
-        PhaseProfiler& profiler_;
-        double& slot_;
-        Timer timer_;
-    };
-
-    double lossSeconds = 0.0;     ///< forward pass / loss calculation
-    double gradientSeconds = 0.0; ///< backward pass + optimizer step
-    double samplingSeconds = 0.0; ///< discrete sampling + validation
-    double otherSeconds = 0.0;    ///< setup, bookkeeping
-
-    Scope loss() { return Scope(*this, lossSeconds); }
-    Scope gradient() { return Scope(*this, gradientSeconds); }
-    Scope sampling() { return Scope(*this, samplingSeconds); }
-    Scope other() { return Scope(*this, otherSeconds); }
-
-    double
-    total() const
-    {
-        return lossSeconds + gradientSeconds + samplingSeconds + otherSeconds;
-    }
-};
+// PhaseProfiler (the Figure 8 phase accumulator) now lives in
+// obs/phase_profiler.hpp, rebuilt on trace spans.
 
 } // namespace smoothe::util
 

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * End-to-end smoke test of the telemetry surface: runs the real
+ * smoothe_extract binary with --trace-out/--metrics-out on a tiny
+ * generated e-graph and checks that the trace is valid Chrome trace-event
+ * JSON covering the optimizer phases and that the metrics dump contains
+ * the headline counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace {
+
+/** Locates a built binary relative to the test executable's directory. */
+std::string
+binaryPath(const std::string& name)
+{
+    const char* candidates[] = {"../tools/", "./build/tools/",
+                                "build/tools/"};
+    for (const char* dir : candidates) {
+        const std::string path = std::string(dir) + name;
+        if (FILE* f = std::fopen(path.c_str(), "rb")) {
+            std::fclose(f);
+            return path;
+        }
+    }
+    return "";
+}
+
+int
+runCommand(const std::string& command)
+{
+    const int status = std::system((command + " > /dev/null 2>&1").c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+} // namespace
+
+TEST(SmokeObservability, TraceAndMetricsFilesAreValid)
+{
+    const std::string gen = binaryPath("egraph_gen");
+    const std::string extract = binaryPath("smoothe_extract");
+    if (gen.empty() || extract.empty())
+        GTEST_SKIP() << "tool binaries not found relative to cwd";
+
+    ASSERT_EQ(runCommand(gen + " --family maxsat --scale 0.05 --seed 7 "
+                               "--out /tmp"),
+              0);
+
+    const std::string trace = "/tmp/smoothe_obs_trace.json";
+    const std::string metrics = "/tmp/smoothe_obs_metrics.json";
+    ASSERT_EQ(runCommand(extract +
+                         " --input /tmp/maxsat_0.json --extractor smoothe "
+                         "--max-iters 30 --seeds 4 --time-limit 20 "
+                         "--trace-out " + trace + " --metrics-out " +
+                         metrics),
+              0);
+
+    // Trace: valid JSON, traceEvents array, optimizer phase spans present.
+    auto traceText = smoothe::util::readFile(trace);
+    ASSERT_TRUE(traceText.has_value());
+    auto traceDoc = smoothe::util::Json::parse(*traceText);
+    ASSERT_TRUE(traceDoc.has_value());
+    const smoothe::util::Json* events = traceDoc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_GT(events->asArray().size(), 0u);
+
+    std::set<std::string> spanNames;
+    for (const smoothe::util::Json& event : events->asArray()) {
+        ASSERT_NE(event.find("ph"), nullptr);
+        ASSERT_NE(event.find("name"), nullptr);
+        if (event.find("ph")->asString() == "X") {
+            EXPECT_GE(event.find("dur")->asNumber(), 0.0);
+            spanNames.insert(event.find("name")->asString());
+        }
+    }
+    for (const char* phase :
+         {"softmax", "propagate", "penalty", "adam", "sampling",
+          "iteration"}) {
+        EXPECT_TRUE(spanNames.count(phase)) << "missing span: " << phase;
+    }
+
+    // Metrics: valid JSON with nonzero headline numbers.
+    auto metricsText = smoothe::util::readFile(metrics);
+    ASSERT_TRUE(metricsText.has_value());
+    auto metricsDoc = smoothe::util::Json::parse(*metricsText);
+    ASSERT_TRUE(metricsDoc.has_value());
+    ASSERT_TRUE(metricsDoc->isObject());
+    for (const char* name :
+         {"smoothe.iterations", "tape.nodes", "sampler.valid_rate",
+          "kernel.softmax.calls"}) {
+        const smoothe::util::Json* value = metricsDoc->find(name);
+        ASSERT_NE(value, nullptr) << "missing metric: " << name;
+        EXPECT_GT(value->asNumber(), 0.0) << name;
+    }
+
+    std::remove(trace.c_str());
+    std::remove(metrics.c_str());
+}
+
+TEST(SmokeObservability, UnknownFlagsAreRejected)
+{
+    const std::string gen = binaryPath("egraph_gen");
+    const std::string extract = binaryPath("smoothe_extract");
+    if (gen.empty() || extract.empty())
+        GTEST_SKIP() << "tool binaries not found relative to cwd";
+
+    EXPECT_EQ(runCommand(extract +
+                         " --input /tmp/maxsat_0.json --extractor smoothe "
+                         "--thyme-limit 5"),
+              2);
+    EXPECT_EQ(runCommand(gen + " --family maxsat --scale 0.05 --out /tmp "
+                               "--seeeed 7"),
+              2);
+}

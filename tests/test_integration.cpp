@@ -217,8 +217,9 @@ TEST(Integration, EqsatGrownFirEndToEnd)
     const auto relaxed = smoothe.extract(g, options);
     ASSERT_TRUE(relaxed.ok());
     EXPECT_TRUE(ex::validate(g, relaxed.selection).ok());
-    if (exact.status == ex::SolveStatus::Optimal)
+    if (exact.status == ex::SolveStatus::Optimal) {
         EXPECT_GE(relaxed.cost, exact.cost - 1e-6);
+    }
     EXPECT_LE(relaxed.cost, exact.cost * 1.3 + 1e-6);
 }
 

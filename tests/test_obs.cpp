@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Unit tests for the telemetry subsystem (smoothe::obs): log levels and
+ * sinks, the metrics registry, Chrome trace spans, the span-backed
+ * PhaseProfiler, and the allocation-free disabled fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/json.hpp"
+
+namespace so = smoothe::obs;
+namespace su = smoothe::util;
+
+// ---------------------------------------------------------------------------
+// Global allocation counter for the disabled-fast-path test. Counting in
+// the test binary's own operator new is the only way to prove "allocates
+// nothing" without a heap profiler.
+
+namespace {
+std::atomic<std::uint64_t> gAllocations{0};
+} // namespace
+
+void*
+operator new(std::size_t size)
+{
+    gAllocations.fetch_add(1, std::memory_order_relaxed);
+    void* p = std::malloc(size ? size : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+/** Captures records in memory so tests can assert on them. */
+class CaptureSink : public so::Sink
+{
+  public:
+    struct Entry
+    {
+        so::Level level;
+        std::string component;
+        std::string message;
+    };
+
+    void
+    write(const so::LogRecord& record) override
+    {
+        entries.push_back({record.level, record.component, record.message});
+    }
+
+    std::vector<Entry> entries;
+};
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+} // namespace
+
+TEST(Log, LevelNamesRoundTrip)
+{
+    EXPECT_STREQ(so::levelName(so::Level::Debug), "debug");
+    EXPECT_STREQ(so::levelName(so::Level::Off), "off");
+    EXPECT_EQ(so::parseLevel("DEBUG"), so::Level::Debug);
+    EXPECT_EQ(so::parseLevel("warn"), so::Level::Warn);
+    EXPECT_EQ(so::parseLevel("Error"), so::Level::Error);
+    EXPECT_FALSE(so::parseLevel("loud").has_value());
+}
+
+TEST(Log, SpecFiltersByComponent)
+{
+    ASSERT_TRUE(so::configureLogging("obs_test_a=debug,*=error"));
+    so::Logger a("obs_test_a");
+    so::Logger b("obs_test_b");
+    EXPECT_TRUE(a.enabled(so::Level::Debug));
+    EXPECT_FALSE(a.enabled(so::Level::Trace));
+    EXPECT_FALSE(b.enabled(so::Level::Warn));
+    EXPECT_TRUE(b.enabled(so::Level::Error));
+
+    // A later component entry overrides the default for that component.
+    ASSERT_TRUE(so::configureLogging("obs_test_b=trace"));
+    EXPECT_TRUE(b.enabled(so::Level::Trace));
+
+    // Unknown levels are rejected without changing anything.
+    EXPECT_FALSE(so::configureLogging("obs_test_b=loud"));
+    EXPECT_TRUE(b.enabled(so::Level::Trace));
+
+    so::setGlobalLogLevel(so::Level::Warn); // restore the default
+}
+
+TEST(Log, RecordsReachSinksAndRespectLevel)
+{
+    auto sink = std::make_unique<CaptureSink>();
+    CaptureSink* capture = sink.get();
+    so::addLogSink(std::move(sink));
+
+    so::setGlobalLogLevel(so::Level::Warn);
+    so::Logger log("obs_test_sink");
+    log.debug("hidden %d", 1);
+    log.warn("answer %d", 42);
+    log.error("%s failed", "stage");
+
+    ASSERT_EQ(capture->entries.size(), 2u);
+    EXPECT_EQ(capture->entries[0].level, so::Level::Warn);
+    EXPECT_EQ(capture->entries[0].component, "obs_test_sink");
+    EXPECT_EQ(capture->entries[0].message, "answer 42");
+    EXPECT_EQ(capture->entries[1].message, "stage failed");
+
+    so::resetLogSinks();
+}
+
+TEST(Log, JsonlSinkWritesParseableLines)
+{
+    const std::string path = ::testing::TempDir() + "obs_log.jsonl";
+    ASSERT_TRUE(so::addJsonlLogSink(path));
+    so::Logger log("obs_test_jsonl");
+    log.error("value %d", 7);
+    so::resetLogSinks(); // closes the file
+
+    std::istringstream lines(readFile(path));
+    std::string line;
+    bool found = false;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        const auto doc = su::Json::parse(line);
+        ASSERT_TRUE(doc.has_value()) << line;
+        const su::Json* component = doc->find("component");
+        if (component && component->asString() == "obs_test_jsonl") {
+            found = true;
+            EXPECT_EQ(doc->find("msg")->asString(), "value 7");
+            EXPECT_EQ(doc->find("level")->asString(), "error");
+            EXPECT_GE(doc->find("ts")->asNumber(), 0.0);
+        }
+    }
+    EXPECT_TRUE(found);
+    std::remove(path.c_str());
+}
+
+TEST(Metrics, CounterGaugeArithmetic)
+{
+    so::Counter& counter = so::counter("test.counter");
+    counter.reset();
+    counter.add();
+    counter.add(41);
+    EXPECT_EQ(counter.get(), 42u);
+
+    so::Gauge& gauge = so::gauge("test.gauge");
+    gauge.set(2.5);
+    EXPECT_DOUBLE_EQ(gauge.get(), 2.5);
+    gauge.set(-1.0);
+    EXPECT_DOUBLE_EQ(gauge.get(), -1.0);
+
+    // Same name returns the same metric.
+    EXPECT_EQ(&so::counter("test.counter"), &counter);
+}
+
+TEST(Metrics, HistogramBuckets)
+{
+    so::Histogram& hist = so::histogram("test.hist", {1.0, 10.0});
+    hist.reset();
+    hist.observe(0.5);  // <= 1
+    hist.observe(1.0);  // <= 1 (inclusive upper bound)
+    hist.observe(5.0);  // <= 10
+    hist.observe(100.0); // overflow
+    ASSERT_EQ(hist.numBuckets(), 3u);
+    EXPECT_EQ(hist.bucketCount(0), 2u);
+    EXPECT_EQ(hist.bucketCount(1), 1u);
+    EXPECT_EQ(hist.bucketCount(2), 1u);
+    EXPECT_EQ(hist.count(), 4u);
+    EXPECT_DOUBLE_EQ(hist.sum(), 106.5);
+}
+
+TEST(Metrics, JsonShape)
+{
+    so::counter("test.json_counter").reset();
+    so::counter("test.json_counter").add(3);
+    so::gauge("test.json_gauge").set(1.5);
+    so::Histogram& hist = so::histogram("test.json_hist", {2.0});
+    hist.reset();
+    hist.observe(1.0);
+    hist.observe(9.0);
+
+    const auto doc =
+        su::Json::parse(so::MetricsRegistry::instance().toJson().dump());
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_DOUBLE_EQ(doc->find("test.json_counter")->asNumber(), 3.0);
+    EXPECT_DOUBLE_EQ(doc->find("test.json_gauge")->asNumber(), 1.5);
+
+    const su::Json* histJson = doc->find("test.json_hist");
+    ASSERT_NE(histJson, nullptr);
+    ASSERT_TRUE(histJson->isObject());
+    EXPECT_EQ(histJson->find("bounds")->asArray().size(), 1u);
+    EXPECT_EQ(histJson->find("counts")->asArray().size(), 2u);
+    EXPECT_DOUBLE_EQ(histJson->find("count")->asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(histJson->find("sum")->asNumber(), 10.0);
+}
+
+TEST(Trace, SpansProduceBalancedChromeJson)
+{
+    so::TraceSession& session = so::TraceSession::instance();
+    session.start();
+    {
+        so::Span outer("outer", "test");
+        {
+            so::Span inner("inner", "test");
+        }
+        so::traceCounter("test.counter_event", 3.5);
+        so::traceInstant("test.instant");
+    }
+    session.stop();
+
+    // 2 complete spans + 1 counter + 1 instant.
+    EXPECT_EQ(session.eventCount(), 4u);
+
+    const auto doc = su::Json::parse(session.toJson().dump());
+    ASSERT_TRUE(doc.has_value());
+    const su::Json* events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    std::size_t complete = 0;
+    bool sawCounter = false;
+    for (const su::Json& event : events->asArray()) {
+        const std::string ph = event.find("ph")->asString();
+        EXPECT_NE(event.find("name"), nullptr);
+        EXPECT_NE(event.find("ts"), nullptr);
+        EXPECT_NE(event.find("pid"), nullptr);
+        EXPECT_NE(event.find("tid"), nullptr);
+        if (ph == "X") {
+            ++complete;
+            EXPECT_GE(event.find("dur")->asNumber(), 0.0);
+        } else if (ph == "C") {
+            sawCounter = true;
+            EXPECT_DOUBLE_EQ(
+                event.find("args")->find("value")->asNumber(), 3.5);
+        }
+    }
+    EXPECT_EQ(complete, 2u);
+    EXPECT_TRUE(sawCounter);
+
+    // writeTo produces a parseable file.
+    const std::string path = ::testing::TempDir() + "obs_trace.json";
+    ASSERT_TRUE(session.writeTo(path));
+    EXPECT_TRUE(su::Json::parse(readFile(path)).has_value());
+    std::remove(path.c_str());
+    session.clear();
+}
+
+TEST(Trace, SpanEndClosesEarlyExactlyOnce)
+{
+    so::TraceSession& session = so::TraceSession::instance();
+    session.start();
+    {
+        so::Span span("early", "test");
+        span.end();
+        span.end(); // second end is a no-op
+    } // destructor must not emit again
+    session.stop();
+    EXPECT_EQ(session.eventCount(), 1u);
+    session.clear();
+}
+
+TEST(PhaseProfiler, AccumulatesScopes)
+{
+    so::PhaseProfiler profiler;
+    {
+        auto scope = profiler.loss();
+        volatile int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            sink = sink + i;
+        (void)sink;
+    }
+    {
+        auto scope = profiler.sampling();
+    }
+    EXPECT_GE(profiler.lossSeconds, 0.0);
+    EXPECT_GT(profiler.lossSeconds + profiler.samplingSeconds, 0.0);
+    EXPECT_GE(profiler.total(), profiler.lossSeconds);
+}
+
+TEST(PhaseProfiler, ScopesEmitSpansWhenTracing)
+{
+    so::TraceSession& session = so::TraceSession::instance();
+    session.start();
+    so::PhaseProfiler profiler;
+    {
+        auto scope = profiler.loss();
+    }
+    {
+        auto scope = profiler.gradient();
+    }
+    session.stop();
+    EXPECT_EQ(session.eventCount(), 2u);
+    session.clear();
+}
+
+TEST(Disabled, FastPathAllocatesNothing)
+{
+    // With tracing off and the component below threshold, spans, counter
+    // updates, and suppressed log calls must not touch the heap.
+    ASSERT_FALSE(so::traceEnabled());
+    so::setGlobalLogLevel(so::Level::Warn);
+
+    static so::Logger log("obs_test_fastpath"); // registered up front
+    so::Counter& counter = so::counter("test.fastpath.counter");
+    so::Gauge& gauge = so::gauge("test.fastpath.gauge");
+    so::Histogram& hist = so::histogram("test.fastpath.hist", {1.0});
+
+    const std::uint64_t before =
+        gAllocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 1000; ++i) {
+        so::Span span("hot", "test");
+        counter.add(1);
+        gauge.set(static_cast<double>(i));
+        hist.observe(0.5);
+        log.debug("suppressed %d", i);
+        so::traceCounter("hot.counter", 1.0);
+    }
+    const std::uint64_t after =
+        gAllocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(before, after);
+}

@@ -144,22 +144,7 @@ TEST(Deadline, TinyBudgetExpires)
     (void)sink;
 }
 
-TEST(PhaseProfiler, AccumulatesScopes)
-{
-    su::PhaseProfiler profiler;
-    {
-        auto scope = profiler.loss();
-        volatile int sink = 0;
-        for (int i = 0; i < 1000; ++i)
-            sink = sink + i;
-        (void)sink;
-    }
-    {
-        auto scope = profiler.sampling();
-    }
-    EXPECT_GE(profiler.lossSeconds, 0.0);
-    EXPECT_GE(profiler.total(), profiler.lossSeconds);
-}
+// PhaseProfiler moved to src/obs/; its tests now live in test_obs.cpp.
 
 TEST(Json, ParsesScalars)
 {
@@ -267,6 +252,23 @@ TEST(Args, ParsesForms)
     EXPECT_DOUBLE_EQ(args.getDouble("gamma", 0.0), 2.5);
     EXPECT_EQ(args.getInt("missing", 9), 9);
     EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Args, TracksUnrecognizedFlags)
+{
+    const char* argv[] = {"prog", "--alpha", "3", "--typo=1", "--beta", "x"};
+    su::Args args(6, const_cast<char**>(argv));
+    EXPECT_EQ(args.flags().size(), 3u);
+
+    // Nothing queried yet: everything the user passed is unrecognized.
+    EXPECT_EQ(args.unrecognized().size(), 3u);
+
+    args.getInt("alpha", 0);
+    args.getString("beta", "");
+    args.acknowledge("gamma"); // known flag that was not passed
+    const auto unknown = args.unrecognized();
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "typo");
 }
 
 TEST(Json, FuzzRandomBytesNeverCrash)

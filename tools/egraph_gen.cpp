@@ -14,6 +14,7 @@
 
 #include "datasets/registry.hpp"
 #include "egraph/serialize.hpp"
+#include "obs/cli.hpp"
 #include "util/args.hpp"
 
 int
@@ -21,12 +22,16 @@ main(int argc, char** argv)
 {
     using namespace smoothe;
     const util::Args args(argc, argv);
+    obs::installCliTelemetry(args);
     const double scale = args.getDouble("scale", 0.1);
     const std::uint64_t seed =
         static_cast<std::uint64_t>(args.getInt("seed", 2025));
     const std::string outDir = args.getString("out", ".");
     const bool all = args.getBool("all", false);
     const std::string family = args.getString("family", "");
+
+    if (obs::reportUnknownFlags(args, "egraph_gen") > 0)
+        return 2;
 
     if (!all && family.empty()) {
         std::fprintf(stderr,

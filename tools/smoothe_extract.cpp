@@ -7,6 +7,8 @@
  *                   [--time-limit 10] [--seed 1] [--seeds 16]
  *                   [--assumption hybrid] [--lambda 8]
  *                   [--output selection.json]
+ *                   [--log-level debug] [--log-json log.jsonl]
+ *                   [--trace-out trace.json] [--metrics-out metrics.json]
  *
  * Prints a one-line summary (extractor, status, cost, time) and, when
  * --output is given, writes the chosen e-node per e-class as JSON:
@@ -18,6 +20,7 @@
 
 #include "api/factory.hpp"
 #include "egraph/serialize.hpp"
+#include "obs/cli.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
 
@@ -26,6 +29,7 @@ main(int argc, char** argv)
 {
     using namespace smoothe;
     const util::Args args(argc, argv);
+    obs::installCliTelemetry(args);
 
     const std::string input = args.getString("input", "");
     if (input.empty()) {
@@ -77,6 +81,10 @@ main(int argc, char** argv)
     options.timeLimitSeconds = args.getDouble("time-limit", 10.0);
     options.seed =
         static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    args.acknowledge("output");
+    if (obs::reportUnknownFlags(args, "smoothe_extract") > 0)
+        return 2;
 
     const auto result = extractor->extract(*graph, options);
     std::printf("%s: %s, cost %.6g, %.3fs\n", extractor->name().c_str(),
