@@ -7,10 +7,42 @@
 
 #include "autodiff/matexp.hpp"
 #include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace smoothe::ad {
 
 namespace {
+
+/**
+ * Flat elements per parallel task for elementwise kernels. Fixed (never
+ * derived from the worker count) so the work partition — and therefore the
+ * float result — is identical for every thread count.
+ */
+constexpr std::size_t kElemGrain = std::size_t{1} << 15;
+
+/** Batch rows per parallel task, sized so a task touches ~kElemGrain
+ *  elements. */
+std::size_t
+rowGrain(std::size_t cols)
+{
+    return std::max<std::size_t>(1,
+                                 kElemGrain / std::max<std::size_t>(1, cols));
+}
+
+/**
+ * Runs body over chunks of [0, n): on the global pool for the Vectorized
+ * backend, inline as one chunk for the Scalar baseline (which models an
+ * unoptimized single-stream interpreter).
+ */
+void
+parallelChunks(bool parallel, std::size_t n, std::size_t grain,
+               const std::function<void(std::size_t, std::size_t)>& body)
+{
+    if (parallel)
+        util::ThreadPool::global().parallelForChunks(0, n, grain, body);
+    else
+        body(0, n);
+}
 
 /**
  * Deliberately slow per-element application used by the Scalar backend:
@@ -111,8 +143,11 @@ Tape::add(VarId a, VarId b)
         const float* __restrict x = av.data();
         const float* __restrict y = bv.data();
         float* __restrict o = node.value.data();
-        for (std::size_t i = 0; i < av.size(); ++i)
-            o[i] = x[i] + y[i];
+        parallelChunks(true, av.size(), kElemGrain,
+                       [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i)
+                               o[i] = x[i] + y[i];
+                       });
     }
     return push(std::move(node));
 }
@@ -135,8 +170,11 @@ Tape::sub(VarId a, VarId b)
         const float* __restrict x = av.data();
         const float* __restrict y = bv.data();
         float* __restrict o = node.value.data();
-        for (std::size_t i = 0; i < av.size(); ++i)
-            o[i] = x[i] - y[i];
+        parallelChunks(true, av.size(), kElemGrain,
+                       [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i)
+                               o[i] = x[i] - y[i];
+                       });
     }
     return push(std::move(node));
 }
@@ -159,8 +197,11 @@ Tape::mul(VarId a, VarId b)
         const float* __restrict x = av.data();
         const float* __restrict y = bv.data();
         float* __restrict o = node.value.data();
-        for (std::size_t i = 0; i < av.size(); ++i)
-            o[i] = x[i] * y[i];
+        parallelChunks(true, av.size(), kElemGrain,
+                       [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i)
+                               o[i] = x[i] * y[i];
+                       });
     }
     return push(std::move(node));
 }
@@ -176,8 +217,11 @@ Tape::scale(VarId a, float alpha)
     node.value = Tensor(av.rows(), av.cols(), arena_);
     const float* x = av.data();
     float* o = node.value.data();
-    for (std::size_t i = 0; i < av.size(); ++i)
-        o[i] = alpha * x[i];
+    parallelChunks(backend_ != Backend::Scalar, av.size(), kElemGrain,
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i)
+                           o[i] = alpha * x[i];
+                   });
     return push(std::move(node));
 }
 
@@ -192,8 +236,11 @@ Tape::addScalar(VarId a, float alpha)
     node.value = Tensor(av.rows(), av.cols(), arena_);
     const float* x = av.data();
     float* o = node.value.data();
-    for (std::size_t i = 0; i < av.size(); ++i)
-        o[i] = x[i] + alpha;
+    parallelChunks(backend_ != Backend::Scalar, av.size(), kElemGrain,
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i)
+                           o[i] = x[i] + alpha;
+                   });
     return push(std::move(node));
 }
 
@@ -211,8 +258,11 @@ Tape::relu(VarId a)
     } else {
         const float* __restrict x = av.data();
         float* __restrict o = node.value.data();
-        for (std::size_t i = 0; i < av.size(); ++i)
-            o[i] = x[i] > 0.0f ? x[i] : 0.0f;
+        parallelChunks(true, av.size(), kElemGrain,
+                       [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i)
+                               o[i] = x[i] > 0.0f ? x[i] : 0.0f;
+                       });
     }
     return push(std::move(node));
 }
@@ -227,13 +277,17 @@ Tape::mulConst(VarId a, Tensor c)
     node.op = Op::MulConst;
     node.in0 = a;
     node.value = Tensor(av.rows(), av.cols(), arena_);
-    for (std::size_t r = 0; r < av.rows(); ++r) {
-        const float* x = av.row(r);
-        const float* m = c.row(c.rows() == 1 ? 0 : r);
-        float* o = node.value.row(r);
-        for (std::size_t i = 0; i < av.cols(); ++i)
-            o[i] = x[i] * m[i];
-    }
+    parallelChunks(backend_ != Backend::Scalar, av.rows(),
+                   rowGrain(av.cols()),
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t r = begin; r < end; ++r) {
+                           const float* x = av.row(r);
+                           const float* m = c.row(c.rows() == 1 ? 0 : r);
+                           float* o = node.value.row(r);
+                           for (std::size_t i = 0; i < av.cols(); ++i)
+                               o[i] = x[i] * m[i];
+                       }
+                   });
     node.constTensor = std::move(c);
     return push(std::move(node));
 }
@@ -248,13 +302,17 @@ Tape::addConst(VarId a, Tensor c)
     node.op = Op::AddConst;
     node.in0 = a;
     node.value = Tensor(av.rows(), av.cols(), arena_);
-    for (std::size_t r = 0; r < av.rows(); ++r) {
-        const float* x = av.row(r);
-        const float* m = c.row(c.rows() == 1 ? 0 : r);
-        float* o = node.value.row(r);
-        for (std::size_t i = 0; i < av.cols(); ++i)
-            o[i] = x[i] + m[i];
-    }
+    parallelChunks(backend_ != Backend::Scalar, av.rows(),
+                   rowGrain(av.cols()),
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t r = begin; r < end; ++r) {
+                           const float* x = av.row(r);
+                           const float* m = c.row(c.rows() == 1 ? 0 : r);
+                           float* o = node.value.row(r);
+                           for (std::size_t i = 0; i < av.cols(); ++i)
+                               o[i] = x[i] + m[i];
+                       }
+                   });
     node.constTensor = std::move(c);
     return push(std::move(node));
 }
@@ -277,13 +335,16 @@ Tape::dotRowsConst(VarId a, std::vector<float> u)
         }
     } else {
         const float* uv = u.data();
-        for (std::size_t r = 0; r < av.rows(); ++r) {
-            const float* __restrict x = av.row(r);
-            float acc = 0.0f;
-            for (std::size_t i = 0; i < av.cols(); ++i)
-                acc += x[i] * uv[i];
-            node.value.at(r, 0) = acc;
-        }
+        parallelChunks(true, av.rows(), rowGrain(av.cols()),
+                       [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t r = begin; r < end; ++r) {
+                               const float* __restrict x = av.row(r);
+                               float acc = 0.0f;
+                               for (std::size_t i = 0; i < av.cols(); ++i)
+                                   acc += x[i] * uv[i];
+                               node.value.at(r, 0) = acc;
+                           }
+                       });
     }
     node.constVec = std::move(u);
     return push(std::move(node));
@@ -333,28 +394,32 @@ Tape::segmentSoftmax(VarId a, const SegmentIndex* segs)
     node.segs = segs;
     node.value = Tensor(av.rows(), av.cols(), arena_);
     const std::size_t numSegments = segs->numSegments();
-    for (std::size_t r = 0; r < av.rows(); ++r) {
-        const float* x = av.row(r);
-        float* o = node.value.row(r);
-        for (std::size_t s = 0; s < numSegments; ++s) {
-            const std::uint32_t begin = segs->offsets[s];
-            const std::uint32_t end = segs->offsets[s + 1];
-            if (begin == end)
-                continue;
-            float maxVal = -std::numeric_limits<float>::infinity();
-            for (std::uint32_t e = begin; e < end; ++e)
-                maxVal = std::max(maxVal, x[segs->items[e]]);
-            float denom = 0.0f;
-            for (std::uint32_t e = begin; e < end; ++e) {
-                const float ev = std::exp(x[segs->items[e]] - maxVal);
-                o[segs->items[e]] = ev;
-                denom += ev;
+    parallelChunks(
+        backend_ != Backend::Scalar, av.rows(), rowGrain(av.cols()),
+        [&](std::size_t rowBegin, std::size_t rowEnd) {
+            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+                const float* x = av.row(r);
+                float* o = node.value.row(r);
+                for (std::size_t s = 0; s < numSegments; ++s) {
+                    const std::uint32_t begin = segs->offsets[s];
+                    const std::uint32_t end = segs->offsets[s + 1];
+                    if (begin == end)
+                        continue;
+                    float maxVal = -std::numeric_limits<float>::infinity();
+                    for (std::uint32_t e = begin; e < end; ++e)
+                        maxVal = std::max(maxVal, x[segs->items[e]]);
+                    float denom = 0.0f;
+                    for (std::uint32_t e = begin; e < end; ++e) {
+                        const float ev = std::exp(x[segs->items[e]] - maxVal);
+                        o[segs->items[e]] = ev;
+                        denom += ev;
+                    }
+                    const float inv = 1.0f / denom;
+                    for (std::uint32_t e = begin; e < end; ++e)
+                        o[segs->items[e]] *= inv;
+                }
             }
-            const float inv = 1.0f / denom;
-            for (std::uint32_t e = begin; e < end; ++e)
-                o[segs->items[e]] *= inv;
-        }
-    }
+        });
     return push(std::move(node));
 }
 
@@ -368,17 +433,21 @@ Tape::segmentProductComplement(VarId a, const SegmentIndex* segs)
     node.segs = segs;
     const std::size_t numSegments = segs->numSegments();
     node.value = Tensor(av.rows(), numSegments, arena_);
-    for (std::size_t r = 0; r < av.rows(); ++r) {
-        const float* x = av.row(r);
-        float* o = node.value.row(r);
-        for (std::size_t s = 0; s < numSegments; ++s) {
-            float prod = 1.0f;
-            for (std::uint32_t e = segs->offsets[s];
-                 e < segs->offsets[s + 1]; ++e)
-                prod *= (1.0f - x[segs->items[e]]);
-            o[s] = prod;
-        }
-    }
+    parallelChunks(
+        backend_ != Backend::Scalar, av.rows(), rowGrain(numSegments),
+        [&](std::size_t rowBegin, std::size_t rowEnd) {
+            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+                const float* x = av.row(r);
+                float* o = node.value.row(r);
+                for (std::size_t s = 0; s < numSegments; ++s) {
+                    float prod = 1.0f;
+                    for (std::uint32_t e = segs->offsets[s];
+                         e < segs->offsets[s + 1]; ++e)
+                        prod *= (1.0f - x[segs->items[e]]);
+                    o[s] = prod;
+                }
+            }
+        });
     return push(std::move(node));
 }
 
@@ -394,29 +463,33 @@ Tape::segmentMaxGather(VarId a, const SegmentIndex* segs)
     node.value = Tensor(av.rows(), numSegments, arena_);
     node.savedIdx.assign(av.rows() * numSegments,
                          std::numeric_limits<std::uint32_t>::max());
-    for (std::size_t r = 0; r < av.rows(); ++r) {
-        const float* x = av.row(r);
-        float* o = node.value.row(r);
-        for (std::size_t s = 0; s < numSegments; ++s) {
-            const std::uint32_t begin = segs->offsets[s];
-            const std::uint32_t end = segs->offsets[s + 1];
-            if (begin == end) {
-                o[s] = 0.0f;
-                continue;
-            }
-            float best = -std::numeric_limits<float>::infinity();
-            std::uint32_t arg = segs->items[begin];
-            for (std::uint32_t e = begin; e < end; ++e) {
-                const float v = x[segs->items[e]];
-                if (v > best) {
-                    best = v;
-                    arg = segs->items[e];
+    parallelChunks(
+        backend_ != Backend::Scalar, av.rows(), rowGrain(numSegments),
+        [&](std::size_t rowBegin, std::size_t rowEnd) {
+            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+                const float* x = av.row(r);
+                float* o = node.value.row(r);
+                for (std::size_t s = 0; s < numSegments; ++s) {
+                    const std::uint32_t begin = segs->offsets[s];
+                    const std::uint32_t end = segs->offsets[s + 1];
+                    if (begin == end) {
+                        o[s] = 0.0f;
+                        continue;
+                    }
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::uint32_t arg = segs->items[begin];
+                    for (std::uint32_t e = begin; e < end; ++e) {
+                        const float v = x[segs->items[e]];
+                        if (v > best) {
+                            best = v;
+                            arg = segs->items[e];
+                        }
+                    }
+                    o[s] = best;
+                    node.savedIdx[r * numSegments + s] = arg;
                 }
             }
-            o[s] = best;
-            node.savedIdx[r * numSegments + s] = arg;
-        }
-    }
+        });
     return push(std::move(node));
 }
 
@@ -429,12 +502,16 @@ Tape::gatherCols(VarId a, const std::vector<std::uint32_t>* index)
     node.in0 = a;
     node.index = index;
     node.value = Tensor(av.rows(), index->size(), arena_);
-    for (std::size_t r = 0; r < av.rows(); ++r) {
-        const float* x = av.row(r);
-        float* o = node.value.row(r);
-        for (std::size_t i = 0; i < index->size(); ++i)
-            o[i] = x[(*index)[i]];
-    }
+    parallelChunks(backend_ != Backend::Scalar, av.rows(),
+                   rowGrain(index->size()),
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t r = begin; r < end; ++r) {
+                           const float* x = av.row(r);
+                           float* o = node.value.row(r);
+                           for (std::size_t i = 0; i < index->size(); ++i)
+                               o[i] = x[(*index)[i]];
+                       }
+                   });
     return push(std::move(node));
 }
 
@@ -459,19 +536,24 @@ Tape::matmul(VarId a, VarId w)
             }
         }
     } else {
-        // ikj order with restrict pointers for vectorizable inner loop.
-        for (std::size_t b = 0; b < av.rows(); ++b) {
-            const float* __restrict aRow = av.row(b);
-            float* __restrict oRow = node.value.row(b);
-            for (std::size_t k = 0; k < av.cols(); ++k) {
-                const float av_k = aRow[k];
-                if (av_k == 0.0f)
-                    continue;
-                const float* __restrict wRow = wv.row(k);
-                for (std::size_t h = 0; h < wv.cols(); ++h)
-                    oRow[h] += av_k * wRow[h];
-            }
-        }
+        // ikj order with restrict pointers for vectorizable inner loop,
+        // parallel over output rows (each task owns disjoint rows).
+        parallelChunks(
+            true, av.rows(), rowGrain(av.cols() * wv.cols()),
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t b = begin; b < end; ++b) {
+                    const float* __restrict aRow = av.row(b);
+                    float* __restrict oRow = node.value.row(b);
+                    for (std::size_t k = 0; k < av.cols(); ++k) {
+                        const float av_k = aRow[k];
+                        if (av_k == 0.0f)
+                            continue;
+                        const float* __restrict wRow = wv.row(k);
+                        for (std::size_t h = 0; h < wv.cols(); ++h)
+                            oRow[h] += av_k * wRow[h];
+                    }
+                }
+            });
     }
     return push(std::move(node));
 }
@@ -521,12 +603,16 @@ Tape::scatterMatrix(VarId a, const std::vector<MatrixEntry>* entries,
             o[entry.position] += acc * inv;
         }
     } else {
-        for (std::size_t r = 0; r < av.rows(); ++r) {
-            const float* x = av.row(r);
-            float* o = node.value.row(r);
-            for (const MatrixEntry& entry : *entries)
-                o[entry.position] += x[entry.column];
-        }
+        parallelChunks(backend_ != Backend::Scalar, av.rows(),
+                       rowGrain(entries->size()),
+                       [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t r = begin; r < end; ++r) {
+                               const float* x = av.row(r);
+                               float* o = node.value.row(r);
+                               for (const MatrixEntry& entry : *entries)
+                                   o[entry.position] += x[entry.column];
+                           }
+                       });
     }
     return push(std::move(node));
 }
@@ -546,16 +632,22 @@ Tape::trExpm(VarId a, std::size_t dim)
     node.dim = dim;
     node.value = Tensor(av.rows(), 1, arena_);
     node.saved = Tensor(av.rows(), dim * dim, arena_);
-    for (std::size_t r = 0; r < av.rows(); ++r) {
-        if (backend_ == Backend::Scalar)
-            expmNaive(av.row(r), dim, node.saved.row(r));
-        else
-            expm(av.row(r), dim, node.saved.row(r));
-        double trace = 0.0;
-        for (std::size_t i = 0; i < dim; ++i)
-            trace += node.saved.at(r, i * dim + i);
-        node.value.at(r, 0) = static_cast<float>(trace);
-    }
+    // Each row's power series is independent; one matrix per task (each
+    // exponential is O(dim^3), far above any sensible grain).
+    parallelChunks(
+        backend_ != Backend::Scalar, av.rows(), 1,
+        [&](std::size_t rowBegin, std::size_t rowEnd) {
+            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+                if (backend_ == Backend::Scalar)
+                    expmNaive(av.row(r), dim, node.saved.row(r));
+                else
+                    expm(av.row(r), dim, node.saved.row(r));
+                double trace = 0.0;
+                for (std::size_t i = 0; i < dim; ++i)
+                    trace += node.saved.at(r, i * dim + i);
+                node.value.at(r, 0) = static_cast<float>(trace);
+            }
+        });
     return push(std::move(node));
 }
 
@@ -691,61 +783,74 @@ Tape::backwardNode(Node& node)
         Tensor& ga = ensureGrad(node.in0);
         const Tensor& y = node.value;
         const SegmentIndex* segs = node.segs;
-        for (std::size_t r = 0; r < ga.rows(); ++r) {
-            const float* yr = y.row(r);
-            const float* gr = g.row(r);
-            float* gar = ga.row(r);
-            for (std::size_t s = 0; s < segs->numSegments(); ++s) {
-                const std::uint32_t begin = segs->offsets[s];
-                const std::uint32_t end = segs->offsets[s + 1];
-                if (begin == end)
-                    continue;
-                float dot = 0.0f;
-                for (std::uint32_t e = begin; e < end; ++e) {
-                    const std::uint32_t col = segs->items[e];
-                    dot += gr[col] * yr[col];
+        parallelChunks(
+            backend_ != Backend::Scalar, ga.rows(), rowGrain(ga.cols()),
+            [&](std::size_t rowBegin, std::size_t rowEnd) {
+                for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+                    const float* yr = y.row(r);
+                    const float* gr = g.row(r);
+                    float* gar = ga.row(r);
+                    for (std::size_t s = 0; s < segs->numSegments(); ++s) {
+                        const std::uint32_t begin = segs->offsets[s];
+                        const std::uint32_t end = segs->offsets[s + 1];
+                        if (begin == end)
+                            continue;
+                        float dot = 0.0f;
+                        for (std::uint32_t e = begin; e < end; ++e) {
+                            const std::uint32_t col = segs->items[e];
+                            dot += gr[col] * yr[col];
+                        }
+                        for (std::uint32_t e = begin; e < end; ++e) {
+                            const std::uint32_t col = segs->items[e];
+                            gar[col] += yr[col] * (gr[col] - dot);
+                        }
+                    }
                 }
-                for (std::uint32_t e = begin; e < end; ++e) {
-                    const std::uint32_t col = segs->items[e];
-                    gar[col] += yr[col] * (gr[col] - dot);
-                }
-            }
-        }
+            });
         break;
       }
       case Op::SegmentProductComplement: {
         Tensor& ga = ensureGrad(node.in0);
         const Tensor& x = value(node.in0);
         const SegmentIndex* segs = node.segs;
-        std::vector<float> prefix;
-        std::vector<float> suffix;
-        for (std::size_t r = 0; r < ga.rows(); ++r) {
-            const float* xr = x.row(r);
-            const float* gr = g.row(r);
-            float* gar = ga.row(r);
-            for (std::size_t s = 0; s < segs->numSegments(); ++s) {
-                const std::uint32_t begin = segs->offsets[s];
-                const std::uint32_t end = segs->offsets[s + 1];
-                const std::size_t len = end - begin;
-                if (len == 0)
-                    continue;
-                prefix.assign(len + 1, 1.0f);
-                suffix.assign(len + 1, 1.0f);
-                for (std::size_t e = 0; e < len; ++e) {
-                    prefix[e + 1] =
-                        prefix[e] * (1.0f - xr[segs->items[begin + e]]);
+        parallelChunks(
+            backend_ != Backend::Scalar, ga.rows(), rowGrain(ga.cols()),
+            [&](std::size_t rowBegin, std::size_t rowEnd) {
+                // Per-chunk scratch: rows in other chunks run concurrently.
+                std::vector<float> prefix;
+                std::vector<float> suffix;
+                for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+                    const float* xr = x.row(r);
+                    const float* gr = g.row(r);
+                    float* gar = ga.row(r);
+                    for (std::size_t s = 0; s < segs->numSegments(); ++s) {
+                        const std::uint32_t begin = segs->offsets[s];
+                        const std::uint32_t end = segs->offsets[s + 1];
+                        const std::size_t len = end - begin;
+                        if (len == 0)
+                            continue;
+                        prefix.assign(len + 1, 1.0f);
+                        suffix.assign(len + 1, 1.0f);
+                        for (std::size_t e = 0; e < len; ++e) {
+                            prefix[e + 1] =
+                                prefix[e] *
+                                (1.0f - xr[segs->items[begin + e]]);
+                        }
+                        for (std::size_t e = len; e > 0; --e) {
+                            suffix[e - 1] =
+                                suffix[e] *
+                                (1.0f - xr[segs->items[begin + e - 1]]);
+                        }
+                        for (std::size_t e = 0; e < len; ++e) {
+                            const std::uint32_t col =
+                                segs->items[begin + e];
+                            // d/dx_e prod (1 - x_k) = -prod_{k!=e} (1 - x_k)
+                            gar[col] +=
+                                gr[s] * (-prefix[e] * suffix[e + 1]);
+                        }
+                    }
                 }
-                for (std::size_t e = len; e > 0; --e) {
-                    suffix[e - 1] =
-                        suffix[e] * (1.0f - xr[segs->items[begin + e - 1]]);
-                }
-                for (std::size_t e = 0; e < len; ++e) {
-                    const std::uint32_t col = segs->items[begin + e];
-                    // d/dx_e prod (1 - x_k) = -prod_{k != e} (1 - x_k)
-                    gar[col] += gr[s] * (-prefix[e] * suffix[e + 1]);
-                }
-            }
-        }
+            });
         break;
       }
       case Op::SegmentMaxGather: {
@@ -843,15 +948,19 @@ Tape::backwardNode(Node& node)
       case Op::TrExpm: {
         Tensor& ga = ensureGrad(node.in0);
         const std::size_t d = node.dim;
-        for (std::size_t r = 0; r < ga.rows(); ++r) {
-            const float gr = g.at(r, 0);
-            const float* e = node.saved.row(r);
-            float* gar = ga.row(r);
-            for (std::size_t i = 0; i < d; ++i) {
-                for (std::size_t j = 0; j < d; ++j)
-                    gar[i * d + j] += gr * e[j * d + i];
-            }
-        }
+        parallelChunks(
+            backend_ != Backend::Scalar, ga.rows(), 1,
+            [&](std::size_t rowBegin, std::size_t rowEnd) {
+                for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+                    const float gr = g.at(r, 0);
+                    const float* e = node.saved.row(r);
+                    float* gar = ga.row(r);
+                    for (std::size_t i = 0; i < d; ++i) {
+                        for (std::size_t j = 0; j < d; ++j)
+                            gar[i * d + j] += gr * e[j * d + i];
+                    }
+                }
+            });
         break;
       }
     }

@@ -12,6 +12,19 @@ using eqsat::TermPtr;
 
 namespace {
 
+/**
+ * "v<index>", built by append rather than `"v" + std::to_string(...)`:
+ * the operator+(const char*, string&&) insert path trips GCC 12's
+ * -Wrestrict false positive (GCC PR 105329) under -O2 -Werror.
+ */
+std::string
+varName(std::size_t index)
+{
+    std::string name = "v";
+    name += std::to_string(index);
+    return name;
+}
+
 TermPtr
 randomArithTerm(std::size_t depth, std::size_t num_vars, util::Rng& rng)
 {
@@ -19,8 +32,7 @@ randomArithTerm(std::size_t depth, std::size_t num_vars, util::Rng& rng)
         // Leaf: variable or small constant.
         const double pick = rng.uniform();
         if (pick < 0.6) {
-            return eqsat::leaf("v" + std::to_string(
-                                         rng.uniformIndex(num_vars)));
+            return eqsat::leaf(varName(rng.uniformIndex(num_vars)));
         }
         if (pick < 0.75)
             return eqsat::leaf("zero");
@@ -47,8 +59,7 @@ randomDatapathTerm(std::size_t depth, std::size_t num_vars, util::Rng& rng)
     if (depth == 0 || rng.bernoulli(0.3)) {
         const double pick = rng.uniform();
         if (pick < 0.7) {
-            return eqsat::leaf("v" + std::to_string(
-                                         rng.uniformIndex(num_vars)));
+            return eqsat::leaf(varName(rng.uniformIndex(num_vars)));
         }
         if (pick < 0.85)
             return eqsat::leaf("three");
@@ -129,7 +140,7 @@ growFirEGraph(std::size_t taps, std::size_t max_nodes, util::Rng& rng)
     for (std::size_t k = 0; k < taps; ++k) {
         TermPtr tap = eqsat::app(
             "*", {eqsat::leaf(coefficients[k % 4]),
-                  eqsat::leaf("v" + std::to_string(k))});
+                  eqsat::leaf(varName(k))});
         acc = acc ? eqsat::app("+", {acc, tap}) : tap;
     }
     eqsat::MutEGraph mut;

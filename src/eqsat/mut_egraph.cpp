@@ -194,10 +194,13 @@ MutEGraph::numClasses() const
 }
 
 std::vector<Subst>
-MutEGraph::ematch(const Pattern& pattern, Id cls) const
+MutEGraph::ematch(const Pattern& pattern, Id cls,
+                  std::size_t max_matches) const
 {
     cls = find(cls);
     std::vector<Subst> results;
+    if (max_matches == 0)
+        return results;
     if (pattern.isVar()) {
         Subst subst;
         subst[pattern.var] = cls;
@@ -210,14 +213,23 @@ MutEGraph::ematch(const Pattern& pattern, Id cls) const
     const std::uint32_t opId = opIt->second;
 
     for (const Node& node : classes_[cls].nodes) {
+        if (results.size() >= max_matches)
+            break;
         if (node.op != opId || node.children.size() != pattern.children.size())
             continue;
         // Recursively match children with backtracking over substitutions.
+        // The budget bounds the working cross-product as well as the
+        // result: merged classes can hold thousands of congruent nodes,
+        // and an unbounded product of per-child matches is what turns a
+        // saturation run into a memory explosion.
+        const std::size_t room = max_matches - results.size();
         std::vector<Subst> partials{Subst{}};
         bool dead = false;
         for (std::size_t i = 0; i < pattern.children.size() && !dead; ++i) {
             std::vector<Subst> next;
             for (const Subst& partial : partials) {
+                if (next.size() >= room)
+                    break;
                 // Bind pattern child i against node child class i.
                 const Pattern& childPattern = *pattern.children[i];
                 if (childPattern.isVar()) {
@@ -233,7 +245,9 @@ MutEGraph::ematch(const Pattern& pattern, Id cls) const
                     continue;
                 }
                 for (Subst sub :
-                     ematch(childPattern, node.children[i])) {
+                     ematch(childPattern, node.children[i], room)) {
+                    if (next.size() >= room)
+                        break;
                     bool ok = true;
                     for (const auto& [var, boundCls] : partial) {
                         const auto it = sub.find(var);
@@ -254,21 +268,27 @@ MutEGraph::ematch(const Pattern& pattern, Id cls) const
             if (partials.empty())
                 dead = true;
         }
-        for (auto& subst : partials)
+        for (auto& subst : partials) {
+            if (results.size() >= max_matches)
+                break;
             results.push_back(std::move(subst));
+        }
     }
     return results;
 }
 
 std::vector<std::pair<Id, Subst>>
-MutEGraph::ematchAll(const Pattern& pattern) const
+MutEGraph::ematchAll(const Pattern& pattern, std::size_t max_matches) const
 {
     std::vector<std::pair<Id, Subst>> results;
     std::set<Id> canonical;
     for (Id id = 0; id < parent_.size(); ++id)
         canonical.insert(find(id));
     for (Id cls : canonical) {
-        for (Subst& subst : ematch(pattern, cls))
+        if (results.size() >= max_matches)
+            break;
+        for (Subst& subst :
+             ematch(pattern, cls, max_matches - results.size()))
             results.emplace_back(cls, std::move(subst));
     }
     return results;
@@ -302,9 +322,7 @@ MutEGraph::run(const std::vector<Rewrite>& rules, const RunLimits& limits)
         // keeps match sets consistent while the graph mutates).
         std::vector<std::tuple<const Rewrite*, Id, Subst>> matches;
         for (const Rewrite& rule : rules) {
-            auto found = ematchAll(*rule.lhs);
-            if (found.size() > limits.maxMatchesPerRule)
-                found.resize(limits.maxMatchesPerRule);
+            auto found = ematchAll(*rule.lhs, limits.maxMatchesPerRule);
             for (auto& [cls, subst] : found)
                 matches.emplace_back(&rule, cls, std::move(subst));
         }

@@ -115,13 +115,19 @@ class MutEGraph
     std::size_t numNodes() const { return hashcons_.size(); }
 
     /**
-     * E-matching: finds all substitutions under which the pattern matches
-     * some node in the given e-class.
+     * E-matching: finds substitutions under which the pattern matches
+     * some node in the given e-class. The budget caps how many
+     * substitutions are enumerated (not merely returned) — nonlinear
+     * patterns over heavily merged classes otherwise build
+     * cross-products far larger than any caller consumes.
      */
-    std::vector<Subst> ematch(const Pattern& pattern, Id cls) const;
+    std::vector<Subst> ematch(const Pattern& pattern, Id cls,
+                              std::size_t max_matches = SIZE_MAX) const;
 
     /** E-matching across all classes; returns (class, subst) pairs. */
-    std::vector<std::pair<Id, Subst>> ematchAll(const Pattern& pattern) const;
+    std::vector<std::pair<Id, Subst>>
+    ematchAll(const Pattern& pattern,
+              std::size_t max_matches = SIZE_MAX) const;
 
     /** Instantiates a pattern under a substitution, adding nodes. */
     Id instantiate(const Pattern& pattern, const Subst& subst);

@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/args.hpp"
+#include "util/thread_pool.hpp"
 
 namespace smoothe::obs {
 
@@ -50,6 +51,19 @@ installCliTelemetry(const util::Args& args)
 
     const std::string traceOut = args.getString("trace-out", "");
     const std::string metricsOut = args.getString("metrics-out", "");
+
+    const std::int64_t threads = args.getInt("threads", 0);
+    if (threads < 0) {
+        log.warn("ignoring invalid --threads %lld",
+                 static_cast<long long>(threads));
+    } else if (!util::ThreadPool::onWorkerThread()) {
+        // 0 = auto (hardware concurrency); the pool clamps internally.
+        const std::size_t size = util::ThreadPool::setGlobalThreads(
+            static_cast<std::size_t>(threads));
+        gauge("threads").set(static_cast<double>(size));
+        if (threads > 0)
+            log.info("thread pool: %zu workers", size);
+    }
 
     // Force the registry singletons into existence now, so their static
     // storage outlives the atexit flush handler registered below.

@@ -1,10 +1,11 @@
 /**
  * @file
- * Shared command-line surface for telemetry: every tool and bench binary
- * gains `--log-level LVL`, `--log-json FILE`, `--trace-out FILE`, and
- * `--metrics-out FILE` by routing its parsed util::Args through
- * installCliTelemetry(). Trace and metrics files are flushed automatically
- * at process exit so harness binaries need no explicit teardown.
+ * Shared command-line surface for telemetry and execution: every tool and
+ * bench binary gains `--log-level LVL`, `--log-json FILE`,
+ * `--trace-out FILE`, `--metrics-out FILE`, and `--threads N` by routing
+ * its parsed util::Args through installCliTelemetry(). Trace and metrics
+ * files are flushed automatically at process exit so harness binaries
+ * need no explicit teardown.
  */
 
 #ifndef SMOOTHE_OBS_CLI_HPP
@@ -22,7 +23,9 @@ namespace smoothe::obs {
 /**
  * Reads the telemetry flags from parsed args and applies them:
  * configures log levels (--log-level beats SMOOTHE_LOG), attaches a JSONL
- * log sink, starts a trace session when --trace-out is given, and
+ * log sink, starts a trace session when --trace-out is given, resizes the
+ * process-wide thread pool from --threads (0 or absent = auto, i.e.
+ * hardware concurrency) recording the result in the "threads" gauge, and
  * registers an atexit hook that writes the trace and metrics files.
  * Safe to call once per process; later calls override the output paths.
  */

@@ -3,9 +3,11 @@
 #include <chrono>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/thread_pool.hpp"
 
 namespace smoothe::obs {
 
@@ -17,12 +19,41 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/** Small dense per-process thread ids (Chrome wants integers). */
+/** tid -> track label, recorded once per thread for "M" metadata events. */
+struct ThreadNames
+{
+    std::mutex mutex;
+    std::vector<std::pair<std::uint32_t, std::string>> entries;
+};
+
+ThreadNames&
+threadNames()
+{
+    // Intentionally leaked: the first span can be recorded after the CLI
+    // layer registers its atexit flush, so a normal static would be
+    // destroyed before toJson() runs at exit.
+    static ThreadNames* names = new ThreadNames;
+    return *names;
+}
+
+/**
+ * Small dense per-process thread ids (Chrome wants integers). The first
+ * call on each thread also records its track name: pool workers carry
+ * their worker label so spans from parallel sections land on named
+ * per-worker tracks.
+ */
 std::uint32_t
 currentTid()
 {
     static std::atomic<std::uint32_t> next{1};
-    thread_local std::uint32_t tid = next.fetch_add(1);
+    thread_local std::uint32_t tid = 0;
+    if (tid == 0) {
+        tid = next.fetch_add(1);
+        const char* label = util::ThreadPool::currentThreadLabel();
+        ThreadNames& names = threadNames();
+        std::lock_guard<std::mutex> lock(names.mutex);
+        names.entries.emplace_back(tid, label ? label : "main");
+    }
     return tid;
 }
 
@@ -152,6 +183,22 @@ TraceSession::toJson() const
     Impl& state = impl();
     std::lock_guard<std::mutex> lock(state.mutex);
     util::Json events = util::Json::makeArray();
+    {
+        ThreadNames& names = threadNames();
+        std::lock_guard<std::mutex> nameLock(names.mutex);
+        for (const auto& [tid, label] : names.entries) {
+            util::Json entry = util::Json::makeObject();
+            entry.set("name", "thread_name");
+            entry.set("ph", "M");
+            entry.set("pid", 1);
+            entry.set("tid", static_cast<double>(tid));
+            entry.set("ts", 0.0);
+            util::Json args = util::Json::makeObject();
+            args.set("name", label);
+            entry.set("args", std::move(args));
+            events.push(std::move(entry));
+        }
+    }
     for (const Impl::Event& event : state.events) {
         util::Json entry = util::Json::makeObject();
         entry.set("name", event.name);

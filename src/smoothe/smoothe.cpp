@@ -11,6 +11,7 @@
 #include "obs/obs.hpp"
 #include "smoothe/sampler.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace smoothe::core {
 
@@ -378,11 +379,22 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
 
     Arena arena(config_.memoryBudgetBytes);
 
+    // numThreads > 0 pins the process-wide pool; 0 respects whatever the
+    // CLI / embedding application configured (auto = hardware threads).
+    // Never resize from inside a pool worker (per-graph tool parallelism):
+    // the resize would try to join the very thread running this extract.
+    if (config_.numThreads > 0 && !util::ThreadPool::onWorkerThread())
+        util::ThreadPool::setGlobalThreads(config_.numThreads);
+    diagnostics_.threads = util::ThreadPool::global().size();
+    obs::gauge("smoothe.threads")
+        .set(static_cast<double>(diagnostics_.threads));
+
     obs::Span extractSpan("smoothe.extract");
-    logger.info("extract: %zu nodes, %zu classes, batch %zu, assumption %s",
+    logger.info("extract: %zu nodes, %zu classes, batch %zu, assumption %s, "
+                "%zu threads",
                 graph.numNodes(), graph.numClasses(),
                 std::max<std::size_t>(1, config_.numSeeds),
-                toString(config_.assumption));
+                toString(config_.assumption), diagnostics_.threads);
 
     // Shared by the success and OOM paths: record peak arena usage and
     // the sampler hit rate for whatever portion of the run completed.
@@ -426,7 +438,16 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                            ad::AdamConfig{config_.learningRate, 0.9f,
                                           0.999f, 1e-8f},
                            &arena);
-        GreedySampler sampler(graph);
+
+        // One independent RNG stream per seed so the sampling stage can
+        // fan out across workers while staying bit-identical for every
+        // thread count (each stream advances only with its own seed's
+        // draws, never with its neighbors').
+        std::vector<util::Rng> seedRngs;
+        seedRngs.reserve(batch);
+        for (std::size_t b = 0; b < batch; ++b)
+            seedRngs.emplace_back(options.seed ^
+                                  (0x9e3779b97f4a7c15ULL * (b + 1)));
 
         Selection bestSelection = Selection::empty(graph);
         double bestCost = kInf;
@@ -484,29 +505,47 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                 relaxedLoss /= static_cast<double>(costs.rows());
             }
 
-            // Sampling stage.
+            // Sampling stage: seeds are independent, so chunks of the
+            // batch run concurrently; the incumbent reduction below stays
+            // serial and in seed order, keeping results identical to the
+            // sequential schedule for any thread count.
             double iterBest = kInf;
             if ((iter % std::max<std::size_t>(1, config_.sampleEvery)) ==
                 0) {
                 auto scope = diagnostics_.profile.sampling();
                 const Tensor& cp = tape.value(cpVar);
-                for (std::size_t b = 0; b < cp.rows(); ++b) {
-                    Selection candidate = sampler.sample(
-                        cp.row(b), config_.repairSampling,
-                        config_.sampleTemperature, rng);
-                    samplesTotal.add(1);
-                    if (!candidate.chosen(graph.root()))
+                const std::size_t rows = cp.rows();
+                std::vector<std::optional<Selection>> candidates(rows);
+                std::vector<double> sampleCosts(rows, kInf);
+                util::ThreadPool::global().parallelForChunks(
+                    0, rows, 1,
+                    [&](std::size_t chunkBegin, std::size_t chunkEnd) {
+                        obs::Span chunkSpan("sample.chunk", "sampler");
+                        GreedySampler sampler(graph);
+                        for (std::size_t b = chunkBegin; b < chunkEnd;
+                             ++b) {
+                            Selection candidate = sampler.sample(
+                                cp.row(b), config_.repairSampling,
+                                config_.sampleTemperature, seedRngs[b]);
+                            samplesTotal.add(1);
+                            if (!candidate.chosen(graph.root()))
+                                continue;
+                            if (!extract::validate(graph, candidate).ok())
+                                continue;
+                            samplesValid.add(1);
+                            sampleCosts[b] = model.discrete(
+                                candidate.toNodeIndicator(graph));
+                            candidates[b] = std::move(candidate);
+                        }
+                    });
+                for (std::size_t b = 0; b < rows; ++b) {
+                    if (!candidates[b])
                         continue;
-                    const auto check = extract::validate(graph, candidate);
-                    if (!check.ok())
-                        continue;
-                    samplesValid.add(1);
-                    const double cost =
-                        model.discrete(candidate.toNodeIndicator(graph));
+                    const double cost = sampleCosts[b];
                     iterBest = std::min(iterBest, cost);
                     if (cost < bestCost) {
                         bestCost = cost;
-                        bestSelection = std::move(candidate);
+                        bestSelection = std::move(*candidates[b]);
                         sinceImprovement = 0;
                         logger.debug("iteration %zu: new incumbent %.6g",
                                      iter, bestCost);

@@ -49,6 +49,7 @@ struct SmoothEDiagnostics
     std::size_t largestScc = 0;
     std::size_t peakMemoryBytes = 0;
     std::size_t tapeNodes = 0;       ///< autodiff tape size, last iteration
+    std::size_t threads = 1;         ///< worker pool size used by the run
     bool outOfMemory = false;
     std::vector<LossCurvePoint> lossCurve;
     obs::PhaseProfiler profile;      ///< Figure 8 phase breakdown

@@ -13,6 +13,7 @@
 #ifndef SMOOTHE_TENSOR_TENSOR_HPP
 #define SMOOTHE_TENSOR_TENSOR_HPP
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -42,6 +43,11 @@ class OomError : public std::runtime_error
  * budgetBytes == 0 means unlimited. Allocation beyond the budget throws
  * OomError, which SmoothE surfaces as an OOM failure exactly like a CUDA
  * allocator would.
+ *
+ * Thread-safe: the counters are atomics so tensors may be created and
+ * destroyed from thread-pool workers (parallel sampling, per-graph tool
+ * parallelism). setBudget() is not synchronized against concurrent
+ * allocations; configure the budget before sharing the arena.
  */
 class Arena
 {
@@ -52,33 +58,51 @@ class Arena
     void
     allocate(std::size_t bytes)
     {
-        if (budget_ != 0 && used_ + bytes > budget_) {
-            throw OomError("arena budget exceeded: " +
-                           std::to_string(used_ + bytes) + " > " +
-                           std::to_string(budget_) + " bytes");
+        const std::size_t used =
+            used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+        if (budget_ != 0 && used > budget_) {
+            used_.fetch_sub(bytes, std::memory_order_relaxed);
+            throw OomError("arena budget exceeded: " + std::to_string(used) +
+                           " > " + std::to_string(budget_) + " bytes");
         }
-        used_ += bytes;
-        if (used_ > peak_)
-            peak_ = used_;
+        std::size_t peak = peak_.load(std::memory_order_relaxed);
+        while (used > peak &&
+               !peak_.compare_exchange_weak(peak, used,
+                                            std::memory_order_relaxed)) {
+        }
     }
 
     /** Releases a previously registered allocation. */
     void
     release(std::size_t bytes)
     {
-        used_ = bytes > used_ ? 0 : used_ - bytes;
+        std::size_t used = used_.load(std::memory_order_relaxed);
+        while (!used_.compare_exchange_weak(used,
+                                            bytes > used ? 0 : used - bytes,
+                                            std::memory_order_relaxed)) {
+        }
     }
 
-    std::size_t used() const { return used_; }
-    std::size_t peak() const { return peak_; }
+    std::size_t used() const
+    {
+        return used_.load(std::memory_order_relaxed);
+    }
+    std::size_t peak() const
+    {
+        return peak_.load(std::memory_order_relaxed);
+    }
     std::size_t budget() const { return budget_; }
     void setBudget(std::size_t bytes) { budget_ = bytes; }
-    void resetPeak() { peak_ = used_; }
+    void resetPeak()
+    {
+        peak_.store(used_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    }
 
   private:
     std::size_t budget_;
-    std::size_t used_ = 0;
-    std::size_t peak_ = 0;
+    std::atomic<std::size_t> used_{0};
+    std::atomic<std::size_t> peak_{0};
 };
 
 /**

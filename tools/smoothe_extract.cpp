@@ -6,23 +6,64 @@
  *   smoothe_extract --input egraph.json [--extractor smoothe]
  *                   [--time-limit 10] [--seed 1] [--seeds 16]
  *                   [--assumption hybrid] [--lambda 8]
- *                   [--output selection.json]
+ *                   [--output selection.json] [--threads N]
  *                   [--log-level debug] [--log-json log.jsonl]
  *                   [--trace-out trace.json] [--metrics-out metrics.json]
  *
- * Prints a one-line summary (extractor, status, cost, time) and, when
- * --output is given, writes the chosen e-node per e-class as JSON:
+ * A suite of e-graphs can be given as `--inputs a.json,b.json,...`; the
+ * graphs are then extracted concurrently on the worker pool (one task per
+ * graph, --threads controls the pool size). Each graph derives its RNG
+ * stream from --seed and its position in the list, so results are
+ * bit-identical for any thread count and the first graph matches a
+ * single --input run with the same seed.
+ *
+ * Prints a one-line summary (extractor, status, cost, time) per graph in
+ * input order and, when --output is given (single graph only), writes the
+ * chosen e-node per e-class as JSON:
  *   {"choices": {"<class>": <node>, ...}, "cost": ..., "status": "..."}
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "api/factory.hpp"
 #include "egraph/serialize.hpp"
 #include "obs/cli.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+/** Splits "a.json,b.json" into its comma-separated parts. */
+std::vector<std::string>
+splitList(const std::string& list)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end > start)
+            parts.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return parts;
+}
+
+/** Per-graph RNG stream: graph 0 keeps the base seed unchanged. */
+std::uint64_t
+graphSeed(std::uint64_t base, std::size_t index)
+{
+    return base ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(index));
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -31,11 +72,19 @@ main(int argc, char** argv)
     const util::Args args(argc, argv);
     obs::installCliTelemetry(args);
 
+    std::vector<std::string> inputs;
+    const std::string inputList = args.getString("inputs", "");
+    if (!inputList.empty())
+        inputs = splitList(inputList);
     const std::string input = args.getString("input", "");
-    if (input.empty()) {
+    if (inputs.empty() && !input.empty())
+        inputs.push_back(input);
+    if (inputs.empty()) {
         std::fprintf(stderr,
                      "usage: smoothe_extract --input egraph.json "
                      "[--extractor NAME] [--output out.json]\n"
+                     "       smoothe_extract --inputs a.json,b.json,... "
+                     "[--threads N]\n"
                      "extractors:");
         for (const auto& name : api::extractorNames())
             std::fprintf(stderr, " %s", name.c_str());
@@ -43,12 +92,17 @@ main(int argc, char** argv)
         return 2;
     }
 
-    std::string error;
-    auto graph = eg::loadFromFile(input, &error);
-    if (!graph) {
-        std::fprintf(stderr, "error: cannot load %s: %s\n", input.c_str(),
-                     error.c_str());
-        return 1;
+    std::vector<eg::EGraph> graphs;
+    graphs.reserve(inputs.size());
+    for (const std::string& path : inputs) {
+        std::string error;
+        auto graph = eg::loadFromFile(path, &error);
+        if (!graph) {
+            std::fprintf(stderr, "error: cannot load %s: %s\n",
+                         path.c_str(), error.c_str());
+            return 1;
+        }
+        graphs.push_back(std::move(*graph));
     }
 
     core::SmoothEConfig config;
@@ -70,31 +124,65 @@ main(int argc, char** argv)
         config.assumption = core::Assumption::Hybrid;
 
     const std::string name = args.getString("extractor", "smoothe");
-    auto extractor = api::makeExtractor(name, config);
-    if (!extractor) {
-        std::fprintf(stderr, "error: unknown extractor \"%s\"\n",
-                     name.c_str());
-        return 2;
-    }
 
     extract::ExtractOptions options;
     options.timeLimitSeconds = args.getDouble("time-limit", 10.0);
     options.seed =
         static_cast<std::uint64_t>(args.getInt("seed", 1));
 
-    args.acknowledge("output");
+    const std::string output = args.getString("output", "");
     if (obs::reportUnknownFlags(args, "smoothe_extract") > 0)
         return 2;
+    if (!output.empty() && graphs.size() > 1) {
+        std::fprintf(stderr,
+                     "error: --output requires a single --input\n");
+        return 2;
+    }
 
-    const auto result = extractor->extract(*graph, options);
-    std::printf("%s: %s, cost %.6g, %.3fs\n", extractor->name().c_str(),
-                extract::toString(result.status), result.cost,
-                result.seconds);
+    // One extractor per graph (extractors keep per-run diagnostics), run
+    // concurrently on the pool. Results are collected per slot and
+    // printed in input order afterwards, so stdout is deterministic.
+    std::vector<std::unique_ptr<extract::Extractor>> extractors(
+        graphs.size());
+    for (std::size_t g = 0; g < graphs.size(); ++g) {
+        extractors[g] = api::makeExtractor(name, config);
+        if (!extractors[g]) {
+            std::fprintf(stderr, "error: unknown extractor \"%s\"\n",
+                         name.c_str());
+            return 2;
+        }
+    }
 
-    const std::string output = args.getString("output", "");
-    if (!output.empty() && result.ok()) {
+    std::vector<extract::ExtractionResult> results(graphs.size());
+    util::ThreadPool::global().parallelFor(
+        0, graphs.size(), 1, [&](std::size_t g) {
+            extract::ExtractOptions graphOptions = options;
+            graphOptions.seed = graphSeed(options.seed, g);
+            results[g] = extractors[g]->extract(graphs[g], graphOptions);
+        });
+
+    bool allOk = true;
+    for (std::size_t g = 0; g < graphs.size(); ++g) {
+        const auto& result = results[g];
+        allOk = allOk && result.ok();
+        if (graphs.size() > 1) {
+            std::printf("%s: %s: %s, cost %.6g, %.3fs\n",
+                        inputs[g].c_str(), extractors[g]->name().c_str(),
+                        extract::toString(result.status), result.cost,
+                        result.seconds);
+        } else {
+            std::printf("%s: %s, cost %.6g, %.3fs\n",
+                        extractors[g]->name().c_str(),
+                        extract::toString(result.status), result.cost,
+                        result.seconds);
+        }
+    }
+
+    if (!output.empty() && results.front().ok()) {
+        const auto& result = results.front();
+        const eg::EGraph& graph = graphs.front();
         util::Json choices = util::Json::makeObject();
-        for (eg::ClassId cls = 0; cls < graph->numClasses(); ++cls) {
+        for (eg::ClassId cls = 0; cls < graph.numClasses(); ++cls) {
             if (result.selection.chosen(cls)) {
                 choices.set(std::to_string(cls),
                             static_cast<double>(
@@ -102,7 +190,7 @@ main(int argc, char** argv)
             }
         }
         util::Json doc = util::Json::makeObject();
-        doc.set("extractor", extractor->name());
+        doc.set("extractor", extractors.front()->name());
         doc.set("status", extract::toString(result.status));
         doc.set("cost", result.cost);
         doc.set("seconds", result.seconds);
@@ -113,5 +201,5 @@ main(int argc, char** argv)
             return 1;
         }
     }
-    return result.ok() ? 0 : 1;
+    return allOk ? 0 : 1;
 }
