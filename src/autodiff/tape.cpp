@@ -1,11 +1,12 @@
 #include "autodiff/tape.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "autodiff/matexp.hpp"
+#include "check/contracts.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -108,7 +109,7 @@ Tape::ensureGrad(VarId id)
 VarId
 Tape::leaf(Param* param)
 {
-    assert(param != nullptr);
+    SMOOTHE_CHECK(param != nullptr, "leaf() needs a Param");
     Node node;
     node.op = Op::Leaf;
     node.param = param;
@@ -130,7 +131,9 @@ Tape::add(VarId a, VarId b)
 {
     const Tensor& av = value(a);
     const Tensor& bv = value(b);
-    assert(av.rows() == bv.rows() && av.cols() == bv.cols());
+    SMOOTHE_ASSERT(av.rows() == bv.rows() && av.cols() == bv.cols(),
+                   "add: %zux%zu vs %zux%zu", av.rows(), av.cols(),
+                   bv.rows(), bv.cols());
     Node node;
     node.op = Op::Add;
     node.in0 = a;
@@ -157,7 +160,9 @@ Tape::sub(VarId a, VarId b)
 {
     const Tensor& av = value(a);
     const Tensor& bv = value(b);
-    assert(av.rows() == bv.rows() && av.cols() == bv.cols());
+    SMOOTHE_ASSERT(av.rows() == bv.rows() && av.cols() == bv.cols(),
+                   "sub: %zux%zu vs %zux%zu", av.rows(), av.cols(),
+                   bv.rows(), bv.cols());
     Node node;
     node.op = Op::Sub;
     node.in0 = a;
@@ -184,7 +189,9 @@ Tape::mul(VarId a, VarId b)
 {
     const Tensor& av = value(a);
     const Tensor& bv = value(b);
-    assert(av.rows() == bv.rows() && av.cols() == bv.cols());
+    SMOOTHE_ASSERT(av.rows() == bv.rows() && av.cols() == bv.cols(),
+                   "mul: %zux%zu vs %zux%zu", av.rows(), av.cols(),
+                   bv.rows(), bv.cols());
     Node node;
     node.op = Op::Mul;
     node.in0 = a;
@@ -271,8 +278,10 @@ VarId
 Tape::mulConst(VarId a, Tensor c)
 {
     const Tensor& av = value(a);
-    assert(c.cols() == av.cols());
-    assert(c.rows() == av.rows() || c.rows() == 1);
+    SMOOTHE_ASSERT(c.cols() == av.cols() &&
+                       (c.rows() == av.rows() || c.rows() == 1),
+                   "mulConst: %zux%zu against %zux%zu", c.rows(), c.cols(),
+                   av.rows(), av.cols());
     Node node;
     node.op = Op::MulConst;
     node.in0 = a;
@@ -296,8 +305,10 @@ VarId
 Tape::addConst(VarId a, Tensor c)
 {
     const Tensor& av = value(a);
-    assert(c.cols() == av.cols());
-    assert(c.rows() == av.rows() || c.rows() == 1);
+    SMOOTHE_ASSERT(c.cols() == av.cols() &&
+                       (c.rows() == av.rows() || c.rows() == 1),
+                   "addConst: %zux%zu against %zux%zu", c.rows(), c.cols(),
+                   av.rows(), av.cols());
     Node node;
     node.op = Op::AddConst;
     node.in0 = a;
@@ -321,7 +332,8 @@ VarId
 Tape::dotRowsConst(VarId a, std::vector<float> u)
 {
     const Tensor& av = value(a);
-    assert(u.size() == av.cols());
+    SMOOTHE_ASSERT(u.size() == av.cols(), "dotRowsConst: %zu weights for %zu cols",
+                   u.size(), av.cols());
     Node node;
     node.op = Op::DotRowsConst;
     node.in0 = a;
@@ -520,7 +532,8 @@ Tape::matmul(VarId a, VarId w)
 {
     const Tensor& av = value(a);
     const Tensor& wv = value(w);
-    assert(av.cols() == wv.rows());
+    SMOOTHE_ASSERT(av.cols() == wv.rows(), "matmul: %zu cols times %zu rows",
+                   av.cols(), wv.rows());
     Node node;
     node.op = Op::MatMul;
     node.in0 = a;
@@ -563,7 +576,9 @@ Tape::addRowBroadcast(VarId a, VarId bias)
 {
     const Tensor& av = value(a);
     const Tensor& bv = value(bias);
-    assert(bv.rows() == 1 && bv.cols() == av.cols());
+    SMOOTHE_ASSERT(bv.rows() == 1 && bv.cols() == av.cols(),
+                   "addRowBroadcast: bias %zux%zu for %zu cols", bv.rows(),
+                   bv.cols(), av.cols());
     Node node;
     node.op = Op::AddRowBroadcast;
     node.in0 = a;
@@ -621,7 +636,8 @@ VarId
 Tape::trExpm(VarId a, std::size_t dim)
 {
     const Tensor& av = value(a);
-    assert(av.cols() == dim * dim);
+    SMOOTHE_ASSERT(av.cols() == dim * dim,
+                   "trExpm: %zu cols is not %zu^2", av.cols(), dim);
     static obs::Counter& calls = obs::counter("kernel.matexp.calls");
     static obs::Counter& bytes = obs::counter("kernel.matexp.bytes");
     calls.add(1);
@@ -651,10 +667,134 @@ Tape::trExpm(VarId a, std::size_t dim)
     return push(std::move(node));
 }
 
+std::optional<std::string>
+Tape::checkInvariants(bool screen_values) const
+{
+    auto problem = [](std::size_t id, const std::string& what)
+        -> std::optional<std::string> {
+        std::ostringstream oss;
+        oss << "tape node " << id << ": " << what;
+        return oss.str();
+    };
+    auto shape = [](const Tensor& t) {
+        return std::to_string(t.rows()) + "x" + std::to_string(t.cols());
+    };
+
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node& node = nodes_[i];
+
+        // Topological order: the tape's construction order is its
+        // evaluation order, so inputs must strictly precede users.
+        for (VarId in : {node.in0, node.in1}) {
+            if (in >= 0 && static_cast<std::size_t>(in) >= i)
+                return problem(i, "input " + std::to_string(in) +
+                                      " does not precede it");
+        }
+        const bool needsIn0 =
+            node.op != Op::Leaf && node.op != Op::Constant;
+        if (needsIn0 && node.in0 < 0)
+            return problem(i, "operation is missing its input");
+        const bool needsIn1 = node.op == Op::Add || node.op == Op::Sub ||
+                              node.op == Op::Mul || node.op == Op::MatMul ||
+                              node.op == Op::AddRowBroadcast;
+        if (needsIn1 && node.in1 < 0)
+            return problem(i, "binary operation is missing input 1");
+
+        const Tensor* a = node.in0 >= 0
+                              ? &nodes_[static_cast<std::size_t>(node.in0)]
+                                     .value
+                              : nullptr;
+        const Tensor* b = node.in1 >= 0
+                              ? &nodes_[static_cast<std::size_t>(node.in1)]
+                                     .value
+                              : nullptr;
+
+        // Per-op operand presence and shape consistency.
+        switch (node.op) {
+          case Op::Leaf:
+            if (node.param == nullptr)
+                return problem(i, "leaf without a Param");
+            break;
+          case Op::Constant:
+            break;
+          case Op::Add:
+          case Op::Sub:
+          case Op::Mul:
+            if (a->rows() != b->rows() || a->cols() != b->cols())
+                return problem(i, "elementwise operands " + shape(*a) +
+                                      " vs " + shape(*b));
+            break;
+          case Op::SegmentSoftmax:
+          case Op::SegmentProductComplement:
+          case Op::SegmentMaxGather:
+            if (node.segs == nullptr)
+                return problem(i, "segment op without a SegmentIndex");
+            if (node.value.rows() != a->rows())
+                return problem(i, "segment op changed the batch size");
+            break;
+          case Op::GatherCols:
+            if (node.index == nullptr)
+                return problem(i, "gather without an index");
+            if (node.value.cols() != node.index->size())
+                return problem(i, "gather output has " +
+                                      std::to_string(node.value.cols()) +
+                                      " cols for " +
+                                      std::to_string(node.index->size()) +
+                                      " indices");
+            break;
+          case Op::MatMul:
+            if (a->cols() != b->rows())
+                return problem(i, "matmul operands " + shape(*a) + " x " +
+                                      shape(*b));
+            if (node.value.rows() != a->rows() ||
+                node.value.cols() != b->cols())
+                return problem(i, "matmul output " + shape(node.value));
+            break;
+          case Op::ScatterMatrix:
+            if (node.entries == nullptr)
+                return problem(i, "scatter without entries");
+            if (node.value.cols() != node.dim * node.dim)
+                return problem(i, "scatter output is not dim^2 wide");
+            break;
+          case Op::TrExpm:
+            if (a->cols() != node.dim * node.dim)
+                return problem(i, "trExpm input is not dim^2 wide");
+            if (node.value.cols() != 1)
+                return problem(i, "trExpm output is not a column");
+            break;
+          case Op::DotRowsConst:
+            if (node.constVec.size() != a->cols())
+                return problem(i, "dotRows weight length mismatch");
+            break;
+          default:
+            // Same-shape unary ops.
+            if (a != nullptr && (node.value.rows() != a->rows() ||
+                                 node.value.cols() != a->cols()) &&
+                node.op != Op::SumAll && node.op != Op::MeanRows)
+                return problem(i, "unary op output " + shape(node.value) +
+                                      " for input " + shape(*a));
+            break;
+        }
+
+        if (screen_values) {
+            const float* data = node.value.data();
+            for (std::size_t k = 0; k < node.value.size(); ++k) {
+                if (!std::isfinite(data[k]))
+                    return problem(i, "non-finite forward value at flat " +
+                                          std::to_string(k));
+            }
+        }
+    }
+    return std::nullopt;
+}
+
 void
 Tape::backward(VarId root)
 {
-    assert(root >= 0 && static_cast<std::size_t>(root) < nodes_.size());
+    SMOOTHE_CHECK(root >= 0 && static_cast<std::size_t>(root) < nodes_.size(),
+                  "backward: node %d not on this %zu-node tape", root,
+                  nodes_.size());
+    SMOOTHE_DCHECK_OK(checkInvariants(/*screen_values=*/true));
     obs::counter("tape.backward.calls").add(1);
     ensureGrad(root).fill(1.0f);
     for (VarId id = root; id >= 0; --id) {
@@ -672,7 +812,8 @@ Tape::backwardNode(Node& node)
     switch (node.op) {
       case Op::Leaf: {
         Tensor& pg = node.param->grad;
-        assert(pg.rows() == g.rows() && pg.cols() == g.cols());
+        SMOOTHE_DCHECK(pg.rows() == g.rows() && pg.cols() == g.cols(),
+                       "leaf grad shape drifted");
         float* __restrict dst = pg.data();
         const float* __restrict src = g.data();
         for (std::size_t i = 0; i < g.size(); ++i)

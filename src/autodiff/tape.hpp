@@ -18,6 +18,8 @@
 #define SMOOTHE_AUTODIFF_TAPE_HPP
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -72,6 +74,19 @@ class Tape
 
     std::size_t numNodes() const { return nodes_.size(); }
     Backend backend() const { return backend_; }
+
+    /**
+     * Deep structural validator (see DESIGN.md "Correctness tooling"):
+     * every node's inputs must precede it (the tape is its own
+     * topological order), per-op operand pointers must be present, and
+     * recorded shapes must be consistent with what the op computes from
+     * its inputs. With screen_values, additionally scans every forward
+     * value for NaN/Inf — SMOOTHE_DEBUG_INVARIANTS builds run this at
+     * the head of backward().
+     * @return std::nullopt when healthy, else the first problem found.
+     */
+    std::optional<std::string>
+    checkInvariants(bool screen_values = false) const;
 
     /** The forward value of a node. */
     const Tensor& value(VarId id) const;
@@ -201,6 +216,10 @@ class Tape
     VarId push(Node node);
     Tensor& ensureGrad(VarId id);
     void backwardNode(Node& node);
+
+    /** Test-only backdoor used to corrupt state and prove the validator
+     *  catches it (tests/test_check.cpp). */
+    friend struct TapeTestPeer;
 
     Backend backend_;
     Arena* arena_;

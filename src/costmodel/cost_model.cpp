@@ -1,9 +1,9 @@
 #include "costmodel/cost_model.hpp"
 
-#include <cassert>
 #include <cmath>
 
 #include "autodiff/adam.hpp"
+#include "check/contracts.hpp"
 #include "extraction/random_sample.hpp"
 
 namespace smoothe::cost {
@@ -35,7 +35,9 @@ LinearCost::build(Tape& tape, VarId p) const
 double
 LinearCost::discrete(const std::vector<bool>& s) const
 {
-    assert(s.size() == weights_.size());
+    SMOOTHE_CHECK(s.size() == weights_.size(),
+                  "indicator has %zu entries for %zu weights", s.size(),
+                  weights_.size());
     double total = 0.0;
     for (std::size_t i = 0; i < s.size(); ++i) {
         if (s[i])

@@ -1,8 +1,8 @@
 #include "datasets/eqsat_grown.hpp"
 
-#include <cassert>
 #include <string>
 
+#include "check/contracts.hpp"
 #include "eqsat/mut_egraph.hpp"
 #include "eqsat/rules.hpp"
 
@@ -134,7 +134,7 @@ growFirEGraph(std::size_t taps, std::size_t max_nodes, util::Rng& rng)
 {
     // sum_k c_k * x_k with small-constant coefficients, like the rover
     // fir_* kernels.
-    assert(taps >= 1);
+    SMOOTHE_CHECK(taps >= 1, "FIR kernel needs at least one tap");
     const char* coefficients[] = {"two", "three", "five", "one"};
     TermPtr acc;
     for (std::size_t k = 0; k < taps; ++k) {

@@ -1,11 +1,12 @@
 #include "datasets/generators.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
+
+#include "check/contracts.hpp"
 
 namespace smoothe::datasets {
 
@@ -313,8 +314,8 @@ generateStructured(const FamilyParams& params, std::uint64_t seed)
     }
     graph.setRoot(0);
     const auto err = graph.finalize();
-    assert(!err.has_value());
-    (void)err;
+    SMOOTHE_ASSERT(!err.has_value(), "generated e-graph must finalize: %s",
+                   err ? err->c_str() : "");
     return graph;
 }
 
@@ -429,8 +430,8 @@ paperExampleEGraph()
     graph.addNode(cRoot, "add", {cSec2, cTan}, 2.0);
     graph.setRoot(cRoot);
     const auto err = graph.finalize();
-    assert(!err.has_value());
-    (void)err;
+    SMOOTHE_ASSERT(!err.has_value(), "adversarial e-graph must finalize: %s",
+                   err ? err->c_str() : "");
     return graph;
 }
 

@@ -1,10 +1,11 @@
 #include "datasets/nphard.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <set>
+
+#include "check/contracts.hpp"
 
 namespace smoothe::datasets {
 
@@ -75,8 +76,8 @@ setCoverToEGraph(const SetCoverInstance& instance)
     // Elements covered by no set make the instance infeasible; the caller
     // guarantees coverage, so finalize must succeed.
     const auto err = graph.finalize();
-    assert(!err.has_value());
-    (void)err;
+    SMOOTHE_ASSERT(!err.has_value(), "set-cover e-graph must finalize: %s",
+                   err ? err->c_str() : "");
     return graph;
 }
 
@@ -84,7 +85,9 @@ double
 bruteForceSetCover(const SetCoverInstance& instance)
 {
     const std::size_t numSets = instance.sets.size();
-    assert(numSets <= 24);
+    SMOOTHE_CHECK(numSets <= 24,
+                  "exact set-cover enumerates 2^sets; %zu sets is too many",
+                  numSets);
     double best = std::numeric_limits<double>::infinity();
     for (std::uint64_t mask = 0; mask < (1ULL << numSets); ++mask) {
         std::vector<bool> covered(instance.numElements, false);
@@ -165,8 +168,8 @@ maxSatToEGraph(const MaxSatInstance& instance)
     graph.addNode(root, "all-clauses", std::move(clauseClasses), 0.0);
     graph.setRoot(root);
     const auto err = graph.finalize();
-    assert(!err.has_value());
-    (void)err;
+    SMOOTHE_ASSERT(!err.has_value(), "max-sat e-graph must finalize: %s",
+                   err ? err->c_str() : "");
     return graph;
 }
 
@@ -178,7 +181,9 @@ bruteForceMaxSatCost(const MaxSatInstance& instance)
     // #violated. That equals min over literal subsets L of
     //   |L| + penalty * #{clauses with no literal in L},
     // so enumerating all 2^(2V) literal subsets is exact.
-    assert(2 * instance.numVariables <= 20);
+    SMOOTHE_CHECK(2 * instance.numVariables <= 20,
+                  "exact max-sat enumerates 2^(2V); V=%zu is too many",
+                  instance.numVariables);
     const std::size_t bits = 2 * instance.numVariables;
     auto literalBit = [](int literal) {
         const std::size_t var =

@@ -1,17 +1,19 @@
 #include "egraph/egraph.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include "check/contracts.hpp"
 
 namespace smoothe::eg {
 
 ClassId
 EGraph::addClass()
 {
-    assert(!finalized_);
+    SMOOTHE_ASSERT(!finalized_, "addClass() after finalize()");
     classNodes_.emplace_back();
     return static_cast<ClassId>(classNodes_.size() - 1);
 }
@@ -19,8 +21,10 @@ EGraph::addClass()
 NodeId
 EGraph::addNode(ClassId cls, ENode node)
 {
-    assert(!finalized_);
-    assert(cls < classNodes_.size());
+    SMOOTHE_ASSERT(!finalized_, "addNode() after finalize()");
+    SMOOTHE_CHECK(cls < classNodes_.size(),
+                  "addNode: e-class %u does not exist (have %zu)", cls,
+                  classNodes_.size());
     const NodeId id = static_cast<NodeId>(nodes_.size());
     nodes_.push_back(std::move(node));
     nodeClass_.push_back(cls);
@@ -100,6 +104,104 @@ EGraph::finalize()
         stats_.maxClassSize = std::max(stats_.maxClassSize, members.size());
 
     finalized_ = true;
+    SMOOTHE_DCHECK_OK(checkInvariants());
+    return std::nullopt;
+}
+
+std::optional<std::string>
+EGraph::checkInvariants() const
+{
+    auto problem = [](const auto&... parts) -> std::optional<std::string> {
+        std::ostringstream oss;
+        (oss << ... << parts);
+        return oss.str();
+    };
+
+    // Primary storage sizes must agree.
+    if (nodeClass_.size() != nodes_.size())
+        return problem("nodeClass index has ", nodeClass_.size(),
+                       " entries for ", nodes_.size(), " nodes");
+
+    // Per-node: class in range, children in range, finite cost.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodeClass_[i] >= classNodes_.size())
+            return problem("e-node ", i, " claims out-of-range e-class ",
+                           nodeClass_[i]);
+        for (ClassId child : nodes_[i].children) {
+            if (child >= classNodes_.size())
+                return problem("e-node ", i,
+                               " references out-of-range e-class ", child);
+        }
+        if (!std::isfinite(nodes_[i].cost))
+            return problem("e-node ", i, " has non-finite cost");
+    }
+
+    // Membership must be bijective: classNodes_ lists each node exactly
+    // once, in the class the node claims.
+    std::vector<std::size_t> listed(nodes_.size(), 0);
+    for (std::size_t j = 0; j < classNodes_.size(); ++j) {
+        for (NodeId nid : classNodes_[j]) {
+            if (nid >= nodes_.size())
+                return problem("e-class ", j,
+                               " lists out-of-range e-node ", nid);
+            if (nodeClass_[nid] != j)
+                return problem("e-class ", j, " lists e-node ", nid,
+                               " which claims e-class ", nodeClass_[nid]);
+            ++listed[nid];
+        }
+    }
+    for (std::size_t i = 0; i < listed.size(); ++i) {
+        if (listed[i] != 1)
+            return problem("e-node ", i, " listed ", listed[i],
+                           " times across e-classes");
+    }
+
+    if (!finalized_)
+        return std::nullopt; // derived indices not built yet
+
+    if (root_ >= classNodes_.size())
+        return problem("root e-class ", root_, " out of range");
+    for (std::size_t j = 0; j < classNodes_.size(); ++j) {
+        if (classNodes_[j].empty())
+            return problem("e-class ", j, " is empty");
+    }
+
+    // Parent index must match a recomputation (one entry per distinct
+    // child class, ascending node ids as built by finalize()).
+    if (classParents_.size() != classNodes_.size())
+        return problem("parent index has ", classParents_.size(),
+                       " entries for ", classNodes_.size(), " classes");
+    std::vector<std::vector<NodeId>> expectedParents(classNodes_.size());
+    std::size_t edges = 0;
+    std::size_t leaves = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const auto& children = nodes_[i].children;
+        edges += children.size();
+        if (children.empty())
+            ++leaves;
+        std::vector<ClassId> distinct = children;
+        std::sort(distinct.begin(), distinct.end());
+        distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                       distinct.end());
+        for (ClassId child : distinct)
+            expectedParents[child].push_back(static_cast<NodeId>(i));
+    }
+    for (std::size_t j = 0; j < classNodes_.size(); ++j) {
+        if (classParents_[j] != expectedParents[j])
+            return problem("parent index of e-class ", j,
+                           " disagrees with recomputation");
+    }
+
+    // Cached statistics must match a recount.
+    if (stats_.numNodes != nodes_.size() ||
+        stats_.numClasses != classNodes_.size() ||
+        stats_.numEdges != edges || stats_.numLeaves != leaves)
+        return problem("cached stats disagree with recount (nodes ",
+                       stats_.numNodes, "/", nodes_.size(), ", classes ",
+                       stats_.numClasses, "/", classNodes_.size(),
+                       ", edges ", stats_.numEdges, "/", edges, ", leaves ",
+                       stats_.numLeaves, "/", leaves, ")");
+
     return std::nullopt;
 }
 
@@ -355,8 +457,8 @@ EGraph::pruned() const
         out.setRoot(cls);
     }
     const auto err = out.finalize();
-    assert(!err.has_value());
-    (void)err;
+    SMOOTHE_ASSERT(!err.has_value(), "pruned e-graph failed finalize: %s",
+                   err ? err->c_str() : "");
     return out;
 }
 

@@ -94,6 +94,16 @@ class EGraph
      */
     std::optional<std::string> finalize();
 
+    /**
+     * Deep structural validator (see DESIGN.md "Correctness tooling"):
+     * re-derives every index and statistic from the primary node storage
+     * and cross-checks — node/class membership is bijective, children and
+     * root are in range, the parent index matches a recomputation, stats
+     * match a recount, and every cost is finite. O(N + E).
+     * @return std::nullopt when healthy, else the first problem found.
+     */
+    std::optional<std::string> checkInvariants() const;
+
     /** True once finalize() has succeeded. */
     bool finalized() const { return finalized_; }
 
@@ -155,6 +165,10 @@ class EGraph
 
   private:
     void requireFinalized() const;
+
+    /** Test-only backdoor used to corrupt state and prove the validator
+     *  catches it (tests/test_check.cpp). */
+    friend struct EGraphTestPeer;
 
     std::vector<ENode> nodes_;
     std::vector<ClassId> nodeClass_;            // node id -> class id

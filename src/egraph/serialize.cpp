@@ -1,8 +1,10 @@
 #include "egraph/serialize.hpp"
 
+#include <cmath>
 #include <map>
 #include <sstream>
 
+#include "check/contracts.hpp"
 #include "util/json.hpp"
 
 namespace smoothe::eg {
@@ -69,6 +71,10 @@ fromJson(const std::string& text, std::string* error)
         setError(error, "missing \"nodes\" object");
         return std::nullopt;
     }
+    if (nodes->asObject().empty()) {
+        setError(error, "e-graph has no nodes");
+        return std::nullopt;
+    }
 
     // First pass: assign dense class ids and map node-id -> class-id.
     std::map<std::string, ClassId> classIds;
@@ -98,6 +104,15 @@ fromJson(const std::string& text, std::string* error)
         ENode node;
         node.op = (op && op->isString()) ? op->asString() : "?";
         node.cost = (cost && cost->isNumber()) ? cost->asNumber() : 1.0;
+        if (cost && !cost->isNumber()) {
+            setError(error,
+                     "node \"" + nodeKey + "\" cost must be a number");
+            return std::nullopt;
+        }
+        if (!std::isfinite(node.cost)) {
+            setError(error, "node \"" + nodeKey + "\" cost is not finite");
+            return std::nullopt;
+        }
         if (children) {
             if (!children->isArray()) {
                 setError(error, "children must be an array");
@@ -146,6 +161,7 @@ fromJson(const std::string& text, std::string* error)
         setError(error, *err);
         return std::nullopt;
     }
+    SMOOTHE_DCHECK_OK(graph.checkInvariants());
     return graph;
 }
 

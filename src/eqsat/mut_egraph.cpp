@@ -1,9 +1,10 @@
 #include "eqsat/mut_egraph.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <set>
+#include <sstream>
 
+#include "check/contracts.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -182,6 +183,97 @@ MutEGraph::rebuild()
     rebuildMerges.add(obs::counter("eqsat.merges").get() - mergesBefore);
 }
 
+std::optional<std::string>
+MutEGraph::checkInvariants() const
+{
+    const auto problem = [](auto&&... parts) {
+        std::ostringstream oss;
+        (oss << ... << parts);
+        return std::optional<std::string>(oss.str());
+    };
+
+    if (parent_.size() != classes_.size())
+        return problem("union-find has ", parent_.size(),
+                       " ids but class table has ", classes_.size());
+    for (Id id = 0; id < parent_.size(); ++id) {
+        if (parent_[id] >= parent_.size())
+            return problem("parent_[", id, "] = ", parent_[id],
+                           " is out of range (", parent_.size(), " ids)");
+    }
+    for (Id id = 0; id < parent_.size(); ++id) {
+        if (find(id) != id &&
+            (!classes_[id].nodes.empty() || !classes_[id].parents.empty()))
+            return problem("absorbed e-class ", id,
+                           " still holds nodes or parent uses");
+    }
+    for (const auto& [node, cls] : hashcons_) {
+        if (node.op >= symbols_.size())
+            return problem("hashcons node has unknown symbol id ", node.op);
+        for (Id child : node.children) {
+            if (child >= parent_.size())
+                return problem("hashcons node child ", child,
+                               " is out of range (", parent_.size(), " ids)");
+        }
+        if (cls >= parent_.size())
+            return problem("hashcons maps a node to out-of-range class ",
+                           cls);
+    }
+
+    // The deep congruence checks only hold once rebuild() has drained the
+    // worklist; between merge() and rebuild() staleness is by design.
+    if (!worklist_.empty())
+        return std::nullopt;
+
+    // Ownership map: canonical node form -> the canonical class storing it.
+    std::unordered_map<Node, Id, NodeHash> owner;
+    for (Id cls = 0; cls < parent_.size(); ++cls) {
+        if (find(cls) != cls)
+            continue;
+        if (classes_[cls].nodes.empty())
+            return problem("canonical e-class ", cls, " has no e-nodes");
+        for (const Node& node : classes_[cls].nodes) {
+            if (node.op >= symbols_.size())
+                return problem("e-class ", cls,
+                               " holds a node with unknown symbol id ",
+                               node.op);
+            for (Id child : node.children) {
+                if (child >= parent_.size())
+                    return problem("e-class ", cls, " node child ", child,
+                                   " is out of range");
+            }
+            const Node canon = canonicalize(node);
+            const auto [it, inserted] = owner.emplace(canon, cls);
+            if (!inserted && it->second != cls)
+                return problem("node \"", symbols_[canon.op],
+                               "\" is stored in both e-class ", it->second,
+                               " and e-class ", cls);
+            const auto hc = hashcons_.find(canon);
+            if (hc == hashcons_.end())
+                return problem("e-class ", cls, " node \"",
+                               symbols_[canon.op],
+                               "\" is missing from the hashcons");
+            if (find(hc->second) != cls)
+                return problem("hashcons resolves e-class ", cls,
+                               " node \"", symbols_[canon.op],
+                               "\" to e-class ", find(hc->second));
+        }
+    }
+    for (const auto& [node, cls] : hashcons_) {
+        if (!(canonicalize(node) == node))
+            return problem("hashcons key \"", symbols_[node.op],
+                           "\" is not canonical after rebuild");
+        const auto it = owner.find(node);
+        if (it == owner.end())
+            return problem("hashcons node \"", symbols_[node.op],
+                           "\" is stored in no e-class");
+        if (it->second != find(cls))
+            return problem("hashcons places \"", symbols_[node.op],
+                           "\" in e-class ", find(cls),
+                           " but e-class ", it->second, " stores it");
+    }
+    return std::nullopt;
+}
+
 std::size_t
 MutEGraph::numClasses() const
 {
@@ -299,7 +391,8 @@ MutEGraph::instantiate(const Pattern& pattern, const Subst& subst)
 {
     if (pattern.isVar()) {
         const auto it = subst.find(pattern.var);
-        assert(it != subst.end() && "unbound pattern variable");
+        SMOOTHE_ASSERT(it != subst.end(), "unbound pattern variable \"%s\"",
+                       pattern.var.c_str());
         return find(it->second);
     }
     std::vector<Id> children;
@@ -344,6 +437,7 @@ MutEGraph::run(const std::vector<Rewrite>& rules, const RunLimits& limits)
             }
         }
         rebuild();
+        SMOOTHE_DCHECK_OK(checkInvariants());
         if (numNodes() != nodesBefore)
             changed = true;
         if (stats.hitNodeLimit) {
@@ -401,8 +495,9 @@ MutEGraph::exportGraph(
     }
     out.setRoot(classMap.at(find(root)));
     const auto err = out.finalize();
-    assert(!err.has_value() && "exported e-graph must be well-formed");
-    (void)err;
+    SMOOTHE_ASSERT(!err.has_value(), "exported e-graph must be well-formed: %s",
+                   err ? err->c_str() : "");
+    SMOOTHE_DCHECK_OK(out.checkInvariants());
     return out;
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -108,6 +109,18 @@ class MutEGraph
      */
     void rebuild();
 
+    /**
+     * Deep structural validator (see DESIGN.md "Correctness tooling"):
+     * union-find ids in range, absorbed classes emptied, and — once the
+     * worklist is drained — full hashcons/class-list agreement: every
+     * stored node canonicalizes to a hashcons entry resolving back to
+     * its class, every hashcons key is canonical, and no node is owned
+     * by two classes. SMOOTHE_DEBUG_INVARIANTS builds run this after
+     * every rebuild() in run().
+     * @return std::nullopt when healthy, else the first problem found.
+     */
+    std::optional<std::string> checkInvariants() const;
+
     /** Number of canonical e-classes. */
     std::size_t numClasses() const;
 
@@ -160,6 +173,10 @@ class MutEGraph
 
     Id findMutable(Id id);
     Node canonicalize(const Node& node) const;
+
+    /** Test-only backdoor used to corrupt state and prove the validator
+     *  catches it (tests/test_check.cpp). */
+    friend struct MutEGraphTestPeer;
 
     std::vector<std::string> symbols_;
     std::unordered_map<std::string, std::uint32_t> symbolIds_;

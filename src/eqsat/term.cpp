@@ -1,8 +1,9 @@
 #include "eqsat/term.hpp"
 
-#include <cassert>
 #include <cctype>
 #include <sstream>
+
+#include "check/contracts.hpp"
 
 namespace smoothe::eqsat {
 
@@ -202,7 +203,8 @@ rewrite(std::string name, const std::string& lhs, const std::string& rhs)
 {
     auto lhsPattern = parsePattern(lhs);
     auto rhsPattern = parsePattern(rhs);
-    assert(lhsPattern && rhsPattern && "rewrite patterns must parse");
+    SMOOTHE_CHECK(lhsPattern && rhsPattern,
+                  "rewrite \"%s\" has unparsable patterns", name.c_str());
     Rewrite rule;
     rule.name = std::move(name);
     rule.lhs = std::move(*lhsPattern);

@@ -130,7 +130,8 @@ buildResult(const EGraph& graph, const FixedPoint& fp, double seconds)
 } // namespace
 
 ExtractionResult
-BottomUpExtractor::extract(const EGraph& graph, const ExtractOptions& options)
+BottomUpExtractor::extractImpl(const EGraph& graph,
+                               const ExtractOptions& options)
 {
     (void)options;
     util::Timer timer;
@@ -139,7 +140,7 @@ BottomUpExtractor::extract(const EGraph& graph, const ExtractOptions& options)
 }
 
 ExtractionResult
-FasterBottomUpExtractor::extract(const EGraph& graph,
+FasterBottomUpExtractor::extractImpl(const EGraph& graph,
                                  const ExtractOptions& options)
 {
     (void)options;

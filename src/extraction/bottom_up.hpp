@@ -27,8 +27,10 @@ class BottomUpExtractor : public Extractor
 {
   public:
     std::string name() const override { return "heuristic"; }
-    ExtractionResult extract(const eg::EGraph& graph,
-                             const ExtractOptions& options) override;
+
+  protected:
+    ExtractionResult extractImpl(const eg::EGraph& graph,
+                                 const ExtractOptions& options) override;
 };
 
 /** The extraction-gym "faster-bottom-up" improved heuristic. */
@@ -36,8 +38,10 @@ class FasterBottomUpExtractor : public Extractor
 {
   public:
     std::string name() const override { return "heuristic+"; }
-    ExtractionResult extract(const eg::EGraph& graph,
-                             const ExtractOptions& options) override;
+
+  protected:
+    ExtractionResult extractImpl(const eg::EGraph& graph,
+                                 const ExtractOptions& options) override;
 };
 
 } // namespace smoothe::extract

@@ -1,6 +1,17 @@
 #include "extraction/extractor.hpp"
 
+#include "check/contracts.hpp"
+#include "extraction/validate.hpp"
+
 namespace smoothe::extract {
+
+ExtractionResult
+Extractor::extract(const eg::EGraph& graph, const ExtractOptions& options)
+{
+    ExtractionResult result = extractImpl(graph, options);
+    SMOOTHE_DCHECK_OK(checkResultInvariants(graph, result));
+    return result;
+}
 
 const char*
 toString(SolveStatus status)

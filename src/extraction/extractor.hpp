@@ -78,10 +78,18 @@ class Extractor
     /**
      * Extracts a valid solution from a finalized e-graph, minimizing the
      * graph's per-node linear costs (non-linear objectives are handled by
-     * extractor-specific entry points).
+     * extractor-specific entry points). In invariant builds
+     * (SMOOTHE_DEBUG_INVARIANTS or Debug) the result is certified with
+     * extraction::validateResult() before it reaches the caller, for
+     * every extractor uniformly.
      */
-    virtual ExtractionResult extract(const eg::EGraph& graph,
-                                     const ExtractOptions& options) = 0;
+    ExtractionResult extract(const eg::EGraph& graph,
+                             const ExtractOptions& options);
+
+  protected:
+    /** The extractor-specific search behind extract(). */
+    virtual ExtractionResult extractImpl(const eg::EGraph& graph,
+                                         const ExtractOptions& options) = 0;
 };
 
 } // namespace smoothe::extract

@@ -32,7 +32,8 @@ randomGenome(std::size_t n, util::Rng& rng)
 } // namespace
 
 ExtractionResult
-GeneticExtractor::extract(const EGraph& graph, const ExtractOptions& options)
+GeneticExtractor::extractImpl(const EGraph& graph,
+                              const ExtractOptions& options)
 {
     return extractWithCost(graph, dagCost, options);
 }

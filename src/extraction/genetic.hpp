@@ -44,14 +44,15 @@ class GeneticExtractor : public Extractor
 
     std::string name() const override { return "genetic"; }
 
-    /** Linear objective (graph per-node costs). */
-    ExtractionResult extract(const eg::EGraph& graph,
-                             const ExtractOptions& options) override;
-
     /** Arbitrary discrete objective (e.g. trained MLP cost). */
     ExtractionResult extractWithCost(const eg::EGraph& graph,
                                      const DiscreteCost& cost,
                                      const ExtractOptions& options);
+
+  protected:
+    /** Linear objective (graph per-node costs). */
+    ExtractionResult extractImpl(const eg::EGraph& graph,
+                                 const ExtractOptions& options) override;
 
   private:
     GeneticConfig config_;

@@ -31,7 +31,7 @@ struct CostSet
 } // namespace
 
 ExtractionResult
-GreedyDagExtractor::extract(const EGraph& graph,
+GreedyDagExtractor::extractImpl(const EGraph& graph,
                             const ExtractOptions& options)
 {
     util::Timer timer;

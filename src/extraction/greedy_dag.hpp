@@ -20,8 +20,10 @@ class GreedyDagExtractor : public Extractor
 {
   public:
     std::string name() const override { return "greedy-dag"; }
-    ExtractionResult extract(const eg::EGraph& graph,
-                             const ExtractOptions& options) override;
+
+  protected:
+    ExtractionResult extractImpl(const eg::EGraph& graph,
+                                 const ExtractOptions& options) override;
 };
 
 } // namespace smoothe::extract

@@ -57,6 +57,8 @@ enum class Violation {
     UnreachableChoice,   ///< a chosen class not needed by the extraction
     Cyclic,              ///< constraint (c)
     DanglingNode,        ///< choice[c] is not a member of class c
+    CostMismatch,        ///< reported cost != recomputed DAG cost
+    StatusMismatch,      ///< result status inconsistent with its contents
 };
 
 /** Validation outcome with a message suitable for test diagnostics. */

@@ -1,0 +1,65 @@
+#include "extraction/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace smoothe::extract {
+
+ValidationResult
+validateResult(const eg::EGraph& graph, const ExtractionResult& result,
+               double cost_tolerance)
+{
+    ValidationResult out;
+    auto fail = [&](Violation v, const std::string& message) {
+        out.violation = v;
+        out.message = message;
+        return out;
+    };
+
+    if (!result.ok()) {
+        // Failed runs may attach their broken selection for debugging
+        // (bottom_up does, with a note), but a failed/infeasible status
+        // alongside a fully VALID solution means the solver is lying
+        // about its outcome — callers branching on ok() would silently
+        // discard a usable answer.
+        if (result.selection.choice.size() == graph.numClasses() &&
+            result.selection.chosen(graph.root()) &&
+            validate(graph, result.selection).ok()) {
+            return fail(Violation::StatusMismatch,
+                        std::string("status is ") + toString(result.status) +
+                            " but the result carries a valid solution");
+        }
+        return out;
+    }
+
+    ValidationResult structural = validate(graph, result.selection);
+    if (!structural.ok())
+        return structural;
+
+    const double recomputed = dagCost(graph, result.selection);
+    const double reported = result.cost;
+    const double scale = std::max({std::fabs(recomputed),
+                                   std::fabs(reported), 1.0});
+    if (!std::isfinite(reported) ||
+        std::fabs(recomputed - reported) > cost_tolerance * scale) {
+        std::ostringstream oss;
+        oss << "reported cost " << reported
+            << " does not match recomputed DAG cost " << recomputed;
+        return fail(Violation::CostMismatch, oss.str());
+    }
+    return out;
+}
+
+std::optional<std::string>
+checkResultInvariants(const eg::EGraph& graph,
+                      const ExtractionResult& result)
+{
+    const ValidationResult check = validateResult(graph, result);
+    if (check.ok())
+        return std::nullopt;
+    return std::string(toString(result.status)) + " result invalid: " +
+           check.message;
+}
+
+} // namespace smoothe::extract

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * End-to-end certification of extractor outputs.
+ *
+ * validateResult() is the property the whole pipeline promises (paper
+ * Section 2): a successful extraction is a complete, acyclic,
+ * root-covering selection whose recomputed DAG cost matches the cost the
+ * extractor reported. Every extractor test calls it, `smoothe_extract
+ * --validate` runs it on tool output, and SMOOTHE_DEBUG_INVARIANTS
+ * builds run it inside every extractor before returning.
+ */
+
+#ifndef SMOOTHE_EXTRACTION_VALIDATE_HPP
+#define SMOOTHE_EXTRACTION_VALIDATE_HPP
+
+#include <optional>
+#include <string>
+
+#include "extraction/extractor.hpp"
+#include "extraction/solution.hpp"
+
+namespace smoothe::extract {
+
+/**
+ * Certifies one extractor outcome against the graph it was computed on.
+ *
+ * For ok() results (Optimal/Feasible) the selection must pass
+ * validate() — complete from the root, acyclic, no dangling or
+ * unreachable choices — and the recomputed dagCost() must equal
+ * result.cost within |rel err| <= cost_tolerance. Infeasible/Failed
+ * results may attach a broken selection for debugging but must not
+ * carry a fully valid solution (a solver that found one but reports
+ * failure is lying about its status).
+ *
+ * @param cost_tolerance relative tolerance for the cost cross-check;
+ *        extractors accumulate in doubles so 1e-6 is generous.
+ */
+ValidationResult validateResult(const eg::EGraph& graph,
+                                const ExtractionResult& result,
+                                double cost_tolerance = 1e-6);
+
+/**
+ * Adapter for the contract macros: nullopt when validateResult() passes,
+ * else its message (prefixed with the extractor status).
+ */
+std::optional<std::string>
+checkResultInvariants(const eg::EGraph& graph,
+                      const ExtractionResult& result);
+
+} // namespace smoothe::extract
+
+#endif // SMOOTHE_EXTRACTION_VALIDATE_HPP

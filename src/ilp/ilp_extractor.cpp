@@ -1,11 +1,11 @@
 #include "ilp/ilp_extractor.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <queue>
 #include <limits>
 
+#include "check/contracts.hpp"
 #include "extraction/bottom_up.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -433,7 +433,8 @@ class BnBSearch
             // Undo.
             for (auto it = newlyOpened.rbegin(); it != newlyOpened.rend();
                  ++it) {
-                assert(!open_.empty() && open_.back() == *it);
+                SMOOTHE_DCHECK(!open_.empty() && open_.back() == *it,
+                               "branch bookkeeping out of sync");
                 open_.pop_back();
             }
             for (ClassId child : graph_.node(nid).children)
@@ -667,7 +668,8 @@ class LpBnB
 } // namespace
 
 ExtractionResult
-IlpExtractor::extract(const EGraph& graph, const ExtractOptions& options)
+IlpExtractor::extractImpl(const EGraph& graph,
+                          const ExtractOptions& options)
 {
     // Small models: real LP-based branch-and-bound (Strong and Medium
     // presets; Medium gets a lower size cap, mimicking open-source

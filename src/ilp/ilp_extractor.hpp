@@ -55,10 +55,6 @@ class IlpExtractor : public extract::Extractor
 
     std::string name() const override { return presetName(preset_); }
 
-    extract::ExtractionResult
-    extract(const eg::EGraph& graph,
-            const extract::ExtractOptions& options) override;
-
     /**
      * Root LP relaxation value (a global lower bound), or NaN when the
      * model is too large for the dense simplex. Strong preset only uses
@@ -66,6 +62,11 @@ class IlpExtractor : public extract::Extractor
      */
     double rootRelaxation(const eg::EGraph& graph,
                           std::size_t size_cap = 2000) const;
+
+  protected:
+    extract::ExtractionResult
+    extractImpl(const eg::EGraph& graph,
+                const extract::ExtractOptions& options) override;
 
   private:
     IlpPreset preset_;

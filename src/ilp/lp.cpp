@@ -1,9 +1,9 @@
 #include "ilp/lp.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "check/contracts.hpp"
 #include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
@@ -188,7 +188,7 @@ class Tableau
         static obs::Counter& pivots = obs::counter("ilp.simplex_pivots");
         pivots.add(1);
         const double pivotValue = at(pivotRow, pivotCol);
-        assert(std::fabs(pivotValue) > 0.0);
+        SMOOTHE_DCHECK(std::fabs(pivotValue) > 0.0, "degenerate simplex pivot");
         const double inv = 1.0 / pivotValue;
         for (std::size_t j = 0; j < cols_; ++j)
             at(pivotRow, j) *= inv;

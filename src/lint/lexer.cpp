@@ -1,0 +1,287 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace smoothe::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Parses `smoothe-lint: allow(a, b)` out of a comment body. */
+void
+recordSuppression(const std::string& comment, int line, LexedFile& out)
+{
+    const std::string marker = "smoothe-lint:";
+    const std::size_t at = comment.find(marker);
+    if (at == std::string::npos)
+        return;
+    std::size_t pos = comment.find("allow(", at + marker.size());
+    if (pos == std::string::npos)
+        return;
+    pos += 6;
+    const std::size_t end = comment.find(')', pos);
+    if (end == std::string::npos)
+        return;
+    std::string name;
+    auto flush = [&]() {
+        if (!name.empty()) {
+            out.suppressions[line].insert(name);
+            name.clear();
+        }
+    };
+    for (std::size_t i = pos; i < end; ++i) {
+        const char c = comment[i];
+        if (c == ',' || std::isspace(static_cast<unsigned char>(c)))
+            flush();
+        else
+            name.push_back(c);
+    }
+    flush();
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string& source) : src_(source) {}
+
+    LexedFile
+    run()
+    {
+        bool atLineStart = true;
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+                atLineStart = true;
+                continue;
+            }
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos_;
+                continue;
+            }
+            if (c == '/' && peek(1) == '/') {
+                lineComment();
+                continue;
+            }
+            if (c == '/' && peek(1) == '*') {
+                blockComment();
+                atLineStart = false;
+                continue;
+            }
+            if (c == '#' && atLineStart) {
+                directive();
+                atLineStart = false;
+                continue;
+            }
+            atLineStart = false;
+            if (c == 'R' && peek(1) == '"') {
+                rawString();
+                continue;
+            }
+            if (c == '"') {
+                quoted('"');
+                emit(TokenKind::StringLiteral, "");
+                continue;
+            }
+            if (c == '\'') {
+                quoted('\'');
+                emit(TokenKind::CharLiteral, "");
+                continue;
+            }
+            if (isIdentStart(c)) {
+                emit(TokenKind::Identifier, identifier());
+                continue;
+            }
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                emit(TokenKind::Number, number());
+                continue;
+            }
+            if (c == ':' && peek(1) == ':') {
+                emit(TokenKind::Punct, "::");
+                pos_ += 2;
+                continue;
+            }
+            if (c == '-' && peek(1) == '>') {
+                emit(TokenKind::Punct, "->");
+                pos_ += 2;
+                continue;
+            }
+            emit(TokenKind::Punct, std::string(1, c));
+            ++pos_;
+        }
+        out_.lineCount = line_;
+        return std::move(out_);
+    }
+
+  private:
+    char
+    peek(std::size_t ahead) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    void
+    emit(TokenKind kind, std::string text)
+    {
+        out_.tokens.push_back(Token{kind, std::move(text), line_});
+    }
+
+    std::string
+    identifier()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < src_.size() && isIdentBody(src_[pos_]))
+            ++pos_;
+        return src_.substr(start, pos_ - start);
+    }
+
+    std::string
+    number()
+    {
+        const std::size_t start = pos_;
+        // Good enough for lint purposes: digits plus the suffix/exponent
+        // alphabet, including hex and digit separators.
+        while (pos_ < src_.size() &&
+               (isIdentBody(src_[pos_]) || src_[pos_] == '.' ||
+                src_[pos_] == '\''))
+            ++pos_;
+        return src_.substr(start, pos_ - start);
+    }
+
+    void
+    lineComment()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < src_.size() && src_[pos_] != '\n')
+            ++pos_;
+        recordSuppression(src_.substr(start, pos_ - start), line_, out_);
+    }
+
+    void
+    blockComment()
+    {
+        pos_ += 2;
+        while (pos_ < src_.size()) {
+            if (src_[pos_] == '*' && peek(1) == '/') {
+                pos_ += 2;
+                return;
+            }
+            if (src_[pos_] == '\n')
+                ++line_;
+            ++pos_;
+        }
+    }
+
+    /** Consumes a quoted literal with backslash escapes (delimiter
+     *  already at pos_). */
+    void
+    quoted(char delim)
+    {
+        ++pos_;
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\\') {
+                pos_ += 2;
+                continue;
+            }
+            if (c == '\n') {
+                // Unterminated literal; do not swallow the rest of the
+                // file, the rules prefer noisy tokens over silence.
+                return;
+            }
+            ++pos_;
+            if (c == delim)
+                return;
+        }
+    }
+
+    void
+    rawString()
+    {
+        pos_ += 2; // R"
+        std::string tag;
+        while (pos_ < src_.size() && src_[pos_] != '(')
+            tag.push_back(src_[pos_++]);
+        const std::string close = ")" + tag + "\"";
+        const std::size_t end = src_.find(close, pos_);
+        const std::size_t stop =
+            end == std::string::npos ? src_.size() : end + close.size();
+        for (; pos_ < stop; ++pos_) {
+            if (src_[pos_] == '\n')
+                ++line_;
+        }
+        emit(TokenKind::StringLiteral, "");
+    }
+
+    /** Lexes `#directive` and, for #include, the header name; the rest
+     *  of the line goes through the normal token path. */
+    void
+    directive()
+    {
+        ++pos_; // '#'
+        while (pos_ < src_.size() &&
+               (src_[pos_] == ' ' || src_[pos_] == '\t'))
+            ++pos_;
+        if (pos_ >= src_.size() || !isIdentStart(src_[pos_]))
+            return;
+        const std::string name = identifier();
+        emit(TokenKind::Preprocessor, name);
+        if (name != "include")
+            return;
+        while (pos_ < src_.size() &&
+               (src_[pos_] == ' ' || src_[pos_] == '\t'))
+            ++pos_;
+        if (pos_ >= src_.size())
+            return;
+        const char open = src_[pos_];
+        const char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+        if (close == '\0')
+            return;
+        const std::size_t start = pos_;
+        ++pos_;
+        while (pos_ < src_.size() && src_[pos_] != close &&
+               src_[pos_] != '\n')
+            ++pos_;
+        if (pos_ < src_.size() && src_[pos_] == close)
+            ++pos_;
+        emit(TokenKind::HeaderName, src_.substr(start, pos_ - start));
+    }
+
+    const std::string& src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    LexedFile out_;
+};
+
+} // namespace
+
+bool
+LexedFile::suppressed(const std::string& rule, int line) const
+{
+    for (const int at : {line, line - 1}) {
+        const auto it = suppressions.find(at);
+        if (it != suppressions.end() && it->second.count(rule))
+            return true;
+    }
+    return false;
+}
+
+LexedFile
+lex(const std::string& source)
+{
+    return Lexer(source).run();
+}
+
+} // namespace smoothe::lint

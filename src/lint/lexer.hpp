@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A minimal C++ lexer for smoothe_lint (see DESIGN.md "Correctness
+ * tooling & static analysis").
+ *
+ * This is not a compiler front end: it only needs to be precise enough
+ * that the lint rules never fire inside comments or string literals and
+ * can see preprocessor structure. It strips // and block comments
+ * (recording `// smoothe-lint: allow(rule, ...)` suppressions as it
+ * goes), handles ordinary/raw string and char literals, folds `::` and `->`
+ * into one token each, and lexes `#directive` lines so include targets
+ * arrive as single HeaderName tokens.
+ */
+
+#ifndef SMOOTHE_LINT_LEXER_HPP
+#define SMOOTHE_LINT_LEXER_HPP
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace smoothe::lint {
+
+enum class TokenKind {
+    Identifier,   ///< keywords included; rules match on text
+    Number,
+    Punct,        ///< one character, except the folded "::" and "->"
+    Preprocessor, ///< directive name; text is e.g. "include", "ifndef"
+    HeaderName,   ///< include target with delimiters, e.g. "<iostream>"
+    StringLiteral,///< contents dropped; text is ""
+    CharLiteral,  ///< contents dropped; text is ""
+};
+
+struct Token
+{
+    TokenKind kind;
+    std::string text;
+    int line; ///< 1-based
+};
+
+/** A lexed translation unit plus its lint suppressions. */
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    /** Line -> rule names allowed there by `// smoothe-lint: allow(...)`. */
+    std::map<int, std::set<std::string>> suppressions;
+    int lineCount = 0;
+
+    /**
+     * True when `rule` is suppressed at `line`: the allow comment sits
+     * on the flagged line itself or alone on the line above.
+     */
+    bool suppressed(const std::string& rule, int line) const;
+};
+
+/** Lexes a whole source file. Never fails: unterminated constructs are
+ *  consumed to end of file. */
+LexedFile lex(const std::string& source);
+
+} // namespace smoothe::lint
+
+#endif // SMOOTHE_LINT_LEXER_HPP

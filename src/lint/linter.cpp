@@ -1,0 +1,132 @@
+#include "lint/linter.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace smoothe::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+isSourceFile(const fs::path& path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+/** Repo-relative path with forward slashes, for stable report output. */
+std::string
+normalize(const fs::path& root, const fs::path& path)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(path, root, ec);
+    if (ec || rel.empty())
+        rel = path;
+    return rel.generic_string();
+}
+
+FileContext
+classify(const std::string& path)
+{
+    FileContext ctx;
+    ctx.path = path;
+    const std::size_t dot = path.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+    ctx.isHeader = ext == ".hpp" || ext == ".h";
+    ctx.isLibrary = path.rfind("src/", 0) == 0;
+    return ctx;
+}
+
+} // namespace
+
+std::vector<Finding>
+lintSource(const std::string& path, const std::string& source)
+{
+    return runRules(classify(path), lex(source));
+}
+
+LintReport
+lintPaths(const std::string& root, const std::vector<std::string>& paths)
+{
+    LintReport report;
+    const fs::path rootPath(root);
+    std::vector<fs::path> files;
+    for (const std::string& arg : paths) {
+        fs::path path(arg);
+        if (path.is_relative())
+            path = rootPath / path;
+        std::error_code ec;
+        if (fs::is_directory(path, ec)) {
+            for (auto it = fs::recursive_directory_iterator(path, ec);
+                 !ec && it != fs::recursive_directory_iterator(); ++it) {
+                if (it->is_regular_file() && isSourceFile(it->path()))
+                    files.push_back(it->path());
+            }
+        } else if (fs::is_regular_file(path, ec)) {
+            files.push_back(path);
+        } else {
+            report.errors.push_back("no such file or directory: " + arg);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+        const std::string rel = normalize(rootPath, file);
+        const auto source = util::readFile(file.string());
+        if (!source) {
+            report.errors.push_back("cannot read " + rel);
+            continue;
+        }
+        ++report.filesScanned;
+        std::vector<Finding> found = lintSource(rel, *source);
+        report.findings.insert(report.findings.end(),
+                               std::make_move_iterator(found.begin()),
+                               std::make_move_iterator(found.end()));
+    }
+    return report;
+}
+
+std::string
+renderText(const LintReport& report)
+{
+    std::ostringstream oss;
+    for (const std::string& error : report.errors)
+        oss << "smoothe_lint: error: " << error << "\n";
+    for (const Finding& finding : report.findings) {
+        oss << finding.path << ":" << finding.line << ": [" << finding.rule
+            << "] " << finding.message << "\n";
+    }
+    oss << "smoothe_lint: " << report.findings.size() << " finding"
+        << (report.findings.size() == 1 ? "" : "s") << " in "
+        << report.filesScanned << " file"
+        << (report.filesScanned == 1 ? "" : "s") << "\n";
+    return oss.str();
+}
+
+util::Json
+renderJson(const LintReport& report)
+{
+    util::Json findings = util::Json::makeArray();
+    for (const Finding& finding : report.findings) {
+        util::Json entry = util::Json::makeObject();
+        entry.set("rule", finding.rule);
+        entry.set("path", finding.path);
+        entry.set("line", finding.line);
+        entry.set("message", finding.message);
+        findings.push(std::move(entry));
+    }
+    util::Json errors = util::Json::makeArray();
+    for (const std::string& error : report.errors)
+        errors.push(error);
+    util::Json out = util::Json::makeObject();
+    out.set("files_scanned", report.filesScanned);
+    out.set("findings", std::move(findings));
+    out.set("errors", std::move(errors));
+    return out;
+}
+
+} // namespace smoothe::lint

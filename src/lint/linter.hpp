@@ -1,0 +1,53 @@
+/**
+ * @file
+ * File discovery and report rendering for smoothe_lint.
+ *
+ * lintSource() is the unit-testable core: path + contents in, findings
+ * out. lintPaths() walks files or directories (only .hpp/.h/.cpp/.cc
+ * are scanned), classifying each path relative to the given root so the
+ * library-only rules know where they are.
+ */
+
+#ifndef SMOOTHE_LINT_LINTER_HPP
+#define SMOOTHE_LINT_LINTER_HPP
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "util/json.hpp"
+
+namespace smoothe::lint {
+
+/** Outcome of one lint run. */
+struct LintReport
+{
+    std::vector<Finding> findings;
+    std::size_t filesScanned = 0;
+    /** I/O problems (unreadable file, bad path); independent of findings. */
+    std::vector<std::string> errors;
+
+    bool clean() const { return findings.empty() && errors.empty(); }
+};
+
+/** Lints one in-memory file; `path` drives the scoping rules. */
+std::vector<Finding> lintSource(const std::string& path,
+                                const std::string& source);
+
+/**
+ * Lints files and directory trees. Paths are interpreted relative to
+ * `root` (also the prefix stripped for reporting), so running from a
+ * build directory with root ".." works.
+ */
+LintReport lintPaths(const std::string& root,
+                     const std::vector<std::string>& paths);
+
+/** `path:line: [rule] message` lines plus a summary line. */
+std::string renderText(const LintReport& report);
+
+/** Machine-readable report: findings array + counts. */
+util::Json renderJson(const LintReport& report);
+
+} // namespace smoothe::lint
+
+#endif // SMOOTHE_LINT_LINTER_HPP

@@ -1,0 +1,252 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+
+namespace smoothe::lint {
+
+namespace {
+
+/** The previous token, or nullptr at the start of the file. */
+const Token*
+prev(const std::vector<Token>& tokens, std::size_t i)
+{
+    return i == 0 ? nullptr : &tokens[i - 1];
+}
+
+bool
+nextIsOpenParen(const std::vector<Token>& tokens, std::size_t i)
+{
+    return i + 1 < tokens.size() && tokens[i + 1].kind == TokenKind::Punct &&
+           tokens[i + 1].text == "(";
+}
+
+bool
+isText(const Token* token, const char* text)
+{
+    return token != nullptr && token->text == text;
+}
+
+void
+rawNewDelete(const FileContext&, const LexedFile& lexed,
+             std::vector<Finding>& out)
+{
+    const auto& tokens = lexed.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& tok = tokens[i];
+        if (tok.kind != TokenKind::Identifier)
+            continue;
+        const Token* before = prev(tokens, i);
+        if (tok.text == "new") {
+            // `operator new` overloads/calls are the allocator
+            // machinery itself, not a raw allocation.
+            if (isText(before, "operator"))
+                continue;
+            out.push_back({"raw-new", "", tok.line,
+                           "raw `new` — use a container, std::unique_ptr, "
+                           "or the tensor Arena"});
+        } else if (tok.text == "delete") {
+            if (isText(before, "operator") || isText(before, "="))
+                continue;
+            out.push_back({"raw-delete", "", tok.line,
+                           "raw `delete` — ownership belongs in a "
+                           "container or smart pointer"});
+        }
+    }
+}
+
+void
+stdThread(const FileContext& ctx, const LexedFile& lexed,
+          std::vector<Finding>& out)
+{
+    if (ctx.path.find("util/thread_pool") != std::string::npos)
+        return;
+    const auto& tokens = lexed.tokens;
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+        if (tokens[i].text == "std" && tokens[i + 1].text == "::" &&
+            tokens[i + 2].text == "thread" &&
+            tokens[i].kind == TokenKind::Identifier) {
+            out.push_back({"std-thread", "", tokens[i].line,
+                           "std::thread — run work on util::ThreadPool "
+                           "so --threads and shutdown stay centralized"});
+        }
+    }
+}
+
+void
+noRand(const FileContext& ctx, const LexedFile& lexed,
+       std::vector<Finding>& out)
+{
+    if (!ctx.isLibrary)
+        return;
+    const auto& tokens = lexed.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& tok = tokens[i];
+        if (tok.kind != TokenKind::Identifier ||
+            (tok.text != "rand" && tok.text != "srand" &&
+             tok.text != "time"))
+            continue;
+        if (!nextIsOpenParen(tokens, i))
+            continue;
+        const Token* before = prev(tokens, i);
+        // Member calls like timer.time() are someone else's API.
+        if (isText(before, ".") || isText(before, "->"))
+            continue;
+        // Qualified names are only flagged for std:: itself.
+        if (isText(before, "::") &&
+            !(i >= 2 && tokens[i - 2].text == "std"))
+            continue;
+        out.push_back({"no-rand", "", tok.line,
+                       "`" + tok.text +
+                           "()` — library code must draw from util::Rng "
+                           "so runs are reproducible"});
+    }
+}
+
+void
+noAssert(const FileContext&, const LexedFile& lexed,
+         std::vector<Finding>& out)
+{
+    const auto& tokens = lexed.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& tok = tokens[i];
+        if (tok.kind == TokenKind::HeaderName &&
+            (tok.text == "<cassert>" || tok.text == "<assert.h>")) {
+            out.push_back({"no-assert", "", tok.line,
+                           "include of " + tok.text +
+                               " — use check/contracts.hpp"});
+            continue;
+        }
+        if (tok.kind == TokenKind::Identifier && tok.text == "assert" &&
+            nextIsOpenParen(tokens, i) &&
+            !isText(prev(tokens, i), ".") &&
+            !isText(prev(tokens, i), "->") &&
+            !isText(prev(tokens, i), "::")) {
+            out.push_back({"no-assert", "", tok.line,
+                           "assert() vanishes under NDEBUG — use "
+                           "SMOOTHE_ASSERT / SMOOTHE_CHECK / "
+                           "SMOOTHE_DCHECK"});
+        }
+    }
+}
+
+void
+iostreamHeader(const FileContext& ctx, const LexedFile& lexed,
+               std::vector<Finding>& out)
+{
+    if (!ctx.isHeader || !ctx.isLibrary)
+        return;
+    for (const Token& tok : lexed.tokens) {
+        if (tok.kind == TokenKind::HeaderName && tok.text == "<iostream>") {
+            out.push_back({"iostream-header", "", tok.line,
+                           "<iostream> in a library header — use <iosfwd> "
+                           "in the header and <ostream>/<istream> in the "
+                           ".cpp"});
+        }
+    }
+}
+
+void
+includeGuard(const FileContext& ctx, const LexedFile& lexed,
+             std::vector<Finding>& out)
+{
+    if (!ctx.isHeader)
+        return;
+    const auto& tokens = lexed.tokens;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].kind == TokenKind::Preprocessor &&
+            tokens[i].text == "pragma" && tokens[i + 1].text == "once")
+            return;
+    }
+    // Expect the classic pattern: the first two directives are
+    // `#ifndef GUARD` / `#define GUARD` with a SMOOTHE_ name.
+    std::string guard;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].kind != TokenKind::Preprocessor)
+            continue;
+        if (tokens[i].text == "ifndef" && i + 1 < tokens.size() &&
+            guard.empty()) {
+            guard = tokens[i + 1].text;
+            continue;
+        }
+        if (tokens[i].text == "define" && i + 1 < tokens.size() &&
+            !guard.empty() && tokens[i + 1].text == guard) {
+            if (ctx.isLibrary && guard.rfind("SMOOTHE_", 0) != 0) {
+                out.push_back({"include-guard", "", tokens[i].line,
+                               "include guard `" + guard +
+                                   "` must start with SMOOTHE_"});
+            }
+            return;
+        }
+        break; // some other directive first, or a mismatched #define
+    }
+    out.push_back({"include-guard", "", 1,
+                   "header lacks an include guard (#ifndef SMOOTHE_... / "
+                   "#define, or #pragma once)"});
+}
+
+using RuleFn = void (*)(const FileContext&, const LexedFile&,
+                        std::vector<Finding>&);
+
+struct Rule
+{
+    RuleInfo info;
+    RuleFn fn;
+};
+
+const std::vector<Rule>&
+rules()
+{
+    static const std::vector<Rule> all = {
+        {{"raw-new", "no raw new outside the allocator machinery"},
+         &rawNewDelete},
+        {{"raw-delete", "no raw delete (covered by raw-new's walker)"},
+         nullptr},
+        {{"std-thread", "threads only via util::ThreadPool"}, &stdThread},
+        {{"no-rand", "library randomness/time only via util::Rng"},
+         &noRand},
+        {{"no-assert", "contracts instead of assert()"}, &noAssert},
+        {{"iostream-header", "no <iostream> in library headers"},
+         &iostreamHeader},
+        {{"include-guard", "SMOOTHE_-prefixed guards or pragma once"},
+         &includeGuard},
+    };
+    return all;
+}
+
+} // namespace
+
+const std::vector<RuleInfo>&
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = [] {
+        std::vector<RuleInfo> out;
+        for (const Rule& rule : rules())
+            out.push_back(rule.info);
+        return out;
+    }();
+    return catalog;
+}
+
+std::vector<Finding>
+runRules(const FileContext& ctx, const LexedFile& lexed)
+{
+    std::vector<Finding> all;
+    for (const Rule& rule : rules()) {
+        if (rule.fn != nullptr)
+            rule.fn(ctx, lexed, all);
+    }
+    std::vector<Finding> kept;
+    for (Finding& finding : all) {
+        if (lexed.suppressed(finding.rule, finding.line))
+            continue;
+        finding.path = ctx.path;
+        kept.push_back(std::move(finding));
+    }
+    std::stable_sort(kept.begin(), kept.end(),
+                     [](const Finding& a, const Finding& b) {
+                         return a.line < b.line;
+                     });
+    return kept;
+}
+
+} // namespace smoothe::lint

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The smoothe_lint rule set. Each rule encodes a project convention the
+ * compiler cannot enforce (see DESIGN.md "Correctness tooling & static
+ * analysis"):
+ *
+ *   raw-new / raw-delete  no manual new/delete; memory goes through
+ *                         containers, unique_ptr, or the tensor Arena
+ *   std-thread            threads only via util::ThreadPool
+ *   no-rand               library code must use util::Rng, never
+ *                         rand()/srand()/time() (non-reproducible runs)
+ *   no-assert             use the SMOOTHE_CHECK/ASSERT/DCHECK contracts;
+ *                         assert() vanishes under NDEBUG
+ *   iostream-header       no <iostream> in library headers (it injects
+ *                         the ios_base static initializer everywhere)
+ *   include-guard         headers carry a SMOOTHE_-prefixed include
+ *                         guard or #pragma once
+ *
+ * Findings on a line with (or directly below) a comment
+ * `// smoothe-lint: allow(<rule>)` are suppressed.
+ */
+
+#ifndef SMOOTHE_LINT_RULES_HPP
+#define SMOOTHE_LINT_RULES_HPP
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace smoothe::lint {
+
+/** One lint violation. */
+struct Finding
+{
+    std::string rule;
+    std::string path;
+    int line = 0;
+    std::string message;
+};
+
+/** What the rules need to know about the file being scanned. */
+struct FileContext
+{
+    std::string path;      ///< repo-relative, forward slashes
+    bool isHeader = false; ///< .hpp / .h
+    bool isLibrary = false;///< under src/ (library conventions apply)
+};
+
+/** Name + summary, for `smoothe_lint --list-rules`. */
+struct RuleInfo
+{
+    const char* name;
+    const char* summary;
+};
+
+/** All rules, in the order they run. */
+const std::vector<RuleInfo>& ruleCatalog();
+
+/**
+ * Runs every rule over a lexed file and returns the unsuppressed
+ * findings, in line order.
+ */
+std::vector<Finding> runRules(const FileContext& ctx,
+                              const LexedFile& lexed);
+
+} // namespace smoothe::lint
+
+#endif // SMOOTHE_LINT_RULES_HPP

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Bridges the contract layer (src/check, dependency-free by design) into
+ * the observability stack: a ViolationObserver that logs every failed
+ * contract through the "check" component and bumps the `check.failures`
+ * counters (total plus per tier). Installed automatically by
+ * installCliTelemetry(), so every tool and bench binary gets contract
+ * telemetry; tests install it explicitly when they assert on counters.
+ */
+
+#ifndef SMOOTHE_OBS_CHECK_TELEMETRY_HPP
+#define SMOOTHE_OBS_CHECK_TELEMETRY_HPP
+
+namespace smoothe::obs {
+
+/**
+ * Routes contract violations into logging + metrics. Idempotent.
+ * Returns whether an observer was already installed before this call.
+ */
+bool installCheckTelemetry();
+
+} // namespace smoothe::obs
+
+#endif // SMOOTHE_OBS_CHECK_TELEMETRY_HPP

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/check_telemetry.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -40,6 +41,7 @@ void
 installCliTelemetry(const util::Args& args)
 {
     Logger log("obs");
+    installCheckTelemetry();
 
     const std::string level = args.getString("log-level", "");
     if (!level.empty() && !configureLogging(level))

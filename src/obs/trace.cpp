@@ -32,7 +32,7 @@ threadNames()
     // Intentionally leaked: the first span can be recorded after the CLI
     // layer registers its atexit flush, so a normal static would be
     // destroyed before toJson() runs at exit.
-    static ThreadNames* names = new ThreadNames;
+    static ThreadNames* names = new ThreadNames; // smoothe-lint: allow(raw-new)
     return *names;
 }
 

@@ -1,7 +1,6 @@
 #include "smoothe/smoothe.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -353,7 +352,8 @@ computeProbabilities(const EGraph& graph, const Tensor& theta,
 }
 
 ExtractionResult
-SmoothEExtractor::extract(const EGraph& graph, const ExtractOptions& options)
+SmoothEExtractor::extractImpl(const EGraph& graph,
+                              const ExtractOptions& options)
 {
     const cost::LinearCost linear(graph);
     return extractWithCost(graph, linear, options);

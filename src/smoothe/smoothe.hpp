@@ -91,11 +91,6 @@ class SmoothEExtractor : public extract::Extractor
 
     std::string name() const override { return "SmoothE"; }
 
-    /** Linear objective taken from the graph's per-node costs. */
-    extract::ExtractionResult
-    extract(const eg::EGraph& graph,
-            const extract::ExtractOptions& options) override;
-
     /** Arbitrary differentiable objective. */
     extract::ExtractionResult
     extractWithCost(const eg::EGraph& graph, const cost::CostModel& model,
@@ -106,6 +101,12 @@ class SmoothEExtractor : public extract::Extractor
 
     const SmoothEConfig& config() const { return config_; }
     SmoothEConfig& config() { return config_; }
+
+  protected:
+    /** Linear objective taken from the graph's per-node costs. */
+    extract::ExtractionResult
+    extractImpl(const eg::EGraph& graph,
+                const extract::ExtractOptions& options) override;
 
   private:
     SmoothEConfig config_;

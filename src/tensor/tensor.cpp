@@ -1,8 +1,8 @@
 #include "tensor/tensor.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "check/contracts.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -120,7 +120,8 @@ SegmentIndex::fromAssignment(const std::vector<std::uint32_t>& item_segment,
     SegmentIndex index;
     index.offsets.assign(num_segments + 1, 0);
     for (std::uint32_t seg : item_segment) {
-        assert(seg < num_segments);
+        SMOOTHE_DCHECK(seg < num_segments, "segment id %u out of %zu", seg,
+                       num_segments);
         ++index.offsets[seg + 1];
     }
     for (std::size_t s = 0; s < num_segments; ++s)
@@ -136,8 +137,11 @@ SegmentIndex::fromAssignment(const std::vector<std::uint32_t>& item_segment,
 void
 spmv(const CsrMatrix& a, const Tensor& x, Tensor& out, Backend backend)
 {
-    assert(x.cols() == a.numCols);
-    assert(out.rows() == x.rows() && out.cols() == a.numRows);
+    SMOOTHE_ASSERT(x.cols() == a.numCols, "spmv: %zu cols vs %zu matrix cols",
+                   x.cols(), a.numCols);
+    SMOOTHE_ASSERT(out.rows() == x.rows() && out.cols() == a.numRows,
+                   "spmv: output %zux%zu for %zux%zu", out.rows(), out.cols(),
+                   x.rows(), a.numRows);
     const std::size_t batch = x.rows();
 
     static obs::Counter& calls = obs::counter("kernel.spmv.calls");

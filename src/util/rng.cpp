@@ -1,7 +1,8 @@
 #include "util/rng.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "check/contracts.hpp"
 
 namespace smoothe::util {
 
@@ -69,7 +70,7 @@ Rng::uniformFloat()
 std::size_t
 Rng::uniformIndex(std::size_t n)
 {
-    assert(n > 0);
+    SMOOTHE_CHECK(n > 0, "uniformIndex needs a nonempty range");
     // Rejection-free Lemire-style bounded draw is overkill here; modulo
     // bias is negligible for n << 2^64.
     return static_cast<std::size_t>(next() % n);
@@ -78,7 +79,8 @@ Rng::uniformIndex(std::size_t n)
 std::int64_t
 Rng::uniformInt(std::int64_t lo, std::int64_t hi)
 {
-    assert(lo <= hi);
+    SMOOTHE_CHECK(lo <= hi, "uniformInt range [%lld, %lld] is empty",
+                  static_cast<long long>(lo), static_cast<long long>(hi));
     const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(next() % span);
 }
@@ -117,7 +119,7 @@ Rng::bernoulli(double p)
 std::size_t
 Rng::weightedIndex(const std::vector<double>& weights)
 {
-    assert(!weights.empty());
+    SMOOTHE_CHECK(!weights.empty(), "weightedIndex needs weights");
     double total = 0.0;
     for (double w : weights)
         total += (w > 0.0 ? w : 0.0);

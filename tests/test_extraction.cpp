@@ -14,6 +14,7 @@
 #include "extraction/greedy_dag.hpp"
 #include "extraction/random_sample.hpp"
 #include "extraction/solution.hpp"
+#include "extraction/validate.hpp"
 
 namespace eg = smoothe::eg;
 namespace ex = smoothe::extract;
@@ -26,6 +27,14 @@ eg::EGraph
 paperGraph()
 {
     return ds::paperExampleEGraph();
+}
+
+/** Full certification: structure, status, and the reported-cost check. */
+void
+expectCertified(const eg::EGraph& g, const ex::ExtractionResult& result)
+{
+    const auto verdict = ex::validateResult(g, result);
+    EXPECT_TRUE(verdict.ok()) << verdict.message;
 }
 
 } // namespace
@@ -163,7 +172,7 @@ TEST(BottomUp, FindsHeuristicSolutionOnPaperGraph)
     ASSERT_TRUE(result.ok());
     // The heuristic misses the shared tan reuse: cost 27 (Figure 2b).
     EXPECT_DOUBLE_EQ(result.cost, 27.0);
-    EXPECT_TRUE(ex::validate(g, result.selection).ok());
+    expectCertified(g, result);
 }
 
 TEST(BottomUpPlus, ImprovesViaDagAwareness)
@@ -173,7 +182,7 @@ TEST(BottomUpPlus, ImprovesViaDagAwareness)
     const auto result = extractor.extract(g, {});
     ASSERT_TRUE(result.ok());
     EXPECT_LE(result.cost, 27.0);
-    EXPECT_TRUE(ex::validate(g, result.selection).ok());
+    expectCertified(g, result);
 }
 
 TEST(BottomUp, HandlesCyclicGraph)
@@ -190,6 +199,7 @@ TEST(BottomUp, HandlesCyclicGraph)
     const auto result = extractor.extract(g, {});
     ASSERT_TRUE(result.ok());
     EXPECT_DOUBLE_EQ(result.cost, 6.0); // must use base, not the cycle
+    expectCertified(g, result);
 }
 
 TEST(BottomUp, ReportsInfeasible)
@@ -202,6 +212,7 @@ TEST(BottomUp, ReportsInfeasible)
     ex::BottomUpExtractor extractor;
     const auto result = extractor.extract(g, {});
     EXPECT_EQ(result.status, ex::SolveStatus::Infeasible);
+    expectCertified(g, result); // infeasible must not smuggle a solution
 }
 
 TEST(RandomSample, AlwaysValid)
@@ -242,7 +253,7 @@ TEST(Genetic, SolvesPaperGraphOptimally)
     const auto result = extractor.extract(g, options);
     ASSERT_TRUE(result.ok());
     EXPECT_DOUBLE_EQ(result.cost, 19.0);
-    EXPECT_TRUE(ex::validate(g, result.selection).ok());
+    expectCertified(g, result);
 }
 
 TEST(Genetic, SupportsCustomCost)
@@ -291,7 +302,7 @@ TEST(GreedyDag, PaperGraphShowsPerClassGreedinessLimit)
     const auto result = extractor.extract(g, {});
     ASSERT_TRUE(result.ok());
     EXPECT_DOUBLE_EQ(result.cost, 27.0);
-    EXPECT_TRUE(ex::validate(g, result.selection).ok());
+    expectCertified(g, result);
 }
 
 TEST(GreedyDag, SharesWithinPropagatedSets)
@@ -337,7 +348,8 @@ TEST(GreedyDag, ValidAcrossFamilies)
         const auto dagResult = greedyDag.extract(g, {});
         const auto plusResult = heuristicPlus.extract(g, {});
         ASSERT_TRUE(dagResult.ok()) << family;
-        EXPECT_TRUE(ex::validate(g, dagResult.selection).ok()) << family;
+        expectCertified(g, dagResult);
+        expectCertified(g, plusResult);
         // Different greedy criteria: no strict dominance either way, but
         // both must stay in the same ballpark on these graphs.
         EXPECT_LE(dagResult.cost, plusResult.cost * 1.6 + 1e-9) << family;
@@ -358,6 +370,7 @@ TEST(GreedyDag, HandlesCycles)
     const auto result = extractor.extract(g, {});
     ASSERT_TRUE(result.ok());
     EXPECT_DOUBLE_EQ(result.cost, 6.0);
+    expectCertified(g, result);
 }
 
 class HeuristicOrderingTest : public ::testing::TestWithParam<std::string>
@@ -404,6 +417,7 @@ TEST(BottomUp, HandlesRepeatedChildClass)
     ASSERT_TRUE(result.ok());
     EXPECT_DOUBLE_EQ(result.cost, 4.0);                      // DAG
     EXPECT_DOUBLE_EQ(ex::treeCost(g, result.selection), 7.0); // tree
+    expectCertified(g, result);
 }
 
 TEST(SolveStatus, Names)

@@ -13,12 +13,25 @@
 #include "datasets/nphard.hpp"
 #include "extraction/random_sample.hpp"
 #include "ilp/ilp_extractor.hpp"
+#include "extraction/validate.hpp"
 #include "ilp/lp.hpp"
 
 namespace eg = smoothe::eg;
 namespace ex = smoothe::extract;
 namespace il = smoothe::ilp;
 namespace ds = smoothe::datasets;
+
+namespace {
+
+/** Full certification: structure, status, and the reported-cost check. */
+void
+expectCertified(const eg::EGraph& g, const ex::ExtractionResult& result)
+{
+    const auto verdict = ex::validateResult(g, result);
+    EXPECT_TRUE(verdict.ok()) << verdict.message;
+}
+
+} // namespace
 
 TEST(Simplex, SolvesBasicLp)
 {
@@ -207,7 +220,7 @@ TEST(Ilp, OptimalOnPaperGraph)
         ASSERT_EQ(result.status, ex::SolveStatus::Optimal)
             << il::presetName(preset);
         EXPECT_DOUBLE_EQ(result.cost, 19.0) << il::presetName(preset);
-        EXPECT_TRUE(ex::validate(g, result.selection).ok());
+        expectCertified(g, result);
     }
 }
 
@@ -242,7 +255,7 @@ TEST(Ilp, HandlesCyclesCorrectly)
     ASSERT_EQ(result.status, ex::SolveStatus::Optimal);
     // Optimal: a -> fab, b -> leafB: cost 3 (no cycle).
     EXPECT_DOUBLE_EQ(result.cost, 3.0);
-    EXPECT_TRUE(ex::validate(g, result.selection).ok());
+    expectCertified(g, result);
 }
 
 TEST(Ilp, InfeasibleGraph)
@@ -255,6 +268,7 @@ TEST(Ilp, InfeasibleGraph)
     il::IlpExtractor extractor(il::IlpPreset::Strong);
     const auto result = extractor.extract(g, {});
     EXPECT_EQ(result.status, ex::SolveStatus::Infeasible);
+    expectCertified(g, result); // infeasible must not smuggle a solution
 }
 
 TEST(Ilp, MatchesBruteForceOnRandomSmallGraphs)

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Self-tests for smoothe_lint: every rule must fire on a minimal
+ * offending snippet, stay quiet on the idiomatic alternative, and honor
+ * `// smoothe-lint: allow(<rule>)` suppressions. Lexer edge cases
+ * (comments, raw strings) are covered through the rules: a violation
+ * inside a comment or string must never fire.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lint/lexer.hpp"
+#include "lint/linter.hpp"
+
+namespace lint = smoothe::lint;
+
+namespace {
+
+/** Names of the rules that fired, in report order. */
+std::vector<std::string>
+firedRules(const std::string& path, const std::string& source)
+{
+    std::vector<std::string> names;
+    for (const lint::Finding& finding : lint::lintSource(path, source))
+        names.push_back(finding.rule);
+    return names;
+}
+
+bool
+fires(const std::string& path, const std::string& source,
+      const std::string& rule)
+{
+    const auto names = firedRules(path, source);
+    return std::find(names.begin(), names.end(), rule) != names.end();
+}
+
+// Library .cpp under src/ — the strictest context short of a header.
+const char* kLibCpp = "src/foo/bar.cpp";
+// Non-library tool file: library-only rules must stay quiet.
+const char* kToolCpp = "tools/bar.cpp";
+
+// ------------------------------------------------------------ raw new/delete
+
+TEST(LintRawNew, FiresOnRawNew)
+{
+    EXPECT_TRUE(fires(kLibCpp, "int* p = new int(3);\n", "raw-new"));
+    EXPECT_TRUE(fires(kLibCpp, "delete p;\n", "raw-delete"));
+}
+
+TEST(LintRawNew, SkipsOperatorNewAndDeletedFunctions)
+{
+    EXPECT_FALSE(fires(kLibCpp, "void* operator new(std::size_t);\n",
+                       "raw-new"));
+    EXPECT_FALSE(
+        fires(kLibCpp, "Widget(const Widget&) = delete;\n", "raw-delete"));
+}
+
+TEST(LintRawNew, SilentInCommentsAndStrings)
+{
+    EXPECT_FALSE(fires(kLibCpp, "// new delete rand() assert(x)\n",
+                       "raw-new"));
+    EXPECT_FALSE(fires(kLibCpp,
+                       "const char* s = \"new delete assert(1)\";\n",
+                       "raw-new"));
+    EXPECT_FALSE(fires(kLibCpp,
+                       "auto r = R\"(new int; delete p; rand())\";\n",
+                       "raw-new"));
+    EXPECT_FALSE(fires(kLibCpp, "/* int* p = new int; */\n", "raw-new"));
+}
+
+TEST(LintRawNew, SuppressionOnSameLineAndLineAbove)
+{
+    EXPECT_FALSE(fires(
+        kLibCpp,
+        "int* p = new int; // smoothe-lint: allow(raw-new)\n", "raw-new"));
+    EXPECT_FALSE(fires(kLibCpp,
+                       "// smoothe-lint: allow(raw-new)\nint* p = new int;\n",
+                       "raw-new"));
+    // The wrong rule name does not suppress.
+    EXPECT_TRUE(fires(
+        kLibCpp,
+        "int* p = new int; // smoothe-lint: allow(no-rand)\n", "raw-new"));
+}
+
+// ----------------------------------------------------------------- std-thread
+
+TEST(LintStdThread, FiresOutsideThreadPool)
+{
+    EXPECT_TRUE(
+        fires(kLibCpp, "std::thread worker(run);\n", "std-thread"));
+}
+
+TEST(LintStdThread, AllowsTheThreadPoolItself)
+{
+    EXPECT_FALSE(fires("src/util/thread_pool.cpp",
+                       "std::thread worker(run);\n", "std-thread"));
+}
+
+// -------------------------------------------------------------------- no-rand
+
+TEST(LintNoRand, FiresOnRandSrandTimeInLibraryCode)
+{
+    EXPECT_TRUE(fires(kLibCpp, "int x = rand();\n", "no-rand"));
+    EXPECT_TRUE(fires(kLibCpp, "srand(42);\n", "no-rand"));
+    EXPECT_TRUE(fires(kLibCpp, "auto t = time(nullptr);\n", "no-rand"));
+    EXPECT_TRUE(fires(kLibCpp, "auto t = std::time(nullptr);\n", "no-rand"));
+}
+
+TEST(LintNoRand, QuietOutsideTheLibrary)
+{
+    EXPECT_FALSE(fires(kToolCpp, "int x = rand();\n", "no-rand"));
+}
+
+TEST(LintNoRand, SkipsMemberCallsAndOtherQualifiers)
+{
+    EXPECT_FALSE(fires(kLibCpp, "double s = timer.time();\n", "no-rand"));
+    EXPECT_FALSE(fires(kLibCpp, "double s = clock->time();\n", "no-rand"));
+    EXPECT_FALSE(fires(kLibCpp, "auto t = mylib::time();\n", "no-rand"));
+    // Identifier without a call is a name, not a call.
+    EXPECT_FALSE(fires(kLibCpp, "int rand = 3;\n", "no-rand"));
+}
+
+// ------------------------------------------------------------------ no-assert
+
+TEST(LintNoAssert, FiresOnAssertCallAndInclude)
+{
+    EXPECT_TRUE(fires(kLibCpp, "assert(x > 0);\n", "no-assert"));
+    EXPECT_TRUE(fires(kLibCpp, "#include <cassert>\n", "no-assert"));
+    EXPECT_TRUE(fires(kLibCpp, "#include <assert.h>\n", "no-assert"));
+}
+
+TEST(LintNoAssert, SkipsQualifiedAndMemberAssert)
+{
+    EXPECT_FALSE(fires(kLibCpp, "check.assert(x);\n", "no-assert"));
+    EXPECT_FALSE(fires(kLibCpp, "mylib::assert(x);\n", "no-assert"));
+}
+
+// ------------------------------------------------------------ iostream-header
+
+TEST(LintIostream, FiresOnlyInLibraryHeaders)
+{
+    EXPECT_TRUE(
+        fires("src/util/table.hpp", "#include <iostream>\n",
+              "iostream-header"));
+    // Library .cpp files may include it.
+    EXPECT_FALSE(
+        fires(kLibCpp, "#include <iostream>\n", "iostream-header"));
+    // Non-library headers may too.
+    EXPECT_FALSE(fires("tests/helpers.hpp", "#include <iostream>\n",
+                       "iostream-header"));
+    EXPECT_FALSE(fires("src/util/table.hpp", "#include <iosfwd>\n",
+                       "iostream-header"));
+}
+
+// -------------------------------------------------------------- include-guard
+
+TEST(LintIncludeGuard, AcceptsGuardAndPragmaOnce)
+{
+    EXPECT_FALSE(fires("src/foo/a.hpp",
+                       "#ifndef SMOOTHE_FOO_A_HPP\n"
+                       "#define SMOOTHE_FOO_A_HPP\n"
+                       "#endif\n",
+                       "include-guard"));
+    EXPECT_FALSE(
+        fires("src/foo/a.hpp", "#pragma once\nint x;\n", "include-guard"));
+}
+
+TEST(LintIncludeGuard, FiresOnMissingOrMisnamedGuard)
+{
+    EXPECT_TRUE(fires("src/foo/a.hpp", "int x;\n", "include-guard"));
+    EXPECT_TRUE(fires("src/foo/a.hpp",
+                      "#ifndef FOO_A_HPP\n"
+                      "#define FOO_A_HPP\n"
+                      "#endif\n",
+                      "include-guard"));
+    // Outside the library any consistent guard name is fine.
+    EXPECT_FALSE(fires("tests/helpers.hpp",
+                       "#ifndef TEST_HELPERS_HPP\n"
+                       "#define TEST_HELPERS_HPP\n"
+                       "#endif\n",
+                       "include-guard"));
+    // Source files need no guard.
+    EXPECT_FALSE(fires(kLibCpp, "int x;\n", "include-guard"));
+}
+
+// ------------------------------------------------------------------ reporting
+
+TEST(LintReporting, FindingsCarryPathLineAndSortByLine)
+{
+    const auto findings = lint::lintSource(
+        kLibCpp, "int a;\nint* p = new int;\ndelete p;\n");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].rule, "raw-new");
+    EXPECT_EQ(findings[0].path, kLibCpp);
+    EXPECT_EQ(findings[0].line, 2);
+    EXPECT_EQ(findings[1].rule, "raw-delete");
+    EXPECT_EQ(findings[1].line, 3);
+}
+
+TEST(LintReporting, TextAndJsonRendering)
+{
+    lint::LintReport report;
+    report.filesScanned = 1;
+    report.findings = lint::lintSource(kLibCpp, "int* p = new int;\n");
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_FALSE(report.clean());
+
+    const std::string text = lint::renderText(report);
+    EXPECT_NE(text.find("src/foo/bar.cpp:1: [raw-new]"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("1 finding in 1 file"), std::string::npos) << text;
+
+    const std::string json = lint::renderJson(report).dump();
+    EXPECT_NE(json.find("\"raw-new\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"files_scanned\""), std::string::npos) << json;
+}
+
+TEST(LintReporting, RuleCatalogCoversEveryEmittedRule)
+{
+    std::vector<std::string> known;
+    for (const lint::RuleInfo& info : lint::ruleCatalog())
+        known.push_back(info.name);
+    for (const char* rule :
+         {"raw-new", "raw-delete", "std-thread", "no-rand", "no-assert",
+          "iostream-header", "include-guard"}) {
+        EXPECT_NE(std::find(known.begin(), known.end(), rule), known.end())
+            << rule;
+    }
+}
+
+// ---------------------------------------------------------------- lexer edges
+
+TEST(LintLexer, TracksLinesAcrossBlockCommentsAndRawStrings)
+{
+    // The `new` on line 4 must be reported there, not where the comment
+    // started.
+    const std::string source = "/* line1\nline2 */\nint a;\nint* p = new "
+                               "int;\n";
+    const auto findings = lint::lintSource(kLibCpp, source);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintLexer, RecordsSuppressionsPerRule)
+{
+    const lint::LexedFile lexed =
+        lint::lex("// smoothe-lint: allow(raw-new, no-rand)\nint x;\n");
+    EXPECT_TRUE(lexed.suppressed("raw-new", 1));
+    EXPECT_TRUE(lexed.suppressed("no-rand", 2)); // line-above form
+    EXPECT_FALSE(lexed.suppressed("no-assert", 1));
+    EXPECT_FALSE(lexed.suppressed("raw-new", 3));
+}
+
+} // namespace

@@ -13,6 +13,7 @@
 #include "datasets/registry.hpp"
 #include "extraction/solution.hpp"
 #include "ilp/ilp_extractor.hpp"
+#include "extraction/validate.hpp"
 #include "smoothe/smoothe.hpp"
 
 namespace core = smoothe::core;
@@ -33,6 +34,14 @@ fastConfig()
     return config;
 }
 
+/** Full certification: structure, status, and the reported-cost check. */
+void
+expectCertified(const eg::EGraph& g, const ex::ExtractionResult& result)
+{
+    const auto verdict = ex::validateResult(g, result);
+    EXPECT_TRUE(verdict.ok()) << verdict.message;
+}
+
 } // namespace
 
 TEST(SmoothE, SolvesPaperExampleOptimally)
@@ -43,7 +52,7 @@ TEST(SmoothE, SolvesPaperExampleOptimally)
     options.seed = 1;
     const auto result = extractor.extract(g, options);
     ASSERT_TRUE(result.ok()) << result.note;
-    EXPECT_TRUE(ex::validate(g, result.selection).ok());
+    expectCertified(g, result);
     // Beats the bottom-up heuristic (27) and should find the optimum 19.
     EXPECT_LE(result.cost, 19.0 + 1e-6);
 }
@@ -62,7 +71,7 @@ TEST_P(SmoothEAssumptionTest, ValidOnPaperExample)
     options.seed = 2;
     const auto result = extractor.extract(g, options);
     ASSERT_TRUE(result.ok());
-    EXPECT_TRUE(ex::validate(g, result.selection).ok());
+    expectCertified(g, result);
     EXPECT_LE(result.cost, 27.0); // at least as good as the heuristic
 }
 

@@ -7,6 +7,9 @@
  * Usage:
  *   egraph_gen --family rover [--scale 0.1] [--seed 2025] [--out DIR]
  *   egraph_gen --all [--scale 0.1] [--out DIR]
+ *
+ * --validate runs eg::EGraph::checkInvariants() on every generated
+ * graph and fails the run on the first unhealthy one.
  */
 
 #include <cstdio>
@@ -29,6 +32,7 @@ main(int argc, char** argv)
     const std::string outDir = args.getString("out", ".");
     const bool all = args.getBool("all", false);
     const std::string family = args.getString("family", "");
+    const bool validate = args.getBool("validate", false);
 
     if (obs::reportUnknownFlags(args, "egraph_gen") > 0)
         return 2;
@@ -52,6 +56,15 @@ main(int argc, char** argv)
     for (const std::string& name : families) {
         const auto graphs = datasets::loadFamily(name, scale, seed);
         for (const auto& named : graphs) {
+            if (validate) {
+                if (const auto problem = named.graph.checkInvariants()) {
+                    std::fprintf(stderr,
+                                 "error: generated e-graph %s is "
+                                 "corrupt: %s\n",
+                                 named.name.c_str(), problem->c_str());
+                    return 1;
+                }
+            }
             const std::string path =
                 outDir + "/" + named.name + ".json";
             if (!eg::saveToFile(named.graph, path)) {

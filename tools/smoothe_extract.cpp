@@ -7,7 +7,7 @@
  *                   [--time-limit 10] [--seed 1] [--seeds 16]
  *                   [--assumption hybrid] [--lambda 8]
  *                   [--output selection.json] [--threads N]
- *                   [--log-level debug] [--log-json log.jsonl]
+ *                   [--validate] [--log-level debug] [--log-json log.jsonl]
  *                   [--trace-out trace.json] [--metrics-out metrics.json]
  *
  * A suite of e-graphs can be given as `--inputs a.json,b.json,...`; the
@@ -30,6 +30,7 @@
 
 #include "api/factory.hpp"
 #include "egraph/serialize.hpp"
+#include "extraction/validate.hpp"
 #include "obs/cli.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
@@ -131,6 +132,7 @@ main(int argc, char** argv)
         static_cast<std::uint64_t>(args.getInt("seed", 1));
 
     const std::string output = args.getString("output", "");
+    const bool validateResults = args.getBool("validate", false);
     if (obs::reportUnknownFlags(args, "smoothe_extract") > 0)
         return 2;
     if (!output.empty() && graphs.size() > 1) {
@@ -162,19 +164,33 @@ main(int argc, char** argv)
         });
 
     bool allOk = true;
+    bool allValid = true;
     for (std::size_t g = 0; g < graphs.size(); ++g) {
         const auto& result = results[g];
         allOk = allOk && result.ok();
+        std::string certification;
+        if (validateResults) {
+            const auto check = extract::validateResult(graphs[g], result);
+            if (check.ok()) {
+                certification = result.ok()
+                                    ? ", validated (complete, acyclic, "
+                                      "cost certified)"
+                                    : ", validated";
+            } else {
+                allValid = false;
+                certification = ", INVALID: " + check.message;
+            }
+        }
         if (graphs.size() > 1) {
-            std::printf("%s: %s: %s, cost %.6g, %.3fs\n",
+            std::printf("%s: %s: %s, cost %.6g, %.3fs%s\n",
                         inputs[g].c_str(), extractors[g]->name().c_str(),
                         extract::toString(result.status), result.cost,
-                        result.seconds);
+                        result.seconds, certification.c_str());
         } else {
-            std::printf("%s: %s, cost %.6g, %.3fs\n",
+            std::printf("%s: %s, cost %.6g, %.3fs%s\n",
                         extractors[g]->name().c_str(),
                         extract::toString(result.status), result.cost,
-                        result.seconds);
+                        result.seconds, certification.c_str());
         }
     }
 
@@ -201,5 +217,5 @@ main(int argc, char** argv)
             return 1;
         }
     }
-    return allOk ? 0 : 1;
+    return allOk && allValid ? 0 : 1;
 }

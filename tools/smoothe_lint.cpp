@@ -1,0 +1,81 @@
+/**
+ * @file
+ * smoothe_lint: the project's own static analyzer (DESIGN.md
+ * "Correctness tooling & static analysis").
+ *
+ * Usage:
+ *   smoothe_lint [--root DIR] [--json] [--list-rules] PATH...
+ *
+ * PATHs are files or directories (scanned recursively for
+ * .hpp/.h/.cpp/.cc), interpreted relative to --root (default: the
+ * current directory). Exits 0 when clean, 1 when there are findings or
+ * unreadable paths, 2 on usage errors. Suppress a deliberate violation
+ * with `// smoothe-lint: allow(<rule>)` on or directly above the line.
+ *
+ * CI runs `smoothe_lint --root . src tools bench tests` as the
+ * `lint_sources` ctest; see .github/workflows/ci.yml.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace {
+
+int
+usage(const char* program)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--json] [--list-rules] PATH...\n",
+                 program);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace smoothe;
+
+    std::string root = ".";
+    bool json = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(arg, "--root") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            root = argv[++i];
+        } else if (std::strncmp(arg, "--root=", 7) == 0) {
+            root = arg + 7;
+        } else if (std::strcmp(arg, "--list-rules") == 0) {
+            for (const lint::RuleInfo& rule : lint::ruleCatalog())
+                std::printf("%-16s %s\n", rule.name, rule.summary);
+            return 0;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else if (std::strncmp(arg, "--", 2) == 0) {
+            std::fprintf(stderr, "%s: unrecognized flag %s\n", argv[0], arg);
+            return usage(argv[0]);
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.empty())
+        return usage(argv[0]);
+
+    const lint::LintReport report = lint::lintPaths(root, paths);
+    if (json)
+        std::printf("%s\n", lint::renderJson(report).dumpPretty().c_str());
+    else
+        std::fputs(lint::renderText(report).c_str(), stdout);
+    return report.clean() ? 0 : 1;
+}
