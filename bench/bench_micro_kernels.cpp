@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "autodiff/matexp.hpp"
+#include "autodiff/program.hpp"
 #include "autodiff/tape.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
@@ -162,6 +163,92 @@ BM_BackwardPass(benchmark::State& state)
     }
 }
 BENCHMARK(BM_BackwardPass);
+
+// --- Plan vs eager: one full forward+backward iteration ------------------
+//
+// The same medium SmoothE-shaped graph (rover-like class/node counts),
+// once rebuilt on a fresh tape every iteration (the pre-compile
+// behaviour) and once replayed through the compiled ad::Program. The
+// arena peak of each mode is reported as a counter so the buffer-plan
+// savings are visible next to the wall-time ratio.
+
+struct IterationFixture
+{
+    static constexpr std::size_t kNodes = 4096;
+    static constexpr std::size_t kClasses = 1024;
+    static constexpr std::size_t kBatch = 8;
+
+    st::SegmentIndex members = uniformSegments(kNodes, kClasses);
+    st::SegmentIndex parents = uniformSegments(kNodes, kClasses);
+    std::vector<std::uint32_t> node2class;
+    std::vector<float> u;
+    ad::Param theta;
+
+    IterationFixture()
+        : node2class(kNodes), u(kNodes, 1.0f),
+          theta{ad::Tensor(kBatch, kNodes)}
+    {
+        for (std::size_t i = 0; i < kNodes; ++i)
+            node2class[i] = static_cast<std::uint32_t>(i % kClasses);
+        smoothe::util::Rng rng(5);
+        for (std::size_t i = 0; i < theta.value.size(); ++i)
+            theta.value.data()[i] = rng.uniformFloat();
+    }
+
+    ad::VarId
+    build(ad::Tape& tape)
+    {
+        const auto cp = tape.segmentSoftmax(tape.leaf(&theta), &members);
+        ad::Tensor q0(kBatch, kClasses, 0.1f);
+        auto q = tape.constant(std::move(q0));
+        for (int t = 0; t < 4; ++t) {
+            const auto p = tape.mul(cp, tape.gatherCols(q, &node2class));
+            const auto prod = tape.segmentProductComplement(p, &parents);
+            q = tape.addScalar(tape.scale(prod, -1.0f), 1.0f);
+        }
+        const auto p = tape.mul(cp, tape.gatherCols(q, &node2class));
+        return tape.sumAll(tape.dotRowsConst(p, u));
+    }
+};
+
+void
+BM_IterationEager(benchmark::State& state)
+{
+    IterationFixture fx;
+    st::Arena arena;
+    for (auto _ : state) {
+        fx.theta.zeroGrad();
+        ad::Tape tape(st::Backend::Vectorized, &arena);
+        const auto loss = fx.build(tape);
+        tape.backward(loss);
+        benchmark::DoNotOptimize(fx.theta.grad.data());
+    }
+    state.counters["arena_peak_bytes"] =
+        static_cast<double>(arena.peak());
+}
+BENCHMARK(BM_IterationEager);
+
+void
+BM_IterationCompiled(benchmark::State& state)
+{
+    IterationFixture fx;
+    st::Arena arena;
+    ad::Tape recorder(st::Backend::Vectorized, &arena);
+    const auto loss = fx.build(recorder);
+    ad::Program program(std::move(recorder), loss);
+    for (auto _ : state) {
+        fx.theta.zeroGrad();
+        program.forward();
+        program.backward();
+        benchmark::DoNotOptimize(fx.theta.grad.data());
+    }
+    state.counters["arena_peak_bytes"] =
+        static_cast<double>(arena.peak());
+    state.counters["planned_bytes"] =
+        static_cast<double>(program.stats().plannedBytes);
+    state.counters["reuse_ratio"] = program.stats().reuseRatio();
+}
+BENCHMARK(BM_IterationCompiled);
 
 } // namespace
 

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared operation metadata for the autodiff layer.
+ *
+ * OpNode is the execution-independent description of one recorded
+ * operation: which op, which inputs, and the constant payload it
+ * captured. The eager Tape wraps it with per-node value/grad tensors;
+ * the compiled Program steals the OpNode list wholesale and binds
+ * values/grads to a static buffer plan instead. Keeping the metadata in
+ * one struct is what lets both execution modes share one kernel body
+ * per op (src/autodiff/exec.hpp) and stay bit-identical.
+ */
+
+#ifndef SMOOTHE_AUTODIFF_OPS_HPP
+#define SMOOTHE_AUTODIFF_OPS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/kernels.hpp"
+#include "tensor/tensor.hpp"
+
+namespace smoothe::ad {
+
+using tensor::Arena;
+using tensor::Backend;
+using tensor::SegmentIndex;
+using tensor::Tensor;
+
+/** A trainable leaf: value plus accumulated gradient. */
+struct Param
+{
+    Tensor value;
+    Tensor grad;
+
+    Param() = default;
+    explicit Param(Tensor init)
+        : value(std::move(init)), grad(value.rows(), value.cols())
+    {}
+
+    /** Clears the accumulated gradient. */
+    void zeroGrad() { grad.fill(0.0f); }
+};
+
+/** Handle to a recorded node. */
+using VarId = std::int32_t;
+
+/** Sparse (node, matrix-position) scatter entries for ScatterMatrix. */
+using MatrixEntry = tensor::MatrixEntry;
+
+/**
+ * Operation kinds. Leaf/Constant/Input are sources (no compute);
+ * FusedAffine and FusedMulAddConst exist only in compiled Programs,
+ * produced by the recorder-chain fusion pass — the eager Tape never
+ * records them.
+ */
+enum class Op : std::uint8_t {
+    Leaf,
+    Constant,
+    Input,
+    Add,
+    Sub,
+    Mul,
+    Scale,
+    AddScalar,
+    Relu,
+    MulConst,
+    AddConst,
+    DotRowsConst,
+    SumAll,
+    MeanRows,
+    SegmentSoftmax,
+    SegmentProductComplement,
+    SegmentMaxGather,
+    GatherCols,
+    MatMul,
+    AddRowBroadcast,
+    ScatterMatrix,
+    TrExpm,
+    FusedAffine,      ///< out = (alpha * a) + beta
+    FusedMulAddConst, ///< out = (a * constTensor) + constTensor2
+};
+
+/**
+ * Execution-independent description of one operation: op kind, input
+ * node ids, and captured constants. Shapes are not stored — they are
+ * implied by the inputs and snapshotted by the Program compiler.
+ */
+struct OpNode
+{
+    Op op = Op::Constant;
+    VarId in0 = -1;
+    VarId in1 = -1;
+    float alpha = 0.0f;
+    float beta = 0.0f; ///< FusedAffine addend
+    Param* param = nullptr;
+    const SegmentIndex* segs = nullptr;
+    const std::vector<std::uint32_t>* index = nullptr;
+    const std::vector<MatrixEntry>* entries = nullptr;
+    std::vector<float> constVec;
+    Tensor constTensor;
+    Tensor constTensor2; ///< FusedMulAddConst addend
+    std::size_t dim = 0;
+    bool meanOverRows = false;
+    std::string inputName; ///< Op::Input slot name ("" otherwise)
+};
+
+} // namespace smoothe::ad
+
+#endif // SMOOTHE_AUTODIFF_OPS_HPP

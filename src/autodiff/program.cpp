@@ -1,0 +1,469 @@
+#include "autodiff/program.hpp"
+
+#include <utility>
+
+#include "autodiff/exec.hpp"
+#include "check/contracts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace smoothe::ad {
+
+namespace {
+
+std::uint64_t
+shapeKey(std::size_t rows, std::size_t cols)
+{
+    return (static_cast<std::uint64_t>(rows) << 32) |
+           static_cast<std::uint64_t>(cols);
+}
+
+bool
+isSource(Op op)
+{
+    return op == Op::Leaf || op == Op::Constant || op == Op::Input;
+}
+
+} // namespace
+
+Program::Program(Tape&& tape, VarId root, std::vector<VarId> outputs)
+    : backend_(tape.backend_), arena_(tape.arena_), root_(root)
+{
+    obs::Span span("program.compile");
+    const std::size_t n = tape.nodes_.size();
+    SMOOTHE_CHECK(root >= 0 && static_cast<std::size_t>(root) < n,
+                  "program: root %d not on this %zu-node tape", root, n);
+    SMOOTHE_DCHECK_OK(tape.checkInvariants(/*screen_values=*/false));
+
+    skipped_.assign(n, 0);
+    needsGrad_.assign(n, 0);
+    valueBind_.assign(n, Binding{});
+    gradBind_.assign(n, Binding{});
+    saved_.resize(n);
+    savedIdx_.resize(n);
+
+    // --- snapshot shapes, steal metadata and payloads -----------------
+    // Recorder value tensors are released as soon as their shape is
+    // snapshotted so compile-time transient memory never stacks a full
+    // eager iteration on top of the plan being built.
+    std::vector<std::size_t> rowsOf(n);
+    std::vector<std::size_t> colsOf(n);
+    ops_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Tape::Node& rec = tape.nodes_[i];
+        rowsOf[i] = rec.value.rows();
+        colsOf[i] = rec.value.cols();
+        ops_.push_back(std::move(static_cast<OpNode&>(rec)));
+        saved_[i] = std::move(rec.saved);
+        savedIdx_[i] = std::move(rec.savedIdx);
+    }
+
+    // The eager baseline re-allocates every value, every grad reachable
+    // from the root (through constants too), and every saved stash each
+    // iteration; measure it before fusion rewires edges.
+    {
+        std::vector<char> eagerGrad(n, 0);
+        eagerGrad[static_cast<std::size_t>(root_)] = 1;
+        for (VarId id = root_; id >= 0; --id) {
+            if (!eagerGrad[static_cast<std::size_t>(id)])
+                continue;
+            const OpNode& node = ops_[static_cast<std::size_t>(id)];
+            for (VarId in : {node.in0, node.in1}) {
+                if (in >= 0)
+                    eagerGrad[static_cast<std::size_t>(in)] = 1;
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t valueBytes =
+                rowsOf[i] * colsOf[i] * sizeof(float);
+            stats_.naiveBytes += valueBytes;
+            if (eagerGrad[i])
+                stats_.naiveBytes += valueBytes;
+            stats_.naiveBytes += saved_[i].size() * sizeof(float);
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        OpNode& node = ops_[i];
+        Tape::Node& rec = tape.nodes_[i];
+        switch (node.op) {
+          case Op::Leaf:
+            // Alias the Param so optimizer steps are visible on replay
+            // (the eager tape re-copies the value each rebuild).
+            valueBind_[i] = {Storage::Param,
+                             static_cast<std::uint32_t>(i)};
+            break;
+          case Op::Constant:
+          case Op::Input:
+            valueBind_[i] = {Storage::Owned,
+                             static_cast<std::uint32_t>(owned_.size())};
+            owned_.push_back(std::move(rec.value));
+            if (node.op == Op::Input)
+                inputs_[node.inputName] = static_cast<VarId>(i);
+            break;
+          default:
+            break;
+        }
+        rec.value = Tensor();
+        rec.grad = Tensor();
+    }
+
+    std::vector<char> isOutput(n, 0);
+    isOutput[static_cast<std::size_t>(root_)] = 1;
+    for (VarId v : outputs) {
+        SMOOTHE_CHECK(v >= 0 && static_cast<std::size_t>(v) < n,
+                      "program: output %d not on the tape", v);
+        isOutput[static_cast<std::size_t>(v)] = 1;
+    }
+
+    auto countUses = [&] {
+        std::vector<std::uint32_t> uses(n, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (skipped_[i])
+                continue;
+            if (ops_[i].in0 >= 0)
+                ++uses[static_cast<std::size_t>(ops_[i].in0)];
+            if (ops_[i].in1 >= 0)
+                ++uses[static_cast<std::size_t>(ops_[i].in1)];
+        }
+        return uses;
+    };
+    std::vector<std::uint32_t> uses = countUses();
+
+    // --- fusion: collapse back-to-back elementwise pairs --------------
+    // Only adjacent (i, i+1) single-consumer pairs fuse, which keeps the
+    // descending-id backward accumulation order — and therefore the
+    // float bits — identical to the unfused eager tape.
+    for (std::size_t j = 1; j < n; ++j) {
+        OpNode& second = ops_[j];
+        if (skipped_[j])
+            continue;
+        const VarId i = second.in0;
+        if (i < 0 || static_cast<std::size_t>(i) + 1 != j)
+            continue;
+        OpNode& first = ops_[static_cast<std::size_t>(i)];
+        if (skipped_[static_cast<std::size_t>(i)] ||
+            uses[static_cast<std::size_t>(i)] != 1 ||
+            isOutput[static_cast<std::size_t>(i)])
+            continue;
+        if (second.op == Op::AddScalar && first.op == Op::Scale) {
+            second.op = Op::FusedAffine;
+            second.beta = second.alpha;
+            second.alpha = first.alpha;
+            second.in0 = first.in0;
+            skipped_[static_cast<std::size_t>(i)] = 1;
+            ++stats_.fusedOps;
+        } else if (second.op == Op::AddConst &&
+                   first.op == Op::MulConst) {
+            second.op = Op::FusedMulAddConst;
+            second.constTensor2 = std::move(second.constTensor);
+            second.constTensor = std::move(first.constTensor);
+            second.in0 = first.in0;
+            skipped_[static_cast<std::size_t>(i)] = 1;
+            ++stats_.fusedOps;
+        }
+    }
+    if (stats_.fusedOps > 0)
+        uses = countUses();
+
+    // --- gradient reachability ----------------------------------------
+    // The eager set of grad-carrying nodes, minus the constants/inputs
+    // whose backward is a no-op anyway.
+    needsGrad_[static_cast<std::size_t>(root_)] = 1;
+    for (VarId id = root_; id >= 0; --id) {
+        if (!needsGrad_[static_cast<std::size_t>(id)] ||
+            skipped_[static_cast<std::size_t>(id)])
+            continue;
+        const OpNode& node = ops_[static_cast<std::size_t>(id)];
+        for (VarId in : {node.in0, node.in1}) {
+            if (in < 0)
+                continue;
+            const Op inOp = ops_[static_cast<std::size_t>(in)].op;
+            if (inOp != Op::Constant && inOp != Op::Input)
+                needsGrad_[static_cast<std::size_t>(in)] = 1;
+        }
+    }
+
+    // --- persistence: values the backward pass reads ------------------
+    std::vector<char> persistent(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (isOutput[i])
+            persistent[i] = 1;
+        if (skipped_[i] || !needsGrad_[i])
+            continue;
+        const OpNode& node = ops_[i];
+        switch (node.op) {
+          case Op::Mul:
+          case Op::MatMul:
+            persistent[static_cast<std::size_t>(node.in0)] = 1;
+            persistent[static_cast<std::size_t>(node.in1)] = 1;
+            break;
+          case Op::SegmentProductComplement:
+            persistent[static_cast<std::size_t>(node.in0)] = 1;
+            break;
+          case Op::Relu:
+          case Op::SegmentSoftmax:
+            persistent[i] = 1; // backward reads the node's own output
+            break;
+          default:
+            break;
+        }
+    }
+
+    // --- forward schedule + static slot plan --------------------------
+    std::vector<VarId> lastUse(n, -1);
+    for (std::size_t j = 0; j < n; ++j) {
+        if (skipped_[j])
+            continue;
+        if (ops_[j].in0 >= 0)
+            lastUse[static_cast<std::size_t>(ops_[j].in0)] =
+                static_cast<VarId>(j);
+        if (ops_[j].in1 >= 0)
+            lastUse[static_cast<std::size_t>(ops_[j].in1)] =
+                static_cast<VarId>(j);
+    }
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> freeVals;
+    auto acquireValueSlot = [&](std::size_t rows,
+                                std::size_t cols) -> std::uint32_t {
+        auto& pool = freeVals[shapeKey(rows, cols)];
+        if (!pool.empty()) {
+            const std::uint32_t idx = pool.back();
+            pool.pop_back();
+            return idx;
+        }
+        valueSlots_.emplace_back(rows, cols, arena_);
+        return static_cast<std::uint32_t>(valueSlots_.size() - 1);
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        if (skipped_[i])
+            continue;
+        const OpNode& node = ops_[i];
+        if (isSource(node.op))
+            continue;
+        // Bind the output before releasing dead inputs so the
+        // destination can never alias an operand within one op.
+        if (persistent[i]) {
+            valueBind_[i] = {Storage::Owned,
+                             static_cast<std::uint32_t>(owned_.size())};
+            owned_.emplace_back(rowsOf[i], colsOf[i], arena_);
+        } else {
+            valueBind_[i] = {Storage::Slot,
+                             acquireValueSlot(rowsOf[i], colsOf[i])};
+        }
+        forwardSchedule_.push_back(static_cast<VarId>(i));
+        for (VarId in : {node.in0, node.in1}) {
+            if (in < 0)
+                continue;
+            const auto ix = static_cast<std::size_t>(in);
+            if (lastUse[ix] == static_cast<VarId>(i) &&
+                valueBind_[ix].kind == Storage::Slot) {
+                freeVals[shapeKey(rowsOf[ix], colsOf[ix])].push_back(
+                    valueBind_[ix].index);
+                lastUse[ix] = -1; // no double-free when in0 == in1
+            }
+        }
+        if (lastUse[i] == -1 && valueBind_[i].kind == Storage::Slot) {
+            // Dead value (recorded but never consumed or requested):
+            // the slot frees immediately after its own step.
+            freeVals[shapeKey(rowsOf[i], colsOf[i])].push_back(
+                valueBind_[i].index);
+        }
+    }
+
+    // --- backward schedule + grad-slot plan ---------------------------
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> freeGrads;
+    auto acquireGradSlot = [&](std::size_t rows,
+                               std::size_t cols) -> std::uint32_t {
+        auto& pool = freeGrads[shapeKey(rows, cols)];
+        if (!pool.empty()) {
+            const std::uint32_t idx = pool.back();
+            pool.pop_back();
+            return idx;
+        }
+        gradSlots_.emplace_back(rows, cols, arena_);
+        return static_cast<std::uint32_t>(gradSlots_.size() - 1);
+    };
+    const auto rootIx = static_cast<std::size_t>(root_);
+    rootGradSlot_ = acquireGradSlot(rowsOf[rootIx], colsOf[rootIx]);
+    gradBind_[rootIx] = {Storage::Slot, rootGradSlot_};
+    for (VarId id = root_; id >= 0; --id) {
+        const auto ix = static_cast<std::size_t>(id);
+        if (skipped_[ix] || !needsGrad_[ix])
+            continue;
+        const OpNode& node = ops_[ix];
+        BackStep step;
+        step.id = id;
+        for (VarId in : {node.in0, node.in1}) {
+            if (in < 0)
+                continue;
+            const auto inIx = static_cast<std::size_t>(in);
+            if (!needsGrad_[inIx] ||
+                gradBind_[inIx].kind != Storage::None)
+                continue;
+            const std::uint32_t slot =
+                acquireGradSlot(rowsOf[inIx], colsOf[inIx]);
+            gradBind_[inIx] = {Storage::Slot, slot};
+            step.zeroSlots.push_back(slot);
+        }
+        backwardSchedule_.push_back(std::move(step));
+        // A node's grad is last read at its own step: the slot frees
+        // here, after its inputs already claimed theirs.
+        freeGrads[shapeKey(rowsOf[ix], colsOf[ix])].push_back(
+            gradBind_[ix].index);
+    }
+
+    // --- footprint ----------------------------------------------------
+    stats_.ops = forwardSchedule_.size();
+    stats_.valueSlots = valueSlots_.size();
+    stats_.gradSlots = gradSlots_.size();
+    stats_.ownedBuffers = owned_.size();
+    auto bytesOf = [](const std::vector<Tensor>& pool) {
+        std::size_t total = 0;
+        for (const Tensor& t : pool)
+            total += t.size() * sizeof(float);
+        return total;
+    };
+    stats_.plannedBytes = bytesOf(owned_) + bytesOf(valueSlots_) +
+                          bytesOf(gradSlots_) + bytesOf(saved_);
+
+    tape.clear();
+    SMOOTHE_DCHECK_OK(checkInvariants());
+}
+
+const Tensor*
+Program::valuePtr(VarId id) const
+{
+    const Binding& binding = valueBind_[static_cast<std::size_t>(id)];
+    switch (binding.kind) {
+      case Storage::Param:
+        return &ops_[binding.index].param->value;
+      case Storage::Owned:
+        return &owned_[binding.index];
+      case Storage::Slot:
+        return &valueSlots_[binding.index];
+      default:
+        return nullptr;
+    }
+}
+
+Tensor*
+Program::valueMut(VarId id)
+{
+    return const_cast<Tensor*>(
+        static_cast<const Program*>(this)->valuePtr(id));
+}
+
+void
+Program::forward()
+{
+    for (VarId id : forwardSchedule_) {
+        const auto ix = static_cast<std::size_t>(id);
+        const OpNode& node = ops_[ix];
+        exec::ForwardArgs args{node};
+        args.a = node.in0 >= 0 ? valuePtr(node.in0) : nullptr;
+        args.b = node.in1 >= 0 ? valuePtr(node.in1) : nullptr;
+        args.value = valueMut(id);
+        args.saved = &saved_[ix];
+        args.savedIdx = &savedIdx_[ix];
+        args.backend = backend_;
+        exec::forwardOp(args);
+    }
+}
+
+void
+Program::backward()
+{
+    obs::counter("tape.backward.calls").add(1);
+    gradSlots_[rootGradSlot_].fill(1.0f);
+    for (const BackStep& step : backwardSchedule_) {
+        for (std::uint32_t slot : step.zeroSlots)
+            gradSlots_[slot].fill(0.0f);
+        const auto ix = static_cast<std::size_t>(step.id);
+        const OpNode& node = ops_[ix];
+        exec::BackwardArgs args{node, gradSlots_[gradBind_[ix].index]};
+        args.a = node.in0 >= 0 ? valuePtr(node.in0) : nullptr;
+        args.b = node.in1 >= 0 ? valuePtr(node.in1) : nullptr;
+        args.value = valuePtr(step.id);
+        args.saved = &saved_[ix];
+        args.savedIdx = &savedIdx_[ix];
+        args.ga =
+            node.in0 >= 0 && needsGrad_[static_cast<std::size_t>(node.in0)]
+                ? &gradSlots_[gradBind_[static_cast<std::size_t>(node.in0)]
+                                  .index]
+                : nullptr;
+        args.gb =
+            node.in1 >= 0 && needsGrad_[static_cast<std::size_t>(node.in1)]
+                ? &gradSlots_[gradBind_[static_cast<std::size_t>(node.in1)]
+                                  .index]
+                : nullptr;
+        args.backend = backend_;
+        exec::backwardOp(args);
+    }
+}
+
+void
+Program::setInputScalar(const std::string& name, float v)
+{
+    auto it = inputs_.find(name);
+    SMOOTHE_CHECK(it != inputs_.end(), "program has no input slot '%s'",
+                  name.c_str());
+    Tensor& slot =
+        owned_[valueBind_[static_cast<std::size_t>(it->second)].index];
+    SMOOTHE_CHECK(slot.size() == 1, "input slot '%s' is not 1x1",
+                  name.c_str());
+    slot.data()[0] = v;
+}
+
+const Tensor&
+Program::value(VarId id) const
+{
+    SMOOTHE_CHECK(id >= 0 && static_cast<std::size_t>(id) < ops_.size(),
+                  "program: node %d out of range", id);
+    const Binding& binding = valueBind_[static_cast<std::size_t>(id)];
+    SMOOTHE_CHECK(binding.kind == Storage::Owned ||
+                      binding.kind == Storage::Param,
+                  "program: node %d is transient; request it as an output",
+                  id);
+    return *valuePtr(id);
+}
+
+std::optional<std::string>
+Program::checkInvariants() const
+{
+    auto problem = [](VarId id, const std::string& what)
+        -> std::optional<std::string> {
+        return "program node " + std::to_string(id) + ": " + what;
+    };
+    VarId prev = -1;
+    for (VarId id : forwardSchedule_) {
+        if (id <= prev)
+            return problem(id, "forward schedule is not ascending");
+        prev = id;
+        const auto ix = static_cast<std::size_t>(id);
+        const OpNode& node = ops_[ix];
+        if (skipped_[ix])
+            return problem(id, "skipped node is scheduled");
+        if (valueBind_[ix].kind == Storage::None)
+            return problem(id, "scheduled op has no output binding");
+        for (VarId in : {node.in0, node.in1}) {
+            if (in >= 0 &&
+                valueBind_[static_cast<std::size_t>(in)].kind ==
+                    Storage::None)
+                return problem(id, "operand " + std::to_string(in) +
+                                       " has no binding");
+        }
+    }
+    prev = static_cast<VarId>(ops_.size());
+    for (const BackStep& step : backwardSchedule_) {
+        if (step.id >= prev)
+            return problem(step.id,
+                           "backward schedule is not descending");
+        prev = step.id;
+        const auto ix = static_cast<std::size_t>(step.id);
+        if (!needsGrad_[ix] || gradBind_[ix].kind != Storage::Slot)
+            return problem(step.id, "backward step without a grad slot");
+    }
+    return std::nullopt;
+}
+
+} // namespace smoothe::ad

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Compiled autodiff program: record once, compile, replay many.
+ *
+ * A Program consumes a Tape that recorded one iteration of a
+ * structurally stable computation and compiles it into
+ *   (a) a topologically ordered op list (fusing back-to-back
+ *       elementwise chains into single passes),
+ *   (b) a static buffer plan that assigns every transient intermediate
+ *       a reusable slot via liveness analysis (last-use frees), and
+ *   (c) a precomputed backward schedule with per-step grad-slot zeroing.
+ *
+ * forward()/backward() then replay into the planned buffers with zero
+ * per-iteration graph construction or allocation. Leaf values alias
+ * their Param (so optimizer steps are visible on the next replay), and
+ * named Input nodes stay mutable via setInputScalar — per-iteration
+ * dynamic values (the lambda warmup ramp) without re-recording.
+ *
+ * Determinism: replay runs the exact same exec::forwardOp/backwardOp
+ * kernels as the eager Tape, in the same order, with the same fixed
+ * parallel grains, so results are bit-identical to rebuilding the tape
+ * every iteration — at every thread count (see DESIGN.md "Compiled
+ * execution plan").
+ */
+
+#ifndef SMOOTHE_AUTODIFF_PROGRAM_HPP
+#define SMOOTHE_AUTODIFF_PROGRAM_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "autodiff/tape.hpp"
+
+namespace smoothe::ad {
+
+/** Compile-time footprint of a Program's buffer plan. */
+struct ProgramStats
+{
+    std::size_t ops = 0;          ///< scheduled forward ops
+    std::size_t fusedOps = 0;     ///< elementwise pairs fused away
+    std::size_t valueSlots = 0;   ///< reusable forward slots
+    std::size_t gradSlots = 0;    ///< reusable backward slots
+    std::size_t ownedBuffers = 0; ///< persistent buffers (outputs, saved
+                                  ///< activations, constants)
+    std::size_t plannedBytes = 0; ///< bytes held by the compiled plan
+    std::size_t naiveBytes = 0;   ///< bytes an eager rebuild allocates
+                                  ///< per iteration
+
+    /** How much smaller the plan is than one eager iteration (>= 1). */
+    double reuseRatio() const
+    {
+        return plannedBytes ? static_cast<double>(naiveBytes) /
+                                  static_cast<double>(plannedBytes)
+                            : 1.0;
+    }
+};
+
+/** The compiled replayer. */
+class Program
+{
+  public:
+    /**
+     * Compiles the recorded tape. The tape is consumed: its node
+     * metadata and constant payloads are stolen, its transient tensors
+     * released.
+     *
+     * @param tape recorder holding one fully recorded iteration
+     * @param root the loss node backward() differentiates from
+     * @param outputs extra nodes whose forward values stay readable via
+     *        value() after replay (root always is)
+     */
+    Program(Tape&& tape, VarId root, std::vector<VarId> outputs = {});
+
+    Program(Program&&) = default;
+    Program& operator=(Program&&) = default;
+    Program(const Program&) = delete;
+    Program& operator=(const Program&) = delete;
+
+    /** Replays the forward pass into the planned buffers. */
+    void forward();
+
+    /**
+     * Replays the precomputed backward schedule, accumulating into every
+     * reachable leaf's Param::grad. Call after forward(); the caller
+     * zeroes Param grads, exactly as with the eager tape.
+     */
+    void backward();
+
+    /** Writes a 1 x 1 Input slot recorded via Tape::input. */
+    void setInputScalar(const std::string& name, float v);
+
+    /** Whether the recording captured an Input slot with this name. */
+    bool hasInput(const std::string& name) const
+    {
+        return inputs_.count(name) != 0;
+    }
+
+    /**
+     * Forward value of a node after forward(). Only the root, requested
+     * outputs, and sources are readable — everything else lives in a
+     * reused slot and is transient.
+     */
+    const Tensor& value(VarId id) const;
+
+    VarId root() const { return root_; }
+    std::size_t numOps() const { return forwardSchedule_.size(); }
+    const ProgramStats& stats() const { return stats_; }
+
+    /**
+     * Light structural validator for the compiled plan: schedules must
+     * stay topological and every scheduled op's operands and grad slots
+     * must be bound. @return std::nullopt when healthy.
+     */
+    std::optional<std::string> checkInvariants() const;
+
+  private:
+    /** Where a node's value (or grad) lives at replay time. */
+    enum class Storage : std::uint8_t {
+        None,  ///< never materialized (skipped node / no grad)
+        Param, ///< aliases ops_[index].param->value
+        Owned, ///< persistent buffer owned_[index]
+        Slot,  ///< reusable slot (valueSlots_/gradSlots_[index])
+    };
+    struct Binding
+    {
+        Storage kind = Storage::None;
+        std::uint32_t index = 0;
+    };
+    struct BackStep
+    {
+        VarId id = -1;
+        /** Grad slots beginning a lifetime at this step: zeroed first. */
+        std::vector<std::uint32_t> zeroSlots;
+    };
+
+    const Tensor* valuePtr(VarId id) const;
+    Tensor* valueMut(VarId id);
+
+    Backend backend_ = Backend::Vectorized;
+    Arena* arena_ = nullptr;
+    VarId root_ = -1;
+    std::vector<OpNode> ops_;
+    std::vector<char> skipped_;   ///< fused-away nodes, never scheduled
+    std::vector<char> needsGrad_; ///< grad buffer exists for this node
+    std::vector<Binding> valueBind_;
+    std::vector<Binding> gradBind_;
+    std::vector<Tensor> owned_;
+    std::vector<Tensor> valueSlots_;
+    std::vector<Tensor> gradSlots_;
+    std::vector<Tensor> saved_;
+    std::vector<std::vector<std::uint32_t>> savedIdx_;
+    std::vector<VarId> forwardSchedule_;
+    std::vector<BackStep> backwardSchedule_;
+    std::uint32_t rootGradSlot_ = 0;
+    std::unordered_map<std::string, VarId> inputs_;
+    ProgramStats stats_;
+};
+
+} // namespace smoothe::ad
+
+#endif // SMOOTHE_AUTODIFF_PROGRAM_HPP

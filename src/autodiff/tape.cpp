@@ -1,70 +1,13 @@
 #include "autodiff/tape.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <limits>
 #include <sstream>
 
-#include "autodiff/matexp.hpp"
+#include "autodiff/exec.hpp"
 #include "check/contracts.hpp"
 #include "obs/metrics.hpp"
-#include "util/thread_pool.hpp"
 
 namespace smoothe::ad {
-
-namespace {
-
-/**
- * Flat elements per parallel task for elementwise kernels. Fixed (never
- * derived from the worker count) so the work partition — and therefore the
- * float result — is identical for every thread count.
- */
-constexpr std::size_t kElemGrain = std::size_t{1} << 15;
-
-/** Batch rows per parallel task, sized so a task touches ~kElemGrain
- *  elements. */
-std::size_t
-rowGrain(std::size_t cols)
-{
-    return std::max<std::size_t>(1,
-                                 kElemGrain / std::max<std::size_t>(1, cols));
-}
-
-/**
- * Runs body over chunks of [0, n): on the global pool for the Vectorized
- * backend, inline as one chunk for the Scalar baseline (which models an
- * unoptimized single-stream interpreter).
- */
-void
-parallelChunks(bool parallel, std::size_t n, std::size_t grain,
-               const std::function<void(std::size_t, std::size_t)>& body)
-{
-    if (parallel)
-        util::ThreadPool::global().parallelForChunks(0, n, grain, body);
-    else
-        body(0, n);
-}
-
-/**
- * Deliberately slow per-element application used by the Scalar backend:
- * the function-pointer call per element defeats vectorization and fusion,
- * mimicking an unoptimized eager interpreter (the paper's CPU baseline in
- * Figure 6).
- */
-__attribute__((noinline)) void
-scalarApply(float (*f)(float, float), const float* a, const float* b,
-            float* out, std::size_t n)
-{
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = f(a[i], b ? b[i] : 0.0f);
-}
-
-float opAdd(float x, float y) { return x + y; }
-float opSub(float x, float y) { return x - y; }
-float opMul(float x, float y) { return x * y; }
-float opRelu(float x, float) { return x > 0.0f ? x : 0.0f; }
-
-} // namespace
 
 void
 Tape::clear()
@@ -106,6 +49,23 @@ Tape::ensureGrad(VarId id)
     return node.grad;
 }
 
+void
+Tape::compute(Node& node)
+{
+    exec::ForwardArgs args{node};
+    args.a = node.in0 >= 0
+                 ? &nodes_[static_cast<std::size_t>(node.in0)].value
+                 : nullptr;
+    args.b = node.in1 >= 0
+                 ? &nodes_[static_cast<std::size_t>(node.in1)].value
+                 : nullptr;
+    args.value = &node.value;
+    args.saved = &node.saved;
+    args.savedIdx = &node.savedIdx;
+    args.backend = backend_;
+    exec::forwardOp(args);
+}
+
 VarId
 Tape::leaf(Param* param)
 {
@@ -127,6 +87,17 @@ Tape::constant(Tensor value)
 }
 
 VarId
+Tape::input(Tensor value, std::string name)
+{
+    SMOOTHE_CHECK(!name.empty(), "input() needs a slot name");
+    Node node;
+    node.op = Op::Input;
+    node.inputName = std::move(name);
+    node.value = std::move(value);
+    return push(std::move(node));
+}
+
+VarId
 Tape::add(VarId a, VarId b)
 {
     const Tensor& av = value(a);
@@ -139,19 +110,7 @@ Tape::add(VarId a, VarId b)
     node.in0 = a;
     node.in1 = b;
     node.value = Tensor(av.rows(), av.cols(), arena_);
-    if (backend_ == Backend::Scalar) {
-        scalarApply(opAdd, av.data(), bv.data(), node.value.data(),
-                    av.size());
-    } else {
-        const float* __restrict x = av.data();
-        const float* __restrict y = bv.data();
-        float* __restrict o = node.value.data();
-        parallelChunks(true, av.size(), kElemGrain,
-                       [&](std::size_t begin, std::size_t end) {
-                           for (std::size_t i = begin; i < end; ++i)
-                               o[i] = x[i] + y[i];
-                       });
-    }
+    compute(node);
     return push(std::move(node));
 }
 
@@ -168,19 +127,7 @@ Tape::sub(VarId a, VarId b)
     node.in0 = a;
     node.in1 = b;
     node.value = Tensor(av.rows(), av.cols(), arena_);
-    if (backend_ == Backend::Scalar) {
-        scalarApply(opSub, av.data(), bv.data(), node.value.data(),
-                    av.size());
-    } else {
-        const float* __restrict x = av.data();
-        const float* __restrict y = bv.data();
-        float* __restrict o = node.value.data();
-        parallelChunks(true, av.size(), kElemGrain,
-                       [&](std::size_t begin, std::size_t end) {
-                           for (std::size_t i = begin; i < end; ++i)
-                               o[i] = x[i] - y[i];
-                       });
-    }
+    compute(node);
     return push(std::move(node));
 }
 
@@ -197,19 +144,7 @@ Tape::mul(VarId a, VarId b)
     node.in0 = a;
     node.in1 = b;
     node.value = Tensor(av.rows(), av.cols(), arena_);
-    if (backend_ == Backend::Scalar) {
-        scalarApply(opMul, av.data(), bv.data(), node.value.data(),
-                    av.size());
-    } else {
-        const float* __restrict x = av.data();
-        const float* __restrict y = bv.data();
-        float* __restrict o = node.value.data();
-        parallelChunks(true, av.size(), kElemGrain,
-                       [&](std::size_t begin, std::size_t end) {
-                           for (std::size_t i = begin; i < end; ++i)
-                               o[i] = x[i] * y[i];
-                       });
-    }
+    compute(node);
     return push(std::move(node));
 }
 
@@ -222,13 +157,7 @@ Tape::scale(VarId a, float alpha)
     node.in0 = a;
     node.alpha = alpha;
     node.value = Tensor(av.rows(), av.cols(), arena_);
-    const float* x = av.data();
-    float* o = node.value.data();
-    parallelChunks(backend_ != Backend::Scalar, av.size(), kElemGrain,
-                   [&](std::size_t begin, std::size_t end) {
-                       for (std::size_t i = begin; i < end; ++i)
-                           o[i] = alpha * x[i];
-                   });
+    compute(node);
     return push(std::move(node));
 }
 
@@ -241,13 +170,7 @@ Tape::addScalar(VarId a, float alpha)
     node.in0 = a;
     node.alpha = alpha;
     node.value = Tensor(av.rows(), av.cols(), arena_);
-    const float* x = av.data();
-    float* o = node.value.data();
-    parallelChunks(backend_ != Backend::Scalar, av.size(), kElemGrain,
-                   [&](std::size_t begin, std::size_t end) {
-                       for (std::size_t i = begin; i < end; ++i)
-                           o[i] = x[i] + alpha;
-                   });
+    compute(node);
     return push(std::move(node));
 }
 
@@ -259,18 +182,7 @@ Tape::relu(VarId a)
     node.op = Op::Relu;
     node.in0 = a;
     node.value = Tensor(av.rows(), av.cols(), arena_);
-    if (backend_ == Backend::Scalar) {
-        scalarApply(opRelu, av.data(), nullptr, node.value.data(),
-                    av.size());
-    } else {
-        const float* __restrict x = av.data();
-        float* __restrict o = node.value.data();
-        parallelChunks(true, av.size(), kElemGrain,
-                       [&](std::size_t begin, std::size_t end) {
-                           for (std::size_t i = begin; i < end; ++i)
-                               o[i] = x[i] > 0.0f ? x[i] : 0.0f;
-                       });
-    }
+    compute(node);
     return push(std::move(node));
 }
 
@@ -285,19 +197,9 @@ Tape::mulConst(VarId a, Tensor c)
     Node node;
     node.op = Op::MulConst;
     node.in0 = a;
-    node.value = Tensor(av.rows(), av.cols(), arena_);
-    parallelChunks(backend_ != Backend::Scalar, av.rows(),
-                   rowGrain(av.cols()),
-                   [&](std::size_t begin, std::size_t end) {
-                       for (std::size_t r = begin; r < end; ++r) {
-                           const float* x = av.row(r);
-                           const float* m = c.row(c.rows() == 1 ? 0 : r);
-                           float* o = node.value.row(r);
-                           for (std::size_t i = 0; i < av.cols(); ++i)
-                               o[i] = x[i] * m[i];
-                       }
-                   });
     node.constTensor = std::move(c);
+    node.value = Tensor(av.rows(), av.cols(), arena_);
+    compute(node);
     return push(std::move(node));
 }
 
@@ -312,19 +214,9 @@ Tape::addConst(VarId a, Tensor c)
     Node node;
     node.op = Op::AddConst;
     node.in0 = a;
-    node.value = Tensor(av.rows(), av.cols(), arena_);
-    parallelChunks(backend_ != Backend::Scalar, av.rows(),
-                   rowGrain(av.cols()),
-                   [&](std::size_t begin, std::size_t end) {
-                       for (std::size_t r = begin; r < end; ++r) {
-                           const float* x = av.row(r);
-                           const float* m = c.row(c.rows() == 1 ? 0 : r);
-                           float* o = node.value.row(r);
-                           for (std::size_t i = 0; i < av.cols(); ++i)
-                               o[i] = x[i] + m[i];
-                       }
-                   });
     node.constTensor = std::move(c);
+    node.value = Tensor(av.rows(), av.cols(), arena_);
+    compute(node);
     return push(std::move(node));
 }
 
@@ -332,45 +224,26 @@ VarId
 Tape::dotRowsConst(VarId a, std::vector<float> u)
 {
     const Tensor& av = value(a);
-    SMOOTHE_ASSERT(u.size() == av.cols(), "dotRowsConst: %zu weights for %zu cols",
-                   u.size(), av.cols());
+    SMOOTHE_ASSERT(u.size() == av.cols(),
+                   "dotRowsConst: %zu weights for %zu cols", u.size(),
+                   av.cols());
     Node node;
     node.op = Op::DotRowsConst;
     node.in0 = a;
-    node.value = Tensor(av.rows(), 1, arena_);
-    if (backend_ == Backend::Scalar) {
-        for (std::size_t r = 0; r < av.rows(); ++r) {
-            double acc = 0.0;
-            for (std::size_t i = 0; i < av.cols(); ++i)
-                acc += static_cast<double>(av.at(r, i)) * u[i];
-            node.value.at(r, 0) = static_cast<float>(acc);
-        }
-    } else {
-        const float* uv = u.data();
-        parallelChunks(true, av.rows(), rowGrain(av.cols()),
-                       [&](std::size_t begin, std::size_t end) {
-                           for (std::size_t r = begin; r < end; ++r) {
-                               const float* __restrict x = av.row(r);
-                               float acc = 0.0f;
-                               for (std::size_t i = 0; i < av.cols(); ++i)
-                                   acc += x[i] * uv[i];
-                               node.value.at(r, 0) = acc;
-                           }
-                       });
-    }
     node.constVec = std::move(u);
+    node.value = Tensor(av.rows(), 1, arena_);
+    compute(node);
     return push(std::move(node));
 }
 
 VarId
 Tape::sumAll(VarId a)
 {
-    const Tensor& av = value(a);
     Node node;
     node.op = Op::SumAll;
     node.in0 = a;
     node.value = Tensor(1, 1, arena_);
-    node.value.at(0, 0) = static_cast<float>(av.sum());
+    compute(node);
     return push(std::move(node));
 }
 
@@ -382,13 +255,7 @@ Tape::meanRows(VarId a)
     node.op = Op::MeanRows;
     node.in0 = a;
     node.value = Tensor(1, av.cols(), arena_);
-    const float inv = av.rows() ? 1.0f / static_cast<float>(av.rows()) : 0.0f;
-    for (std::size_t r = 0; r < av.rows(); ++r) {
-        const float* x = av.row(r);
-        float* o = node.value.row(0);
-        for (std::size_t i = 0; i < av.cols(); ++i)
-            o[i] += x[i] * inv;
-    }
+    compute(node);
     return push(std::move(node));
 }
 
@@ -396,42 +263,12 @@ VarId
 Tape::segmentSoftmax(VarId a, const SegmentIndex* segs)
 {
     const Tensor& av = value(a);
-    static obs::Counter& calls = obs::counter("kernel.softmax.calls");
-    static obs::Counter& bytes = obs::counter("kernel.softmax.bytes");
-    calls.add(1);
-    bytes.add(av.size() * sizeof(float));
     Node node;
     node.op = Op::SegmentSoftmax;
     node.in0 = a;
     node.segs = segs;
     node.value = Tensor(av.rows(), av.cols(), arena_);
-    const std::size_t numSegments = segs->numSegments();
-    parallelChunks(
-        backend_ != Backend::Scalar, av.rows(), rowGrain(av.cols()),
-        [&](std::size_t rowBegin, std::size_t rowEnd) {
-            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
-                const float* x = av.row(r);
-                float* o = node.value.row(r);
-                for (std::size_t s = 0; s < numSegments; ++s) {
-                    const std::uint32_t begin = segs->offsets[s];
-                    const std::uint32_t end = segs->offsets[s + 1];
-                    if (begin == end)
-                        continue;
-                    float maxVal = -std::numeric_limits<float>::infinity();
-                    for (std::uint32_t e = begin; e < end; ++e)
-                        maxVal = std::max(maxVal, x[segs->items[e]]);
-                    float denom = 0.0f;
-                    for (std::uint32_t e = begin; e < end; ++e) {
-                        const float ev = std::exp(x[segs->items[e]] - maxVal);
-                        o[segs->items[e]] = ev;
-                        denom += ev;
-                    }
-                    const float inv = 1.0f / denom;
-                    for (std::uint32_t e = begin; e < end; ++e)
-                        o[segs->items[e]] *= inv;
-                }
-            }
-        });
+    compute(node);
     return push(std::move(node));
 }
 
@@ -443,23 +280,8 @@ Tape::segmentProductComplement(VarId a, const SegmentIndex* segs)
     node.op = Op::SegmentProductComplement;
     node.in0 = a;
     node.segs = segs;
-    const std::size_t numSegments = segs->numSegments();
-    node.value = Tensor(av.rows(), numSegments, arena_);
-    parallelChunks(
-        backend_ != Backend::Scalar, av.rows(), rowGrain(numSegments),
-        [&](std::size_t rowBegin, std::size_t rowEnd) {
-            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
-                const float* x = av.row(r);
-                float* o = node.value.row(r);
-                for (std::size_t s = 0; s < numSegments; ++s) {
-                    float prod = 1.0f;
-                    for (std::uint32_t e = segs->offsets[s];
-                         e < segs->offsets[s + 1]; ++e)
-                        prod *= (1.0f - x[segs->items[e]]);
-                    o[s] = prod;
-                }
-            }
-        });
+    node.value = Tensor(av.rows(), segs->numSegments(), arena_);
+    compute(node);
     return push(std::move(node));
 }
 
@@ -471,37 +293,8 @@ Tape::segmentMaxGather(VarId a, const SegmentIndex* segs)
     node.op = Op::SegmentMaxGather;
     node.in0 = a;
     node.segs = segs;
-    const std::size_t numSegments = segs->numSegments();
-    node.value = Tensor(av.rows(), numSegments, arena_);
-    node.savedIdx.assign(av.rows() * numSegments,
-                         std::numeric_limits<std::uint32_t>::max());
-    parallelChunks(
-        backend_ != Backend::Scalar, av.rows(), rowGrain(numSegments),
-        [&](std::size_t rowBegin, std::size_t rowEnd) {
-            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
-                const float* x = av.row(r);
-                float* o = node.value.row(r);
-                for (std::size_t s = 0; s < numSegments; ++s) {
-                    const std::uint32_t begin = segs->offsets[s];
-                    const std::uint32_t end = segs->offsets[s + 1];
-                    if (begin == end) {
-                        o[s] = 0.0f;
-                        continue;
-                    }
-                    float best = -std::numeric_limits<float>::infinity();
-                    std::uint32_t arg = segs->items[begin];
-                    for (std::uint32_t e = begin; e < end; ++e) {
-                        const float v = x[segs->items[e]];
-                        if (v > best) {
-                            best = v;
-                            arg = segs->items[e];
-                        }
-                    }
-                    o[s] = best;
-                    node.savedIdx[r * numSegments + s] = arg;
-                }
-            }
-        });
+    node.value = Tensor(av.rows(), segs->numSegments(), arena_);
+    compute(node);
     return push(std::move(node));
 }
 
@@ -514,16 +307,7 @@ Tape::gatherCols(VarId a, const std::vector<std::uint32_t>* index)
     node.in0 = a;
     node.index = index;
     node.value = Tensor(av.rows(), index->size(), arena_);
-    parallelChunks(backend_ != Backend::Scalar, av.rows(),
-                   rowGrain(index->size()),
-                   [&](std::size_t begin, std::size_t end) {
-                       for (std::size_t r = begin; r < end; ++r) {
-                           const float* x = av.row(r);
-                           float* o = node.value.row(r);
-                           for (std::size_t i = 0; i < index->size(); ++i)
-                               o[i] = x[(*index)[i]];
-                       }
-                   });
+    compute(node);
     return push(std::move(node));
 }
 
@@ -539,35 +323,7 @@ Tape::matmul(VarId a, VarId w)
     node.in0 = a;
     node.in1 = w;
     node.value = Tensor(av.rows(), wv.cols(), arena_);
-    if (backend_ == Backend::Scalar) {
-        for (std::size_t b = 0; b < av.rows(); ++b) {
-            for (std::size_t h = 0; h < wv.cols(); ++h) {
-                double acc = 0.0;
-                for (std::size_t k = 0; k < av.cols(); ++k)
-                    acc += static_cast<double>(av.at(b, k)) * wv.at(k, h);
-                node.value.at(b, h) = static_cast<float>(acc);
-            }
-        }
-    } else {
-        // ikj order with restrict pointers for vectorizable inner loop,
-        // parallel over output rows (each task owns disjoint rows).
-        parallelChunks(
-            true, av.rows(), rowGrain(av.cols() * wv.cols()),
-            [&](std::size_t begin, std::size_t end) {
-                for (std::size_t b = begin; b < end; ++b) {
-                    const float* __restrict aRow = av.row(b);
-                    float* __restrict oRow = node.value.row(b);
-                    for (std::size_t k = 0; k < av.cols(); ++k) {
-                        const float av_k = aRow[k];
-                        if (av_k == 0.0f)
-                            continue;
-                        const float* __restrict wRow = wv.row(k);
-                        for (std::size_t h = 0; h < wv.cols(); ++h)
-                            oRow[h] += av_k * wRow[h];
-                    }
-                }
-            });
-    }
+    compute(node);
     return push(std::move(node));
 }
 
@@ -584,13 +340,7 @@ Tape::addRowBroadcast(VarId a, VarId bias)
     node.in0 = a;
     node.in1 = bias;
     node.value = Tensor(av.rows(), av.cols(), arena_);
-    for (std::size_t r = 0; r < av.rows(); ++r) {
-        const float* x = av.row(r);
-        const float* m = bv.row(0);
-        float* o = node.value.row(r);
-        for (std::size_t i = 0; i < av.cols(); ++i)
-            o[i] = x[i] + m[i];
-    }
+    compute(node);
     return push(std::move(node));
 }
 
@@ -607,28 +357,7 @@ Tape::scatterMatrix(VarId a, const std::vector<MatrixEntry>* entries,
     node.meanOverRows = mean_over_rows;
     const std::size_t outRows = mean_over_rows ? 1 : av.rows();
     node.value = Tensor(outRows, dim * dim, arena_);
-    if (mean_over_rows) {
-        const float inv =
-            av.rows() ? 1.0f / static_cast<float>(av.rows()) : 0.0f;
-        float* o = node.value.row(0);
-        for (const MatrixEntry& entry : *entries) {
-            float acc = 0.0f;
-            for (std::size_t r = 0; r < av.rows(); ++r)
-                acc += av.at(r, entry.column);
-            o[entry.position] += acc * inv;
-        }
-    } else {
-        parallelChunks(backend_ != Backend::Scalar, av.rows(),
-                       rowGrain(entries->size()),
-                       [&](std::size_t begin, std::size_t end) {
-                           for (std::size_t r = begin; r < end; ++r) {
-                               const float* x = av.row(r);
-                               float* o = node.value.row(r);
-                               for (const MatrixEntry& entry : *entries)
-                                   o[entry.position] += x[entry.column];
-                           }
-                       });
-    }
+    compute(node);
     return push(std::move(node));
 }
 
@@ -636,34 +365,15 @@ VarId
 Tape::trExpm(VarId a, std::size_t dim)
 {
     const Tensor& av = value(a);
-    SMOOTHE_ASSERT(av.cols() == dim * dim,
-                   "trExpm: %zu cols is not %zu^2", av.cols(), dim);
-    static obs::Counter& calls = obs::counter("kernel.matexp.calls");
-    static obs::Counter& bytes = obs::counter("kernel.matexp.bytes");
-    calls.add(1);
-    bytes.add(av.size() * sizeof(float));
+    SMOOTHE_ASSERT(av.cols() == dim * dim, "trExpm: %zu cols is not %zu^2",
+                   av.cols(), dim);
     Node node;
     node.op = Op::TrExpm;
     node.in0 = a;
     node.dim = dim;
     node.value = Tensor(av.rows(), 1, arena_);
     node.saved = Tensor(av.rows(), dim * dim, arena_);
-    // Each row's power series is independent; one matrix per task (each
-    // exponential is O(dim^3), far above any sensible grain).
-    parallelChunks(
-        backend_ != Backend::Scalar, av.rows(), 1,
-        [&](std::size_t rowBegin, std::size_t rowEnd) {
-            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
-                if (backend_ == Backend::Scalar)
-                    expmNaive(av.row(r), dim, node.saved.row(r));
-                else
-                    expm(av.row(r), dim, node.saved.row(r));
-                double trace = 0.0;
-                for (std::size_t i = 0; i < dim; ++i)
-                    trace += node.saved.at(r, i * dim + i);
-                node.value.at(r, 0) = static_cast<float>(trace);
-            }
-        });
+    compute(node);
     return push(std::move(node));
 }
 
@@ -690,8 +400,9 @@ Tape::checkInvariants(bool screen_values) const
                 return problem(i, "input " + std::to_string(in) +
                                       " does not precede it");
         }
-        const bool needsIn0 =
-            node.op != Op::Leaf && node.op != Op::Constant;
+        const bool needsIn0 = node.op != Op::Leaf &&
+                              node.op != Op::Constant &&
+                              node.op != Op::Input;
         if (needsIn0 && node.in0 < 0)
             return problem(i, "operation is missing its input");
         const bool needsIn1 = node.op == Op::Add || node.op == Op::Sub ||
@@ -716,6 +427,10 @@ Tape::checkInvariants(bool screen_values) const
                 return problem(i, "leaf without a Param");
             break;
           case Op::Constant:
+            break;
+          case Op::Input:
+            if (node.inputName.empty())
+                return problem(i, "input slot without a name");
             break;
           case Op::Add:
           case Op::Sub:
@@ -767,7 +482,8 @@ Tape::checkInvariants(bool screen_values) const
                 return problem(i, "dotRows weight length mismatch");
             break;
           default:
-            // Same-shape unary ops.
+            // Same-shape unary ops (FusedAffine/FusedMulAddConst exist
+            // only in compiled Programs, but share this shape rule).
             if (a != nullptr && (node.value.rows() != a->rows() ||
                                  node.value.cols() != a->cols()) &&
                 node.op != Op::SumAll && node.op != Op::MeanRows)
@@ -808,303 +524,20 @@ Tape::backward(VarId root)
 void
 Tape::backwardNode(Node& node)
 {
-    const Tensor& g = node.grad;
-    switch (node.op) {
-      case Op::Leaf: {
-        Tensor& pg = node.param->grad;
-        SMOOTHE_DCHECK(pg.rows() == g.rows() && pg.cols() == g.cols(),
-                       "leaf grad shape drifted");
-        float* __restrict dst = pg.data();
-        const float* __restrict src = g.data();
-        for (std::size_t i = 0; i < g.size(); ++i)
-            dst[i] += src[i];
-        break;
-      }
-      case Op::Constant:
-        break;
-      case Op::Add: {
-        Tensor& ga = ensureGrad(node.in0);
-        Tensor& gb = ensureGrad(node.in1);
-        for (std::size_t i = 0; i < g.size(); ++i) {
-            ga.data()[i] += g.data()[i];
-            gb.data()[i] += g.data()[i];
-        }
-        break;
-      }
-      case Op::Sub: {
-        Tensor& ga = ensureGrad(node.in0);
-        Tensor& gb = ensureGrad(node.in1);
-        for (std::size_t i = 0; i < g.size(); ++i) {
-            ga.data()[i] += g.data()[i];
-            gb.data()[i] -= g.data()[i];
-        }
-        break;
-      }
-      case Op::Mul: {
-        Tensor& ga = ensureGrad(node.in0);
-        Tensor& gb = ensureGrad(node.in1);
-        const Tensor& av = value(node.in0);
-        const Tensor& bv = value(node.in1);
-        for (std::size_t i = 0; i < g.size(); ++i) {
-            ga.data()[i] += g.data()[i] * bv.data()[i];
-            gb.data()[i] += g.data()[i] * av.data()[i];
-        }
-        break;
-      }
-      case Op::Scale: {
-        Tensor& ga = ensureGrad(node.in0);
-        for (std::size_t i = 0; i < g.size(); ++i)
-            ga.data()[i] += node.alpha * g.data()[i];
-        break;
-      }
-      case Op::AddScalar: {
-        Tensor& ga = ensureGrad(node.in0);
-        for (std::size_t i = 0; i < g.size(); ++i)
-            ga.data()[i] += g.data()[i];
-        break;
-      }
-      case Op::Relu: {
-        Tensor& ga = ensureGrad(node.in0);
-        const Tensor& ov = node.value;
-        for (std::size_t i = 0; i < g.size(); ++i) {
-            if (ov.data()[i] > 0.0f)
-                ga.data()[i] += g.data()[i];
-        }
-        break;
-      }
-      case Op::MulConst: {
-        Tensor& ga = ensureGrad(node.in0);
-        const Tensor& c = node.constTensor;
-        for (std::size_t r = 0; r < g.rows(); ++r) {
-            const float* m = c.row(c.rows() == 1 ? 0 : r);
-            const float* gr = g.row(r);
-            float* gar = ga.row(r);
-            for (std::size_t i = 0; i < g.cols(); ++i)
-                gar[i] += gr[i] * m[i];
-        }
-        break;
-      }
-      case Op::AddConst: {
-        Tensor& ga = ensureGrad(node.in0);
-        for (std::size_t i = 0; i < g.size(); ++i)
-            ga.data()[i] += g.data()[i];
-        break;
-      }
-      case Op::DotRowsConst: {
-        Tensor& ga = ensureGrad(node.in0);
-        for (std::size_t r = 0; r < ga.rows(); ++r) {
-            const float gr = g.at(r, 0);
-            float* gar = ga.row(r);
-            const float* u = node.constVec.data();
-            for (std::size_t i = 0; i < ga.cols(); ++i)
-                gar[i] += gr * u[i];
-        }
-        break;
-      }
-      case Op::SumAll: {
-        Tensor& ga = ensureGrad(node.in0);
-        const float gr = g.at(0, 0);
-        for (std::size_t i = 0; i < ga.size(); ++i)
-            ga.data()[i] += gr;
-        break;
-      }
-      case Op::MeanRows: {
-        Tensor& ga = ensureGrad(node.in0);
-        const float inv =
-            ga.rows() ? 1.0f / static_cast<float>(ga.rows()) : 0.0f;
-        for (std::size_t r = 0; r < ga.rows(); ++r) {
-            float* gar = ga.row(r);
-            const float* gr = g.row(0);
-            for (std::size_t i = 0; i < ga.cols(); ++i)
-                gar[i] += gr[i] * inv;
-        }
-        break;
-      }
-      case Op::SegmentSoftmax: {
-        Tensor& ga = ensureGrad(node.in0);
-        const Tensor& y = node.value;
-        const SegmentIndex* segs = node.segs;
-        parallelChunks(
-            backend_ != Backend::Scalar, ga.rows(), rowGrain(ga.cols()),
-            [&](std::size_t rowBegin, std::size_t rowEnd) {
-                for (std::size_t r = rowBegin; r < rowEnd; ++r) {
-                    const float* yr = y.row(r);
-                    const float* gr = g.row(r);
-                    float* gar = ga.row(r);
-                    for (std::size_t s = 0; s < segs->numSegments(); ++s) {
-                        const std::uint32_t begin = segs->offsets[s];
-                        const std::uint32_t end = segs->offsets[s + 1];
-                        if (begin == end)
-                            continue;
-                        float dot = 0.0f;
-                        for (std::uint32_t e = begin; e < end; ++e) {
-                            const std::uint32_t col = segs->items[e];
-                            dot += gr[col] * yr[col];
-                        }
-                        for (std::uint32_t e = begin; e < end; ++e) {
-                            const std::uint32_t col = segs->items[e];
-                            gar[col] += yr[col] * (gr[col] - dot);
-                        }
-                    }
-                }
-            });
-        break;
-      }
-      case Op::SegmentProductComplement: {
-        Tensor& ga = ensureGrad(node.in0);
-        const Tensor& x = value(node.in0);
-        const SegmentIndex* segs = node.segs;
-        parallelChunks(
-            backend_ != Backend::Scalar, ga.rows(), rowGrain(ga.cols()),
-            [&](std::size_t rowBegin, std::size_t rowEnd) {
-                // Per-chunk scratch: rows in other chunks run concurrently.
-                std::vector<float> prefix;
-                std::vector<float> suffix;
-                for (std::size_t r = rowBegin; r < rowEnd; ++r) {
-                    const float* xr = x.row(r);
-                    const float* gr = g.row(r);
-                    float* gar = ga.row(r);
-                    for (std::size_t s = 0; s < segs->numSegments(); ++s) {
-                        const std::uint32_t begin = segs->offsets[s];
-                        const std::uint32_t end = segs->offsets[s + 1];
-                        const std::size_t len = end - begin;
-                        if (len == 0)
-                            continue;
-                        prefix.assign(len + 1, 1.0f);
-                        suffix.assign(len + 1, 1.0f);
-                        for (std::size_t e = 0; e < len; ++e) {
-                            prefix[e + 1] =
-                                prefix[e] *
-                                (1.0f - xr[segs->items[begin + e]]);
-                        }
-                        for (std::size_t e = len; e > 0; --e) {
-                            suffix[e - 1] =
-                                suffix[e] *
-                                (1.0f - xr[segs->items[begin + e - 1]]);
-                        }
-                        for (std::size_t e = 0; e < len; ++e) {
-                            const std::uint32_t col =
-                                segs->items[begin + e];
-                            // d/dx_e prod (1 - x_k) = -prod_{k!=e} (1 - x_k)
-                            gar[col] +=
-                                gr[s] * (-prefix[e] * suffix[e + 1]);
-                        }
-                    }
-                }
-            });
-        break;
-      }
-      case Op::SegmentMaxGather: {
-        Tensor& ga = ensureGrad(node.in0);
-        const std::size_t numSegments = node.segs->numSegments();
-        for (std::size_t r = 0; r < ga.rows(); ++r) {
-            const float* gr = g.row(r);
-            float* gar = ga.row(r);
-            for (std::size_t s = 0; s < numSegments; ++s) {
-                const std::uint32_t arg = node.savedIdx[r * numSegments + s];
-                if (arg != std::numeric_limits<std::uint32_t>::max())
-                    gar[arg] += gr[s];
-            }
-        }
-        break;
-      }
-      case Op::GatherCols: {
-        Tensor& ga = ensureGrad(node.in0);
-        const auto& index = *node.index;
-        for (std::size_t r = 0; r < g.rows(); ++r) {
-            const float* gr = g.row(r);
-            float* gar = ga.row(r);
-            for (std::size_t i = 0; i < index.size(); ++i)
-                gar[index[i]] += gr[i];
-        }
-        break;
-      }
-      case Op::MatMul: {
-        Tensor& ga = ensureGrad(node.in0);
-        Tensor& gw = ensureGrad(node.in1);
-        const Tensor& av = value(node.in0);
-        const Tensor& wv = value(node.in1);
-        // grad_a = g * w^T
-        for (std::size_t b = 0; b < ga.rows(); ++b) {
-            const float* gr = g.row(b);
-            float* gar = ga.row(b);
-            for (std::size_t k = 0; k < ga.cols(); ++k) {
-                const float* wRow = wv.row(k);
-                float acc = 0.0f;
-                for (std::size_t h = 0; h < g.cols(); ++h)
-                    acc += gr[h] * wRow[h];
-                gar[k] += acc;
-            }
-        }
-        // grad_w = a^T * g
-        for (std::size_t b = 0; b < av.rows(); ++b) {
-            const float* aRow = av.row(b);
-            const float* gr = g.row(b);
-            for (std::size_t k = 0; k < av.cols(); ++k) {
-                const float a_bk = aRow[k];
-                if (a_bk == 0.0f)
-                    continue;
-                float* gwRow = gw.row(k);
-                for (std::size_t h = 0; h < g.cols(); ++h)
-                    gwRow[h] += a_bk * gr[h];
-            }
-        }
-        break;
-      }
-      case Op::AddRowBroadcast: {
-        Tensor& ga = ensureGrad(node.in0);
-        Tensor& gb = ensureGrad(node.in1);
-        for (std::size_t r = 0; r < g.rows(); ++r) {
-            const float* gr = g.row(r);
-            float* gar = ga.row(r);
-            float* gbr = gb.row(0);
-            for (std::size_t i = 0; i < g.cols(); ++i) {
-                gar[i] += gr[i];
-                gbr[i] += gr[i];
-            }
-        }
-        break;
-      }
-      case Op::ScatterMatrix: {
-        Tensor& ga = ensureGrad(node.in0);
-        if (node.meanOverRows) {
-            const float inv =
-                ga.rows() ? 1.0f / static_cast<float>(ga.rows()) : 0.0f;
-            const float* gr = g.row(0);
-            for (const MatrixEntry& entry : *node.entries) {
-                const float flow = gr[entry.position] * inv;
-                for (std::size_t r = 0; r < ga.rows(); ++r)
-                    ga.at(r, entry.column) += flow;
-            }
-        } else {
-            for (std::size_t r = 0; r < ga.rows(); ++r) {
-                const float* gr = g.row(r);
-                float* gar = ga.row(r);
-                for (const MatrixEntry& entry : *node.entries)
-                    gar[entry.column] += gr[entry.position];
-            }
-        }
-        break;
-      }
-      case Op::TrExpm: {
-        Tensor& ga = ensureGrad(node.in0);
-        const std::size_t d = node.dim;
-        parallelChunks(
-            backend_ != Backend::Scalar, ga.rows(), 1,
-            [&](std::size_t rowBegin, std::size_t rowEnd) {
-                for (std::size_t r = rowBegin; r < rowEnd; ++r) {
-                    const float gr = g.at(r, 0);
-                    const float* e = node.saved.row(r);
-                    float* gar = ga.row(r);
-                    for (std::size_t i = 0; i < d; ++i) {
-                        for (std::size_t j = 0; j < d; ++j)
-                            gar[i * d + j] += gr * e[j * d + i];
-                    }
-                }
-            });
-        break;
-      }
-    }
+    exec::BackwardArgs args{node, node.grad};
+    args.a = node.in0 >= 0
+                 ? &nodes_[static_cast<std::size_t>(node.in0)].value
+                 : nullptr;
+    args.b = node.in1 >= 0
+                 ? &nodes_[static_cast<std::size_t>(node.in1)].value
+                 : nullptr;
+    args.value = &node.value;
+    args.saved = &node.saved;
+    args.savedIdx = &node.savedIdx;
+    args.ga = node.in0 >= 0 ? &ensureGrad(node.in0) : nullptr;
+    args.gb = node.in1 >= 0 ? &ensureGrad(node.in1) : nullptr;
+    args.backend = backend_;
+    exec::backwardOp(args);
 }
 
 } // namespace smoothe::ad

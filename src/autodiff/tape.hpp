@@ -3,9 +3,12 @@
  * Reverse-mode automatic differentiation over batched tensors.
  *
  * The Tape records a forward computation as a sequence of operation nodes
- * and replays it in reverse to accumulate gradients into leaf Params. Each
- * optimization step of SmoothE builds a fresh tape (define-by-run, like
- * PyTorch); Params live outside the tape and persist across steps.
+ * and replays it in reverse to accumulate gradients into leaf Params
+ * (define-by-run, like PyTorch); Params live outside the tape and persist
+ * across steps. The tape is also the recording front-end for the compiled
+ * Program (src/autodiff/program.hpp): record the structurally stable
+ * iteration graph once, hand the tape to Program, and replay it with a
+ * static buffer plan instead of rebuilding every step.
  *
  * The op set is deliberately tailored to what SmoothE and the MLP cost
  * model need: elementwise arithmetic, segment softmax (per-e-class),
@@ -22,39 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "autodiff/ops.hpp"
 #include "tensor/tensor.hpp"
 
 namespace smoothe::ad {
-
-using tensor::Arena;
-using tensor::Backend;
-using tensor::SegmentIndex;
-using tensor::Tensor;
-
-/** A trainable leaf: value plus accumulated gradient. */
-struct Param
-{
-    Tensor value;
-    Tensor grad;
-
-    Param() = default;
-    explicit Param(Tensor init)
-        : value(std::move(init)), grad(value.rows(), value.cols())
-    {}
-
-    /** Clears the accumulated gradient. */
-    void zeroGrad() { grad.fill(0.0f); }
-};
-
-/** Handle to a tape node. */
-using VarId = std::int32_t;
-
-/** Sparse (node, matrix-position) scatter entries for ScatterMatrix. */
-struct MatrixEntry
-{
-    std::uint32_t column;   ///< source column in the input tensor
-    std::uint32_t position; ///< destination flat index in the d x d matrix
-};
 
 /** The reverse-mode tape. */
 class Tape
@@ -101,6 +75,14 @@ class Tape
 
     /** Constant (no gradient flows into it). */
     VarId constant(Tensor value);
+
+    /**
+     * Named mutable input slot (no gradient flows into it). On the eager
+     * tape it behaves like a constant; a compiled Program exposes it via
+     * Program::setInputScalar so per-iteration dynamic values (the
+     * lambda warmup ramp) can change without re-recording.
+     */
+    VarId input(Tensor value, std::string name);
 
     /** out = a + b (same shape). */
     VarId add(VarId a, VarId b);
@@ -186,27 +168,9 @@ class Tape
     void backward(VarId root);
 
   private:
-    enum class Op : std::uint8_t {
-        Leaf, Constant, Add, Sub, Mul, Scale, AddScalar, Relu, MulConst,
-        AddConst, DotRowsConst, SumAll, MeanRows, SegmentSoftmax,
-        SegmentProductComplement, SegmentMaxGather, GatherCols, MatMul,
-        AddRowBroadcast, ScatterMatrix, TrExpm,
-    };
-
-    struct Node
+    /** Recorded op metadata plus the eager per-node tensors. */
+    struct Node : OpNode
     {
-        Op op;
-        VarId in0 = -1;
-        VarId in1 = -1;
-        float alpha = 0.0f;
-        Param* param = nullptr;
-        const SegmentIndex* segs = nullptr;
-        const std::vector<std::uint32_t>* index = nullptr;
-        const std::vector<MatrixEntry>* entries = nullptr;
-        std::vector<float> constVec;
-        Tensor constTensor;
-        std::size_t dim = 0;
-        bool meanOverRows = false;
         Tensor value;
         Tensor grad;
         Tensor saved;                    ///< op-specific (e.g. expm output)
@@ -215,11 +179,15 @@ class Tape
 
     VarId push(Node node);
     Tensor& ensureGrad(VarId id);
+    /** Runs the node's forward kernel into node.value via exec::forwardOp. */
+    void compute(Node& node);
     void backwardNode(Node& node);
 
     /** Test-only backdoor used to corrupt state and prove the validator
      *  catches it (tests/test_check.cpp). */
     friend struct TapeTestPeer;
+    /** The compiled replayer steals the recorded node list wholesale. */
+    friend class Program;
 
     Backend backend_;
     Arena* arena_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autodiff/adam.hpp"
+#include "autodiff/program.hpp"
 #include "check/contracts.hpp"
 #include "extraction/random_sample.hpp"
 
@@ -129,18 +130,25 @@ MlpCost::trainSynthetic(const eg::EGraph& graph, std::size_t num_samples,
 
     ad::Adam optimizer({&w1_, &b1_, &w2_, &b2_, &w3_, &b3_, &w4_, &b4_},
                        ad::AdamConfig{0.003f, 0.9f, 0.999f, 1e-8f});
+
+    // Record the epoch graph once and replay it: leaf values alias the
+    // Param storage, so every replay forwards through the freshly
+    // stepped weights, bit-identical to rebuilding the tape per epoch.
+    Tape tape;
+    const VarId x = tape.constant(std::move(inputs));
+    const VarId pred = build(tape, x);
+    const VarId diff = tape.sub(pred, tape.constant(std::move(targets)));
+    const VarId sq = tape.mul(diff, diff);
+    const VarId loss = tape.scale(
+        tape.sumAll(sq), 1.0f / static_cast<float>(num_samples));
+    ad::Program program(std::move(tape), loss);
+
     double finalMse = 0.0;
     for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
         optimizer.zeroGrad();
-        Tape tape;
-        const VarId x = tape.constant(inputs);
-        const VarId pred = build(tape, x);
-        const VarId diff = tape.sub(pred, tape.constant(targets));
-        const VarId sq = tape.mul(diff, diff);
-        const VarId loss = tape.scale(
-            tape.sumAll(sq), 1.0f / static_cast<float>(num_samples));
-        finalMse = tape.value(loss).at(0, 0);
-        tape.backward(loss);
+        program.forward();
+        finalMse = program.value(loss).at(0, 0);
+        program.backward();
         optimizer.step();
     }
     return finalMse;

@@ -184,6 +184,76 @@ includeGuard(const FileContext& ctx, const LexedFile& lexed,
                    "#define, or #pragma once)"});
 }
 
+void
+tapeInLoop(const FileContext& ctx, const LexedFile& lexed,
+           std::vector<Finding>& out)
+{
+    if (!ctx.isLibrary)
+        return;
+    const auto& tokens = lexed.tokens;
+    int braceDepth = 0;
+    int parenDepth = 0;
+    // Brace depths of the loop bodies currently open.
+    std::vector<int> loopBodies;
+    // A for/while/do was seen; the next `{` outside parens opens its body.
+    bool pendingLoop = false;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& tok = tokens[i];
+        if (tok.kind == TokenKind::Punct) {
+            if (tok.text == "(") {
+                ++parenDepth;
+            } else if (tok.text == ")") {
+                if (parenDepth > 0)
+                    --parenDepth;
+            } else if (tok.text == "{") {
+                ++braceDepth;
+                if (pendingLoop && parenDepth == 0) {
+                    loopBodies.push_back(braceDepth);
+                    pendingLoop = false;
+                }
+            } else if (tok.text == "}") {
+                if (!loopBodies.empty() && loopBodies.back() == braceDepth)
+                    loopBodies.pop_back();
+                if (braceDepth > 0)
+                    --braceDepth;
+            } else if (tok.text == ";" && parenDepth == 0) {
+                // Brace-less body (`for (...) stmt;`) or the trailing
+                // `while (...)` of a do-while: no body to track.
+                pendingLoop = false;
+            }
+            continue;
+        }
+        if (tok.kind != TokenKind::Identifier)
+            continue;
+        if (tok.text == "for" || tok.text == "while" || tok.text == "do") {
+            pendingLoop = true;
+            continue;
+        }
+        if (tok.text != "Tape" || loopBodies.empty())
+            continue;
+        // Only declarations that construct: `Tape t(...)`, a temporary
+        // `Tape(...)`, or a wrapper like `optional<Tape>`. References,
+        // pointers, and qualified mentions (`Tape::`) don't allocate.
+        const Token* after =
+            i + 1 < tokens.size() ? &tokens[i + 1] : nullptr;
+        const bool constructs =
+            after != nullptr &&
+            (after->kind == TokenKind::Identifier ||
+             (after->kind == TokenKind::Punct &&
+              (after->text == "(" || after->text == ">")));
+        if (!constructs)
+            continue;
+        const Token* before = prev(tokens, i);
+        if (isText(before, "class") || isText(before, "struct") ||
+            isText(before, "enum"))
+            continue;
+        out.push_back({"tape-in-loop", "", tok.line,
+                       "Tape constructed inside a loop — record once and "
+                       "replay through ad::Program (suppress if the eager "
+                       "path is intentional)"});
+    }
+}
+
 using RuleFn = void (*)(const FileContext&, const LexedFile&,
                         std::vector<Finding>&);
 
@@ -209,6 +279,9 @@ rules()
          &iostreamHeader},
         {{"include-guard", "SMOOTHE_-prefixed guards or pragma once"},
          &includeGuard},
+        {{"tape-in-loop",
+          "no per-iteration Tape construction — compile once, replay"},
+         &tapeInLoop},
     };
     return all;
 }

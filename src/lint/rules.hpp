@@ -15,6 +15,10 @@
  *                         the ios_base static initializer everywhere)
  *   include-guard         headers carry a SMOOTHE_-prefixed include
  *                         guard or #pragma once
+ *   tape-in-loop          no Tape construction inside loop bodies in
+ *                         library code — record once and replay through
+ *                         ad::Program (DESIGN.md "Compiled execution
+ *                         plan"); suppress for intentional eager paths
  *
  * Findings on a line with (or directly below) a comment
  * `// smoothe-lint: allow(<rule>)` are suppressed.

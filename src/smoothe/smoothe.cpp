@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "autodiff/adam.hpp"
+#include "autodiff/program.hpp"
 #include "autodiff/tape.hpp"
 #include "obs/obs.hpp"
 #include "smoothe/sampler.hpp"
@@ -190,15 +191,25 @@ Prepared::build(const EGraph& graph, const SmoothEConfig& config)
     return prep;
 }
 
+/** Node handles into one recorded forward pass. */
+struct ForwardHandles
+{
+    VarId loss = -1;
+    VarId cp = -1;      ///< conditional probabilities (sampling reads this)
+    VarId costs = -1;   ///< per-seed differentiable cost, B x 1
+    VarId penalty = -1; ///< NOTEARS h(A) total, -1 when acyclic
+    VarId lambda = -1;  ///< 1 x 1 "lambda" input slot, -1 when no penalty
+};
+
 /**
- * Builds one forward pass on the tape.
- * Returns the scalar training loss; outputs cp / per-seed-cost handles.
+ * Builds one forward pass on the tape. The NOTEARS coefficient enters
+ * through a named input slot so a compiled Program can ramp it per
+ * iteration (lambdaWarmupIterations) without re-recording.
  */
-VarId
+ForwardHandles
 buildForward(Tape& tape, Param& theta, const Prepared& prep,
              const cost::CostModel& model, const SmoothEConfig& config,
-             float effective_lambda, VarId* out_cp, VarId* out_costs,
-             VarId* out_penalty)
+             float effective_lambda)
 {
     const std::size_t batch = theta.value.rows();
     const VarId thetaVar = tape.leaf(&theta);
@@ -272,23 +283,41 @@ buildForward(Tape& tape, Param& theta, const Prepared& prep,
         penalty = penalty < 0 ? h : tape.add(penalty, h);
     }
     penaltySpan.end();
+    ForwardHandles handles;
     if (penalty >= 0) {
         // With the batched approximation the penalty is computed once for
         // the averaged matrix; scale by B to keep the per-seed gradient
-        // magnitude comparable to the per-seed mode.
+        // magnitude comparable to the per-seed mode. The scaled
+        // coefficient is a mutable 1 x 1 input: multiplying by it is
+        // bit-identical to the former scale(penalty, coeff) op (IEEE
+        // multiplication commutes), and a compiled Program can update it
+        // each iteration.
         const float scale =
             config.batchedMatexp ? static_cast<float>(batch) : 1.0f;
-        loss = tape.add(loss,
-                        tape.scale(penalty, effective_lambda * scale));
+        Tensor coeff(1, 1);
+        coeff.at(0, 0) = effective_lambda * scale;
+        handles.lambda = tape.input(std::move(coeff), "lambda");
+        loss = tape.add(loss, tape.mul(penalty, handles.lambda));
     }
 
-    if (out_cp)
-        *out_cp = cp;
-    if (out_costs)
-        *out_costs = costs;
-    if (out_penalty)
-        *out_penalty = penalty;
-    return loss;
+    handles.loss = loss;
+    handles.cp = cp;
+    handles.costs = costs;
+    handles.penalty = penalty;
+    return handles;
+}
+
+/** The warmup-ramped NOTEARS coefficient for one iteration. */
+float
+effectiveLambda(const SmoothEConfig& config, std::size_t iter)
+{
+    float lambda = config.lambda;
+    if (config.lambdaWarmupIterations > 0 &&
+        iter < config.lambdaWarmupIterations) {
+        lambda *= static_cast<float>(iter + 1) /
+                  static_cast<float>(config.lambdaWarmupIterations);
+    }
+    return lambda;
 }
 
 } // namespace
@@ -402,7 +431,7 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
         diagnostics_.peakMemoryBytes = arena.peak();
         obs::gauge("arena.peak_bytes")
             .set(static_cast<double>(arena.peak()));
-        obs::gauge("tape.last_nodes")
+        obs::gauge("tape.peak_nodes")
             .set(static_cast<double>(diagnostics_.tapeNodes));
         const std::uint64_t attempts =
             samplesTotal.get() - samplesTotalBefore;
@@ -453,6 +482,46 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
         double bestCost = kInf;
         std::size_t sinceImprovement = 0;
 
+        // The penalty coefficient fed to the "lambda" input slot; must be
+        // the same float expression buildForward bakes into the recording
+        // so replay stays bit-identical to an eager rebuild.
+        const float penaltyScale =
+            config_.batchedMatexp ? static_cast<float>(batch) : 1.0f;
+
+        // Compile-once/replay-many: record the iteration graph a single
+        // time, plan static buffers, and replay it every Adam step. The
+        // eager rebuild below stays available as a debugging fallback
+        // (config_.compiledReplay = false) and for the parity tests.
+        ForwardHandles handles;
+        std::optional<ad::Program> program;
+        if (config_.compiledReplay) {
+            auto scope = diagnostics_.profile.loss();
+            obs::Span recordSpan("program.record");
+            Tape recorder(config_.backend, &arena);
+            handles = buildForward(recorder, theta, prep, model, config_,
+                                   effectiveLambda(config_, 0));
+            diagnostics_.tapeNodes =
+                std::max(diagnostics_.tapeNodes, recorder.numNodes());
+            std::vector<VarId> outputs{handles.cp, handles.costs};
+            if (handles.penalty >= 0)
+                outputs.push_back(handles.penalty);
+            program.emplace(std::move(recorder), handles.loss,
+                            std::move(outputs));
+            diagnostics_.compiledReplay = true;
+            diagnostics_.programBuffers = program->stats().valueSlots +
+                                          program->stats().gradSlots;
+            diagnostics_.bufferReuseRatio = program->stats().reuseRatio();
+            obs::gauge("tape.program_buffers")
+                .set(static_cast<double>(diagnostics_.programBuffers));
+            obs::gauge("arena.reuse_ratio")
+                .set(diagnostics_.bufferReuseRatio);
+            logger.debug("compiled program: %zu ops (%zu fused), "
+                         "%zu slots, reuse %.2fx",
+                         program->numOps(), program->stats().fusedOps,
+                         diagnostics_.programBuffers,
+                         diagnostics_.bufferReuseRatio);
+        }
+
         for (std::size_t iter = 0; iter < config_.maxIterations; ++iter) {
             if (deadline.expired()) {
                 logger.debug("iteration %zu: deadline expired", iter);
@@ -462,44 +531,51 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
             iterationsMetric.add(1);
 
             obs::Span iterSpan("iteration");
-            Tape tape(config_.backend, &arena);
-            VarId cpVar = -1;
-            VarId costsVar = -1;
-            VarId penaltyVar = -1;
-            VarId loss = -1;
+            // smoothe-lint: allow(tape-in-loop) — intentional eager path
+            std::optional<Tape> tape;
             {
                 auto scope = diagnostics_.profile.loss();
-                float lambda = config_.lambda;
-                if (config_.lambdaWarmupIterations > 0 &&
-                    iter < config_.lambdaWarmupIterations) {
-                    lambda *= static_cast<float>(iter + 1) /
-                              static_cast<float>(
-                                  config_.lambdaWarmupIterations);
+                const float lambda = effectiveLambda(config_, iter);
+                if (program) {
+                    obs::Span forwardSpan("program.forward");
+                    if (handles.lambda >= 0)
+                        program->setInputScalar("lambda",
+                                                lambda * penaltyScale);
+                    program->forward();
+                } else {
+                    tape.emplace(config_.backend, &arena);
+                    handles = buildForward(*tape, theta, prep, model,
+                                           config_, lambda);
+                    diagnostics_.tapeNodes = std::max(
+                        diagnostics_.tapeNodes, tape->numNodes());
                 }
-                loss = buildForward(tape, theta, prep, model, config_,
-                                    lambda, &cpVar, &costsVar,
-                                    &penaltyVar);
             }
-            diagnostics_.tapeNodes = tape.numNodes();
+            // Reads a forward value from whichever execution mode ran.
+            auto val = [&](VarId id) -> const Tensor& {
+                return program ? program->value(id) : tape->value(id);
+            };
             {
                 auto scope = diagnostics_.profile.gradient();
                 obs::Span adamSpan("adam");
                 optimizer.zeroGrad();
-                tape.backward(loss);
+                if (program)
+                    program->backward();
+                else
+                    tape->backward(handles.loss);
                 optimizer.step();
             }
             if (obs::traceEnabled()) {
                 obs::traceCounter("smoothe.loss",
-                                  tape.value(loss).at(0, 0));
-                if (penaltyVar >= 0) {
+                                  val(handles.loss).at(0, 0));
+                if (handles.penalty >= 0) {
                     obs::traceCounter("smoothe.penalty",
-                                      tape.value(penaltyVar).at(0, 0));
+                                      val(handles.penalty).at(0, 0));
                 }
             }
 
             double relaxedLoss = 0.0;
             if (config_.recordLossCurves) {
-                const Tensor& costs = tape.value(costsVar);
+                const Tensor& costs = val(handles.costs);
                 for (std::size_t b = 0; b < costs.rows(); ++b)
                     relaxedLoss += costs.at(b, 0);
                 relaxedLoss /= static_cast<double>(costs.rows());
@@ -513,7 +589,7 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
             if ((iter % std::max<std::size_t>(1, config_.sampleEvery)) ==
                 0) {
                 auto scope = diagnostics_.profile.sampling();
-                const Tensor& cp = tape.value(cpVar);
+                const Tensor& cp = val(handles.cp);
                 const std::size_t rows = cp.rows();
                 std::vector<std::optional<Selection>> candidates(rows);
                 std::vector<double> sampleCosts(rows, kInf);
@@ -565,8 +641,8 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                 point.iteration = iter;
                 point.relaxedLoss = relaxedLoss;
                 point.sampledLoss = iterBest;
-                if (penaltyVar >= 0)
-                    point.penalty = tape.value(penaltyVar).at(0, 0);
+                if (handles.penalty >= 0)
+                    point.penalty = val(handles.penalty).at(0, 0);
                 diagnostics_.lossCurve.push_back(point);
             }
 

@@ -1,0 +1,447 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace smoothe::tensor {
+
+namespace {
+
+/**
+ * Deliberately slow per-element application used by the Scalar backend:
+ * the function-pointer call per element defeats vectorization and
+ * fusion, mimicking an unoptimized eager interpreter (the paper's CPU
+ * baseline in Figure 6).
+ */
+__attribute__((noinline)) void
+scalarApply(float (*f)(float, float), const float* a, const float* b,
+            float* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = f(a[i], b ? b[i] : 0.0f);
+}
+
+float opAdd(float x, float y) { return x + y; }
+float opSub(float x, float y) { return x - y; }
+float opMul(float x, float y) { return x * y; }
+float opRelu(float x, float) { return x > 0.0f ? x : 0.0f; }
+
+} // namespace
+
+std::size_t
+rowGrain(std::size_t cols)
+{
+    return std::max<std::size_t>(1,
+                                 kElemGrain / std::max<std::size_t>(1, cols));
+}
+
+void
+parallelChunks(bool parallel, std::size_t n, std::size_t grain,
+               const std::function<void(std::size_t, std::size_t)>& body)
+{
+    if (parallel)
+        util::ThreadPool::global().parallelForChunks(0, n, grain, body);
+    else
+        body(0, n);
+}
+
+void
+addInto(const Tensor& a, const Tensor& b, Tensor& out, Backend backend)
+{
+    if (backend == Backend::Scalar) {
+        scalarApply(opAdd, a.data(), b.data(), out.data(), a.size());
+        return;
+    }
+    const float* __restrict x = a.data();
+    const float* __restrict y = b.data();
+    float* __restrict o = out.data();
+    parallelChunks(true, a.size(), kElemGrain,
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i)
+                           o[i] = x[i] + y[i];
+                   });
+}
+
+void
+subInto(const Tensor& a, const Tensor& b, Tensor& out, Backend backend)
+{
+    if (backend == Backend::Scalar) {
+        scalarApply(opSub, a.data(), b.data(), out.data(), a.size());
+        return;
+    }
+    const float* __restrict x = a.data();
+    const float* __restrict y = b.data();
+    float* __restrict o = out.data();
+    parallelChunks(true, a.size(), kElemGrain,
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i)
+                           o[i] = x[i] - y[i];
+                   });
+}
+
+void
+mulInto(const Tensor& a, const Tensor& b, Tensor& out, Backend backend)
+{
+    if (backend == Backend::Scalar) {
+        scalarApply(opMul, a.data(), b.data(), out.data(), a.size());
+        return;
+    }
+    const float* __restrict x = a.data();
+    const float* __restrict y = b.data();
+    float* __restrict o = out.data();
+    parallelChunks(true, a.size(), kElemGrain,
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i)
+                           o[i] = x[i] * y[i];
+                   });
+}
+
+void
+scaleInto(const Tensor& a, float alpha, Tensor& out, Backend backend)
+{
+    const float* x = a.data();
+    float* o = out.data();
+    parallelChunks(backend != Backend::Scalar, a.size(), kElemGrain,
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i)
+                           o[i] = alpha * x[i];
+                   });
+}
+
+void
+addScalarInto(const Tensor& a, float alpha, Tensor& out, Backend backend)
+{
+    const float* x = a.data();
+    float* o = out.data();
+    parallelChunks(backend != Backend::Scalar, a.size(), kElemGrain,
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i)
+                           o[i] = x[i] + alpha;
+                   });
+}
+
+void
+affineInto(const Tensor& a, float alpha, float beta, Tensor& out,
+           Backend backend)
+{
+    const float* x = a.data();
+    float* o = out.data();
+    parallelChunks(backend != Backend::Scalar, a.size(), kElemGrain,
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                           const float scaled = alpha * x[i];
+                           o[i] = scaled + beta;
+                       }
+                   });
+}
+
+void
+reluInto(const Tensor& a, Tensor& out, Backend backend)
+{
+    if (backend == Backend::Scalar) {
+        scalarApply(opRelu, a.data(), nullptr, out.data(), a.size());
+        return;
+    }
+    const float* __restrict x = a.data();
+    float* __restrict o = out.data();
+    parallelChunks(true, a.size(), kElemGrain,
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i)
+                           o[i] = x[i] > 0.0f ? x[i] : 0.0f;
+                   });
+}
+
+void
+mulConstInto(const Tensor& a, const Tensor& c, Tensor& out, Backend backend)
+{
+    parallelChunks(backend != Backend::Scalar, a.rows(), rowGrain(a.cols()),
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t r = begin; r < end; ++r) {
+                           const float* x = a.row(r);
+                           const float* m = c.row(c.rows() == 1 ? 0 : r);
+                           float* o = out.row(r);
+                           for (std::size_t i = 0; i < a.cols(); ++i)
+                               o[i] = x[i] * m[i];
+                       }
+                   });
+}
+
+void
+addConstInto(const Tensor& a, const Tensor& c, Tensor& out, Backend backend)
+{
+    parallelChunks(backend != Backend::Scalar, a.rows(), rowGrain(a.cols()),
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t r = begin; r < end; ++r) {
+                           const float* x = a.row(r);
+                           const float* m = c.row(c.rows() == 1 ? 0 : r);
+                           float* o = out.row(r);
+                           for (std::size_t i = 0; i < a.cols(); ++i)
+                               o[i] = x[i] + m[i];
+                       }
+                   });
+}
+
+void
+mulAddConstInto(const Tensor& a, const Tensor& m, const Tensor& c,
+                Tensor& out, Backend backend)
+{
+    parallelChunks(backend != Backend::Scalar, a.rows(), rowGrain(a.cols()),
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t r = begin; r < end; ++r) {
+                           const float* x = a.row(r);
+                           const float* mr = m.row(m.rows() == 1 ? 0 : r);
+                           const float* cr = c.row(c.rows() == 1 ? 0 : r);
+                           float* o = out.row(r);
+                           for (std::size_t i = 0; i < a.cols(); ++i) {
+                               const float scaled = x[i] * mr[i];
+                               o[i] = scaled + cr[i];
+                           }
+                       }
+                   });
+}
+
+void
+dotRowsInto(const Tensor& a, const std::vector<float>& u, Tensor& out,
+            Backend backend)
+{
+    if (backend == Backend::Scalar) {
+        for (std::size_t r = 0; r < a.rows(); ++r) {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < a.cols(); ++i)
+                acc += static_cast<double>(a.at(r, i)) * u[i];
+            out.at(r, 0) = static_cast<float>(acc);
+        }
+        return;
+    }
+    const float* uv = u.data();
+    parallelChunks(true, a.rows(), rowGrain(a.cols()),
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t r = begin; r < end; ++r) {
+                           const float* __restrict x = a.row(r);
+                           float acc = 0.0f;
+                           for (std::size_t i = 0; i < a.cols(); ++i)
+                               acc += x[i] * uv[i];
+                           out.at(r, 0) = acc;
+                       }
+                   });
+}
+
+void
+sumAllInto(const Tensor& a, Tensor& out)
+{
+    out.at(0, 0) = static_cast<float>(a.sum());
+}
+
+void
+meanRowsInto(const Tensor& a, Tensor& out)
+{
+    out.fill(0.0f);
+    const float inv = a.rows() ? 1.0f / static_cast<float>(a.rows()) : 0.0f;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const float* x = a.row(r);
+        float* o = out.row(0);
+        for (std::size_t i = 0; i < a.cols(); ++i)
+            o[i] += x[i] * inv;
+    }
+}
+
+void
+segmentSoftmaxInto(const Tensor& a, const SegmentIndex& segs, Tensor& out,
+                   Backend backend)
+{
+    static obs::Counter& calls = obs::counter("kernel.softmax.calls");
+    static obs::Counter& bytes = obs::counter("kernel.softmax.bytes");
+    calls.add(1);
+    bytes.add(a.size() * sizeof(float));
+    // Columns outside every segment are never written; zero them only
+    // when the segments are not a full partition so reused buffers match
+    // the zeros a fresh tensor would carry.
+    if (segs.items.size() != a.cols())
+        out.fill(0.0f);
+    const std::size_t numSegments = segs.numSegments();
+    parallelChunks(
+        backend != Backend::Scalar, a.rows(), rowGrain(a.cols()),
+        [&](std::size_t rowBegin, std::size_t rowEnd) {
+            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+                const float* x = a.row(r);
+                float* o = out.row(r);
+                for (std::size_t s = 0; s < numSegments; ++s) {
+                    const std::uint32_t begin = segs.offsets[s];
+                    const std::uint32_t end = segs.offsets[s + 1];
+                    if (begin == end)
+                        continue;
+                    float maxVal = -std::numeric_limits<float>::infinity();
+                    for (std::uint32_t e = begin; e < end; ++e)
+                        maxVal = std::max(maxVal, x[segs.items[e]]);
+                    float denom = 0.0f;
+                    for (std::uint32_t e = begin; e < end; ++e) {
+                        const float ev = std::exp(x[segs.items[e]] - maxVal);
+                        o[segs.items[e]] = ev;
+                        denom += ev;
+                    }
+                    const float inv = 1.0f / denom;
+                    for (std::uint32_t e = begin; e < end; ++e)
+                        o[segs.items[e]] *= inv;
+                }
+            }
+        });
+}
+
+void
+segmentProductComplementInto(const Tensor& a, const SegmentIndex& segs,
+                             Tensor& out, Backend backend)
+{
+    const std::size_t numSegments = segs.numSegments();
+    parallelChunks(
+        backend != Backend::Scalar, a.rows(), rowGrain(numSegments),
+        [&](std::size_t rowBegin, std::size_t rowEnd) {
+            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+                const float* x = a.row(r);
+                float* o = out.row(r);
+                for (std::size_t s = 0; s < numSegments; ++s) {
+                    float prod = 1.0f;
+                    for (std::uint32_t e = segs.offsets[s];
+                         e < segs.offsets[s + 1]; ++e)
+                        prod *= (1.0f - x[segs.items[e]]);
+                    o[s] = prod;
+                }
+            }
+        });
+}
+
+void
+segmentMaxGatherInto(const Tensor& a, const SegmentIndex& segs, Tensor& out,
+                     std::vector<std::uint32_t>& arg_out, Backend backend)
+{
+    const std::size_t numSegments = segs.numSegments();
+    arg_out.assign(a.rows() * numSegments,
+                   std::numeric_limits<std::uint32_t>::max());
+    parallelChunks(
+        backend != Backend::Scalar, a.rows(), rowGrain(numSegments),
+        [&](std::size_t rowBegin, std::size_t rowEnd) {
+            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+                const float* x = a.row(r);
+                float* o = out.row(r);
+                for (std::size_t s = 0; s < numSegments; ++s) {
+                    const std::uint32_t begin = segs.offsets[s];
+                    const std::uint32_t end = segs.offsets[s + 1];
+                    if (begin == end) {
+                        o[s] = 0.0f;
+                        continue;
+                    }
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::uint32_t arg = segs.items[begin];
+                    for (std::uint32_t e = begin; e < end; ++e) {
+                        const float v = x[segs.items[e]];
+                        if (v > best) {
+                            best = v;
+                            arg = segs.items[e];
+                        }
+                    }
+                    o[s] = best;
+                    arg_out[r * numSegments + s] = arg;
+                }
+            }
+        });
+}
+
+void
+gatherColsInto(const Tensor& a, const std::vector<std::uint32_t>& index,
+               Tensor& out, Backend backend)
+{
+    parallelChunks(backend != Backend::Scalar, a.rows(),
+                   rowGrain(index.size()),
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t r = begin; r < end; ++r) {
+                           const float* x = a.row(r);
+                           float* o = out.row(r);
+                           for (std::size_t i = 0; i < index.size(); ++i)
+                               o[i] = x[index[i]];
+                       }
+                   });
+}
+
+void
+matmulInto(const Tensor& a, const Tensor& w, Tensor& out, Backend backend)
+{
+    if (backend == Backend::Scalar) {
+        for (std::size_t b = 0; b < a.rows(); ++b) {
+            for (std::size_t h = 0; h < w.cols(); ++h) {
+                double acc = 0.0;
+                for (std::size_t k = 0; k < a.cols(); ++k)
+                    acc += static_cast<double>(a.at(b, k)) * w.at(k, h);
+                out.at(b, h) = static_cast<float>(acc);
+            }
+        }
+        return;
+    }
+    // ikj order with restrict pointers for vectorizable inner loop,
+    // parallel over output rows (each task owns disjoint rows). The
+    // accumulation needs a zeroed destination.
+    out.fill(0.0f);
+    parallelChunks(
+        true, a.rows(), rowGrain(a.cols() * w.cols()),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t b = begin; b < end; ++b) {
+                const float* __restrict aRow = a.row(b);
+                float* __restrict oRow = out.row(b);
+                for (std::size_t k = 0; k < a.cols(); ++k) {
+                    const float av_k = aRow[k];
+                    if (av_k == 0.0f)
+                        continue;
+                    const float* __restrict wRow = w.row(k);
+                    for (std::size_t h = 0; h < w.cols(); ++h)
+                        oRow[h] += av_k * wRow[h];
+                }
+            }
+        });
+}
+
+void
+addRowBroadcastInto(const Tensor& a, const Tensor& bias, Tensor& out)
+{
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const float* x = a.row(r);
+        const float* m = bias.row(0);
+        float* o = out.row(r);
+        for (std::size_t i = 0; i < a.cols(); ++i)
+            o[i] = x[i] + m[i];
+    }
+}
+
+void
+scatterMatrixInto(const Tensor& a, const std::vector<MatrixEntry>& entries,
+                  std::size_t dim, bool mean_over_rows, Tensor& out,
+                  Backend backend)
+{
+    (void)dim;
+    out.fill(0.0f);
+    if (mean_over_rows) {
+        const float inv =
+            a.rows() ? 1.0f / static_cast<float>(a.rows()) : 0.0f;
+        float* o = out.row(0);
+        for (const MatrixEntry& entry : entries) {
+            float acc = 0.0f;
+            for (std::size_t r = 0; r < a.rows(); ++r)
+                acc += a.at(r, entry.column);
+            o[entry.position] += acc * inv;
+        }
+    } else {
+        parallelChunks(backend != Backend::Scalar, a.rows(),
+                       rowGrain(entries.size()),
+                       [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t r = begin; r < end; ++r) {
+                               const float* x = a.row(r);
+                               float* o = out.row(r);
+                               for (const MatrixEntry& entry : entries)
+                                   o[entry.position] += x[entry.column];
+                           }
+                       });
+    }
+}
+
+} // namespace smoothe::tensor

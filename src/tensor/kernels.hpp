@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Destination-buffer tensor kernels ("*Into" variants).
+ *
+ * Every kernel writes its result into a caller-provided, correctly
+ * shaped tensor instead of allocating one. This is what lets the
+ * compiled autodiff Program (src/autodiff/program.hpp) replay a
+ * recorded forward pass into a static buffer plan with zero
+ * per-iteration allocation; the eager Tape calls the same kernels with
+ * freshly allocated tensors, so both execution modes share one kernel
+ * body and stay bit-identical.
+ *
+ * Determinism contract (see DESIGN.md "Parallel execution"): chunk
+ * grains are fixed constants, each output element is written by exactly
+ * one task, and in-chunk loop order matches the serial code, so results
+ * are bit-identical for every thread count.
+ *
+ * Buffer-reuse contract: kernels either write every output element
+ * unconditionally or zero the destination themselves (matmulInto,
+ * scatterMatrixInto, meanRowsInto, and segmentSoftmaxInto when the
+ * segments do not cover every column), so replaying into a dirty buffer
+ * yields the same bits as running into a fresh zeroed one.
+ */
+
+#ifndef SMOOTHE_TENSOR_KERNELS_HPP
+#define SMOOTHE_TENSOR_KERNELS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace smoothe::tensor {
+
+/** Sparse (column, matrix-position) entries for scatterMatrixInto. */
+struct MatrixEntry
+{
+    std::uint32_t column;   ///< source column in the input tensor
+    std::uint32_t position; ///< destination flat index in the d x d matrix
+};
+
+/**
+ * Flat elements per parallel task for elementwise kernels. Fixed (never
+ * derived from the worker count) so the work partition — and therefore
+ * the float result — is identical for every thread count.
+ */
+constexpr std::size_t kElemGrain = std::size_t{1} << 15;
+
+/** Batch rows per parallel task, sized so a task touches ~kElemGrain
+ *  elements. */
+std::size_t rowGrain(std::size_t cols);
+
+/**
+ * Runs body over chunks of [0, n): on the global pool when parallel,
+ * inline as one chunk otherwise (the Scalar baseline, which models an
+ * unoptimized single-stream interpreter).
+ */
+void parallelChunks(bool parallel, std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>&
+                        body);
+
+/** out = a + b (same shape). */
+void addInto(const Tensor& a, const Tensor& b, Tensor& out,
+             Backend backend);
+/** out = a - b (same shape). */
+void subInto(const Tensor& a, const Tensor& b, Tensor& out,
+             Backend backend);
+/** out = a * b elementwise (same shape). */
+void mulInto(const Tensor& a, const Tensor& b, Tensor& out,
+             Backend backend);
+/** out = alpha * a. */
+void scaleInto(const Tensor& a, float alpha, Tensor& out, Backend backend);
+/** out = a + alpha. */
+void addScalarInto(const Tensor& a, float alpha, Tensor& out,
+                   Backend backend);
+/**
+ * Fused scale-then-add-scalar: out = (alpha * a) + beta, each element
+ * computed with the same two separately rounded float operations as the
+ * unfused scaleInto + addScalarInto pair, so fusion is bitwise
+ * invisible. (The build uses no -march/-ffp-contract flags, so the
+ * compiler cannot contract the pair into an FMA; the Program parity
+ * tests pin this.)
+ */
+void affineInto(const Tensor& a, float alpha, float beta, Tensor& out,
+                Backend backend);
+/** out = max(a, 0). */
+void reluInto(const Tensor& a, Tensor& out, Backend backend);
+/** out = a * c elementwise; c may broadcast 1 x C over rows. */
+void mulConstInto(const Tensor& a, const Tensor& c, Tensor& out,
+                  Backend backend);
+/** out = a + c elementwise; c may broadcast 1 x C over rows. */
+void addConstInto(const Tensor& a, const Tensor& c, Tensor& out,
+                  Backend backend);
+/**
+ * Fused multiply-const-then-add-const: out = (a * m) + c, same rounding
+ * sequence as mulConstInto followed by addConstInto (see affineInto).
+ */
+void mulAddConstInto(const Tensor& a, const Tensor& m, const Tensor& c,
+                     Tensor& out, Backend backend);
+/** out[b, 0] = sum_i a[b, i] * u[i]. */
+void dotRowsInto(const Tensor& a, const std::vector<float>& u, Tensor& out,
+                 Backend backend);
+/** out[0, 0] = sum of all elements (double accumulator, serial). */
+void sumAllInto(const Tensor& a, Tensor& out);
+/** out[0, :] = column-wise mean over rows (zeroes out first). */
+void meanRowsInto(const Tensor& a, Tensor& out);
+/** Softmax within each column segment, per batch row. */
+void segmentSoftmaxInto(const Tensor& a, const SegmentIndex& segs,
+                        Tensor& out, Backend backend);
+/** out[b, s] = prod_{k in segment s} (1 - a[b, items[k]]). */
+void segmentProductComplementInto(const Tensor& a, const SegmentIndex& segs,
+                                  Tensor& out, Backend backend);
+/**
+ * out[b, s] = max over segment s; arg_out records the argmax column per
+ * (row, segment), UINT32_MAX for empty segments.
+ */
+void segmentMaxGatherInto(const Tensor& a, const SegmentIndex& segs,
+                          Tensor& out,
+                          std::vector<std::uint32_t>& arg_out,
+                          Backend backend);
+/** out[b, i] = a[b, index[i]]. */
+void gatherColsInto(const Tensor& a,
+                    const std::vector<std::uint32_t>& index, Tensor& out,
+                    Backend backend);
+/** Dense matmul a (B x K) times w (K x H) into out (zeroes out first). */
+void matmulInto(const Tensor& a, const Tensor& w, Tensor& out,
+                Backend backend);
+/** out[b, :] = a[b, :] + bias[0, :]. */
+void addRowBroadcastInto(const Tensor& a, const Tensor& bias, Tensor& out);
+/**
+ * Scatter into per-row d x d matrices (zeroes out first):
+ * out[r, e.position] += a[r, e.column]; with mean_over_rows the result
+ * is one row-averaged matrix.
+ */
+void scatterMatrixInto(const Tensor& a,
+                       const std::vector<MatrixEntry>& entries,
+                       std::size_t dim, bool mean_over_rows, Tensor& out,
+                       Backend backend);
+
+} // namespace smoothe::tensor
+
+#endif // SMOOTHE_TENSOR_KERNELS_HPP

@@ -185,6 +185,98 @@ TEST(LintIncludeGuard, FiresOnMissingOrMisnamedGuard)
     EXPECT_FALSE(fires(kLibCpp, "int x;\n", "include-guard"));
 }
 
+// --------------------------------------------------------------- tape-in-loop
+
+TEST(LintTapeInLoop, FiresOnConstructionInLoopBodies)
+{
+    EXPECT_TRUE(fires(kLibCpp,
+                      "void f() {\n"
+                      "  for (int i = 0; i < n; ++i) {\n"
+                      "    Tape tape(backend, &arena);\n"
+                      "  }\n"
+                      "}\n",
+                      "tape-in-loop"));
+    EXPECT_TRUE(fires(kLibCpp,
+                      "void f() {\n"
+                      "  while (running) {\n"
+                      "    auto loss = eval(Tape(backend));\n"
+                      "  }\n"
+                      "}\n",
+                      "tape-in-loop"));
+    EXPECT_TRUE(fires(kLibCpp,
+                      "void f() {\n"
+                      "  do {\n"
+                      "    std::optional<Tape> tape;\n"
+                      "  } while (more());\n"
+                      "}\n",
+                      "tape-in-loop"));
+    // Nested: the loop is inside an if, the Tape inside the loop.
+    EXPECT_TRUE(fires(kLibCpp,
+                      "void f() {\n"
+                      "  if (x) {\n"
+                      "    for (;;) {\n"
+                      "      Tape t;\n"
+                      "    }\n"
+                      "  }\n"
+                      "}\n",
+                      "tape-in-loop"));
+}
+
+TEST(LintTapeInLoop, QuietOutsideLoopsAndOnNonConstructingMentions)
+{
+    // Construction outside any loop: the compile-once pattern itself.
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f() {\n"
+                       "  Tape recorder(backend, &arena);\n"
+                       "  for (int i = 0; i < n; ++i) {\n"
+                       "    program.forward();\n"
+                       "  }\n"
+                       "}\n",
+                       "tape-in-loop"));
+    // References, pointers, and qualified names don't allocate.
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f(Tape& tape) {\n"
+                       "  for (int i = 0; i < n; ++i) {\n"
+                       "    use(tape);\n"
+                       "    Tape* alias = &tape;\n"
+                       "    Tape::Options opts;\n"
+                       "  }\n"
+                       "}\n",
+                       "tape-in-loop"));
+    // A loop that merely follows a declaration does not contaminate it.
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f() {\n"
+                       "  for (int i = 0; i < n; ++i) { work(); }\n"
+                       "  Tape tape(backend);\n"
+                       "}\n",
+                       "tape-in-loop"));
+    // Braces inside the loop header don't open a body early.
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f() {\n"
+                       "  for (int x : std::vector<int>{1, 2}) { use(x); }\n"
+                       "  Tape tape(backend);\n"
+                       "}\n",
+                       "tape-in-loop"));
+    // Tool code is exempt; benches/tests measure the eager path.
+    EXPECT_FALSE(fires(kToolCpp,
+                       "void f() {\n"
+                       "  for (;;) { Tape tape; }\n"
+                       "}\n",
+                       "tape-in-loop"));
+}
+
+TEST(LintTapeInLoop, SuppressionMarksTheIntentionalEagerPath)
+{
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f() {\n"
+                       "  for (;;) {\n"
+                       "    // smoothe-lint: allow(tape-in-loop)\n"
+                       "    Tape tape(backend, &arena);\n"
+                       "  }\n"
+                       "}\n",
+                       "tape-in-loop"));
+}
+
 // ------------------------------------------------------------------ reporting
 
 TEST(LintReporting, FindingsCarryPathLineAndSortByLine)
@@ -224,7 +316,7 @@ TEST(LintReporting, RuleCatalogCoversEveryEmittedRule)
         known.push_back(info.name);
     for (const char* rule :
          {"raw-new", "raw-delete", "std-thread", "no-rand", "no-assert",
-          "iostream-header", "include-guard"}) {
+          "iostream-header", "include-guard", "tape-in-loop"}) {
         EXPECT_NE(std::find(known.begin(), known.end(), rule), known.end())
             << rule;
     }

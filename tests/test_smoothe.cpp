@@ -15,6 +15,7 @@
 #include "ilp/ilp_extractor.hpp"
 #include "extraction/validate.hpp"
 #include "smoothe/smoothe.hpp"
+#include "util/thread_pool.hpp"
 
 namespace core = smoothe::core;
 namespace ds = smoothe::datasets;
@@ -342,6 +343,46 @@ TEST(SmoothE, LambdaWarmupStillSatisfiesAcyclicity)
     ASSERT_TRUE(result.ok());
     EXPECT_TRUE(ex::validate(g, result.selection).ok());
     EXPECT_LE(result.cost, 9.0);
+}
+
+TEST(SmoothE, CompiledReplayMatchesEagerBitwise)
+{
+    // Same seed, same graph: the compiled Program replay and the eager
+    // per-iteration tape rebuild must walk the exact same optimization
+    // trajectory, so every sampled selection — and hence the final cost
+    // and choices — is identical, at 1 and at 4 worker threads. The
+    // lambda warmup exercises the mutable "lambda" input slot.
+    const auto graphs = ds::loadFamily("rover", 0.05, 11);
+    const eg::EGraph& g = graphs.front().graph;
+    auto run = [&](bool compiled, std::size_t threads) {
+        core::SmoothEConfig config = fastConfig();
+        config.maxIterations = 30;
+        config.lambdaWarmupIterations = 10;
+        config.compiledReplay = compiled;
+        config.numThreads = threads;
+        core::SmoothEExtractor extractor(config);
+        ex::ExtractOptions options;
+        options.seed = 5;
+        options.timeLimitSeconds = 1e9;
+        auto result = extractor.extract(g, options);
+        EXPECT_EQ(extractor.diagnostics().compiledReplay, compiled);
+        if (compiled) {
+            EXPECT_GT(extractor.diagnostics().programBuffers, 0u);
+            EXPECT_GT(extractor.diagnostics().bufferReuseRatio, 1.0);
+        }
+        EXPECT_GT(extractor.diagnostics().tapeNodes, 0u);
+        return result;
+    };
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        const auto compiled = run(true, threads);
+        const auto eager = run(false, threads);
+        ASSERT_TRUE(compiled.ok());
+        ASSERT_TRUE(eager.ok());
+        EXPECT_EQ(compiled.cost, eager.cost) << threads << " threads";
+        EXPECT_EQ(compiled.selection.choice, eager.selection.choice)
+            << threads << " threads";
+    }
+    smoothe::util::ThreadPool::setGlobalThreads(1); // restore
 }
 
 TEST(Probabilities, PaperExampleIndependent)

@@ -5,7 +5,7 @@
  * Usage:
  *   smoothe_extract --input egraph.json [--extractor smoothe]
  *                   [--time-limit 10] [--seed 1] [--seeds 16]
- *                   [--assumption hybrid] [--lambda 8]
+ *                   [--assumption hybrid] [--lambda 8] [--eager]
  *                   [--output selection.json] [--threads N]
  *                   [--validate] [--log-level debug] [--log-json log.jsonl]
  *                   [--trace-out trace.json] [--metrics-out metrics.json]
@@ -115,6 +115,7 @@ main(int argc, char** argv)
     config.patience =
         static_cast<std::size_t>(args.getInt("patience", 60));
     config.damping = static_cast<float>(args.getDouble("damping", 0.0));
+    config.compiledReplay = !args.getBool("eager", false);
     const std::string assumption =
         args.getString("assumption", "hybrid");
     if (assumption == "independent")
