@@ -18,6 +18,24 @@ using namespace smoothe;
 
 namespace {
 
+/** Dumps one incumbent trace into the process report as a
+ *  (seconds, cost) series plus an unchecked final-cost measurement. */
+void
+reportTrace(const std::string& key,
+            const extract::ExtractionResult& result)
+{
+    obs::Report* report = obs::Report::current();
+    if (report == nullptr)
+        return;
+    obs::Series& series =
+        report->series("anytime." + key, {"seconds", "cost"});
+    for (const auto& point : result.trace)
+        series.addRow({point.seconds, point.cost});
+    if (result.ok())
+        bench::reportScalar("fig4." + key + ".final_cost", result.cost)
+            ->checked(false);
+}
+
 void
 printTrace(const char* label, const extract::ExtractionResult& result)
 {
@@ -66,10 +84,14 @@ main(int argc, char** argv)
         core::SmoothEExtractor smoothe(config);
         const auto smootheResult = smoothe.extract(named->graph, traced);
         printTrace("SmoothE", smootheResult);
+        reportTrace(named->family + "." + named->name + ".smoothe",
+                    smootheResult);
 
         ilp::IlpExtractor ilp(ilp::IlpPreset::Strong);
         const auto ilpResult = ilp.extract(named->graph, traced);
         printTrace("ILP-strong", ilpResult);
+        reportTrace(named->family + "." + named->name + ".ilp_strong",
+                    ilpResult);
     }
     return 0;
 }

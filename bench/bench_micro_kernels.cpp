@@ -1,22 +1,29 @@
 /**
  * @file
- * google-benchmark micro-benchmarks for the tensor/autodiff kernels that
- * dominate SmoothE's runtime: batched SpMV, segment softmax, segment
- * product-complement, and the matrix exponential — each on both backends
- * where applicable. Not a paper figure; used to sanity-check the
- * Figure 6 ablation at the kernel level.
+ * Micro-benchmarks for the tensor/autodiff kernels that dominate
+ * SmoothE's runtime: batched SpMV, segment softmax, segment
+ * product-complement, the matrix exponential, a full backward pass, and
+ * one complete optimizer iteration on both the eager-tape and
+ * compiled-program paths. Runs on the shared bench harness
+ * (--repeat/--warmup, obs::Report output) instead of a paper figure;
+ * the deterministic arena/plan measurements gate the CI perf job.
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "autodiff/matexp.hpp"
 #include "autodiff/program.hpp"
 #include "autodiff/tape.hpp"
+#include "bench/common.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 
 namespace st = smoothe::tensor;
 namespace ad = smoothe::ad;
+using namespace smoothe;
 
 namespace {
 
@@ -49,147 +56,48 @@ uniformSegments(std::size_t items, std::size_t segments)
     return st::SegmentIndex::fromAssignment(assignment, segments);
 }
 
-void
-BM_SpmvScalar(benchmark::State& state)
+/** Problem sizes; --quick halves everything so CI stays fast. */
+struct Sizes
 {
-    smoothe::util::Rng rng(1);
-    const auto m = randomCsr(2048, 2048, 4, rng);
-    st::Tensor x(8, 2048, 0.5f);
-    st::Tensor out(8, 2048);
-    for (auto _ : state) {
-        st::spmv(m, x, out, st::Backend::Scalar);
-        benchmark::DoNotOptimize(out.data());
-    }
-}
-BENCHMARK(BM_SpmvScalar);
+    std::size_t spmvDim;
+    std::size_t items;
+    std::size_t segments;
+    std::size_t nodes;
+    std::size_t classes;
+    std::vector<std::size_t> expmDims;
 
-void
-BM_SpmvVectorized(benchmark::State& state)
-{
-    smoothe::util::Rng rng(1);
-    const auto m = randomCsr(2048, 2048, 4, rng);
-    st::Tensor x(8, 2048, 0.5f);
-    st::Tensor out(8, 2048);
-    for (auto _ : state) {
-        st::spmv(m, x, out, st::Backend::Vectorized);
-        benchmark::DoNotOptimize(out.data());
-    }
-}
-BENCHMARK(BM_SpmvVectorized);
+    explicit Sizes(bool quick)
+        : spmvDim(quick ? 1024 : 2048), items(quick ? 4096 : 8192),
+          segments(quick ? 1024 : 2048), nodes(quick ? 2048 : 4096),
+          classes(quick ? 512 : 1024),
+          expmDims(quick ? std::vector<std::size_t>{8, 32, 64}
+                         : std::vector<std::size_t>{8, 32, 128})
+    {}
+};
 
-void
-BM_SegmentSoftmax(benchmark::State& state)
-{
-    const auto backend = state.range(0) == 0 ? st::Backend::Scalar
-                                             : st::Backend::Vectorized;
-    const auto segs = uniformSegments(8192, 2048);
-    smoothe::util::Rng rng(2);
-    ad::Tensor theta(8, 8192);
-    for (std::size_t i = 0; i < theta.size(); ++i)
-        theta.data()[i] = rng.uniformFloat();
-    for (auto _ : state) {
-        ad::Tape tape(backend);
-        const auto cp = tape.segmentSoftmax(tape.constant(theta), &segs);
-        benchmark::DoNotOptimize(tape.value(cp).data());
-    }
-}
-BENCHMARK(BM_SegmentSoftmax)->Arg(0)->Arg(1);
-
-void
-BM_SegmentProductComplement(benchmark::State& state)
-{
-    const auto segs = uniformSegments(8192, 2048);
-    smoothe::util::Rng rng(3);
-    ad::Tensor p(8, 8192);
-    for (std::size_t i = 0; i < p.size(); ++i)
-        p.data()[i] = 0.3f * rng.uniformFloat();
-    for (auto _ : state) {
-        ad::Tape tape;
-        const auto out =
-            tape.segmentProductComplement(tape.constant(p), &segs);
-        benchmark::DoNotOptimize(tape.value(out).data());
-    }
-}
-BENCHMARK(BM_SegmentProductComplement);
-
-void
-BM_Expm(benchmark::State& state)
-{
-    const std::size_t d = static_cast<std::size_t>(state.range(0));
-    smoothe::util::Rng rng(4);
-    std::vector<float> a(d * d);
-    for (auto& v : a)
-        v = 0.2f * rng.uniformFloat();
-    std::vector<float> out(d * d);
-    for (auto _ : state) {
-        ad::expm(a.data(), d, out.data());
-        benchmark::DoNotOptimize(out.data());
-    }
-}
-BENCHMARK(BM_Expm)->Arg(8)->Arg(32)->Arg(128);
-
-void
-BM_BackwardPass(benchmark::State& state)
-{
-    // One SmoothE-shaped forward+backward at medium size.
-    const std::size_t n = 4096;
-    const std::size_t m = 1024;
-    const auto members = uniformSegments(n, m);
-    const auto parents = uniformSegments(n, m);
-    std::vector<std::uint32_t> node2class(n);
-    for (std::size_t i = 0; i < n; ++i)
-        node2class[i] = static_cast<std::uint32_t>(i % m);
-    smoothe::util::Rng rng(5);
-    ad::Param theta{ad::Tensor(8, n)};
-    for (std::size_t i = 0; i < theta.value.size(); ++i)
-        theta.value.data()[i] = rng.uniformFloat();
-    std::vector<float> u(n, 1.0f);
-
-    for (auto _ : state) {
-        theta.zeroGrad();
-        ad::Tape tape;
-        const auto cp = tape.segmentSoftmax(tape.leaf(&theta), &members);
-        ad::Tensor q0(8, m, 0.1f);
-        auto q = tape.constant(q0);
-        for (int t = 0; t < 4; ++t) {
-            const auto p = tape.mul(cp, tape.gatherCols(q, &node2class));
-            const auto prod = tape.segmentProductComplement(p, &parents);
-            q = tape.addScalar(tape.scale(prod, -1.0f), 1.0f);
-        }
-        const auto p = tape.mul(cp, tape.gatherCols(q, &node2class));
-        const auto loss = tape.sumAll(tape.dotRowsConst(p, u));
-        tape.backward(loss);
-        benchmark::DoNotOptimize(theta.grad.data());
-    }
-}
-BENCHMARK(BM_BackwardPass);
-
-// --- Plan vs eager: one full forward+backward iteration ------------------
-//
-// The same medium SmoothE-shaped graph (rover-like class/node counts),
-// once rebuilt on a fresh tape every iteration (the pre-compile
-// behaviour) and once replayed through the compiled ad::Program. The
-// arena peak of each mode is reported as a counter so the buffer-plan
-// savings are visible next to the wall-time ratio.
-
+/** The medium SmoothE-shaped iteration graph shared by the
+ *  eager/compiled comparison and the backward-pass kernel. */
 struct IterationFixture
 {
-    static constexpr std::size_t kNodes = 4096;
-    static constexpr std::size_t kClasses = 1024;
     static constexpr std::size_t kBatch = 8;
 
-    st::SegmentIndex members = uniformSegments(kNodes, kClasses);
-    st::SegmentIndex parents = uniformSegments(kNodes, kClasses);
+    std::size_t nodes;
+    std::size_t classes;
+    st::SegmentIndex members;
+    st::SegmentIndex parents;
     std::vector<std::uint32_t> node2class;
     std::vector<float> u;
     ad::Param theta;
 
-    IterationFixture()
-        : node2class(kNodes), u(kNodes, 1.0f),
-          theta{ad::Tensor(kBatch, kNodes)}
+    explicit IterationFixture(const Sizes& sizes)
+        : nodes(sizes.nodes), classes(sizes.classes),
+          members(uniformSegments(sizes.nodes, sizes.classes)),
+          parents(uniformSegments(sizes.nodes, sizes.classes)),
+          node2class(sizes.nodes), u(sizes.nodes, 1.0f),
+          theta{ad::Tensor(kBatch, sizes.nodes)}
     {
-        for (std::size_t i = 0; i < kNodes; ++i)
-            node2class[i] = static_cast<std::uint32_t>(i % kClasses);
+        for (std::size_t i = 0; i < nodes; ++i)
+            node2class[i] = static_cast<std::uint32_t>(i % classes);
         smoothe::util::Rng rng(5);
         for (std::size_t i = 0; i < theta.value.size(); ++i)
             theta.value.data()[i] = rng.uniformFloat();
@@ -199,7 +107,7 @@ struct IterationFixture
     build(ad::Tape& tape)
     {
         const auto cp = tape.segmentSoftmax(tape.leaf(&theta), &members);
-        ad::Tensor q0(kBatch, kClasses, 0.1f);
+        ad::Tensor q0(kBatch, classes, 0.1f);
         auto q = tape.constant(std::move(q0));
         for (int t = 0; t < 4; ++t) {
             const auto p = tape.mul(cp, tape.gatherCols(q, &node2class));
@@ -211,45 +119,180 @@ struct IterationFixture
     }
 };
 
-void
-BM_IterationEager(benchmark::State& state)
-{
-    IterationFixture fx;
-    st::Arena arena;
-    for (auto _ : state) {
-        fx.theta.zeroGrad();
-        ad::Tape tape(st::Backend::Vectorized, &arena);
-        const auto loss = fx.build(tape);
-        tape.backward(loss);
-        benchmark::DoNotOptimize(fx.theta.grad.data());
-    }
-    state.counters["arena_peak_bytes"] =
-        static_cast<double>(arena.peak());
-}
-BENCHMARK(BM_IterationEager);
+volatile float g_sink = 0.0f; ///< defeats dead-code elimination
 
 void
-BM_IterationCompiled(benchmark::State& state)
+sink(const float* data)
 {
-    IterationFixture fx;
-    st::Arena arena;
-    ad::Tape recorder(st::Backend::Vectorized, &arena);
-    const auto loss = fx.build(recorder);
-    ad::Program program(std::move(recorder), loss);
-    for (auto _ : state) {
-        fx.theta.zeroGrad();
-        program.forward();
-        program.backward();
-        benchmark::DoNotOptimize(fx.theta.grad.data());
-    }
-    state.counters["arena_peak_bytes"] =
-        static_cast<double>(arena.peak());
-    state.counters["planned_bytes"] =
-        static_cast<double>(program.stats().plannedBytes);
-    state.counters["reuse_ratio"] = program.stats().reuseRatio();
+    g_sink = data[0];
 }
-BENCHMARK(BM_IterationCompiled);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv);
+    const Sizes sizes(options.quick);
+    obs::Report& report = *obs::Report::current();
+    report.setRun("family", "micro_kernels");
+    report.setRun("spmvDim", sizes.spmvDim);
+    report.setRun("nodes", sizes.nodes);
+    report.setRun("classes", sizes.classes);
+
+    util::TablePrinter table({"kernel", "mean", "stddev", "min", "max"});
+    const auto row = [&table](const std::string& name,
+                              const bench::RepeatStats& stats) {
+        table.addRow({name, util::formatSeconds(stats.mean) + "s",
+                      util::formatSeconds(stats.stddev) + "s",
+                      util::formatSeconds(stats.min) + "s",
+                      util::formatSeconds(stats.max) + "s"});
+    };
+    const auto timeKernel = [&](const std::string& name, auto&& fn) {
+        const auto stats = bench::repeatMeasure(name, options, fn);
+        if (obs::Measurement* m = bench::findMeasurement(name))
+            m->checked(false);
+        row(name, stats);
+        return stats;
+    };
+
+    // --- SpMV, both backends ------------------------------------------
+    {
+        smoothe::util::Rng rng(1);
+        const auto m = randomCsr(sizes.spmvDim, sizes.spmvDim, 4, rng);
+        st::Tensor x(8, sizes.spmvDim, 0.5f);
+        st::Tensor out(8, sizes.spmvDim);
+        timeKernel("spmv.scalar", [&] {
+            for (int i = 0; i < 8; ++i)
+                st::spmv(m, x, out, st::Backend::Scalar);
+            sink(out.data());
+        });
+        timeKernel("spmv.vectorized", [&] {
+            for (int i = 0; i < 8; ++i)
+                st::spmv(m, x, out, st::Backend::Vectorized);
+            sink(out.data());
+        });
+    }
+
+    // --- Segment softmax, both backends -------------------------------
+    {
+        const auto segs = uniformSegments(sizes.items, sizes.segments);
+        smoothe::util::Rng rng(2);
+        ad::Tensor theta(8, sizes.items);
+        for (std::size_t i = 0; i < theta.size(); ++i)
+            theta.data()[i] = rng.uniformFloat();
+        for (const auto backend :
+             {st::Backend::Scalar, st::Backend::Vectorized}) {
+            const std::string name =
+                backend == st::Backend::Scalar
+                    ? "segment_softmax.scalar"
+                    : "segment_softmax.vectorized";
+            timeKernel(name, [&] {
+                ad::Tape tape(backend);
+                const auto cp =
+                    tape.segmentSoftmax(tape.constant(theta), &segs);
+                sink(tape.value(cp).data());
+            });
+        }
+    }
+
+    // --- Segment product-complement -----------------------------------
+    {
+        const auto segs = uniformSegments(sizes.items, sizes.segments);
+        smoothe::util::Rng rng(3);
+        ad::Tensor p(8, sizes.items);
+        for (std::size_t i = 0; i < p.size(); ++i)
+            p.data()[i] = 0.3f * rng.uniformFloat();
+        timeKernel("segment_product_complement", [&] {
+            ad::Tape tape;
+            const auto out =
+                tape.segmentProductComplement(tape.constant(p), &segs);
+            sink(tape.value(out).data());
+        });
+    }
+
+    // --- Matrix exponential across sizes ------------------------------
+    for (const std::size_t d : sizes.expmDims) {
+        smoothe::util::Rng rng(4);
+        std::vector<float> a(d * d);
+        for (auto& v : a)
+            v = 0.2f * rng.uniformFloat();
+        std::vector<float> out(d * d);
+        timeKernel("expm.d" + std::to_string(d), [&] {
+            for (int i = 0; i < 4; ++i)
+                ad::expm(a.data(), d, out.data());
+            sink(out.data());
+        });
+    }
+
+    // --- Full backward pass on a fresh tape ---------------------------
+    {
+        IterationFixture fx(sizes);
+        timeKernel("backward_pass", [&] {
+            fx.theta.zeroGrad();
+            ad::Tape tape;
+            const auto loss = fx.build(tape);
+            tape.backward(loss);
+            sink(fx.theta.grad.data());
+        });
+    }
+
+    // --- One optimizer iteration: eager tape vs compiled replay -------
+    //
+    // Wall times are recorded unchecked (runner-speed dependent); the
+    // eager/compiled speedup is machine-relative and gated loosely, and
+    // the arena/buffer-plan byte counts are fully deterministic for a
+    // given --quick setting, so the CI perf gate checks them tightly.
+    {
+        IterationFixture fx(sizes);
+        st::Arena eagerArena;
+        const auto eager = timeKernel("iteration.eager", [&] {
+            fx.theta.zeroGrad();
+            ad::Tape tape(st::Backend::Vectorized, &eagerArena);
+            const auto loss = fx.build(tape);
+            tape.backward(loss);
+            sink(fx.theta.grad.data());
+        });
+
+        st::Arena compiledArena;
+        ad::Tape recorder(st::Backend::Vectorized, &compiledArena);
+        const auto loss = fx.build(recorder);
+        ad::Program program(std::move(recorder), loss);
+        const auto compiled = timeKernel("iteration.compiled", [&] {
+            fx.theta.zeroGrad();
+            program.forward();
+            program.backward();
+            sink(fx.theta.grad.data());
+        });
+
+        const double speedup =
+            compiled.mean > 0.0 ? eager.mean / compiled.mean : 0.0;
+        bench::reportScalar("iteration.speedup", speedup, "x")
+            ->higherIsBetter()
+            .tolerancePct(40.0);
+        bench::reportScalar("iteration.eager_arena_peak_bytes",
+                            static_cast<double>(eagerArena.peak()), "B")
+            ->tolerancePct(5.0);
+        bench::reportScalar("iteration.compiled_arena_peak_bytes",
+                            static_cast<double>(compiledArena.peak()), "B")
+            ->tolerancePct(5.0);
+        bench::reportScalar("iteration.planned_bytes",
+                            static_cast<double>(
+                                program.stats().plannedBytes),
+                            "B")
+            ->tolerancePct(5.0);
+        bench::reportScalar("iteration.reuse_ratio",
+                            program.stats().reuseRatio())
+            ->higherIsBetter()
+            .tolerancePct(10.0);
+        table.addSeparator();
+        table.addRow({"iteration speedup (eager/compiled)",
+                      util::formatFixed(speedup, 2) + "x", "", "", ""});
+    }
+
+    std::printf("bench_micro_kernels (quick=%d repeat=%zu warmup=%zu)\n",
+                options.quick ? 1 : 0, options.repeat, options.warmup);
+    table.print(std::cout);
+    obs::flushCliTelemetry();
+    return 0;
+}

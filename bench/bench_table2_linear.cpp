@@ -87,6 +87,32 @@ struct MethodStats
                                       increases.empty() ? fails : 0);
         return top + " | " + bottom;
     }
+
+    /** Records the headline aggregates (mean seconds, geo-avg quality
+     *  increase, fail count) into the process report, unchecked. */
+    void
+    publish(const std::string& key) const
+    {
+        double timeSum = 0.0;
+        for (double s : seconds)
+            timeSum += s;
+        bench::reportScalar(key + ".mean_seconds",
+                            seconds.empty() ? 0.0
+                                            : timeSum / seconds.size(),
+                            "s")
+            ->checked(false);
+        std::vector<double> shifted;
+        for (double inc : increases)
+            shifted.push_back(1.0 + inc);
+        bench::reportScalar(key + ".geo_avg_increase",
+                            shifted.empty()
+                                ? 0.0
+                                : bench::geometricMean(shifted) - 1.0)
+            ->checked(false);
+        bench::reportScalar(key + ".fails",
+                            static_cast<double>(fails))
+            ->checked(false);
+    }
 };
 
 } // namespace
@@ -175,6 +201,9 @@ main(int argc, char** argv)
         table.addRow({family, ilpStrong.cell(), ilpMedium.cell(),
                       ilpWeak.cell(), heuristicStats.cell(),
                       heuristicPlusStats.cell(), smootheStats.cell()});
+        ilpStrong.publish("table2." + family + ".ilp_strong");
+        heuristicStats.publish("table2." + family + ".heuristic");
+        smootheStats.publish("table2." + family + ".smoothe");
     }
     table.print(std::cout);
     std::printf("\ncell format: mean time s (#fails) | worst / geo-avg "

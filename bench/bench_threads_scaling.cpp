@@ -89,6 +89,15 @@ main(int argc, char** argv)
         // Exported via --metrics-out: one gauge per pool size.
         obs::gauge("bench.speedup.threads_" + std::to_string(threads))
             .set(speedup);
+        bench::reportScalar("scaling.threads_" + std::to_string(threads) +
+                                ".best_seconds",
+                            best, "s")
+            ->checked(false);
+        bench::reportScalar("scaling.threads_" + std::to_string(threads) +
+                                ".speedup",
+                            speedup, "x")
+            ->higherIsBetter()
+            .checked(false);
         table.addRow({std::to_string(threads), util::formatFixed(cost, 1),
                       util::formatFixed(best, 3),
                       util::formatFixed(speedup, 2) + "x",

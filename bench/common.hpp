@@ -1,8 +1,12 @@
 /**
  * @file
  * Shared helpers for the benchmark harness binaries (one per paper table
- * or figure). Each binary accepts --scale, --seed, --time-limit and
- * prints paper-style rows; see DESIGN.md's per-experiment index.
+ * or figure). Each binary accepts --scale, --seed, --time-limit plus the
+ * repeat/telemetry surface below, prints paper-style rows, and emits a
+ * structured obs::Report (--report-out FILE, defaulting to
+ * BENCH_<name>.json in the working directory) conforming to the
+ * versioned "smoothe.report" schema; see DESIGN.md's per-experiment
+ * index and "Telemetry pipeline".
  */
 
 #ifndef SMOOTHE_BENCH_COMMON_HPP
@@ -18,8 +22,10 @@
 #include "datasets/registry.hpp"
 #include "extraction/extractor.hpp"
 #include "obs/cli.hpp"
+#include "obs/report.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace smoothe::bench {
 
@@ -31,13 +37,23 @@ struct BenchOptions
     double timeLimit = 5.0;    ///< per-extraction budget (seconds)
     std::size_t runs = 3;      ///< repeated stochastic runs (max-diff)
     std::size_t maxGraphs = 4; ///< per-family cap for sweep benches
+    std::size_t repeat = 3;    ///< timed repeats per measurement
+    std::size_t warmup = 1;    ///< untimed warmup runs per measurement
     bool quick = false;        ///< shrink everything for smoke testing
+    std::string tool;          ///< argv[0] basename
 
     /**
      * Parses the shared harness flags, installs telemetry (--log-level,
-     * --log-json, --trace-out, --metrics-out), and exits with status 2 on
-     * any flag nobody understands. Benches with extra private flags list
-     * them in extra_known so they are not rejected here.
+     * --log-json, --trace-out, --metrics-out, --report-out), and exits
+     * with status 2 on any flag nobody understands. Benches with extra
+     * private flags list them in extra_known so they are not rejected
+     * here.
+     *
+     * Every bench gets a process-wide obs::Report: --report-out FILE
+     * names the output explicitly, otherwise it defaults to
+     * BENCH_<name>.json (the bench name without its "bench_" prefix) in
+     * the working directory, accumulating the repo's bench trajectory.
+     * The shared harness options land in the report's run metadata.
      */
     static BenchOptions
     parse(int argc, char** argv,
@@ -45,6 +61,8 @@ struct BenchOptions
     {
         const util::Args args(argc, argv);
         BenchOptions options;
+        options.tool = obs::toolNameFromArgv0(
+            argc > 0 ? argv[0] : nullptr, "bench");
         options.scale = args.getDouble("scale", options.scale);
         options.seed = static_cast<std::uint64_t>(
             args.getInt("seed", static_cast<std::int64_t>(options.seed)));
@@ -53,6 +71,14 @@ struct BenchOptions
             args.getInt("runs", static_cast<std::int64_t>(options.runs)));
         options.maxGraphs = static_cast<std::size_t>(args.getInt(
             "max-graphs", static_cast<std::int64_t>(options.maxGraphs)));
+        options.repeat = static_cast<std::size_t>(std::max<std::int64_t>(
+            1,
+            args.getInt("repeat",
+                        static_cast<std::int64_t>(options.repeat))));
+        options.warmup = static_cast<std::size_t>(std::max<std::int64_t>(
+            0,
+            args.getInt("warmup",
+                        static_cast<std::int64_t>(options.warmup))));
         options.quick = args.getBool("quick", false);
         if (options.quick) {
             options.scale *= 0.4;
@@ -60,7 +86,22 @@ struct BenchOptions
             options.runs = 1;
             options.maxGraphs = std::min<std::size_t>(options.maxGraphs, 2);
         }
-        obs::installCliTelemetry(args);
+        obs::installCliTelemetry(args, options.tool.c_str());
+        if (obs::Report::current() == nullptr) {
+            std::string name = options.tool;
+            if (name.rfind("bench_", 0) == 0)
+                name = name.substr(6);
+            obs::Report::install(options.tool, "BENCH_" + name + ".json");
+            obs::installTelemetryExitHooks();
+        }
+        obs::Report& report = *obs::Report::current();
+        report.setRun("scale", options.scale);
+        report.setRun("seed", options.seed);
+        report.setRun("timeLimit", options.timeLimit);
+        report.setRun("runs", options.runs);
+        report.setRun("repeat", options.repeat);
+        report.setRun("warmup", options.warmup);
+        report.setRun("quick", options.quick);
         for (const char* name : extra_known)
             args.acknowledge(name);
         if (obs::reportUnknownFlags(args, argv[0] ? argv[0] : "bench") > 0)
@@ -78,6 +119,110 @@ struct BenchOptions
         return graphs;
     }
 };
+
+/** Summary of a warmup+repeat measurement (seconds per repeat). */
+struct RepeatStats
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::size_t repeats = 0;
+
+    /** "12.3ms ±0.4" style cell for the printed tables. */
+    std::string
+    cell() const
+    {
+        return util::formatSeconds(mean) + "s ±" +
+               util::formatSeconds(stddev);
+    }
+};
+
+/**
+ * Runs `fn` untimed `warmup` times, then timed `repeats` times, and
+ * returns mean/stddev/min/max of the per-run wall time. When a process
+ * report is installed and `name` is non-empty, each timed sample is
+ * recorded into measurement `name` (unit "s", lower-is-better); the
+ * mean/stddev land in the report automatically.
+ */
+template <typename Fn>
+RepeatStats
+repeatMeasure(const std::string& name, std::size_t warmup,
+              std::size_t repeats, Fn&& fn)
+{
+    for (std::size_t i = 0; i < warmup; ++i)
+        fn();
+    obs::Measurement* measurement = nullptr;
+    if (obs::Report* report = obs::Report::current();
+        report != nullptr && !name.empty())
+        measurement = &report->measurement(name).unit("s");
+    RepeatStats stats;
+    std::vector<double> samples;
+    samples.reserve(repeats);
+    for (std::size_t i = 0; i < repeats; ++i) {
+        util::Timer timer;
+        fn();
+        const double seconds = timer.seconds();
+        samples.push_back(seconds);
+        if (measurement != nullptr)
+            measurement->add(seconds);
+    }
+    stats.repeats = samples.size();
+    if (samples.empty())
+        return stats;
+    double sum = 0.0;
+    stats.min = samples.front();
+    stats.max = samples.front();
+    for (double s : samples) {
+        sum += s;
+        stats.min = std::min(stats.min, s);
+        stats.max = std::max(stats.max, s);
+    }
+    stats.mean = sum / static_cast<double>(samples.size());
+    double sq = 0.0;
+    for (double s : samples)
+        sq += (s - stats.mean) * (s - stats.mean);
+    stats.stddev = std::sqrt(sq / static_cast<double>(samples.size()));
+    return stats;
+}
+
+/** Overload using the harness --warmup/--repeat options. */
+template <typename Fn>
+RepeatStats
+repeatMeasure(const std::string& name, const BenchOptions& options,
+              Fn&& fn)
+{
+    return repeatMeasure(name, options.warmup, options.repeat,
+                         static_cast<Fn&&>(fn));
+}
+
+/**
+ * Records a scalar into the process report when one is installed (the
+ * bench binaries always have one); a no-op otherwise. Returns the
+ * measurement for chained configuration, or nullptr.
+ */
+inline obs::Measurement*
+reportScalar(const std::string& name, double value,
+             const std::string& unit = "")
+{
+    obs::Report* report = obs::Report::current();
+    if (report == nullptr)
+        return nullptr;
+    obs::Measurement& measurement = report->measurement(name);
+    if (!unit.empty())
+        measurement.unit(unit);
+    measurement.add(value);
+    return &measurement;
+}
+
+/** Returns the named measurement of the process report (created on
+ *  first use), or nullptr when no report is installed. */
+inline obs::Measurement*
+findMeasurement(const std::string& name)
+{
+    obs::Report* report = obs::Report::current();
+    return report == nullptr ? nullptr : &report->measurement(name);
+}
 
 /** Geometric mean of positive values (0 when empty). */
 inline double

@@ -1,11 +1,13 @@
 #include "obs/cli.hpp"
 
 #include <cstdlib>
+#include <exception>
 #include <mutex>
 
 #include "obs/check_telemetry.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/args.hpp"
 #include "util/thread_pool.hpp"
@@ -19,7 +21,8 @@ struct CliState
     std::mutex mutex;
     std::string traceOut;
     std::string metricsOut;
-    bool atexitRegistered = false;
+    bool hooksRegistered = false;
+    std::terminate_handler previousTerminate = nullptr;
 };
 
 CliState&
@@ -35,10 +38,55 @@ flushAtExit()
     flushCliTelemetry();
 }
 
+/**
+ * std::terminate runs for uncaught exceptions and std::terminate()
+ * calls, where atexit handlers never fire: flush whatever telemetry is
+ * buffered so --trace-out/--metrics-out/--report-out files are valid
+ * JSON snapshots of the aborted run, then chain to the previous handler
+ * (which normally calls abort()).
+ */
+[[noreturn]] void
+flushOnTerminate()
+{
+    flushCliTelemetry();
+    const std::terminate_handler previous = [] {
+        CliState& state = cliState();
+        std::lock_guard<std::mutex> lock(state.mutex);
+        return state.previousTerminate;
+    }();
+    if (previous)
+        previous();
+    std::abort();
+}
+
 } // namespace
 
 void
-installCliTelemetry(const util::Args& args)
+installTelemetryExitHooks()
+{
+    CliState& state = cliState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.hooksRegistered)
+        return;
+    std::atexit(flushAtExit);
+    state.previousTerminate = std::set_terminate(flushOnTerminate);
+    state.hooksRegistered = true;
+}
+
+std::string
+toolNameFromArgv0(const char* argv0, const char* fallback)
+{
+    if (argv0 == nullptr || *argv0 == '\0')
+        return fallback;
+    const std::string path(argv0);
+    const std::size_t slash = path.find_last_of('/');
+    const std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    return base.empty() ? std::string(fallback) : base;
+}
+
+void
+installCliTelemetry(const util::Args& args, const char* tool)
 {
     Logger log("obs");
     installCheckTelemetry();
@@ -71,17 +119,20 @@ installCliTelemetry(const util::Args& args)
     // storage outlives the atexit flush handler registered below.
     counter("obs.cli_installs").add(1);
 
-    CliState& state = cliState();
-    std::lock_guard<std::mutex> lock(state.mutex);
-    state.traceOut = traceOut;
-    state.metricsOut = metricsOut;
-    if (!traceOut.empty())
-        TraceSession::instance().start();
-    if ((!traceOut.empty() || !metricsOut.empty()) &&
-        !state.atexitRegistered) {
-        std::atexit(flushAtExit);
-        state.atexitRegistered = true;
+    const std::string reportOut = args.getString("report-out", "");
+    if (!reportOut.empty())
+        Report::install(tool ? tool : "unknown", reportOut);
+
+    {
+        CliState& state = cliState();
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.traceOut = traceOut;
+        state.metricsOut = metricsOut;
+        if (!traceOut.empty())
+            TraceSession::instance().start();
     }
+    if (!traceOut.empty() || !metricsOut.empty() || !reportOut.empty())
+        installTelemetryExitHooks();
 }
 
 bool
@@ -113,6 +164,10 @@ flushCliTelemetry()
             log.error("cannot write metrics file %s", metricsOut.c_str());
             ok = false;
         }
+    }
+    if (!Report::flushCurrent()) {
+        log.error("cannot write report file");
+        ok = false;
     }
     return ok;
 }

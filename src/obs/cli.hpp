@@ -2,10 +2,12 @@
  * @file
  * Shared command-line surface for telemetry and execution: every tool and
  * bench binary gains `--log-level LVL`, `--log-json FILE`,
- * `--trace-out FILE`, `--metrics-out FILE`, and `--threads N` by routing
- * its parsed util::Args through installCliTelemetry(). Trace and metrics
- * files are flushed automatically at process exit so harness binaries
- * need no explicit teardown.
+ * `--trace-out FILE`, `--metrics-out FILE`, `--report-out FILE`, and
+ * `--threads N` by routing its parsed util::Args through
+ * installCliTelemetry(). Trace, metrics, and report files are flushed
+ * automatically at process exit — and from a std::terminate handler, so
+ * the files are valid JSON even when a tool aborts mid-run — so harness
+ * binaries need no explicit teardown.
  */
 
 #ifndef SMOOTHE_OBS_CLI_HPP
@@ -23,19 +25,36 @@ namespace smoothe::obs {
 /**
  * Reads the telemetry flags from parsed args and applies them:
  * configures log levels (--log-level beats SMOOTHE_LOG), attaches a JSONL
- * log sink, starts a trace session when --trace-out is given, resizes the
+ * log sink, starts a trace session when --trace-out is given, installs
+ * the process-wide obs::Report when --report-out is given (named after
+ * `tool`, which is usually the argv[0] basename), resizes the
  * process-wide thread pool from --threads (0 or absent = auto, i.e.
  * hardware concurrency) recording the result in the "threads" gauge, and
- * registers an atexit hook that writes the trace and metrics files.
+ * registers atexit + std::terminate hooks that write the trace, metrics,
+ * and report files even on a mid-run abort.
  * Safe to call once per process; later calls override the output paths.
  */
-void installCliTelemetry(const util::Args& args);
+void installCliTelemetry(const util::Args& args,
+                         const char* tool = nullptr);
 
 /**
- * Writes any configured --trace-out / --metrics-out files immediately
- * (also runs at exit). Returns false if a write failed.
+ * Writes any configured --trace-out / --metrics-out / --report-out files
+ * immediately (also runs at exit and on terminate). Returns false if a
+ * write failed.
  */
 bool flushCliTelemetry();
+
+/**
+ * Registers the atexit + std::terminate flush hooks once per process
+ * (installCliTelemetry does this when any output file is configured;
+ * callers that install a report through Report::install directly — e.g.
+ * the bench harness default BENCH_<tool>.json — call it themselves).
+ */
+void installTelemetryExitHooks();
+
+/** Strips the directory part of argv[0] ("./build/bench/bench_x" ->
+ *  "bench_x"); returns `fallback` for null/empty argv. */
+std::string toolNameFromArgv0(const char* argv0, const char* fallback);
 
 /**
  * Logs an error for every flag the program never queried (call after all

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -45,6 +46,38 @@ double
 Histogram::sum() const
 {
     return sum_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::percentile(double q) const
+{
+    const std::uint64_t total = count();
+    if (total == 0)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    // Target rank in (0, total]; q = 0 maps to the first observation.
+    const double target =
+        std::max(q * static_cast<double>(total), 1e-12);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double inBucket = static_cast<double>(bucketCount(i));
+        if (inBucket == 0.0)
+            continue;
+        if (cumulative + inBucket < target) {
+            cumulative += inBucket;
+            continue;
+        }
+        if (i >= bounds_.size()) {
+            // Overflow bucket: no finite upper edge to interpolate
+            // toward; clamp to the highest finite bound.
+            return bounds_.empty() ? 0.0 : bounds_.back();
+        }
+        const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+        const double hi = bounds_[i];
+        const double fraction = (target - cumulative) / inBucket;
+        return lo + fraction * (hi - lo);
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
 void
@@ -150,6 +183,26 @@ MetricsRegistry::reset()
         gauge->reset();
     for (auto& [_, histogram] : state.histograms)
         histogram->reset();
+}
+
+std::vector<double>
+exponentialBounds(double first, double last, std::size_t count)
+{
+    std::vector<double> bounds;
+    if (count < 2 || first <= 0.0 || last <= first) {
+        bounds.push_back(first);
+        return bounds;
+    }
+    bounds.reserve(count);
+    const double ratio =
+        std::pow(last / first, 1.0 / static_cast<double>(count - 1));
+    double bound = first;
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+        bounds.push_back(bound);
+        bound *= ratio;
+    }
+    bounds.push_back(last); // exact, immune to pow/multiply rounding
+    return bounds;
 }
 
 Counter&

@@ -81,6 +81,18 @@ class Histogram
     double sum() const;
     void reset();
 
+    /**
+     * Interpolated quantile estimate from the bucket counts.
+     *
+     * @param q quantile in [0, 1] (0.5 = median)
+     * @return the estimated observation value: linear interpolation
+     *   between the enclosing bucket's boundaries, with the first bucket
+     *   interpolated from 0 (observations are assumed non-negative, as
+     *   for durations). Quantiles landing in the +inf overflow bucket
+     *   clamp to the highest finite bound; an empty histogram returns 0.
+     */
+    double percentile(double q) const;
+
   private:
     std::vector<double> bounds_;
     std::vector<std::atomic<std::uint64_t>> counts_;
@@ -116,6 +128,15 @@ class MetricsRegistry
     struct Impl;
     Impl& impl() const;
 };
+
+/**
+ * Geometrically spaced histogram bucket boundaries: `count` ascending
+ * bounds from `first` to `last` inclusive (both > 0, count >= 2). The
+ * standard layout for duration histograms, where relative resolution
+ * matters across orders of magnitude.
+ */
+std::vector<double> exponentialBounds(double first, double last,
+                                      std::size_t count);
 
 /** Shorthand for MetricsRegistry::instance().counter(name) etc. */
 Counter& counter(const std::string& name);

@@ -2,8 +2,9 @@
  * @file
  * Umbrella header for the telemetry subsystem: structured logging
  * (obs/log.hpp), the metrics registry (obs/metrics.hpp), Chrome trace
- * spans (obs/trace.hpp), and the span-backed phase profiler
- * (obs/phase_profiler.hpp). See DESIGN.md's "Observability" section for
+ * spans (obs/trace.hpp), the span-backed phase profiler
+ * (obs/phase_profiler.hpp), and structured run reports (obs/report.hpp).
+ * See DESIGN.md's "Observability" and "Telemetry pipeline" sections for
  * the metric name catalogue and usage conventions.
  */
 
@@ -13,6 +14,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_profiler.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 #endif // SMOOTHE_OBS_OBS_HPP

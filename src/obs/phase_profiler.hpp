@@ -5,12 +5,16 @@
  * The wall-clock accumulation API (lossSeconds et al.) is unchanged from
  * the original util::PhaseProfiler, so the Figure 8 bench output is
  * byte-identical; additionally each scope now emits a "phase"-category
- * trace span when a TraceSession is recording.
+ * trace span when a TraceSession is recording, and observes its duration
+ * into the process report's per-phase histogram timer (interpolated
+ * p50/p90/p99 in the report's "phases" section) when a report is
+ * installed.
  */
 
 #ifndef SMOOTHE_OBS_PHASE_PROFILER_HPP
 #define SMOOTHE_OBS_PHASE_PROFILER_HPP
 
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
@@ -20,18 +24,26 @@ namespace smoothe::obs {
 class PhaseProfiler
 {
   public:
-    /** RAII scope: adds its lifetime to the slot and emits a span. */
+    /** RAII scope: adds its lifetime to the slot, emits a span, and
+     *  feeds the report's phase histogram when one is installed. */
     class Scope
     {
       public:
         Scope(const char* name, double& slot)
-            : slot_(slot), span_(name, "phase")
+            : name_(name), slot_(slot), span_(name, "phase")
         {}
-        ~Scope() { slot_ += timer_.seconds(); }
+        ~Scope()
+        {
+            const double seconds = timer_.seconds();
+            slot_ += seconds;
+            if (Report* report = Report::current())
+                report->phase(name_).observe(seconds);
+        }
         Scope(const Scope&) = delete;
         Scope& operator=(const Scope&) = delete;
 
       private:
+        const char* name_;
         double& slot_;
         Span span_;
         util::Timer timer_;

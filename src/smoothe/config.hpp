@@ -129,6 +129,18 @@ struct SmoothEConfig
     /** Record per-iteration relaxed loss f(p) and sampled loss f_b(s)
      *  (Figure 9). */
     bool recordLossCurves = false;
+
+    /**
+     * Convergence recording (anytime-curve telemetry): every run keeps a
+     * ring buffer of per-iteration (loss, soft cost, sampled cost, grad
+     * norm, wall time) points in SmoothEDiagnostics::convergence and —
+     * when a process report is installed — in the report's
+     * "smoothe.convergence" series. `convergenceStride` keeps every k-th
+     * iteration; `convergenceCapacity` bounds the ring (oldest points
+     * are overwritten once full; 0 disables recording).
+     */
+    std::size_t convergenceStride = 1;
+    std::size_t convergenceCapacity = 4096;
 };
 
 } // namespace smoothe::core

@@ -1,6 +1,7 @@
 #include "smoothe/smoothe.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -405,6 +406,8 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
     util::Timer timer;
     util::Deadline deadline(options.timeLimitSeconds);
     util::Rng rng(options.seed);
+    ConvergenceRecorder recorder(config_.convergenceStride,
+                                 config_.convergenceCapacity);
 
     Arena arena(config_.memoryBudgetBytes);
 
@@ -426,8 +429,18 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                 toString(config_.assumption), diagnostics_.threads);
 
     // Shared by the success and OOM paths: record peak arena usage and
-    // the sampler hit rate for whatever portion of the run completed.
+    // the sampler hit rate for whatever portion of the run completed,
+    // and hand the convergence trajectory to diagnostics + the report.
     auto finalizeDiagnostics = [&]() {
+        diagnostics_.convergence = recorder.ordered();
+        diagnostics_.convergenceDropped = recorder.dropped();
+        if (obs::Report* report = obs::Report::current()) {
+            // Distinguishes the extractions of a multi-run bench inside
+            // one accumulated report series.
+            static std::atomic<std::size_t> runCounter{0};
+            recorder.dumpTo(*report, "smoothe.convergence",
+                            runCounter.fetch_add(1));
+        }
         diagnostics_.peakMemoryBytes = arena.peak();
         obs::gauge("arena.peak_bytes")
             .set(static_cast<double>(arena.peak()));
@@ -644,6 +657,30 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                 if (handles.penalty >= 0)
                     point.penalty = val(handles.penalty).at(0, 0);
                 diagnostics_.lossCurve.push_back(point);
+            }
+
+            // Convergence telemetry: strided, so the gradient-norm
+            // reduction (the only extra arithmetic) is skipped entirely
+            // on unrecorded iterations.
+            if (recorder.wants(iter)) {
+                ConvergencePoint point;
+                point.iteration = iter;
+                point.loss = val(handles.loss).at(0, 0);
+                const Tensor& costs = val(handles.costs);
+                double softSum = 0.0;
+                for (std::size_t b = 0; b < costs.rows(); ++b)
+                    softSum += costs.at(b, 0);
+                point.softCost =
+                    softSum / static_cast<double>(costs.rows());
+                point.sampledCost = bestCost; // kInf until a valid sample
+                double gradSq = 0.0;
+                for (std::size_t i = 0; i < theta.grad.size(); ++i) {
+                    const double g = theta.grad.data()[i];
+                    gradSq += g * g;
+                }
+                point.gradNorm = std::sqrt(gradSq);
+                point.wallSeconds = timer.seconds();
+                recorder.record(point);
             }
 
             if (sinceImprovement > config_.patience) {

@@ -27,6 +27,7 @@
 #include "extraction/extractor.hpp"
 #include "obs/phase_profiler.hpp"
 #include "smoothe/config.hpp"
+#include "smoothe/convergence.hpp"
 #include "util/timer.hpp"
 
 namespace smoothe::core {
@@ -56,6 +57,10 @@ struct SmoothEDiagnostics
     bool outOfMemory = false;
     std::vector<LossCurvePoint> lossCurve;
     obs::PhaseProfiler profile;      ///< Figure 8 phase breakdown
+    /** Anytime trajectory (see SmoothEConfig::convergenceStride); also
+     *  dumped into the process report when one is installed. */
+    std::vector<ConvergencePoint> convergence;
+    std::size_t convergenceDropped = 0; ///< ring-evicted points
 };
 
 /** Relaxed probabilities from one phi evaluation (analysis API). */

@@ -8,8 +8,10 @@ Args::Args(int argc, char** argv)
 {
     for (int i = 1; i < argc; ++i) {
         std::string token = argv[i];
-        if (token.rfind("--", 0) != 0)
+        if (token.rfind("--", 0) != 0) {
+            positionals_.push_back(token);
             continue;
+        }
         token = token.substr(2);
         std::string name;
         const auto eq = token.find('=');

@@ -27,7 +27,8 @@ namespace smoothe::util {
 class Args
 {
   public:
-    /** Parses argv; unknown positional arguments are ignored. */
+    /** Parses argv; positional (non-flag) arguments are collected in
+     *  order and exposed through positionals(). */
     Args(int argc, char** argv);
 
     /** Returns true when the flag was passed (with or without a value). */
@@ -52,6 +53,12 @@ class Args
     /** All flag names that were passed, in command-line order. */
     const std::vector<std::string>& flags() const { return order_; }
 
+    /** Non-flag arguments in command-line order (e.g. input files). */
+    const std::vector<std::string>& positionals() const
+    {
+        return positionals_;
+    }
+
     /**
      * Flags that were passed but never queried through any accessor (nor
      * acknowledge()d), in command-line order. Call only after querying
@@ -62,6 +69,7 @@ class Args
   private:
     std::map<std::string, std::string> values_;
     std::vector<std::string> order_;
+    std::vector<std::string> positionals_;
     mutable std::set<std::string> queried_;
 };
 

@@ -62,3 +62,38 @@ TEST(BenchHelpers, CapGraphs)
     options.maxGraphs = 0;
     EXPECT_EQ(options.capGraphs(items).size(), 4u);
 }
+
+TEST(BenchHelpers, RepeatMeasureStatsAndWarmup)
+{
+    smoothe::obs::Report::uninstall(); // isolate from parse() installs
+
+    int calls = 0;
+    const auto stats =
+        bench::repeatMeasure("", /*warmup=*/2, /*repeats=*/3,
+                             [&calls] { ++calls; });
+    EXPECT_EQ(calls, 5); // 2 untimed warmups + 3 timed repeats
+    EXPECT_EQ(stats.repeats, 3u);
+    EXPECT_GE(stats.mean, 0.0);
+    EXPECT_LE(stats.min, stats.mean);
+    EXPECT_GE(stats.max, stats.mean);
+    EXPECT_GE(stats.stddev, 0.0);
+    EXPECT_FALSE(stats.cell().empty());
+}
+
+TEST(BenchHelpers, RepeatMeasureRecordsIntoReport)
+{
+    smoothe::obs::Report& report =
+        smoothe::obs::Report::install("bench_helpers_test",
+                                      "/tmp/smoothe_bench_helpers.json");
+    const auto stats =
+        bench::repeatMeasure("helper.kernel", 0, 4, [] {});
+    EXPECT_EQ(stats.repeats, 4u);
+    EXPECT_EQ(report.measurement("helper.kernel").count(), 4u);
+    EXPECT_DOUBLE_EQ(report.measurement("helper.kernel").mean(),
+                     stats.mean);
+    smoothe::obs::Report::uninstall();
+
+    // Without an installed report the helper still measures.
+    const auto bare = bench::repeatMeasure("helper.kernel", 0, 2, [] {});
+    EXPECT_EQ(bare.repeats, 2u);
+}

@@ -218,6 +218,68 @@ TEST(Metrics, HistogramBuckets)
     EXPECT_DOUBLE_EQ(hist.sum(), 106.5);
 }
 
+TEST(Metrics, PercentileInterpolatesWithinBuckets)
+{
+    so::Histogram& hist = so::histogram("test.pctl", {1.0, 10.0});
+    hist.reset();
+    for (int i = 0; i < 4; ++i)
+        hist.observe(0.5); // bucket 0: ranks 1-4
+    for (int i = 0; i < 4; ++i)
+        hist.observe(5.0); // bucket 1: ranks 5-8
+    for (int i = 0; i < 2; ++i)
+        hist.observe(100.0); // overflow: ranks 9-10
+
+    // Rank 5 lands 1/4 into bucket 1 → 1 + 0.25 * (10 - 1).
+    EXPECT_DOUBLE_EQ(hist.percentile(0.50), 3.25);
+    // Rank 2 is halfway through the first bucket, interpolated from 0.
+    EXPECT_DOUBLE_EQ(hist.percentile(0.20), 0.5);
+    // The overflow bucket has no finite edge: clamp to the last bound.
+    EXPECT_DOUBLE_EQ(hist.percentile(0.99), 10.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(1.0), 10.0);
+    // q <= 0 maps to the first observation's bucket, not a negative rank.
+    EXPECT_GE(hist.percentile(0.0), 0.0);
+    EXPECT_LE(hist.percentile(0.0), 1.0);
+}
+
+TEST(Metrics, PercentileEdgeCases)
+{
+    so::Histogram& empty = so::histogram("test.pctl_empty", {1.0});
+    empty.reset();
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+    // Everything in the first bucket interpolates from zero.
+    so::Histogram& low = so::histogram("test.pctl_low", {8.0});
+    low.reset();
+    for (int i = 0; i < 4; ++i)
+        low.observe(1.0);
+    EXPECT_DOUBLE_EQ(low.percentile(0.5), 4.0);
+
+    // Everything in the overflow bucket clamps to the last bound.
+    so::Histogram& high = so::histogram("test.pctl_high", {1.0, 2.0});
+    high.reset();
+    high.observe(50.0);
+    EXPECT_DOUBLE_EQ(high.percentile(0.5), 2.0);
+}
+
+TEST(Metrics, ExponentialBoundsSpanRange)
+{
+    const auto bounds = so::exponentialBounds(1e-6, 60.0, 36);
+    ASSERT_EQ(bounds.size(), 36u);
+    EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+    EXPECT_DOUBLE_EQ(bounds.back(), 60.0); // exact despite rounding
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_GT(bounds[i], bounds[i - 1]);
+    // Geometric spacing: constant ratio between neighbours.
+    const double r0 = bounds[1] / bounds[0];
+    const double r1 = bounds[20] / bounds[19];
+    EXPECT_NEAR(r0, r1, 1e-9);
+
+    // Degenerate requests collapse to a single bound.
+    EXPECT_EQ(so::exponentialBounds(1.0, 2.0, 1).size(), 1u);
+    EXPECT_EQ(so::exponentialBounds(0.0, 2.0, 8).size(), 1u);
+    EXPECT_EQ(so::exponentialBounds(2.0, 2.0, 8).size(), 1u);
+}
+
 TEST(Metrics, JsonShape)
 {
     so::counter("test.json_counter").reset();

@@ -223,6 +223,107 @@ TEST(SmoothE, RecordsLossCurves)
               0.5 * last.sampledLoss + 5.0);
 }
 
+TEST(Convergence, RecorderStridesAndWrapsRing)
+{
+    core::ConvergenceRecorder recorder(/*stride=*/2, /*capacity=*/4);
+    std::size_t recorded = 0;
+    for (std::size_t iter = 0; iter < 20; ++iter) {
+        if (!recorder.wants(iter))
+            continue;
+        core::ConvergencePoint point;
+        point.iteration = iter;
+        point.loss = static_cast<double>(iter);
+        recorder.record(point);
+        ++recorded;
+    }
+    EXPECT_EQ(recorded, 10u); // iterations 0, 2, ..., 18
+    EXPECT_EQ(recorder.size(), 4u);
+    EXPECT_EQ(recorder.dropped(), 6u);
+    const auto points = recorder.ordered();
+    ASSERT_EQ(points.size(), 4u);
+    // Ring keeps the newest points, returned oldest-first.
+    EXPECT_EQ(points.front().iteration, 12u);
+    EXPECT_EQ(points.back().iteration, 18u);
+    for (std::size_t i = 1; i < points.size(); ++i)
+        EXPECT_GT(points[i].iteration, points[i - 1].iteration);
+}
+
+TEST(Convergence, ZeroCapacityDisablesRecording)
+{
+    core::ConvergenceRecorder recorder(1, 0);
+    EXPECT_FALSE(recorder.wants(0));
+    recorder.record({});
+    EXPECT_TRUE(recorder.empty());
+}
+
+TEST(Convergence, ExtractionFillsDiagnostics)
+{
+    const eg::EGraph g = ds::paperExampleEGraph();
+    core::SmoothEConfig config = fastConfig();
+    config.maxIterations = 30;
+    config.patience = 1000;
+    core::SmoothEExtractor extractor(config);
+    const auto result = extractor.extract(g, {});
+    ASSERT_TRUE(result.ok());
+    const auto& curve = extractor.diagnostics().convergence;
+    ASSERT_EQ(curve.size(), 30u);
+    EXPECT_EQ(extractor.diagnostics().convergenceDropped, 0u);
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        EXPECT_EQ(curve[i].iteration, i);
+        EXPECT_TRUE(std::isfinite(curve[i].loss));
+        EXPECT_TRUE(std::isfinite(curve[i].softCost));
+        EXPECT_GE(curve[i].gradNorm, 0.0);
+        if (i > 0) {
+            EXPECT_GE(curve[i].wallSeconds, curve[i - 1].wallSeconds);
+        }
+    }
+    // Sampling happens every iteration here, so the best sampled cost
+    // is valid and matches the final extraction cost direction-wise.
+    EXPECT_GT(curve.back().sampledCost, 0.0);
+}
+
+TEST(Convergence, StrideThinsExtractionTrajectory)
+{
+    const eg::EGraph g = ds::paperExampleEGraph();
+    core::SmoothEConfig config = fastConfig();
+    config.maxIterations = 30;
+    config.patience = 1000;
+    config.convergenceStride = 10;
+    core::SmoothEExtractor extractor(config);
+    ASSERT_TRUE(extractor.extract(g, {}).ok());
+    const auto& curve = extractor.diagnostics().convergence;
+    ASSERT_EQ(curve.size(), 3u); // iterations 0, 10, 20
+    for (const auto& point : curve)
+        EXPECT_EQ(point.iteration % 10, 0u);
+}
+
+TEST(Convergence, CompiledAndEagerTrajectoriesMatch)
+{
+    const eg::EGraph g = ds::paperExampleEGraph();
+    core::SmoothEConfig config = fastConfig();
+    config.maxIterations = 20;
+    config.patience = 1000;
+
+    config.compiledReplay = false;
+    core::SmoothEExtractor eager(config);
+    ASSERT_TRUE(eager.extract(g, {}).ok());
+
+    config.compiledReplay = true;
+    core::SmoothEExtractor compiled(config);
+    ASSERT_TRUE(compiled.extract(g, {}).ok());
+
+    const auto& a = eager.diagnostics().convergence;
+    const auto& b = compiled.diagnostics().convergence;
+    ASSERT_EQ(a.size(), b.size());
+    // The compiled replay is bitwise-equivalent, so the recorded losses
+    // agree exactly (wall times differ, of course).
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].iteration, b[i].iteration);
+        EXPECT_DOUBLE_EQ(a[i].loss, b[i].loss);
+        EXPECT_DOUBLE_EQ(a[i].softCost, b[i].softCost);
+    }
+}
+
 TEST(SmoothE, AnytimeTraceMonotone)
 {
     ds::FamilyParams params = ds::roverParams();

@@ -25,7 +25,10 @@ main(int argc, char** argv)
 {
     using namespace smoothe;
     const util::Args args(argc, argv);
-    obs::installCliTelemetry(args);
+    obs::installCliTelemetry(
+        args, obs::toolNameFromArgv0(argc > 0 ? argv[0] : nullptr,
+                                     "egraph_gen")
+                  .c_str());
     const double scale = args.getDouble("scale", 0.1);
     const std::uint64_t seed =
         static_cast<std::uint64_t>(args.getInt("seed", 2025));

@@ -32,6 +32,7 @@
 #include "egraph/serialize.hpp"
 #include "extraction/validate.hpp"
 #include "obs/cli.hpp"
+#include "obs/report.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
@@ -71,7 +72,10 @@ main(int argc, char** argv)
 {
     using namespace smoothe;
     const util::Args args(argc, argv);
-    obs::installCliTelemetry(args);
+    obs::installCliTelemetry(
+        args, obs::toolNameFromArgv0(argc > 0 ? argv[0] : nullptr,
+                                     "smoothe_extract")
+                  .c_str());
 
     std::vector<std::string> inputs;
     const std::string inputList = args.getString("inputs", "");
@@ -163,6 +167,21 @@ main(int argc, char** argv)
             graphOptions.seed = graphSeed(options.seed, g);
             results[g] = extractors[g]->extract(graphs[g], graphOptions);
         });
+
+    if (obs::Report* report = obs::Report::current()) {
+        report->setRun("extractor", name);
+        report->setRun("graphs", graphs.size());
+        obs::Measurement& cost =
+            report->measurement("extract.cost").checked(false);
+        obs::Measurement& seconds = report->measurement("extract.seconds")
+                                        .unit("s")
+                                        .checked(false);
+        for (const auto& result : results) {
+            if (result.ok())
+                cost.add(result.cost);
+            seconds.add(result.seconds);
+        }
+    }
 
     bool allOk = true;
     bool allValid = true;

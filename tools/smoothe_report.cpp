@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Loads "smoothe.report" JSON files (emitted by the bench harness and
+ * tools via --report-out), prints per-file summaries and side-by-side
+ * comparison tables, and — with --check — gates a candidate report
+ * against a committed baseline, exiting nonzero when any checked
+ * measurement regresses beyond tolerance. CI's perf-gate job runs:
+ *
+ *   smoothe_report --check --baseline bench/baselines/micro_kernels.json \
+ *       --tolerance 35 BENCH_micro_kernels.json
+ *
+ * Exit codes: 0 clean, 1 regression detected, 2 usage / I/O /
+ * schema-validation error.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+using namespace smoothe;
+
+namespace {
+
+struct LoadedReport
+{
+    std::string path;
+    util::Json doc;
+};
+
+/** Loads and schema-validates one report file; exits 2 on failure. */
+LoadedReport
+loadReport(const std::string& path)
+{
+    const auto text = util::readFile(path);
+    if (!text) {
+        std::fprintf(stderr, "smoothe_report: cannot read %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::string error;
+    auto doc = util::Json::parse(*text, &error);
+    if (!doc) {
+        std::fprintf(stderr, "smoothe_report: %s: malformed JSON: %s\n",
+                     path.c_str(), error.c_str());
+        std::exit(2);
+    }
+    if (!obs::validateReportJson(*doc, &error)) {
+        std::fprintf(stderr, "smoothe_report: %s: invalid report: %s\n",
+                     path.c_str(), error.c_str());
+        std::exit(2);
+    }
+    return LoadedReport{path, std::move(*doc)};
+}
+
+std::string
+runString(const util::Json& doc, const char* key)
+{
+    const util::Json* run = doc.find("run");
+    if (run == nullptr)
+        return "?";
+    const util::Json* value = run->find(key);
+    if (value == nullptr)
+        return "?";
+    return value->isString() ? value->asString() : value->dump();
+}
+
+double
+numberOr(const util::Json& object, const char* key, double fallback)
+{
+    const util::Json* value = object.find(key);
+    return value != nullptr && value->isNumber() ? value->asNumber()
+                                                 : fallback;
+}
+
+/** Per-file header plus measurement and phase tables. */
+void
+printSummary(const LoadedReport& report)
+{
+    std::printf("%s\n  tool=%s git=%s build=%s threads=%s\n",
+                report.path.c_str(),
+                runString(report.doc, "tool").c_str(),
+                runString(report.doc, "gitSha").c_str(),
+                runString(report.doc, "buildType").c_str(),
+                runString(report.doc, "threads").c_str());
+
+    const util::Json* measurements = report.doc.find("measurements");
+    if (measurements != nullptr &&
+        !measurements->asObject().empty()) {
+        util::TablePrinter table(
+            {"measurement", "mean", "stddev", "n", "unit", "gate"});
+        for (const auto& [name, entry] : measurements->asObject()) {
+            const util::Json* checked = entry.find("checked");
+            const util::Json* unit = entry.find("unit");
+            const util::Json* better = entry.find("better");
+            const bool gated =
+                checked == nullptr || !checked->isBool() ||
+                checked->asBool();
+            std::string gate = gated ? "checked" : "-";
+            if (gated && better != nullptr && better->isString() &&
+                better->asString() == "higher")
+                gate += " (higher)";
+            table.addRow({name, util::formatFixed(numberOr(entry, "mean", 0.0), 6),
+                          util::formatFixed(numberOr(entry, "stddev", 0.0), 6),
+                          util::formatFixed(numberOr(entry, "count", 0.0), 0),
+                          unit != nullptr && unit->isString()
+                              ? unit->asString()
+                              : "",
+                          gate});
+        }
+        table.print(std::cout);
+    }
+
+    const util::Json* phases = report.doc.find("phases");
+    if (phases != nullptr && !phases->asObject().empty()) {
+        util::TablePrinter table(
+            {"phase", "count", "sum", "p50", "p90", "p99"});
+        for (const auto& [name, entry] : phases->asObject()) {
+            table.addRow({name,
+                          util::formatFixed(numberOr(entry, "count", 0.0), 0),
+                          util::formatSeconds(numberOr(entry, "sum", 0.0)) + "s",
+                          util::formatSeconds(numberOr(entry, "p50", 0.0)) + "s",
+                          util::formatSeconds(numberOr(entry, "p90", 0.0)) + "s",
+                          util::formatSeconds(numberOr(entry, "p99", 0.0)) + "s"});
+        }
+        table.print(std::cout);
+    }
+    std::printf("\n");
+}
+
+/** Side-by-side mean comparison across every loaded file. */
+void
+printComparison(const std::vector<LoadedReport>& reports)
+{
+    std::vector<std::string> header{"measurement"};
+    for (const auto& report : reports)
+        header.push_back(report.path);
+    if (reports.size() == 2)
+        header.push_back("change");
+    util::TablePrinter table(std::move(header));
+
+    // Union of measurement names, first-seen order.
+    std::vector<std::string> names;
+    for (const auto& report : reports) {
+        const util::Json* measurements =
+            report.doc.find("measurements");
+        if (measurements == nullptr)
+            continue;
+        for (const auto& [name, entry] : measurements->asObject()) {
+            (void)entry;
+            bool known = false;
+            for (const auto& existing : names)
+                known = known || existing == name;
+            if (!known)
+                names.push_back(name);
+        }
+    }
+
+    for (const auto& name : names) {
+        std::vector<std::string> row{name};
+        std::vector<double> means;
+        for (const auto& report : reports) {
+            const util::Json* measurements =
+                report.doc.find("measurements");
+            const util::Json* entry = measurements == nullptr
+                                          ? nullptr
+                                          : measurements->find(name);
+            if (entry == nullptr) {
+                row.push_back("-");
+                continue;
+            }
+            const double mean = numberOr(*entry, "mean", 0.0);
+            means.push_back(mean);
+            row.push_back(util::formatFixed(mean, 6));
+        }
+        if (reports.size() == 2) {
+            if (means.size() == 2 && means[0] != 0.0) {
+                const double pct =
+                    100.0 * (means[1] - means[0]) / means[0];
+                row.push_back((pct >= 0 ? "+" : "") +
+                              util::formatFixed(pct, 1) + "%");
+            } else {
+                row.push_back("-");
+            }
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+}
+
+/** Baseline-vs-candidate gate; returns the process exit code. */
+int
+runCheck(const LoadedReport& baseline, const LoadedReport& candidate,
+         double tolerance_pct)
+{
+    const auto findings =
+        obs::checkReports(baseline.doc, candidate.doc, tolerance_pct);
+    util::TablePrinter table({"measurement", "baseline", "candidate",
+                              "change", "tolerance", "verdict"});
+    std::size_t regressions = 0;
+    for (const auto& finding : findings) {
+        regressions += finding.regression ? 1 : 0;
+        table.addRow(
+            {finding.measurement, util::formatFixed(finding.baseline, 6),
+             util::formatFixed(finding.candidate, 6),
+             (finding.changePct >= 0 ? "+" : "") +
+                 util::formatFixed(finding.changePct, 1) + "%",
+             util::formatFixed(finding.tolerancePct, 1) + "%",
+             finding.regression ? "REGRESSION" : "ok"});
+    }
+    std::printf("check: %s (baseline) vs %s (candidate)\n",
+                baseline.path.c_str(), candidate.path.c_str());
+    if (findings.empty()) {
+        std::printf("no checked measurements in common; nothing gated\n");
+        return 0;
+    }
+    table.print(std::cout);
+    if (regressions > 0) {
+        std::printf("%zu regression(s) beyond tolerance\n", regressions);
+        return 1;
+    }
+    std::printf("all %zu checked measurement(s) within tolerance\n",
+                findings.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const util::Args args(argc, argv);
+    std::vector<std::string> files = args.positionals();
+
+    // `--check candidate.json` parses the file as the switch's value;
+    // fold any non-boolean value back into the file list.
+    bool check = false;
+    if (args.has("check")) {
+        const std::string checkValue = args.getString("check", "");
+        if (checkValue.empty() || checkValue == "true" ||
+            checkValue == "1") {
+            check = true;
+        } else if (checkValue == "false" || checkValue == "0") {
+            check = false;
+        } else {
+            check = true;
+            files.insert(files.begin(), checkValue);
+        }
+    }
+    const std::string baselinePath = args.getString("baseline", "");
+    const double tolerance = args.getDouble("tolerance", 5.0);
+    args.acknowledge("help");
+
+    const auto unknown = args.unrecognized();
+    if (!unknown.empty()) {
+        for (const auto& flag : unknown)
+            std::fprintf(stderr, "smoothe_report: unknown flag --%s\n",
+                         flag.c_str());
+        return 2;
+    }
+    if (args.getBool("help", false) ||
+        (files.empty() && baselinePath.empty())) {
+        std::printf(
+            "usage: smoothe_report REPORT.json [MORE.json ...]\n"
+            "       smoothe_report --check --baseline BASE.json "
+            "[--tolerance PCT] CANDIDATE.json\n"
+            "\n"
+            "Prints summaries and comparisons of smoothe.report JSON\n"
+            "files; --check exits 1 when the candidate regresses any\n"
+            "checked measurement beyond tolerance (default 5%%).\n");
+        return files.empty() && !args.getBool("help", false) ? 2 : 0;
+    }
+
+    if (check) {
+        if (baselinePath.empty() || files.size() != 1) {
+            std::fprintf(stderr,
+                         "smoothe_report: --check needs --baseline "
+                         "FILE and exactly one candidate report\n");
+            return 2;
+        }
+        const LoadedReport baseline = loadReport(baselinePath);
+        const LoadedReport candidate = loadReport(files.front());
+        return runCheck(baseline, candidate, tolerance);
+    }
+
+    std::vector<LoadedReport> reports;
+    for (const auto& path : files)
+        reports.push_back(loadReport(path));
+    if (!baselinePath.empty())
+        reports.insert(reports.begin(), loadReport(baselinePath));
+    for (const auto& report : reports)
+        printSummary(report);
+    if (reports.size() > 1)
+        printComparison(reports);
+    return 0;
+}
