@@ -1,11 +1,13 @@
 #include "autodiff/program.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "autodiff/exec.hpp"
 #include "check/contracts.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "tensor/kernels.hpp"
 
 namespace smoothe::ad {
 
@@ -22,6 +24,187 @@ bool
 isSource(Op op)
 {
     return op == Op::Leaf || op == Op::Constant || op == Op::Input;
+}
+
+/** Stable snake_case profiler name per op kind. */
+const char*
+kernelName(Op op)
+{
+    switch (op) {
+      case Op::Leaf:
+        return "leaf";
+      case Op::Constant:
+        return "constant";
+      case Op::Input:
+        return "input";
+      case Op::Add:
+        return "add";
+      case Op::Sub:
+        return "sub";
+      case Op::Mul:
+        return "mul";
+      case Op::Scale:
+        return "scale";
+      case Op::AddScalar:
+        return "add_scalar";
+      case Op::Relu:
+        return "relu";
+      case Op::MulConst:
+        return "mul_const";
+      case Op::AddConst:
+        return "add_const";
+      case Op::DotRowsConst:
+        return "dot_rows_const";
+      case Op::SumAll:
+        return "sum_all";
+      case Op::MeanRows:
+        return "mean_rows";
+      case Op::SegmentSoftmax:
+        return "segment_softmax";
+      case Op::SegmentProductComplement:
+        return "segment_product_complement";
+      case Op::SegmentMaxGather:
+        return "segment_max_gather";
+      case Op::GatherCols:
+        return "gather_cols";
+      case Op::MatMul:
+        return "matmul";
+      case Op::AddRowBroadcast:
+        return "add_row_broadcast";
+      case Op::ScatterMatrix:
+        return "scatter_matrix";
+      case Op::TrExpm:
+        return "tr_expm";
+      case Op::FusedAffine:
+        return "fused_affine";
+      case Op::FusedMulAddConst:
+        return "fused_mul_add_const";
+    }
+    return "unknown";
+}
+
+/** Static per-execution cost estimate for one op (both phases). */
+struct OpCost
+{
+    std::uint64_t fwdFlops = 0;
+    std::uint64_t fwdBytes = 0;
+    std::uint64_t bwdFlops = 0;
+    std::uint64_t bwdBytes = 0;
+};
+
+/**
+ * Roofline-style FLOP and bytes-moved estimates from the snapshotted
+ * shapes. Counts algorithmic work (one multiply + one add per MAC,
+ * tensor::cost::kExpFlops per expf) and compulsory traffic (operands
+ * read once, outputs written once, grad accumulators read-modify-
+ * written); caches and fused passes make these upper bounds on actual
+ * DRAM traffic, which is the convention roofline estimates want.
+ */
+OpCost
+estimateOpCost(const OpNode& node, std::uint64_t rows, std::uint64_t cols,
+               std::uint64_t aRows, std::uint64_t aCols,
+               std::uint64_t bRows, std::uint64_t bCols)
+{
+    namespace cost = tensor::cost;
+    const std::uint64_t F = cost::kElemBytes;
+    const std::uint64_t n = rows * cols;
+    const std::uint64_t a = aRows * aCols;
+    const std::uint64_t b = bRows * bCols;
+    OpCost c;
+    switch (node.op) {
+      case Op::Leaf:
+        // Forward is a no-op (value aliases the Param); backward does
+        // param.grad += g.
+        c = {0, 0, n, 3 * F * n};
+        break;
+      case Op::Constant:
+      case Op::Input:
+        break;
+      case Op::Add:
+      case Op::Sub:
+        c = {n, F * (a + b + n), 2 * n, 6 * F * n};
+        break;
+      case Op::Mul:
+        c = {n, 3 * F * n, 4 * n, 10 * F * n};
+        break;
+      case Op::Scale:
+        c = {n, 2 * F * n, 2 * n, 3 * F * n};
+        break;
+      case Op::AddScalar:
+        c = {n, 2 * F * n, n, 3 * F * n};
+        break;
+      case Op::Relu:
+        c = {n, 2 * F * n, 2 * n, 4 * F * n};
+        break;
+      case Op::MulConst:
+        c = {n, 3 * F * n, 2 * n, 4 * F * n};
+        break;
+      case Op::AddConst:
+        c = {n, 3 * F * n, n, 3 * F * n};
+        break;
+      case Op::DotRowsConst:
+        c = {2 * a, F * (a + aCols + n), 2 * a,
+             F * (2 * a + aCols + n)};
+        break;
+      case Op::SumAll:
+        c = {a, F * a, a, F * a};
+        break;
+      case Op::MeanRows:
+        c = {a + cols, F * (a + cols), a, F * a};
+        break;
+      case Op::SegmentSoftmax:
+        c = {(4 + cost::kExpFlops) * a, 6 * F * a, 6 * a, 6 * F * a};
+        break;
+      case Op::SegmentProductComplement:
+        c = {2 * a, 2 * F * a, 4 * a, 4 * F * a};
+        break;
+      case Op::SegmentMaxGather:
+        c = {a, 2 * F * a, n, 2 * F * a};
+        break;
+      case Op::GatherCols:
+        c = {0, 3 * F * n, n, 3 * F * n};
+        break;
+      case Op::MatMul: {
+        const std::uint64_t flops =
+            cost::matmulFlops(aRows, aCols, bCols);
+        c = {flops, F * (a + b + n), 2 * flops, 2 * F * (a + b + n)};
+        break;
+      }
+      case Op::AddRowBroadcast:
+        c = {n, F * (a + b + n), 2 * n, F * (4 * n + 2 * b)};
+        break;
+      case Op::ScatterMatrix: {
+        const std::uint64_t entries =
+            node.entries ? node.entries->size() : 0;
+        const std::uint64_t touched = entries * aRows;
+        c = {touched, F * (touched + n), touched, F * (touched + n)};
+        break;
+      }
+      case Op::TrExpm: {
+        const std::uint64_t d = node.dim;
+        const std::uint64_t flops =
+            rows * cost::kExpmMatmuls * cost::matmulFlops(d, d, d);
+        const std::uint64_t bytes = rows * 4 * F * d * d;
+        c = {flops, bytes, flops, bytes};
+        break;
+      }
+      case Op::FusedAffine:
+        c = {2 * n, 2 * F * n, 2 * n, 3 * F * n};
+        break;
+      case Op::FusedMulAddConst:
+        c = {2 * n, 4 * F * n, 2 * n, 4 * F * n};
+        break;
+    }
+    return c;
+}
+
+std::uint64_t
+nanosBetween(std::chrono::steady_clock::time_point from,
+             std::chrono::steady_clock::time_point to)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count());
 }
 
 } // namespace
@@ -312,6 +495,45 @@ Program::Program(Tape&& tape, VarId root, std::vector<VarId> outputs)
             gradBind_[ix].index);
     }
 
+    // --- profiler kernel slots ----------------------------------------
+    // One obs::Profiler::Kernel per scheduled op, resolved now so
+    // sampled replays update the accumulators lock-free. FLOPs/bytes
+    // are static estimates from the snapshotted shapes.
+    {
+        obs::Profiler& prof = obs::Profiler::instance();
+        auto shapeOf = [&](VarId v, std::uint64_t& r, std::uint64_t& c) {
+            r = v >= 0 ? rowsOf[static_cast<std::size_t>(v)] : 0;
+            c = v >= 0 ? colsOf[static_cast<std::size_t>(v)] : 0;
+        };
+        auto costOf = [&](VarId id) {
+            const auto ix = static_cast<std::size_t>(id);
+            std::uint64_t aRows = 0;
+            std::uint64_t aCols = 0;
+            std::uint64_t bRows = 0;
+            std::uint64_t bCols = 0;
+            shapeOf(ops_[ix].in0, aRows, aCols);
+            shapeOf(ops_[ix].in1, bRows, bCols);
+            return estimateOpCost(ops_[ix], rowsOf[ix], colsOf[ix],
+                                  aRows, aCols, bRows, bCols);
+        };
+        forwardKernels_.reserve(forwardSchedule_.size());
+        for (VarId id : forwardSchedule_) {
+            const OpCost cost = costOf(id);
+            const Op op = ops_[static_cast<std::size_t>(id)].op;
+            forwardKernels_.push_back(
+                {&prof.kernel(std::string("forward.") + kernelName(op)),
+                 cost.fwdFlops, cost.fwdBytes});
+        }
+        backwardKernels_.reserve(backwardSchedule_.size());
+        for (const BackStep& step : backwardSchedule_) {
+            const OpCost cost = costOf(step.id);
+            const Op op = ops_[static_cast<std::size_t>(step.id)].op;
+            backwardKernels_.push_back(
+                {&prof.kernel(std::string("backward.") + kernelName(op)),
+                 cost.bwdFlops, cost.bwdBytes});
+        }
+    }
+
     // --- footprint ----------------------------------------------------
     stats_.ops = forwardSchedule_.size();
     stats_.valueSlots = valueSlots_.size();
@@ -353,52 +575,158 @@ Program::valueMut(VarId id)
         static_cast<const Program*>(this)->valuePtr(id));
 }
 
+exec::ForwardArgs
+Program::makeForwardArgs(VarId id)
+{
+    const auto ix = static_cast<std::size_t>(id);
+    const OpNode& node = ops_[ix];
+    exec::ForwardArgs args{node};
+    args.a = node.in0 >= 0 ? valuePtr(node.in0) : nullptr;
+    args.b = node.in1 >= 0 ? valuePtr(node.in1) : nullptr;
+    args.value = valueMut(id);
+    args.saved = &saved_[ix];
+    args.savedIdx = &savedIdx_[ix];
+    args.backend = backend_;
+    return args;
+}
+
+exec::BackwardArgs
+Program::makeBackwardArgs(const BackStep& step)
+{
+    const auto ix = static_cast<std::size_t>(step.id);
+    const OpNode& node = ops_[ix];
+    exec::BackwardArgs args{node, gradSlots_[gradBind_[ix].index]};
+    args.a = node.in0 >= 0 ? valuePtr(node.in0) : nullptr;
+    args.b = node.in1 >= 0 ? valuePtr(node.in1) : nullptr;
+    args.value = valuePtr(step.id);
+    args.saved = &saved_[ix];
+    args.savedIdx = &savedIdx_[ix];
+    args.ga =
+        node.in0 >= 0 && needsGrad_[static_cast<std::size_t>(node.in0)]
+            ? &gradSlots_[gradBind_[static_cast<std::size_t>(node.in0)]
+                              .index]
+            : nullptr;
+    args.gb =
+        node.in1 >= 0 && needsGrad_[static_cast<std::size_t>(node.in1)]
+            ? &gradSlots_[gradBind_[static_cast<std::size_t>(node.in1)]
+                              .index]
+            : nullptr;
+    args.backend = backend_;
+    return args;
+}
+
 void
 Program::forward()
 {
+    if (obs::profilerEnabled() &&
+        obs::Profiler::instance().sampleReplay(
+            obs::Profiler::Phase::Forward)) {
+        forwardProfiled();
+        return;
+    }
+    forwardBare();
+}
+
+void
+Program::backward()
+{
+    if (obs::profilerEnabled() &&
+        obs::Profiler::instance().sampleReplay(
+            obs::Profiler::Phase::Backward)) {
+        backwardProfiled();
+        return;
+    }
+    backwardBare();
+}
+
+void
+Program::forwardBare()
+{
     for (VarId id : forwardSchedule_) {
-        const auto ix = static_cast<std::size_t>(id);
-        const OpNode& node = ops_[ix];
-        exec::ForwardArgs args{node};
-        args.a = node.in0 >= 0 ? valuePtr(node.in0) : nullptr;
-        args.b = node.in1 >= 0 ? valuePtr(node.in1) : nullptr;
-        args.value = valueMut(id);
-        args.saved = &saved_[ix];
-        args.savedIdx = &savedIdx_[ix];
-        args.backend = backend_;
+        const exec::ForwardArgs args = makeForwardArgs(id);
         exec::forwardOp(args);
     }
 }
 
 void
-Program::backward()
+Program::backwardBare()
 {
     obs::counter("tape.backward.calls").add(1);
     gradSlots_[rootGradSlot_].fill(1.0f);
     for (const BackStep& step : backwardSchedule_) {
         for (std::uint32_t slot : step.zeroSlots)
             gradSlots_[slot].fill(0.0f);
-        const auto ix = static_cast<std::size_t>(step.id);
-        const OpNode& node = ops_[ix];
-        exec::BackwardArgs args{node, gradSlots_[gradBind_[ix].index]};
-        args.a = node.in0 >= 0 ? valuePtr(node.in0) : nullptr;
-        args.b = node.in1 >= 0 ? valuePtr(node.in1) : nullptr;
-        args.value = valuePtr(step.id);
-        args.saved = &saved_[ix];
-        args.savedIdx = &savedIdx_[ix];
-        args.ga =
-            node.in0 >= 0 && needsGrad_[static_cast<std::size_t>(node.in0)]
-                ? &gradSlots_[gradBind_[static_cast<std::size_t>(node.in0)]
-                                  .index]
-                : nullptr;
-        args.gb =
-            node.in1 >= 0 && needsGrad_[static_cast<std::size_t>(node.in1)]
-                ? &gradSlots_[gradBind_[static_cast<std::size_t>(node.in1)]
-                                  .index]
-                : nullptr;
-        args.backend = backend_;
+        const exec::BackwardArgs args = makeBackwardArgs(step);
         exec::backwardOp(args);
     }
+}
+
+// The instrumented replays attribute boundary-to-boundary windows: one
+// clock read (and one perf-counter read when available) per op
+// boundary, so op k is charged t[k+1] - t[k] and kernel self times sum
+// to the recorded phase total by construction. The per-op read cost is
+// inside the window — acceptable for attribution, which is why the
+// disabled path skips all of this behind one relaxed atomic load.
+void
+Program::forwardProfiled()
+{
+    obs::Profiler& prof = obs::Profiler::instance();
+    obs::PerfCounters* counters = prof.threadCounters();
+    const auto start = std::chrono::steady_clock::now();
+    auto prev = start;
+    obs::PerfSample prevSample =
+        counters ? counters->read() : obs::PerfSample{};
+    for (std::size_t k = 0; k < forwardSchedule_.size(); ++k) {
+        const exec::ForwardArgs args =
+            makeForwardArgs(forwardSchedule_[k]);
+        exec::forwardOp(args);
+        const auto now = std::chrono::steady_clock::now();
+        const KernelSlot& slot = forwardKernels_[k];
+        slot.kernel->record(nanosBetween(prev, now), slot.flops,
+                            slot.bytes);
+        if (counters) {
+            const obs::PerfSample sample = counters->read();
+            slot.kernel->recordCounters(sample - prevSample);
+            prevSample = sample;
+        }
+        prev = now;
+    }
+    prof.recordPhaseTotal(obs::Profiler::Phase::Forward,
+                          nanosBetween(start, prev));
+}
+
+void
+Program::backwardProfiled()
+{
+    obs::counter("tape.backward.calls").add(1);
+    obs::Profiler& prof = obs::Profiler::instance();
+    obs::PerfCounters* counters = prof.threadCounters();
+    const auto start = std::chrono::steady_clock::now();
+    auto prev = start;
+    obs::PerfSample prevSample =
+        counters ? counters->read() : obs::PerfSample{};
+    gradSlots_[rootGradSlot_].fill(1.0f);
+    for (std::size_t k = 0; k < backwardSchedule_.size(); ++k) {
+        const BackStep& step = backwardSchedule_[k];
+        // Grad-slot zeroing belongs to the step that begins the slot's
+        // lifetime, so it stays inside the op's window.
+        for (std::uint32_t slot : step.zeroSlots)
+            gradSlots_[slot].fill(0.0f);
+        const exec::BackwardArgs args = makeBackwardArgs(step);
+        exec::backwardOp(args);
+        const auto now = std::chrono::steady_clock::now();
+        const KernelSlot& slot = backwardKernels_[k];
+        slot.kernel->record(nanosBetween(prev, now), slot.flops,
+                            slot.bytes);
+        if (counters) {
+            const obs::PerfSample sample = counters->read();
+            slot.kernel->recordCounters(sample - prevSample);
+            prevSample = sample;
+        }
+        prev = now;
+    }
+    prof.recordPhaseTotal(obs::Profiler::Phase::Backward,
+                          nanosBetween(start, prev));
 }
 
 void

@@ -32,7 +32,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "autodiff/exec.hpp"
 #include "autodiff/tape.hpp"
+#include "obs/profiler.hpp"
 
 namespace smoothe::ad {
 
@@ -89,6 +91,16 @@ class Program
      */
     void backward();
 
+    /**
+     * forward()/backward() minus the profiler dispatch: the bare replay
+     * loops, bit-identical to the public pair (profiled replays run the
+     * same kernels in the same order; only timestamps are added).
+     * bench_micro_kernels times bare vs dispatching replays to gate the
+     * disabled-profiler overhead below 1% in CI.
+     */
+    void forwardBare();
+    void backwardBare();
+
     /** Writes a 1 x 1 Input slot recorded via Tape::input. */
     void setInputScalar(const std::string& name, float v);
 
@@ -135,9 +147,27 @@ class Program
         /** Grad slots beginning a lifetime at this step: zeroed first. */
         std::vector<std::uint32_t> zeroSlots;
     };
+    /**
+     * Per-scheduled-op profiler attribution, resolved at compile time so
+     * sampled replays update kernel accumulators lock-free. FLOPs/bytes
+     * are static estimates from the snapshotted shapes.
+     */
+    struct KernelSlot
+    {
+        obs::Profiler::Kernel* kernel = nullptr;
+        std::uint64_t flops = 0;
+        std::uint64_t bytes = 0;
+    };
 
     const Tensor* valuePtr(VarId id) const;
     Tensor* valueMut(VarId id);
+    exec::ForwardArgs makeForwardArgs(VarId id);
+    exec::BackwardArgs makeBackwardArgs(const BackStep& step);
+    /** Boundary-sampled instrumented replays: one clock (and one perf)
+     *  read per op boundary, so per-kernel self times sum to the phase
+     *  total by construction. */
+    void forwardProfiled();
+    void backwardProfiled();
 
     Backend backend_ = Backend::Vectorized;
     Arena* arena_ = nullptr;
@@ -154,6 +184,8 @@ class Program
     std::vector<std::vector<std::uint32_t>> savedIdx_;
     std::vector<VarId> forwardSchedule_;
     std::vector<BackStep> backwardSchedule_;
+    std::vector<KernelSlot> forwardKernels_;  ///< parallel to schedule
+    std::vector<KernelSlot> backwardKernels_; ///< parallel to schedule
     std::uint32_t rootGradSlot_ = 0;
     std::unordered_map<std::string, VarId> inputs_;
     ProgramStats stats_;

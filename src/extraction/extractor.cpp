@@ -2,12 +2,22 @@
 
 #include "check/contracts.hpp"
 #include "extraction/validate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace smoothe::extract {
 
 ExtractionResult
 Extractor::extract(const eg::EGraph& graph, const ExtractOptions& options)
 {
+    // Uniform observability for every extractor — including ones with
+    // no internal spans of their own (ILP presets, random baselines):
+    // one span covering the whole run plus a per-extractor run counter.
+    // The name string must outlive the Span, which stores a raw
+    // pointer.
+    const std::string extractorName = name();
+    obs::Span span(extractorName.c_str(), "extraction");
+    obs::counter("extraction." + extractorName + ".runs").add(1);
     ExtractionResult result = extractImpl(graph, options);
     SMOOTHE_DCHECK_OK(checkResultInvariants(graph, result));
     return result;

@@ -3,6 +3,8 @@
 #include <deque>
 #include <limits>
 
+#include "obs/trace.hpp"
+
 namespace smoothe::extract {
 
 using eg::ClassId;
@@ -13,6 +15,7 @@ using eg::NodeId;
 Selection
 bottomUpWithCosts(const EGraph& graph, const std::vector<double>& node_costs)
 {
+    obs::Span span("random_sample.bottom_up", "extraction");
     const std::size_t m = graph.numClasses();
     constexpr double kInf = std::numeric_limits<double>::infinity();
     std::vector<double> classCost(m, kInf);
@@ -84,6 +87,7 @@ sampleRandomSelection(const EGraph& graph, util::Rng& rng)
 std::vector<Selection>
 sampleRandomSelections(const EGraph& graph, std::size_t count, util::Rng& rng)
 {
+    obs::Span span("random_sample.batch", "extraction");
     std::vector<Selection> out;
     out.reserve(count);
     for (std::size_t i = 0; i < count; ++i)

@@ -7,9 +7,11 @@
 #include "obs/check_telemetry.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace smoothe::obs {
@@ -21,6 +23,7 @@ struct CliState
     std::mutex mutex;
     std::string traceOut;
     std::string metricsOut;
+    std::string profileOut;
     bool hooksRegistered = false;
     std::terminate_handler previousTerminate = nullptr;
 };
@@ -123,15 +126,28 @@ installCliTelemetry(const util::Args& args, const char* tool)
     if (!reportOut.empty())
         Report::install(tool ? tool : "unknown", reportOut);
 
+    // --profile turns per-op attribution on; --profile-out implies it
+    // (no point writing an empty flamegraph) and names the collapsed-
+    // stack file written at exit/terminate.
+    const std::string profileOut = args.getString("profile-out", "");
+    const std::int64_t profileStride = args.getInt("profile-stride", 1);
+    if (args.getBool("profile", false) || !profileOut.empty()) {
+        Profiler::instance().enable(
+            profileStride > 0 ? static_cast<std::size_t>(profileStride)
+                              : 1);
+    }
+
     {
         CliState& state = cliState();
         std::lock_guard<std::mutex> lock(state.mutex);
         state.traceOut = traceOut;
         state.metricsOut = metricsOut;
+        state.profileOut = profileOut;
         if (!traceOut.empty())
             TraceSession::instance().start();
     }
-    if (!traceOut.empty() || !metricsOut.empty() || !reportOut.empty())
+    if (!traceOut.empty() || !metricsOut.empty() || !reportOut.empty() ||
+        !profileOut.empty())
         installTelemetryExitHooks();
 }
 
@@ -140,11 +156,13 @@ flushCliTelemetry()
 {
     std::string traceOut;
     std::string metricsOut;
+    std::string profileOut;
     {
         CliState& state = cliState();
         std::lock_guard<std::mutex> lock(state.mutex);
         traceOut = state.traceOut;
         metricsOut = state.metricsOut;
+        profileOut = state.profileOut;
     }
     bool ok = true;
     Logger log("obs");
@@ -163,6 +181,23 @@ flushCliTelemetry()
         } else {
             log.error("cannot write metrics file %s", metricsOut.c_str());
             ok = false;
+        }
+    }
+    // Profiler output is attached/written whenever data exists — the
+    // profiler may have been enabled programmatically (benches) rather
+    // than via --profile, and it may already be disabled again.
+    if (Profiler::instance().hasData()) {
+        if (Report* report = Report::current())
+            report->setProfile(Profiler::instance().toJson());
+        if (!profileOut.empty()) {
+            if (util::writeFile(profileOut,
+                                Profiler::instance().toFolded())) {
+                log.info("wrote profile to %s", profileOut.c_str());
+            } else {
+                log.error("cannot write profile file %s",
+                          profileOut.c_str());
+                ok = false;
+            }
         }
     }
     if (!Report::flushCurrent()) {

@@ -2,12 +2,14 @@
  * @file
  * Shared command-line surface for telemetry and execution: every tool and
  * bench binary gains `--log-level LVL`, `--log-json FILE`,
- * `--trace-out FILE`, `--metrics-out FILE`, `--report-out FILE`, and
- * `--threads N` by routing its parsed util::Args through
- * installCliTelemetry(). Trace, metrics, and report files are flushed
- * automatically at process exit — and from a std::terminate handler, so
- * the files are valid JSON even when a tool aborts mid-run — so harness
- * binaries need no explicit teardown.
+ * `--trace-out FILE`, `--metrics-out FILE`, `--report-out FILE`,
+ * `--threads N`, and the kernel-profiler trio `--profile`,
+ * `--profile-out FILE` (collapsed stacks for flamegraph tooling), and
+ * `--profile-stride N` by routing its parsed util::Args through
+ * installCliTelemetry(). Trace, metrics, report, and profile files are
+ * flushed automatically at process exit — and from a std::terminate
+ * handler, so the files are valid even when a tool aborts mid-run — so
+ * harness binaries need no explicit teardown.
  */
 
 #ifndef SMOOTHE_OBS_CLI_HPP

@@ -14,6 +14,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_profiler.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 

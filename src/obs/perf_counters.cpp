@@ -1,0 +1,122 @@
+#include "obs/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define SMOOTHE_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define SMOOTHE_HAVE_PERF_EVENT 0
+#endif
+
+namespace smoothe::obs {
+
+#if SMOOTHE_HAVE_PERF_EVENT
+
+namespace {
+
+/** The four events, in fds_ slot order (cycles is the anchor). */
+struct EventSpec
+{
+    std::uint64_t config;
+    const char* label;
+};
+
+constexpr EventSpec kEvents[4] = {
+    {PERF_COUNT_HW_CPU_CYCLES, "cycles"},
+    {PERF_COUNT_HW_INSTRUCTIONS, "instructions"},
+    {PERF_COUNT_HW_CACHE_MISSES, "cache-misses"},
+    {PERF_COUNT_HW_BRANCH_MISSES, "branch-misses"},
+};
+
+int
+openEvent(std::uint64_t config)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.config = config;
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    // pid=0, cpu=-1: this thread, any CPU.
+    return static_cast<int>(
+        syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+std::uint64_t
+readValue(int fd)
+{
+    std::uint64_t value = 0;
+    if (fd < 0)
+        return 0;
+    if (::read(fd, &value, sizeof(value)) != sizeof(value))
+        return 0;
+    return value;
+}
+
+} // namespace
+
+PerfCounters::PerfCounters()
+{
+    fds_[0] = openEvent(kEvents[0].config);
+    if (fds_[0] < 0) {
+        status_ = std::string("perf_event_open(cycles) failed: ") +
+                  std::strerror(errno) +
+                  " (container likely denies perf access)";
+        return;
+    }
+    std::string missing;
+    for (int i = 1; i < 4; ++i) {
+        fds_[i] = openEvent(kEvents[i].config);
+        if (fds_[i] < 0) {
+            if (!missing.empty())
+                missing += ", ";
+            missing += kEvents[i].label;
+        }
+    }
+    status_ = missing.empty() ? "ok" : "ok (no " + missing + ")";
+}
+
+PerfCounters::~PerfCounters()
+{
+    for (int fd : fds_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+PerfSample
+PerfCounters::read() const
+{
+    PerfSample sample;
+    if (!available())
+        return sample;
+    sample.cycles = readValue(fds_[0]);
+    sample.instructions = readValue(fds_[1]);
+    sample.cacheMisses = readValue(fds_[2]);
+    sample.branchMisses = readValue(fds_[3]);
+    return sample;
+}
+
+#else // !SMOOTHE_HAVE_PERF_EVENT
+
+PerfCounters::PerfCounters()
+    : status_("perf_event_open not supported on this platform")
+{}
+
+PerfCounters::~PerfCounters() = default;
+
+PerfSample
+PerfCounters::read() const
+{
+    return PerfSample{};
+}
+
+#endif // SMOOTHE_HAVE_PERF_EVENT
+
+} // namespace smoothe::obs

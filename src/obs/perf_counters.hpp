@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Hardware performance counters via perf_event_open: cycles,
+ * instructions, cache misses, and branch misses for the calling thread.
+ *
+ * Containers and hardened kernels routinely deny perf access
+ * (perf_event_paranoid, seccomp, missing PMU); construction therefore
+ * never fails — an unavailable counter group reports available() ==
+ * false with a human-readable status() reason, and read() returns
+ * zeros. Callers (the obs::Profiler) degrade to wall-time-only
+ * attribution and surface the reason in their output instead of
+ * failing the run.
+ *
+ * Counters are opened on — and measure — the constructing thread only.
+ * Kernels that fan work out to the pool (parallelChunks is
+ * caller-participates) are therefore attributed the caller's share of
+ * the work; wall times remain the authoritative cross-thread signal.
+ */
+
+#ifndef SMOOTHE_OBS_PERF_COUNTERS_HPP
+#define SMOOTHE_OBS_PERF_COUNTERS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace smoothe::obs {
+
+/** One reading of the counter group (monotonic totals since open). */
+struct PerfSample
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t branchMisses = 0;
+
+    PerfSample
+    operator-(const PerfSample& other) const
+    {
+        PerfSample d;
+        d.cycles = cycles - other.cycles;
+        d.instructions = instructions - other.instructions;
+        d.cacheMisses = cacheMisses - other.cacheMisses;
+        d.branchMisses = branchMisses - other.branchMisses;
+        return d;
+    }
+
+    PerfSample&
+    operator+=(const PerfSample& other)
+    {
+        cycles += other.cycles;
+        instructions += other.instructions;
+        cacheMisses += other.cacheMisses;
+        branchMisses += other.branchMisses;
+        return *this;
+    }
+};
+
+/**
+ * An open group of per-thread hardware counters. Cycles is the
+ * availability anchor: when it cannot be opened the whole group is
+ * unavailable. The other three degrade individually (a VM without a
+ * cache-miss event still reports cycles/instructions); absent counters
+ * read as 0 and are listed in status().
+ */
+class PerfCounters
+{
+  public:
+    /** Opens the counters on the calling thread; never throws. */
+    PerfCounters();
+    ~PerfCounters();
+
+    PerfCounters(const PerfCounters&) = delete;
+    PerfCounters& operator=(const PerfCounters&) = delete;
+
+    /** True when at least the cycle counter is live. */
+    bool available() const { return fds_[0] >= 0; }
+
+    /** "ok", "ok (no cache-misses)", or the open-failure reason. */
+    const std::string& status() const { return status_; }
+
+    /** Current totals; all-zero when unavailable. */
+    PerfSample read() const;
+
+  private:
+    int fds_[4] = {-1, -1, -1, -1};
+    std::string status_;
+};
+
+} // namespace smoothe::obs
+
+#endif // SMOOTHE_OBS_PERF_COUNTERS_HPP

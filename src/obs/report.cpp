@@ -264,6 +264,13 @@ Report::series(const std::string& name, std::vector<std::string> columns)
     return *slot;
 }
 
+void
+Report::setProfile(util::Json profile)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    profile_ = std::move(profile);
+}
+
 util::Json
 Report::toJson(bool include_metrics) const
 {
@@ -292,6 +299,9 @@ Report::toJson(bool include_metrics) const
     for (const auto& [name, entry] : series_)
         series.set(name, entry->toJson());
     doc.set("series", std::move(series));
+
+    if (!profile_.isNull())
+        doc.set("profile", profile_);
 
     if (include_metrics)
         doc.set("metrics", MetricsRegistry::instance().toJson());
@@ -446,7 +456,34 @@ validateReportJson(const util::Json& doc, std::string* error)
                                                  " has a malformed row");
         }
     }
+
+    // "profile" is new in schema v2 and stays optional: v1 documents
+    // never carry it, v2 documents only when the profiler ran.
+    if (const util::Json* profile = doc.find("profile")) {
+        if (!profile->isObject())
+            return failValidation(error, "\"profile\" is not an object");
+        const util::Json* kernels = profile->find("kernels");
+        if (!kernels || !kernels->isObject())
+            return failValidation(error,
+                                  "profile has no \"kernels\" object");
+        for (const auto& [name, entry] : kernels->asObject()) {
+            if (!entry.isObject() || !findNumber(entry, "calls") ||
+                !findNumber(entry, "selfSeconds"))
+                return failValidation(error,
+                                      "profile kernel " + name +
+                                          " has no calls/selfSeconds");
+        }
+    }
     return true;
+}
+
+int
+reportSchemaVersion(const util::Json& doc)
+{
+    const util::Json* version = doc.find("schemaVersion");
+    return version != nullptr && version->isNumber()
+               ? static_cast<int>(version->asNumber())
+               : 0;
 }
 
 std::vector<CheckFinding>

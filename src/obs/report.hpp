@@ -39,9 +39,15 @@ namespace smoothe::obs {
 
 class Report;
 
-/** Schema identifier and version stamped into every report document. */
+/**
+ * Schema identifier and version stamped into every report document.
+ * v1: run/measurements/phases/series/metrics sections.
+ * v2: adds an optional "profile" section (per-kernel attribution from
+ *     obs::Profiler). validateReportJson accepts v1 and v2 documents,
+ *     so committed v1 baselines keep gating v2 candidates.
+ */
 inline constexpr const char* kReportSchemaName = "smoothe.report";
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
 
 /**
  * One named scalar measurement: a series of repeated observations of the
@@ -165,6 +171,13 @@ class Report
                    std::vector<std::string> columns);
 
     /**
+     * Attaches the schema-v2 "profile" section (the obs::Profiler's
+     * toJson() output); the CLI flush hooks do this automatically when
+     * the profiler holds data. A null value removes the section.
+     */
+    void setProfile(util::Json profile);
+
+    /**
      * Serializes the report. When include_metrics is true (the default,
      * used by writeTo) the current metrics-registry snapshot is embedded
      * under "metrics"; tests compare against golden files without it.
@@ -205,7 +218,11 @@ class Report
     std::map<std::string, std::unique_ptr<Measurement>> measurements_;
     std::map<std::string, std::unique_ptr<PhaseTimer>> phases_;
     std::map<std::string, std::unique_ptr<Series>> series_;
+    util::Json profile_; ///< null until setProfile()
 };
+
+/** The numeric schemaVersion of a parsed report (0 when absent). */
+int reportSchemaVersion(const util::Json& doc);
 
 /**
  * Validates that a parsed JSON document structurally conforms to the

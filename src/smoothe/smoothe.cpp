@@ -507,6 +507,13 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
         // (config_.compiledReplay = false) and for the parity tests.
         ForwardHandles handles;
         std::optional<ad::Program> program;
+        // Only the compiled replay loop carries per-op kernel slots, so
+        // --eager --profile would silently produce an empty profile.
+        if (!config_.compiledReplay && obs::profilerEnabled()) {
+            logger.warn("per-op profiler is on but the eager tape "
+                        "rebuild is selected; kernel attribution needs "
+                        "the compiled replay (drop --eager)");
+        }
         if (config_.compiledReplay) {
             auto scope = diagnostics_.profile.loss();
             obs::Span recordSpan("program.record");

@@ -53,6 +53,35 @@ constexpr std::size_t kElemGrain = std::size_t{1} << 15;
 std::size_t rowGrain(std::size_t cols);
 
 /**
+ * Static cost-model weights the per-op profiler (obs::Profiler) uses to
+ * derive roofline-style FLOP and byte estimates from op shapes.
+ * Centralized next to the kernels they describe so estimate drift is
+ * caught where the implementation changes.
+ */
+namespace cost {
+
+/** Bytes per tensor element (everything here is float32). */
+inline constexpr std::uint64_t kElemBytes = sizeof(float);
+
+/** FLOPs charged per expf evaluation (softmax, product-complement). */
+inline constexpr std::uint64_t kExpFlops = 8;
+
+/**
+ * Dense d x d matmuls one scaling-and-squaring expm evaluation performs
+ * (Taylor-term products plus squarings; see autodiff/matexp.cpp).
+ */
+inline constexpr std::uint64_t kExpmMatmuls = 24;
+
+/** FLOPs of an m x k by k x n matmul (one multiply + one add per MAC). */
+inline constexpr std::uint64_t
+matmulFlops(std::uint64_t m, std::uint64_t k, std::uint64_t n)
+{
+    return 2 * m * k * n;
+}
+
+} // namespace cost
+
+/**
  * Runs body over chunks of [0, n): on the global pool when parallel,
  * inline as one chunk otherwise (the Scalar baseline, which models an
  * unoptimized single-stream interpreter).

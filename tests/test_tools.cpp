@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/report.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -93,6 +94,59 @@ TEST(Tools, ExtractorsAgreeOnToolInput)
         smoothe::util::Json::parse(*b)->find("cost")->asNumber();
     EXPECT_GE(smootheCost, ilpCost - 1e-6); // ILP is optimal here
     EXPECT_LE(smootheCost, ilpCost * 2.0 + 10.0);
+}
+
+// A mid-run abort (uncaught exception -> std::terminate) must still
+// leave every telemetry file valid: the terminate handler flushes the
+// report (including the schema-v2 profile section) and the collapsed-
+// stack --profile-out file before the process dies.
+TEST(Tools, TerminateFlushKeepsTelemetryFilesValid)
+{
+    const std::string extract = binaryPath("smoothe_extract");
+    if (extract.empty())
+        GTEST_SKIP() << "tool binaries not found relative to cwd";
+
+    const std::string report = "/tmp/smoothe_tools_terminate_report.json";
+    const std::string folded = "/tmp/smoothe_tools_terminate.folded";
+    std::remove(report.c_str());
+    std::remove(folded.c_str());
+    const int code = runCommand(
+        extract + " --input /tmp/maxsat_0.json --extractor smoothe "
+                  "--seeds 4 --max-iters 10 --time-limit 10 "
+                  "--selftest-terminate --profile --report-out " +
+        report + " --profile-out " + folded);
+    EXPECT_NE(code, 0); // std::terminate -> abort
+
+    auto reportText = smoothe::util::readFile(report);
+    ASSERT_TRUE(reportText.has_value());
+    auto doc = smoothe::util::Json::parse(*reportText);
+    ASSERT_TRUE(doc.has_value());
+    std::string error;
+    EXPECT_TRUE(smoothe::obs::validateReportJson(*doc, &error)) << error;
+    EXPECT_EQ(smoothe::obs::reportSchemaVersion(*doc), 2);
+    const smoothe::util::Json* profile = doc->find("profile");
+    ASSERT_NE(profile, nullptr);
+    EXPECT_GT(profile->find("kernels")->asObject().size(), 0u);
+
+    // Folded lines are "smoothe;<phase>;<kernel> <micros>".
+    auto foldedText = smoothe::util::readFile(folded);
+    ASSERT_TRUE(foldedText.has_value());
+    ASSERT_FALSE(foldedText->empty());
+    std::size_t lines = 0;
+    std::size_t start = 0;
+    while (start < foldedText->size()) {
+        std::size_t end = foldedText->find('\n', start);
+        if (end == std::string::npos)
+            end = foldedText->size();
+        const std::string line = foldedText->substr(start, end - start);
+        if (!line.empty()) {
+            ++lines;
+            EXPECT_EQ(line.rfind("smoothe;", 0), 0u) << line;
+            EXPECT_NE(line.find(' '), std::string::npos) << line;
+        }
+        start = end + 1;
+    }
+    EXPECT_GT(lines, 0u);
 }
 
 TEST(Tools, ExtractRejectsBadInput)

@@ -9,6 +9,8 @@
  *                   [--output selection.json] [--threads N]
  *                   [--validate] [--log-level debug] [--log-json log.jsonl]
  *                   [--trace-out trace.json] [--metrics-out metrics.json]
+ *                   [--profile] [--profile-out prof.folded]
+ *                   [--profile-stride N]
  *
  * A suite of e-graphs can be given as `--inputs a.json,b.json,...`; the
  * graphs are then extracted concurrently on the worker pool (one task per
@@ -25,6 +27,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -138,6 +141,12 @@ main(int argc, char** argv)
 
     const std::string output = args.getString("output", "");
     const bool validateResults = args.getBool("validate", false);
+    // Hidden test hook, checked below once extraction has produced
+    // telemetry: throw an uncaught exception so tests can assert that
+    // the std::terminate flush hook leaves --trace-out/--report-out/
+    // --profile-out files valid on a mid-run abort (tests/test_tools).
+    const bool selftestTerminate =
+        args.getBool("selftest-terminate", false);
     if (obs::reportUnknownFlags(args, "smoothe_extract") > 0)
         return 2;
     if (!output.empty() && graphs.size() > 1) {
@@ -167,6 +176,10 @@ main(int argc, char** argv)
             graphOptions.seed = graphSeed(options.seed, g);
             results[g] = extractors[g]->extract(graphs[g], graphOptions);
         });
+
+    if (selftestTerminate)
+        throw std::runtime_error(
+            "smoothe_extract: --selftest-terminate requested abort");
 
     if (obs::Report* report = obs::Report::current()) {
         report->setRun("extractor", name);

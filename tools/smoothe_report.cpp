@@ -9,10 +9,18 @@
  *   smoothe_report --check --baseline bench/baselines/micro_kernels.json \
  *       --tolerance 35 BENCH_micro_kernels.json
  *
+ * The `profile` subcommand renders the schema-v2 "profile" section
+ * (per-kernel attribution from obs::Profiler) as a top-N table with
+ * roofline estimates:
+ *
+ *   smoothe_report profile BENCH_micro_kernels.json [--top N]
+ *
  * Exit codes: 0 clean, 1 regression detected, 2 usage / I/O /
  * schema-validation error.
  */
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -133,10 +141,30 @@ printSummary(const LoadedReport& report)
     std::printf("\n");
 }
 
+/**
+ * Prints a note when two reports carry different schema versions (e.g.
+ * a committed v1 baseline gating a v2 candidate). Versions are already
+ * individually validated by loadReport; the note only explains why
+ * sections like "profile" may appear on one side only.
+ */
+void
+noteVersionMismatch(const LoadedReport& first, const LoadedReport& second)
+{
+    const int a = obs::reportSchemaVersion(first.doc);
+    const int b = obs::reportSchemaVersion(second.doc);
+    if (a != b) {
+        std::printf("note: schema versions differ (%s is v%d, %s is "
+                    "v%d); comparing the sections both share\n",
+                    first.path.c_str(), a, second.path.c_str(), b);
+    }
+}
+
 /** Side-by-side mean comparison across every loaded file. */
 void
 printComparison(const std::vector<LoadedReport>& reports)
 {
+    for (std::size_t i = 1; i < reports.size(); ++i)
+        noteVersionMismatch(reports.front(), reports[i]);
     std::vector<std::string> header{"measurement"};
     for (const auto& report : reports)
         header.push_back(report.path);
@@ -198,6 +226,7 @@ int
 runCheck(const LoadedReport& baseline, const LoadedReport& candidate,
          double tolerance_pct)
 {
+    noteVersionMismatch(baseline, candidate);
     const auto findings =
         obs::checkReports(baseline.doc, candidate.doc, tolerance_pct);
     util::TablePrinter table({"measurement", "baseline", "candidate",
@@ -229,6 +258,122 @@ runCheck(const LoadedReport& baseline, const LoadedReport& candidate,
     return 0;
 }
 
+/**
+ * `smoothe_report profile REPORT.json`: renders the schema-v2 profile
+ * section as a table of the top-N kernels by self time, with derived
+ * GFLOP/s, arithmetic intensity (FLOP/byte), and IPC when hardware
+ * counters were sampled. Returns the process exit code.
+ */
+int
+runProfile(const LoadedReport& report, std::size_t top)
+{
+    const util::Json* profile = report.doc.find("profile");
+    const util::Json* kernels =
+        profile == nullptr ? nullptr : profile->find("kernels");
+    if (kernels == nullptr || kernels->asObject().empty()) {
+        std::fprintf(stderr,
+                     "smoothe_report: %s has no profile section; rerun "
+                     "the tool with --profile or --profile-out (schema "
+                     "v%d file, profile needs v2)\n",
+                     report.path.c_str(),
+                     obs::reportSchemaVersion(report.doc));
+        return 2;
+    }
+
+    struct Row
+    {
+        std::string name;
+        double calls = 0.0;
+        double self = 0.0;
+        double flops = 0.0;
+        double bytes = 0.0;
+        double samples = 0.0;
+        double cycles = 0.0;
+        double instructions = 0.0;
+    };
+    std::vector<Row> rows;
+    double selfSum = 0.0;
+    for (const auto& [name, entry] : kernels->asObject()) {
+        Row row;
+        row.name = name;
+        row.calls = numberOr(entry, "calls", 0.0);
+        row.self = numberOr(entry, "selfSeconds", 0.0);
+        row.flops = numberOr(entry, "flops", 0.0);
+        row.bytes = numberOr(entry, "bytes", 0.0);
+        row.samples = numberOr(entry, "counterSamples", 0.0);
+        row.cycles = numberOr(entry, "cycles", 0.0);
+        row.instructions = numberOr(entry, "instructions", 0.0);
+        selfSum += row.self;
+        rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.self > b.self; });
+
+    double phaseTotal = 0.0;
+    std::string phaseBreakdown;
+    if (const util::Json* totals = profile->find("totals")) {
+        for (const auto& [phase, entry] : totals->asObject()) {
+            const double seconds = numberOr(entry, "seconds", 0.0);
+            phaseTotal += seconds;
+            if (!phaseBreakdown.empty())
+                phaseBreakdown += " + ";
+            phaseBreakdown += phase;
+            phaseBreakdown += ' ';
+            phaseBreakdown += util::formatSeconds(seconds);
+            phaseBreakdown += 's';
+        }
+    }
+
+    std::string perf = "?";
+    if (const util::Json* perfInfo = profile->find("perf")) {
+        const util::Json* status = perfInfo->find("status");
+        if (status != nullptr && status->isString())
+            perf = status->asString();
+    }
+    std::printf("%s\n  tool=%s stride=%.0f perf: %s\n",
+                report.path.c_str(),
+                runString(report.doc, "tool").c_str(),
+                numberOr(*profile, "stride", 1.0), perf.c_str());
+
+    // Share is against the instrumented phase total when present; the
+    // boundary-sampled replays make kernel self times sum to it, so
+    // shares add up to ~100% and the coverage line below is a sanity
+    // check, not an estimate.
+    const double denom = phaseTotal > 0.0 ? phaseTotal : selfSum;
+    util::TablePrinter table({"kernel", "calls", "self", "share",
+                              "GFLOP/s", "FLOP/B", "IPC"});
+    const std::size_t shown = std::min(top, rows.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+        const Row& row = rows[i];
+        const double gflops =
+            row.self > 0.0 ? row.flops / row.self / 1e9 : 0.0;
+        const double intensity =
+            row.bytes > 0.0 ? row.flops / row.bytes : 0.0;
+        table.addRow(
+            {row.name, util::formatFixed(row.calls, 0),
+             util::formatSeconds(row.self) + "s",
+             util::formatFixed(
+                 denom > 0.0 ? 100.0 * row.self / denom : 0.0, 1) +
+                 "%",
+             util::formatFixed(gflops, 2),
+             util::formatFixed(intensity, 2),
+             row.samples > 0.0 && row.cycles > 0.0
+                 ? util::formatFixed(row.instructions / row.cycles, 2)
+                 : "-"});
+    }
+    table.print(std::cout);
+    if (shown < rows.size())
+        std::printf("(%zu more kernels below the top %zu)\n",
+                    rows.size() - shown, shown);
+    if (phaseTotal > 0.0) {
+        std::printf("kernel self times cover %.1f%% of instrumented "
+                    "phase time (%s)\n",
+                    100.0 * selfSum / phaseTotal,
+                    phaseBreakdown.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -236,6 +381,14 @@ main(int argc, char** argv)
 {
     const util::Args args(argc, argv);
     std::vector<std::string> files = args.positionals();
+
+    // Subcommand: `smoothe_report profile REPORT.json [--top N]`.
+    bool profileMode = false;
+    if (!files.empty() && files.front() == "profile") {
+        profileMode = true;
+        files.erase(files.begin());
+    }
+    const std::int64_t top = args.getInt("top", 20);
 
     // `--check candidate.json` parses the file as the switch's value;
     // fold any non-boolean value back into the file list.
@@ -269,11 +422,26 @@ main(int argc, char** argv)
             "usage: smoothe_report REPORT.json [MORE.json ...]\n"
             "       smoothe_report --check --baseline BASE.json "
             "[--tolerance PCT] CANDIDATE.json\n"
+            "       smoothe_report profile REPORT.json [--top N]\n"
             "\n"
             "Prints summaries and comparisons of smoothe.report JSON\n"
             "files; --check exits 1 when the candidate regresses any\n"
-            "checked measurement beyond tolerance (default 5%%).\n");
+            "checked measurement beyond tolerance (default 5%%);\n"
+            "`profile` prints the top-N kernel attribution table from\n"
+            "a schema-v2 report's profile section.\n");
         return files.empty() && !args.getBool("help", false) ? 2 : 0;
+    }
+
+    if (profileMode) {
+        if (files.size() != 1) {
+            std::fprintf(stderr,
+                         "smoothe_report: profile needs exactly one "
+                         "report file\n");
+            return 2;
+        }
+        const LoadedReport report = loadReport(files.front());
+        return runProfile(report,
+                          top > 0 ? static_cast<std::size_t>(top) : 20);
     }
 
     if (check) {
