@@ -1,6 +1,7 @@
 #include "autodiff/exec.hpp"
 
 #include <limits>
+#include <vector>
 
 #include "autodiff/matexp.hpp"
 #include "check/contracts.hpp"
@@ -55,6 +56,9 @@ forwardOp(const ForwardArgs& args)
       case Op::FusedMulAddConst:
         tensor::mulAddConstInto(*args.a, node.constTensor,
                                 node.constTensor2, *args.value, backend);
+        break;
+      case Op::FusedElemChain:
+        tensor::elemChainInto(*args.a, node.chain, *args.value, backend);
         break;
       case Op::DotRowsConst:
         tensor::dotRowsInto(*args.a, node.constVec, *args.value, backend);
@@ -235,6 +239,45 @@ backwardOp(const BackwardArgs& args)
         Tensor& ga = *gaPtr;
         for (std::size_t i = 0; i < g.size(); ++i)
             ga.data()[i] += g.data()[i];
+        break;
+      }
+      case Op::FusedElemChain: {
+        // Reverse-stage Jacobian product. Each unfused stage's backward
+        // is one rounded multiply (Scale/MulConst) or an exact copy
+        // (AddScalar/AddConst) into a freshly zeroed grad slot, so
+        // threading one value through the reversed stages reproduces
+        // the unfused accumulation bit for bit.
+        if (!gaPtr)
+            break;
+        Tensor& ga = *gaPtr;
+        const auto& stages = node.chain;
+        std::vector<const float*> stageRows(stages.size(), nullptr);
+        for (std::size_t r = 0; r < g.rows(); ++r) {
+            for (std::size_t s = 0; s < stages.size(); ++s) {
+                const Tensor& c = stages[s].c;
+                stageRows[s] =
+                    c.empty() ? nullptr : c.row(c.rows() == 1 ? 0 : r);
+            }
+            const float* gr = g.row(r);
+            float* gar = ga.row(r);
+            for (std::size_t i = 0; i < g.cols(); ++i) {
+                float v = gr[i];
+                for (std::size_t s = stages.size(); s > 0; --s) {
+                    switch (stages[s - 1].kind) {
+                      case tensor::ElemStageKind::Scale:
+                        v = stages[s - 1].alpha * v;
+                        break;
+                      case tensor::ElemStageKind::MulConst:
+                        v = v * stageRows[s - 1][i];
+                        break;
+                      case tensor::ElemStageKind::AddScalar:
+                      case tensor::ElemStageKind::AddConst:
+                        break; // identity Jacobian
+                    }
+                }
+                gar[i] += v;
+            }
+        }
         break;
       }
       case Op::DotRowsConst: {

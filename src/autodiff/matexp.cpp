@@ -4,14 +4,23 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/kernels_avx2.hpp"
+#include "tensor/simd.hpp"
+
 namespace smoothe::ad {
 
 namespace {
 
-/** c = a * b for row-major d x d doubles. */
+/** c = a * b for row-major d x d doubles. The AVX2 variant keeps the
+ *  ikj order and the zero-skip branch, so both paths are bitwise
+ *  identical (doubles; mul and add separately rounded in each). */
 void
 matmulSquare(const double* a, const double* b, double* c, std::size_t d)
 {
+    if (tensor::simd::avx2Active()) {
+        tensor::avx2::matmulSquare(a, b, c, d);
+        return;
+    }
     std::fill(c, c + d * d, 0.0);
     for (std::size_t i = 0; i < d; ++i) {
         for (std::size_t k = 0; k < d; ++k) {

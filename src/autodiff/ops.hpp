@@ -80,6 +80,7 @@ enum class Op : std::uint8_t {
     TrExpm,
     FusedAffine,      ///< out = (alpha * a) + beta
     FusedMulAddConst, ///< out = (a * constTensor) + constTensor2
+    FusedElemChain,   ///< out = chain of constant-Jacobian stages
 };
 
 /**
@@ -101,6 +102,8 @@ struct OpNode
     std::vector<float> constVec;
     Tensor constTensor;
     Tensor constTensor2; ///< FusedMulAddConst addend
+    /** FusedElemChain stages, applied in order (empty otherwise). */
+    std::vector<tensor::ElemStage> chain;
     std::size_t dim = 0;
     bool meanOverRows = false;
     std::string inputName; ///< Op::Input slot name ("" otherwise)

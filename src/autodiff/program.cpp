@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/kernels.hpp"
+#include "tensor/simd.hpp"
 
 namespace smoothe::ad {
 
@@ -79,8 +80,41 @@ kernelName(Op op)
         return "fused_affine";
       case Op::FusedMulAddConst:
         return "fused_mul_add_const";
+      case Op::FusedElemChain:
+        return "fused_elem_chain";
     }
     return "unknown";
+}
+
+/**
+ * Ops whose forward kernel has an explicit AVX2 variant. Their profiler
+ * slots get the simd::kernelSuffix() ("@avx2" when dispatched) so
+ * `smoothe_report profile` shows scalar-vs-AVX2 rows side by side when
+ * benches compile one Program per SIMD level.
+ */
+bool
+hasSimdVariant(Op op)
+{
+    switch (op) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+      case Op::Scale:
+      case Op::AddScalar:
+      case Op::Relu:
+      case Op::MulConst:
+      case Op::AddConst:
+      case Op::FusedAffine:
+      case Op::FusedMulAddConst:
+      case Op::FusedElemChain:
+      case Op::GatherCols:
+      case Op::SegmentSoftmax:
+      case Op::SegmentProductComplement:
+      case Op::TrExpm:
+        return true;
+      default:
+        return false;
+    }
 }
 
 /** Static per-execution cost estimate for one op (both phases). */
@@ -194,6 +228,13 @@ estimateOpCost(const OpNode& node, std::uint64_t rows, std::uint64_t cols,
       case Op::FusedMulAddConst:
         c = {2 * n, 4 * F * n, 2 * n, 4 * F * n};
         break;
+      case Op::FusedElemChain: {
+        // One flop per stage per element; const-tensor stages add one
+        // operand read each (k covers both, as an upper bound).
+        const std::uint64_t k = node.chain.size();
+        c = {k * n, F * (2 + k) * n, k * n, F * (2 + k) * n};
+        break;
+      }
     }
     return c;
 }
@@ -313,38 +354,118 @@ Program::Program(Tape&& tape, VarId root, std::vector<VarId> outputs)
     };
     std::vector<std::uint32_t> uses = countUses();
 
-    // --- fusion: collapse back-to-back elementwise pairs --------------
-    // Only adjacent (i, i+1) single-consumer pairs fuse, which keeps the
-    // descending-id backward accumulation order — and therefore the
-    // float bits — identical to the unfused eager tape.
-    for (std::size_t j = 1; j < n; ++j) {
-        OpNode& second = ops_[j];
+    // --- fusion: collapse single-consumer elementwise chains ----------
+    // A run v1 -> v2 -> ... -> vk of constant-Jacobian unary ops
+    // (Scale, AddScalar, MulConst, AddConst) fuses into one node on vk
+    // when every intermediate has exactly one consumer and is not a
+    // requested output. Fusing moves the contribution to the chain
+    // input's grad from v1's backward step to vk's, so the fuse is
+    // only taken when no other consumer of that input lies strictly
+    // between v1 and vk in id order — that keeps the descending-id
+    // accumulation order, and therefore the float bits, identical to
+    // the unfused eager tape. Two-op runs lower to the specialized
+    // FusedAffine / FusedMulAddConst kernels; longer or mixed runs
+    // become a FusedElemChain stage program.
+    auto isChainOp = [&](std::size_t ix) {
+        if (skipped_[ix])
+            return false;
+        const Op op = ops_[ix].op;
+        return op == Op::Scale || op == Op::AddScalar ||
+               op == Op::MulConst || op == Op::AddConst;
+    };
+    std::vector<VarId> onlyUser(n, -1);
+    std::vector<char> viaIn0(n, 0);
+    for (std::size_t j = 0; j < n; ++j) {
         if (skipped_[j])
             continue;
-        const VarId i = second.in0;
-        if (i < 0 || static_cast<std::size_t>(i) + 1 != j)
-            continue;
-        OpNode& first = ops_[static_cast<std::size_t>(i)];
-        if (skipped_[static_cast<std::size_t>(i)] ||
-            uses[static_cast<std::size_t>(i)] != 1 ||
-            isOutput[static_cast<std::size_t>(i)])
-            continue;
-        if (second.op == Op::AddScalar && first.op == Op::Scale) {
-            second.op = Op::FusedAffine;
-            second.beta = second.alpha;
-            second.alpha = first.alpha;
-            second.in0 = first.in0;
-            skipped_[static_cast<std::size_t>(i)] = 1;
-            ++stats_.fusedOps;
-        } else if (second.op == Op::AddConst &&
-                   first.op == Op::MulConst) {
-            second.op = Op::FusedMulAddConst;
-            second.constTensor2 = std::move(second.constTensor);
-            second.constTensor = std::move(first.constTensor);
-            second.in0 = first.in0;
-            skipped_[static_cast<std::size_t>(i)] = 1;
-            ++stats_.fusedOps;
+        if (ops_[j].in0 >= 0) {
+            onlyUser[static_cast<std::size_t>(ops_[j].in0)] =
+                static_cast<VarId>(j);
+            viaIn0[static_cast<std::size_t>(ops_[j].in0)] = 1;
         }
+        if (ops_[j].in1 >= 0) {
+            onlyUser[static_cast<std::size_t>(ops_[j].in1)] =
+                static_cast<VarId>(j);
+            viaIn0[static_cast<std::size_t>(ops_[j].in1)] = 0;
+        }
+    }
+    std::vector<char> inChain(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!isChainOp(i) || inChain[i])
+            continue;
+        // Grow the maximal run from i (ids ascend along a tape edge, so
+        // scanning i in ascending order always lands on a run's head).
+        std::vector<std::size_t> chain{i};
+        std::size_t cur = i;
+        while (uses[cur] == 1 && !isOutput[cur] && viaIn0[cur] &&
+               onlyUser[cur] >= 0 &&
+               isChainOp(static_cast<std::size_t>(onlyUser[cur]))) {
+            cur = static_cast<std::size_t>(onlyUser[cur]);
+            chain.push_back(cur);
+        }
+        for (std::size_t v : chain)
+            inChain[v] = 1;
+        if (chain.size() < 2)
+            continue;
+        const VarId input = ops_[chain.front()].in0;
+        bool safe = true;
+        for (std::size_t j = chain.front() + 1;
+             j < chain.back() && safe; ++j) {
+            if (skipped_[j])
+                continue;
+            if (ops_[j].in0 == input || ops_[j].in1 == input)
+                safe = false;
+        }
+        if (!safe)
+            continue;
+        OpNode& first = ops_[chain.front()];
+        OpNode& last = ops_[chain.back()];
+        if (chain.size() == 2 && first.op == Op::Scale &&
+            last.op == Op::AddScalar) {
+            last.op = Op::FusedAffine;
+            last.beta = last.alpha;
+            last.alpha = first.alpha;
+        } else if (chain.size() == 2 && first.op == Op::MulConst &&
+                   last.op == Op::AddConst) {
+            last.op = Op::FusedMulAddConst;
+            last.constTensor2 = std::move(last.constTensor);
+            last.constTensor = std::move(first.constTensor);
+        } else {
+            std::vector<tensor::ElemStage> stages;
+            stages.reserve(chain.size());
+            for (std::size_t v : chain) {
+                OpNode& link = ops_[v];
+                tensor::ElemStage stage;
+                switch (link.op) {
+                  case Op::Scale:
+                    stage.kind = tensor::ElemStageKind::Scale;
+                    stage.alpha = link.alpha;
+                    break;
+                  case Op::AddScalar:
+                    stage.kind = tensor::ElemStageKind::AddScalar;
+                    stage.alpha = link.alpha;
+                    break;
+                  case Op::MulConst:
+                    stage.kind = tensor::ElemStageKind::MulConst;
+                    stage.c = std::move(link.constTensor);
+                    break;
+                  case Op::AddConst:
+                    stage.kind = tensor::ElemStageKind::AddConst;
+                    stage.c = std::move(link.constTensor);
+                    break;
+                  default:
+                    SMOOTHE_CHECK(false, "non-chain op %d in fusion run",
+                                  static_cast<int>(link.op));
+                }
+                stages.push_back(std::move(stage));
+            }
+            last.op = Op::FusedElemChain;
+            last.chain = std::move(stages);
+        }
+        last.in0 = input;
+        for (std::size_t k = 0; k + 1 < chain.size(); ++k)
+            skipped_[chain[k]] = 1;
+        stats_.fusedOps += chain.size() - 1;
     }
     if (stats_.fusedOps > 0)
         uses = countUses();
@@ -516,13 +637,20 @@ Program::Program(Tape&& tape, VarId root, std::vector<VarId> outputs)
             return estimateOpCost(ops_[ix], rowsOf[ix], colsOf[ix],
                                   aRows, aCols, bRows, bCols);
         };
+        // Kernel-slot names carry the SIMD variant active at compile
+        // time ("@avx2" or nothing) for ops with AVX2 forward bodies;
+        // benches compile one Program per simd::Level to get the two
+        // variants as separate side-by-side rows. Backward bodies are
+        // generic loops, so backward slots stay unsuffixed.
         forwardKernels_.reserve(forwardSchedule_.size());
         for (VarId id : forwardSchedule_) {
             const OpCost cost = costOf(id);
             const Op op = ops_[static_cast<std::size_t>(id)].op;
+            std::string name = std::string("forward.") + kernelName(op);
+            if (backend_ != Backend::Scalar && hasSimdVariant(op))
+                name += tensor::simd::kernelSuffix();
             forwardKernels_.push_back(
-                {&prof.kernel(std::string("forward.") + kernelName(op)),
-                 cost.fwdFlops, cost.fwdBytes});
+                {&prof.kernel(name), cost.fwdFlops, cost.fwdBytes});
         }
         backwardKernels_.reserve(backwardSchedule_.size());
         for (const BackStep& step : backwardSchedule_) {

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "obs/metrics.hpp"
+#include "tensor/kernels_avx2.hpp"
+#include "tensor/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace smoothe::tensor {
@@ -59,8 +61,14 @@ addInto(const Tensor& a, const Tensor& b, Tensor& out, Backend backend)
     const float* __restrict x = a.data();
     const float* __restrict y = b.data();
     float* __restrict o = out.data();
+    const bool useAvx2 = simd::avx2Active();
     parallelChunks(true, a.size(), kElemGrain,
                    [&](std::size_t begin, std::size_t end) {
+                       if (useAvx2) {
+                           avx2::addSpan(x + begin, y + begin, o + begin,
+                                         end - begin);
+                           return;
+                       }
                        for (std::size_t i = begin; i < end; ++i)
                            o[i] = x[i] + y[i];
                    });
@@ -76,8 +84,14 @@ subInto(const Tensor& a, const Tensor& b, Tensor& out, Backend backend)
     const float* __restrict x = a.data();
     const float* __restrict y = b.data();
     float* __restrict o = out.data();
+    const bool useAvx2 = simd::avx2Active();
     parallelChunks(true, a.size(), kElemGrain,
                    [&](std::size_t begin, std::size_t end) {
+                       if (useAvx2) {
+                           avx2::subSpan(x + begin, y + begin, o + begin,
+                                         end - begin);
+                           return;
+                       }
                        for (std::size_t i = begin; i < end; ++i)
                            o[i] = x[i] - y[i];
                    });
@@ -93,8 +107,14 @@ mulInto(const Tensor& a, const Tensor& b, Tensor& out, Backend backend)
     const float* __restrict x = a.data();
     const float* __restrict y = b.data();
     float* __restrict o = out.data();
+    const bool useAvx2 = simd::avx2Active();
     parallelChunks(true, a.size(), kElemGrain,
                    [&](std::size_t begin, std::size_t end) {
+                       if (useAvx2) {
+                           avx2::mulSpan(x + begin, y + begin, o + begin,
+                                         end - begin);
+                           return;
+                       }
                        for (std::size_t i = begin; i < end; ++i)
                            o[i] = x[i] * y[i];
                    });
@@ -105,8 +125,15 @@ scaleInto(const Tensor& a, float alpha, Tensor& out, Backend backend)
 {
     const float* x = a.data();
     float* o = out.data();
+    const bool useAvx2 =
+        backend != Backend::Scalar && simd::avx2Active();
     parallelChunks(backend != Backend::Scalar, a.size(), kElemGrain,
                    [&](std::size_t begin, std::size_t end) {
+                       if (useAvx2) {
+                           avx2::scaleSpan(x + begin, alpha, o + begin,
+                                           end - begin);
+                           return;
+                       }
                        for (std::size_t i = begin; i < end; ++i)
                            o[i] = alpha * x[i];
                    });
@@ -117,8 +144,15 @@ addScalarInto(const Tensor& a, float alpha, Tensor& out, Backend backend)
 {
     const float* x = a.data();
     float* o = out.data();
+    const bool useAvx2 =
+        backend != Backend::Scalar && simd::avx2Active();
     parallelChunks(backend != Backend::Scalar, a.size(), kElemGrain,
                    [&](std::size_t begin, std::size_t end) {
+                       if (useAvx2) {
+                           avx2::addScalarSpan(x + begin, alpha, o + begin,
+                                               end - begin);
+                           return;
+                       }
                        for (std::size_t i = begin; i < end; ++i)
                            o[i] = x[i] + alpha;
                    });
@@ -130,8 +164,15 @@ affineInto(const Tensor& a, float alpha, float beta, Tensor& out,
 {
     const float* x = a.data();
     float* o = out.data();
+    const bool useAvx2 =
+        backend != Backend::Scalar && simd::avx2Active();
     parallelChunks(backend != Backend::Scalar, a.size(), kElemGrain,
                    [&](std::size_t begin, std::size_t end) {
+                       if (useAvx2) {
+                           avx2::affineSpan(x + begin, alpha, beta,
+                                            o + begin, end - begin);
+                           return;
+                       }
                        for (std::size_t i = begin; i < end; ++i) {
                            const float scaled = alpha * x[i];
                            o[i] = scaled + beta;
@@ -148,8 +189,14 @@ reluInto(const Tensor& a, Tensor& out, Backend backend)
     }
     const float* __restrict x = a.data();
     float* __restrict o = out.data();
+    const bool useAvx2 = simd::avx2Active();
     parallelChunks(true, a.size(), kElemGrain,
                    [&](std::size_t begin, std::size_t end) {
+                       if (useAvx2) {
+                           avx2::reluSpan(x + begin, o + begin,
+                                          end - begin);
+                           return;
+                       }
                        for (std::size_t i = begin; i < end; ++i)
                            o[i] = x[i] > 0.0f ? x[i] : 0.0f;
                    });
@@ -158,12 +205,18 @@ reluInto(const Tensor& a, Tensor& out, Backend backend)
 void
 mulConstInto(const Tensor& a, const Tensor& c, Tensor& out, Backend backend)
 {
+    const bool useAvx2 =
+        backend != Backend::Scalar && simd::avx2Active();
     parallelChunks(backend != Backend::Scalar, a.rows(), rowGrain(a.cols()),
                    [&](std::size_t begin, std::size_t end) {
                        for (std::size_t r = begin; r < end; ++r) {
                            const float* x = a.row(r);
                            const float* m = c.row(c.rows() == 1 ? 0 : r);
                            float* o = out.row(r);
+                           if (useAvx2) {
+                               avx2::mulSpan(x, m, o, a.cols());
+                               continue;
+                           }
                            for (std::size_t i = 0; i < a.cols(); ++i)
                                o[i] = x[i] * m[i];
                        }
@@ -173,12 +226,18 @@ mulConstInto(const Tensor& a, const Tensor& c, Tensor& out, Backend backend)
 void
 addConstInto(const Tensor& a, const Tensor& c, Tensor& out, Backend backend)
 {
+    const bool useAvx2 =
+        backend != Backend::Scalar && simd::avx2Active();
     parallelChunks(backend != Backend::Scalar, a.rows(), rowGrain(a.cols()),
                    [&](std::size_t begin, std::size_t end) {
                        for (std::size_t r = begin; r < end; ++r) {
                            const float* x = a.row(r);
                            const float* m = c.row(c.rows() == 1 ? 0 : r);
                            float* o = out.row(r);
+                           if (useAvx2) {
+                               avx2::addSpan(x, m, o, a.cols());
+                               continue;
+                           }
                            for (std::size_t i = 0; i < a.cols(); ++i)
                                o[i] = x[i] + m[i];
                        }
@@ -189,6 +248,8 @@ void
 mulAddConstInto(const Tensor& a, const Tensor& m, const Tensor& c,
                 Tensor& out, Backend backend)
 {
+    const bool useAvx2 =
+        backend != Backend::Scalar && simd::avx2Active();
     parallelChunks(backend != Backend::Scalar, a.rows(), rowGrain(a.cols()),
                    [&](std::size_t begin, std::size_t end) {
                        for (std::size_t r = begin; r < end; ++r) {
@@ -196,12 +257,67 @@ mulAddConstInto(const Tensor& a, const Tensor& m, const Tensor& c,
                            const float* mr = m.row(m.rows() == 1 ? 0 : r);
                            const float* cr = c.row(c.rows() == 1 ? 0 : r);
                            float* o = out.row(r);
+                           if (useAvx2) {
+                               avx2::mulAddSpan(x, mr, cr, o, a.cols());
+                               continue;
+                           }
                            for (std::size_t i = 0; i < a.cols(); ++i) {
                                const float scaled = x[i] * mr[i];
                                o[i] = scaled + cr[i];
                            }
                        }
                    });
+}
+
+void
+elemChainInto(const Tensor& a, const std::vector<ElemStage>& stages,
+              Tensor& out, Backend backend)
+{
+    const bool useAvx2 =
+        backend != Backend::Scalar && simd::avx2Active();
+    const std::size_t cols = a.cols();
+    parallelChunks(
+        backend != Backend::Scalar, a.rows(), rowGrain(cols),
+        [&](std::size_t begin, std::size_t end) {
+            std::vector<const float*> stageRows(stages.size(), nullptr);
+            for (std::size_t r = begin; r < end; ++r) {
+                for (std::size_t s = 0; s < stages.size(); ++s) {
+                    const Tensor& c = stages[s].c;
+                    stageRows[s] = c.empty()
+                                       ? nullptr
+                                       : c.row(c.rows() == 1 ? 0 : r);
+                }
+                const float* x = a.row(r);
+                float* o = out.row(r);
+                if (useAvx2) {
+                    avx2::elemChainRow(x, stages.data(), stageRows.data(),
+                                       stages.size(), o, cols);
+                    continue;
+                }
+                // One rounded op per stage, exactly as the unfused
+                // kernels would produce.
+                for (std::size_t i = 0; i < cols; ++i) {
+                    float v = x[i];
+                    for (std::size_t s = 0; s < stages.size(); ++s) {
+                        switch (stages[s].kind) {
+                          case ElemStageKind::Scale:
+                            v = stages[s].alpha * v;
+                            break;
+                          case ElemStageKind::AddScalar:
+                            v = v + stages[s].alpha;
+                            break;
+                          case ElemStageKind::MulConst:
+                            v = v * stageRows[s][i];
+                            break;
+                          case ElemStageKind::AddConst:
+                            v = v + stageRows[s][i];
+                            break;
+                        }
+                    }
+                    o[i] = v;
+                }
+            }
+        });
 }
 
 void
@@ -263,10 +379,27 @@ segmentSoftmaxInto(const Tensor& a, const SegmentIndex& segs, Tensor& out,
     if (segs.items.size() != a.cols())
         out.fill(0.0f);
     const std::size_t numSegments = segs.numSegments();
+    const bool parallel = backend != Backend::Scalar;
+
+    // Cross-seed AVX2: 8 seed rows become the lanes of one pass over
+    // the segment structure (polynomial expf; few-ULP vs std::exp).
+    const std::size_t groups =
+        (parallel && simd::avx2Active()) ? a.rows() / 8 : std::size_t{0};
+    if (groups > 0) {
+        util::ThreadPool::global().parallelFor(
+            0, groups, 1, [&](std::size_t g) {
+                avx2::segmentSoftmax8(a.row(g * 8), out.row(g * 8),
+                                      a.cols(), segs.offsets.data(),
+                                      numSegments, segs.items.data());
+            });
+    }
+
+    const std::size_t remBegin = groups * 8;
     parallelChunks(
-        backend != Backend::Scalar, a.rows(), rowGrain(a.cols()),
-        [&](std::size_t rowBegin, std::size_t rowEnd) {
-            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+        parallel, a.rows() - remBegin, rowGrain(a.cols()),
+        [&](std::size_t chunkBegin, std::size_t chunkEnd) {
+            for (std::size_t r = remBegin + chunkBegin;
+                 r < remBegin + chunkEnd; ++r) {
                 const float* x = a.row(r);
                 float* o = out.row(r);
                 for (std::size_t s = 0; s < numSegments; ++s) {
@@ -296,10 +429,27 @@ segmentProductComplementInto(const Tensor& a, const SegmentIndex& segs,
                              Tensor& out, Backend backend)
 {
     const std::size_t numSegments = segs.numSegments();
+    const bool parallel = backend != Backend::Scalar;
+
+    // Cross-seed AVX2: per-lane product order matches the generic loop,
+    // so the two variants are bit-identical.
+    const std::size_t groups =
+        (parallel && simd::avx2Active()) ? a.rows() / 8 : std::size_t{0};
+    if (groups > 0) {
+        util::ThreadPool::global().parallelFor(
+            0, groups, 1, [&](std::size_t g) {
+                avx2::segmentProductComplement8(
+                    a.row(g * 8), a.cols(), out.row(g * 8), out.cols(),
+                    segs.offsets.data(), numSegments, segs.items.data());
+            });
+    }
+
+    const std::size_t remBegin = groups * 8;
     parallelChunks(
-        backend != Backend::Scalar, a.rows(), rowGrain(numSegments),
-        [&](std::size_t rowBegin, std::size_t rowEnd) {
-            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+        parallel, a.rows() - remBegin, rowGrain(numSegments),
+        [&](std::size_t chunkBegin, std::size_t chunkEnd) {
+            for (std::size_t r = remBegin + chunkBegin;
+                 r < remBegin + chunkEnd; ++r) {
                 const float* x = a.row(r);
                 float* o = out.row(r);
                 for (std::size_t s = 0; s < numSegments; ++s) {
@@ -353,12 +503,19 @@ void
 gatherColsInto(const Tensor& a, const std::vector<std::uint32_t>& index,
                Tensor& out, Backend backend)
 {
+    const bool useAvx2 =
+        backend != Backend::Scalar && simd::avx2Active();
     parallelChunks(backend != Backend::Scalar, a.rows(),
                    rowGrain(index.size()),
                    [&](std::size_t begin, std::size_t end) {
                        for (std::size_t r = begin; r < end; ++r) {
                            const float* x = a.row(r);
                            float* o = out.row(r);
+                           if (useAvx2) {
+                               avx2::gatherColsRow(x, index.data(), o,
+                                                   index.size());
+                               continue;
+                           }
                            for (std::size_t i = 0; i < index.size(); ++i)
                                o[i] = x[index[i]];
                        }

@@ -42,6 +42,27 @@ struct MatrixEntry
 };
 
 /**
+ * Stage kinds a fused elementwise chain may contain. All four have
+ * constant Jacobians (the backward pass never reads intermediate
+ * values), which is what lets the Program fusion pass collapse
+ * arbitrary single-consumer runs of them into one kernel launch.
+ */
+enum class ElemStageKind : std::uint8_t {
+    Scale,     ///< v = alpha * v
+    AddScalar, ///< v = v + alpha
+    MulConst,  ///< v = v * c[i]   (c may broadcast 1 x C over rows)
+    AddConst,  ///< v = v + c[i]   (c may broadcast 1 x C over rows)
+};
+
+/** One stage of a fused elementwise chain. */
+struct ElemStage
+{
+    ElemStageKind kind = ElemStageKind::Scale;
+    float alpha = 0.0f; ///< Scale factor / AddScalar addend
+    Tensor c;           ///< MulConst/AddConst operand (empty otherwise)
+};
+
+/**
  * Flat elements per parallel task for elementwise kernels. Fixed (never
  * derived from the worker count) so the work partition — and therefore
  * the float result — is identical for every thread count.
@@ -128,6 +149,15 @@ void addConstInto(const Tensor& a, const Tensor& c, Tensor& out,
  */
 void mulAddConstInto(const Tensor& a, const Tensor& m, const Tensor& c,
                      Tensor& out, Backend backend);
+/**
+ * Fused elementwise chain: applies the stages to each element in
+ * recorded order, every stage computed with the same single rounded
+ * float operation as its unfused counterpart, so fusion of any length
+ * is bitwise invisible (see affineInto for why no FMA contraction can
+ * occur).
+ */
+void elemChainInto(const Tensor& a, const std::vector<ElemStage>& stages,
+                   Tensor& out, Backend backend);
 /** out[b, 0] = sum_i a[b, i] * u[i]. */
 void dotRowsInto(const Tensor& a, const std::vector<float>& u, Tensor& out,
                  Backend backend);

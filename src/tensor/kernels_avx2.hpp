@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Explicit AVX2 kernel variants for the vectorized backend.
+ *
+ * These are the raw-span bodies the dispatching kernels in
+ * src/tensor/kernels.cpp and src/tensor/sparse.cpp call when
+ * simd::avx2Active(); each definition in kernels_avx2.cpp carries a
+ * per-function `target("avx2")` attribute so the default build needs
+ * no -mavx2 flag, and the cpuid-gated dispatch guarantees they never
+ * execute on hardware without AVX2.
+ *
+ * Bitwise contract: every function here performs exactly the rounded
+ * float operations of its generic counterpart, in the same per-element
+ * (or per-lane) order, with loop tails handled by the identical scalar
+ * code — so scalar and AVX2 results are bit-identical. The one
+ * documented exception is segmentSoftmax8, whose 8-lane polynomial
+ * exponential differs from std::exp by a few ULP (the scalar<->AVX2
+ * parity tests compare it with a tolerance; see DESIGN.md "Vectorized
+ * backend").
+ *
+ * The cross-seed kernels (spmvRows8, segmentSoftmax8,
+ * segmentProductComplement8) realize the seed-batch batching: the B
+ * seed rows become the SIMD lane dimension, so one pass over the
+ * sparse structure serves 8 seeds instead of replaying it per seed.
+ */
+
+#ifndef SMOOTHE_TENSOR_KERNELS_AVX2_HPP
+#define SMOOTHE_TENSOR_KERNELS_AVX2_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/kernels.hpp"
+
+namespace smoothe::tensor::avx2 {
+
+/** o[i] = a[i] + b[i]. */
+void addSpan(const float* a, const float* b, float* o, std::size_t n);
+/** o[i] = a[i] - b[i]. */
+void subSpan(const float* a, const float* b, float* o, std::size_t n);
+/** o[i] = a[i] * b[i]. */
+void mulSpan(const float* a, const float* b, float* o, std::size_t n);
+/** o[i] = alpha * a[i]. */
+void scaleSpan(const float* a, float alpha, float* o, std::size_t n);
+/** o[i] = a[i] + alpha. */
+void addScalarSpan(const float* a, float alpha, float* o, std::size_t n);
+/** o[i] = (alpha * a[i]) + beta, two separately rounded ops. */
+void affineSpan(const float* a, float alpha, float beta, float* o,
+                std::size_t n);
+/** o[i] = max(a[i], 0). */
+void reluSpan(const float* a, float* o, std::size_t n);
+/** o[i] = (a[i] * m[i]) + c[i], two separately rounded ops. */
+void mulAddSpan(const float* a, const float* m, const float* c, float* o,
+                std::size_t n);
+/**
+ * Applies `stages` to one row of n elements. stage_rows[s] is the
+ * stage's const-row pointer (MulConst/AddConst, already broadcast-
+ * resolved by the caller) or nullptr for scalar stages.
+ */
+void elemChainRow(const float* x, const ElemStage* stages,
+                  const float* const* stage_rows, std::size_t num_stages,
+                  float* o, std::size_t n);
+/** o[i] = x[index[i]] for one row (8-wide index gathers). */
+void gatherColsRow(const float* x, const std::uint32_t* index, float* o,
+                   std::size_t n);
+
+/**
+ * Cross-seed CSR SpMV over 8 consecutive batch rows: for matrix rows
+ * [row_begin, row_end), o[l * o_stride + i] accumulates
+ * values[e] * x[l * x_stride + colIndices[e]] across the row's
+ * entries, all 8 lanes fed by one strided gather per entry.
+ */
+void spmvRows8(const std::uint32_t* row_offsets,
+               const std::uint32_t* col_indices, const float* values,
+               std::size_t row_begin, std::size_t row_end, const float* x,
+               std::size_t x_stride, float* o, std::size_t o_stride);
+
+/**
+ * Cross-seed segment softmax over 8 consecutive batch rows. Uses a
+ * polynomial expf (few-ULP difference vs std::exp); max, denominator,
+ * and normalization follow the scalar order per lane.
+ */
+void segmentSoftmax8(const float* x, float* o, std::size_t stride,
+                     const std::uint32_t* offsets,
+                     std::size_t num_segments,
+                     const std::uint32_t* items);
+
+/** Cross-seed segment product-complement over 8 consecutive batch
+ *  rows: o[l * o_stride + s] = prod_{e in segment s} (1 - x[l][item]).
+ */
+void segmentProductComplement8(const float* x, std::size_t x_stride,
+                               float* o, std::size_t o_stride,
+                               const std::uint32_t* offsets,
+                               std::size_t num_segments,
+                               const std::uint32_t* items);
+
+/** c = a * b for row-major d x d doubles, 4-lane inner loop; bitwise
+ *  identical to autodiff/matexp.cpp's scalar matmulSquare. */
+void matmulSquare(const double* a, const double* b, double* c,
+                  std::size_t d);
+
+} // namespace smoothe::tensor::avx2
+
+#endif // SMOOTHE_TENSOR_KERNELS_AVX2_HPP

@@ -3,21 +3,8 @@
 #include <algorithm>
 
 #include "check/contracts.hpp"
-#include "obs/metrics.hpp"
-#include "util/thread_pool.hpp"
 
 namespace smoothe::tensor {
-
-namespace {
-
-/**
- * Rows of the output matrix handled per parallel task. Fixed (never
- * derived from the worker count) so the work partition — and therefore
- * the float result — is identical for every thread count.
- */
-constexpr std::size_t kSpmvRowBlock = 512;
-
-} // namespace
 
 Tensor::Tensor(std::size_t rows, std::size_t cols, Arena* arena)
     : rows_(rows), cols_(cols), arena_(arena)
@@ -132,68 +119,6 @@ SegmentIndex::fromAssignment(const std::vector<std::uint32_t>& item_segment,
     for (std::uint32_t item = 0; item < item_segment.size(); ++item)
         index.items[cursor[item_segment[item]]++] = item;
     return index;
-}
-
-void
-spmv(const CsrMatrix& a, const Tensor& x, Tensor& out, Backend backend)
-{
-    SMOOTHE_ASSERT(x.cols() == a.numCols, "spmv: %zu cols vs %zu matrix cols",
-                   x.cols(), a.numCols);
-    SMOOTHE_ASSERT(out.rows() == x.rows() && out.cols() == a.numRows,
-                   "spmv: output %zux%zu for %zux%zu", out.rows(), out.cols(),
-                   x.rows(), a.numRows);
-    const std::size_t batch = x.rows();
-
-    static obs::Counter& calls = obs::counter("kernel.spmv.calls");
-    static obs::Counter& bytes = obs::counter("kernel.spmv.bytes");
-    calls.add(1);
-    // Bytes touched: nnz values + column indices, plus in/out vectors.
-    bytes.add(a.values.size() * (sizeof(float) + sizeof(std::uint32_t)) +
-              (x.size() + out.size()) * sizeof(float));
-
-    if (backend == Backend::Scalar) {
-        // Reference path: per batch row, per matrix row, indexed access.
-        for (std::size_t b = 0; b < batch; ++b) {
-            for (std::size_t i = 0; i < a.numRows; ++i) {
-                double acc = 0.0;
-                for (std::uint32_t e = a.rowOffsets[i];
-                     e < a.rowOffsets[i + 1]; ++e) {
-                    acc += static_cast<double>(a.values[e]) *
-                           x.at(b, a.colIndices[e]);
-                }
-                out.at(b, i) = static_cast<float>(acc);
-            }
-        }
-        return;
-    }
-
-    // Vectorized path: raw pointers, float accumulation, tight loops,
-    // parallel over (batch row, matrix row-block) pairs. Every output
-    // element is produced by exactly one task with the same inner loop as
-    // the serial code, so results are bit-identical for any thread count.
-    const float* __restrict xv = x.data();
-    float* __restrict ov = out.data();
-    const std::size_t xCols = x.cols();
-    const std::size_t oCols = out.cols();
-    const std::size_t numBlocks =
-        (a.numRows + kSpmvRowBlock - 1) / kSpmvRowBlock;
-    util::ThreadPool::global().parallelFor(
-        0, batch * numBlocks, 1, [&](std::size_t task) {
-            const std::size_t b = task / numBlocks;
-            const std::size_t rowBegin = (task % numBlocks) * kSpmvRowBlock;
-            const std::size_t rowEnd =
-                std::min(a.numRows, rowBegin + kSpmvRowBlock);
-            const float* __restrict xRow = xv + b * xCols;
-            float* __restrict oRow = ov + b * oCols;
-            for (std::size_t i = rowBegin; i < rowEnd; ++i) {
-                float acc = 0.0f;
-                const std::uint32_t begin = a.rowOffsets[i];
-                const std::uint32_t end = a.rowOffsets[i + 1];
-                for (std::uint32_t e = begin; e < end; ++e)
-                    acc += a.values[e] * xRow[a.colIndices[e]];
-                oRow[i] = acc;
-            }
-        });
 }
 
 } // namespace smoothe::tensor

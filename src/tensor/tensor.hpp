@@ -186,24 +186,8 @@ struct SegmentIndex
         std::size_t num_segments);
 };
 
-/** A CSR sparse matrix with float values (for SpMV micro-benchmarks). */
-struct CsrMatrix
-{
-    std::size_t numRows = 0;
-    std::size_t numCols = 0;
-    std::vector<std::uint32_t> rowOffsets; ///< size numRows + 1
-    std::vector<std::uint32_t> colIndices;
-    std::vector<float> values;
-
-    std::size_t nnz() const { return colIndices.size(); }
-};
-
-/**
- * Batched SpMV: out[b, i] = sum_j A[i, j] * x[b, j].
- * @param backend Scalar iterates per batch row; Vectorized keeps the batch
- *        innermost so memory access is contiguous.
- */
-void spmv(const CsrMatrix& a, const Tensor& x, Tensor& out, Backend backend);
+// Sparse matrix layouts (CsrMatrix, CscMatrix) and the batched
+// propagation SpMV live in tensor/sparse.hpp.
 
 } // namespace smoothe::tensor
 

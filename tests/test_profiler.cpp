@@ -18,6 +18,7 @@
 #include "obs/perf_counters.hpp"
 #include "obs/profiler.hpp"
 #include "obs/report.hpp"
+#include "tensor/simd.hpp"
 #include "util/json.hpp"
 
 namespace ad = smoothe::ad;
@@ -58,22 +59,32 @@ struct SmallProgram
 };
 
 /** Every test starts and ends with a disabled, empty profiler (the
- *  Profiler is process-wide state). */
+ *  Profiler is process-wide state). The SIMD level is pinned to scalar
+ *  so kernel-slot names stay unsuffixed ("forward.mul", never
+ *  "forward.mul@avx2") regardless of the host CPU. */
 class ProfilerTest : public ::testing::Test
 {
   protected:
     void
     SetUp() override
     {
+        savedLevel_ = smoothe::tensor::simd::activeLevel();
+        smoothe::tensor::simd::setLevel(
+            smoothe::tensor::simd::Level::Scalar);
         obs::Profiler::instance().disable();
         obs::Profiler::instance().reset();
     }
     void
     TearDown() override
     {
+        smoothe::tensor::simd::setLevel(savedLevel_);
         obs::Profiler::instance().disable();
         obs::Profiler::instance().reset();
     }
+
+  private:
+    smoothe::tensor::simd::Level savedLevel_ =
+        smoothe::tensor::simd::Level::Scalar;
 };
 
 } // namespace

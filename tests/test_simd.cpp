@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Scalar <-> AVX2 kernel parity tests.
+ *
+ * The dispatch contract (src/tensor/simd.hpp) says every AVX2 kernel
+ * except the segment-softmax exponential is bit-identical to its
+ * generic counterpart; these tests enforce that with memcmp over
+ * randomized shapes, including non-multiple-of-8 tails, empty CSR
+ * rows, and empty segments. Softmax is compared with a documented ULP
+ * tolerance instead. On hardware without AVX2 the parity tests skip
+ * (there is no second variant to compare).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "autodiff/matexp.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/simd.hpp"
+#include "tensor/sparse.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace st = smoothe::tensor;
+namespace simd = smoothe::tensor::simd;
+namespace util = smoothe::util;
+
+namespace {
+
+/** Restores the process-wide SIMD level on scope exit. */
+class LevelGuard
+{
+  public:
+    LevelGuard() : saved_(simd::activeLevel()) {}
+    ~LevelGuard() { simd::setLevel(saved_); }
+    LevelGuard(const LevelGuard&) = delete;
+    LevelGuard& operator=(const LevelGuard&) = delete;
+
+  private:
+    simd::Level saved_;
+};
+
+bool
+avx2Available()
+{
+    return simd::detectedLevel() == simd::Level::Avx2;
+}
+
+st::Tensor
+randomTensor(std::size_t rows, std::size_t cols, util::Rng& rng)
+{
+    st::Tensor t(rows, cols);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+    return t;
+}
+
+bool
+bitEqual(const st::Tensor& a, const st::Tensor& b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/** ULP distance between two finite floats of the same sign regime. */
+std::uint32_t
+ulpDiff(float a, float b)
+{
+    std::int32_t ia;
+    std::int32_t ib;
+    std::memcpy(&ia, &a, sizeof(ia));
+    std::memcpy(&ib, &b, sizeof(ib));
+    if (ia < 0)
+        ia = std::numeric_limits<std::int32_t>::min() - ia;
+    if (ib < 0)
+        ib = std::numeric_limits<std::int32_t>::min() - ib;
+    const std::int64_t d =
+        static_cast<std::int64_t>(ia) - static_cast<std::int64_t>(ib);
+    return static_cast<std::uint32_t>(d < 0 ? -d : d);
+}
+
+/** Runs `body(out)` under both SIMD levels and returns the outputs. */
+template <typename Body>
+std::pair<st::Tensor, st::Tensor>
+runBothLevels(std::size_t rows, std::size_t cols, Body&& body)
+{
+    LevelGuard guard;
+    st::Tensor scalarOut(rows, cols);
+    st::Tensor avxOut(rows, cols);
+    simd::setLevel(simd::Level::Scalar);
+    body(scalarOut);
+    simd::setLevel(simd::Level::Avx2);
+    body(avxOut);
+    return {std::move(scalarOut), std::move(avxOut)};
+}
+
+/** Random segment index over `cols` items with some empty segments. */
+st::SegmentIndex
+randomSegments(std::size_t cols, std::size_t num_segments, util::Rng& rng)
+{
+    std::vector<std::uint32_t> assignment(cols);
+    for (std::size_t i = 0; i < cols; ++i) {
+        // Skew toward the low segments so the tail segments of the
+        // index are often empty.
+        const std::size_t s = rng.uniformIndex(num_segments);
+        assignment[i] = static_cast<std::uint32_t>(
+            s < num_segments / 2 ? s : rng.uniformIndex(num_segments));
+    }
+    return st::SegmentIndex::fromAssignment(assignment, num_segments);
+}
+
+const std::size_t kRowCounts[] = {1, 3, 8, 9, 17};
+const std::size_t kColCounts[] = {1, 7, 8, 65, 1000};
+
+} // namespace
+
+TEST(SimdDispatch, SetLevelClampsToDetected)
+{
+    LevelGuard guard;
+    simd::setLevel(simd::Level::Avx2);
+    EXPECT_EQ(simd::activeLevel(), simd::detectedLevel());
+    simd::setLevel(simd::Level::Scalar);
+    EXPECT_EQ(simd::activeLevel(), simd::Level::Scalar);
+    EXPECT_FALSE(simd::avx2Active());
+    EXPECT_STREQ(simd::kernelSuffix(), "");
+    if (avx2Available()) {
+        simd::setLevel(simd::Level::Avx2);
+        EXPECT_TRUE(simd::avx2Active());
+        EXPECT_STREQ(simd::kernelSuffix(), "@avx2");
+    }
+}
+
+TEST(SimdDispatch, LevelNamesAreStable)
+{
+    EXPECT_STREQ(simd::levelName(simd::Level::Scalar), "scalar");
+    EXPECT_STREQ(simd::levelName(simd::Level::Avx2), "avx2");
+}
+
+TEST(SimdParity, ElementwiseKernelsAreBitIdentical)
+{
+    if (!avx2Available())
+        GTEST_SKIP() << "CPU lacks AVX2; nothing to compare";
+    util::Rng rng(0xe1e3);
+    for (const std::size_t rows : kRowCounts) {
+        for (const std::size_t cols : kColCounts) {
+            const st::Tensor a = randomTensor(rows, cols, rng);
+            const st::Tensor b = randomTensor(rows, cols, rng);
+            const st::Tensor c = randomTensor(rows, cols, rng);
+            const st::Tensor cRow = randomTensor(1, cols, rng);
+            const float alpha =
+                static_cast<float>(rng.uniform(-3.0, 3.0));
+            const float beta = static_cast<float>(rng.uniform(-3.0, 3.0));
+            const auto check = [&](const char* what, auto&& body) {
+                auto [lhs, rhs] = runBothLevels(rows, cols, body);
+                EXPECT_TRUE(bitEqual(lhs, rhs))
+                    << what << " " << rows << "x" << cols;
+            };
+            check("add", [&](st::Tensor& out) {
+                st::addInto(a, b, out, st::Backend::Vectorized);
+            });
+            check("sub", [&](st::Tensor& out) {
+                st::subInto(a, b, out, st::Backend::Vectorized);
+            });
+            check("mul", [&](st::Tensor& out) {
+                st::mulInto(a, b, out, st::Backend::Vectorized);
+            });
+            check("scale", [&](st::Tensor& out) {
+                st::scaleInto(a, alpha, out, st::Backend::Vectorized);
+            });
+            check("add_scalar", [&](st::Tensor& out) {
+                st::addScalarInto(a, alpha, out, st::Backend::Vectorized);
+            });
+            check("affine", [&](st::Tensor& out) {
+                st::affineInto(a, alpha, beta, out,
+                               st::Backend::Vectorized);
+            });
+            check("relu", [&](st::Tensor& out) {
+                st::reluInto(a, out, st::Backend::Vectorized);
+            });
+            check("mul_const", [&](st::Tensor& out) {
+                st::mulConstInto(a, c, out, st::Backend::Vectorized);
+            });
+            check("mul_const_broadcast", [&](st::Tensor& out) {
+                st::mulConstInto(a, cRow, out, st::Backend::Vectorized);
+            });
+            check("add_const", [&](st::Tensor& out) {
+                st::addConstInto(a, c, out, st::Backend::Vectorized);
+            });
+            check("mul_add_const", [&](st::Tensor& out) {
+                st::mulAddConstInto(a, c, cRow, out,
+                                    st::Backend::Vectorized);
+            });
+        }
+    }
+}
+
+TEST(SimdParity, ReluHandlesNegativeZeroIdentically)
+{
+    if (!avx2Available())
+        GTEST_SKIP() << "CPU lacks AVX2; nothing to compare";
+    st::Tensor a(1, 11);
+    a.data()[0] = -0.0f;
+    a.data()[1] = 0.0f;
+    a.data()[2] = -1.5f;
+    a.data()[3] = 1.5f;
+    for (std::size_t i = 4; i < a.size(); ++i)
+        a.data()[i] = (i % 2 ? 1.0f : -1.0f) * static_cast<float>(i);
+    auto [lhs, rhs] = runBothLevels(1, 11, [&](st::Tensor& out) {
+        st::reluInto(a, out, st::Backend::Vectorized);
+    });
+    EXPECT_TRUE(bitEqual(lhs, rhs));
+}
+
+TEST(SimdParity, ElemChainMatchesUnfusedSequenceBitwise)
+{
+    if (!avx2Available())
+        GTEST_SKIP() << "CPU lacks AVX2; nothing to compare";
+    util::Rng rng(0xc4a1);
+    for (const std::size_t rows : kRowCounts) {
+        for (const std::size_t cols : {9UL, 100UL, 1000UL}) {
+            const st::Tensor a = randomTensor(rows, cols, rng);
+            std::vector<st::ElemStage> stages;
+            for (int s = 0; s < 4; ++s) {
+                st::ElemStage stage;
+                switch (rng.uniformIndex(4)) {
+                  case 0:
+                    stage.kind = st::ElemStageKind::Scale;
+                    stage.alpha =
+                        static_cast<float>(rng.uniform(-2.0, 2.0));
+                    break;
+                  case 1:
+                    stage.kind = st::ElemStageKind::AddScalar;
+                    stage.alpha =
+                        static_cast<float>(rng.uniform(-2.0, 2.0));
+                    break;
+                  case 2:
+                    stage.kind = st::ElemStageKind::MulConst;
+                    stage.c = randomTensor(
+                        rng.bernoulli(0.5) ? 1 : rows, cols, rng);
+                    break;
+                  default:
+                    stage.kind = st::ElemStageKind::AddConst;
+                    stage.c = randomTensor(
+                        rng.bernoulli(0.5) ? 1 : rows, cols, rng);
+                    break;
+                }
+                stages.push_back(std::move(stage));
+            }
+
+            // Scalar level vs AVX2 level of the fused kernel.
+            auto [lhs, rhs] = runBothLevels(rows, cols, [&](st::Tensor&
+                                                                out) {
+                st::elemChainInto(a, stages, out,
+                                  st::Backend::Vectorized);
+            });
+            EXPECT_TRUE(bitEqual(lhs, rhs)) << rows << "x" << cols;
+
+            // Fused vs the unfused kernel sequence (also bitwise: one
+            // rounded op per stage either way).
+            st::Tensor cur = a;
+            st::Tensor next(rows, cols);
+            for (const st::ElemStage& stage : stages) {
+                switch (stage.kind) {
+                  case st::ElemStageKind::Scale:
+                    st::scaleInto(cur, stage.alpha, next,
+                                  st::Backend::Vectorized);
+                    break;
+                  case st::ElemStageKind::AddScalar:
+                    st::addScalarInto(cur, stage.alpha, next,
+                                      st::Backend::Vectorized);
+                    break;
+                  case st::ElemStageKind::MulConst:
+                    st::mulConstInto(cur, stage.c, next,
+                                     st::Backend::Vectorized);
+                    break;
+                  case st::ElemStageKind::AddConst:
+                    st::addConstInto(cur, stage.c, next,
+                                     st::Backend::Vectorized);
+                    break;
+                }
+                std::swap(cur, next);
+            }
+            EXPECT_TRUE(bitEqual(rhs, cur)) << rows << "x" << cols;
+        }
+    }
+}
+
+TEST(SimdParity, GatherColsIsBitIdentical)
+{
+    if (!avx2Available())
+        GTEST_SKIP() << "CPU lacks AVX2; nothing to compare";
+    util::Rng rng(0x6a7e);
+    for (const std::size_t rows : kRowCounts) {
+        const std::size_t srcCols = 257;
+        const st::Tensor a = randomTensor(rows, srcCols, rng);
+        for (const std::size_t outCols : {1UL, 15UL, 64UL, 301UL}) {
+            std::vector<std::uint32_t> index(outCols);
+            for (std::uint32_t& v : index)
+                v = static_cast<std::uint32_t>(
+                    rng.uniformIndex(srcCols));
+            auto [lhs, rhs] =
+                runBothLevels(rows, outCols, [&](st::Tensor& out) {
+                    st::gatherColsInto(a, index, out,
+                                       st::Backend::Vectorized);
+                });
+            EXPECT_TRUE(bitEqual(lhs, rhs)) << rows << "x" << outCols;
+        }
+    }
+}
+
+TEST(SimdParity, SpmvIsBitIdenticalWithEmptyRows)
+{
+    if (!avx2Available())
+        GTEST_SKIP() << "CPU lacks AVX2; nothing to compare";
+    util::Rng rng(0x59a7);
+    for (const std::size_t batch : kRowCounts) {
+        const std::size_t numRows = 97;
+        const std::size_t numCols = 211;
+        st::CsrMatrix m;
+        m.numRows = numRows;
+        m.numCols = numCols;
+        m.rowOffsets.push_back(0);
+        for (std::size_t i = 0; i < numRows; ++i) {
+            // ~1 row in 4 is empty; others carry 1..12 entries.
+            const std::size_t nnz =
+                rng.bernoulli(0.25) ? 0 : 1 + rng.uniformIndex(12);
+            for (std::size_t e = 0; e < nnz; ++e) {
+                m.colIndices.push_back(static_cast<std::uint32_t>(
+                    rng.uniformIndex(numCols)));
+                m.values.push_back(
+                    static_cast<float>(rng.uniform(-1.0, 1.0)));
+            }
+            m.rowOffsets.push_back(
+                static_cast<std::uint32_t>(m.colIndices.size()));
+        }
+        const st::Tensor x = randomTensor(batch, numCols, rng);
+        auto [lhs, rhs] =
+            runBothLevels(batch, numRows, [&](st::Tensor& out) {
+                st::spmv(m, x, out, st::Backend::Vectorized);
+            });
+        EXPECT_TRUE(bitEqual(lhs, rhs)) << "batch " << batch;
+
+        // Transposed product through the CSC twin, same contract.
+        const st::CscMatrix t = st::cscFromCsr(m);
+        const st::Tensor y = randomTensor(batch, numRows, rng);
+        auto [lhsT, rhsT] =
+            runBothLevels(batch, numCols, [&](st::Tensor& out) {
+                st::spmvT(t, y, out, st::Backend::Vectorized);
+            });
+        EXPECT_TRUE(bitEqual(lhsT, rhsT)) << "batch " << batch;
+    }
+}
+
+TEST(SimdParity, SegmentProductComplementIsBitIdentical)
+{
+    if (!avx2Available())
+        GTEST_SKIP() << "CPU lacks AVX2; nothing to compare";
+    util::Rng rng(0x9c0d);
+    for (const std::size_t rows : kRowCounts) {
+        for (const std::size_t cols : {16UL, 300UL}) {
+            const std::size_t numSegments = cols / 3 + 2;
+            const st::SegmentIndex segs =
+                randomSegments(cols, numSegments, rng);
+            const st::Tensor a = randomTensor(rows, cols, rng);
+            auto [lhs, rhs] =
+                runBothLevels(rows, numSegments, [&](st::Tensor& out) {
+                    st::segmentProductComplementInto(
+                        a, segs, out, st::Backend::Vectorized);
+                });
+            EXPECT_TRUE(bitEqual(lhs, rhs)) << rows << "x" << cols;
+        }
+    }
+}
+
+TEST(SimdParity, SegmentSoftmaxMatchesWithinUlpTolerance)
+{
+    if (!avx2Available())
+        GTEST_SKIP() << "CPU lacks AVX2; nothing to compare";
+    util::Rng rng(0x50f7);
+    // The AVX2 softmax uses a polynomial expf, so this is the one
+    // kernel compared with a tolerance instead of memcmp. The bound is
+    // generous relative to the few-ULP expf error because the
+    // normalization divides two already-perturbed quantities.
+    constexpr std::uint32_t kMaxUlp = 64;
+    for (const std::size_t rows : kRowCounts) {
+        for (const std::size_t cols : {24UL, 500UL}) {
+            const std::size_t numSegments = cols / 4 + 1;
+            const st::SegmentIndex segs =
+                randomSegments(cols, numSegments, rng);
+            const st::Tensor a = randomTensor(rows, cols, rng);
+            auto [lhs, rhs] =
+                runBothLevels(rows, cols, [&](st::Tensor& out) {
+                    st::segmentSoftmaxInto(a, segs, out,
+                                           st::Backend::Vectorized);
+                });
+            std::uint32_t worst = 0;
+            for (std::size_t i = 0; i < lhs.size(); ++i)
+                worst = std::max(
+                    worst, ulpDiff(lhs.data()[i], rhs.data()[i]));
+            EXPECT_LE(worst, kMaxUlp) << rows << "x" << cols;
+        }
+    }
+}
+
+TEST(SimdParity, MatrixExpIsBitIdentical)
+{
+    if (!avx2Available())
+        GTEST_SKIP() << "CPU lacks AVX2; nothing to compare";
+    util::Rng rng(0xeff1);
+    for (const std::size_t d : {1UL, 3UL, 5UL, 12UL}) {
+        std::vector<float> a(d * d);
+        for (float& v : a)
+            v = rng.bernoulli(0.3)
+                    ? 0.0f
+                    : static_cast<float>(rng.uniform(-0.5, 0.5));
+        std::vector<float> scalarOut(d * d);
+        std::vector<float> avxOut(d * d);
+        LevelGuard guard;
+        simd::setLevel(simd::Level::Scalar);
+        smoothe::ad::expm(a.data(), d, scalarOut.data());
+        simd::setLevel(simd::Level::Avx2);
+        smoothe::ad::expm(a.data(), d, avxOut.data());
+        EXPECT_EQ(std::memcmp(scalarOut.data(), avxOut.data(),
+                              d * d * sizeof(float)),
+                  0)
+            << "d=" << d;
+    }
+}
+
+TEST(SparseLayout, CsrFromSegmentsAndCscTranspose)
+{
+    st::SegmentIndex segs;
+    segs.offsets = {0, 2, 2, 5};
+    segs.items = {1, 3, 0, 2, 3};
+    const st::CsrMatrix m = st::csrFromSegments(segs, 4);
+    EXPECT_EQ(m.numRows, 3u);
+    EXPECT_EQ(m.numCols, 4u);
+    EXPECT_EQ(m.nnz(), 5u);
+    for (float v : m.values)
+        EXPECT_EQ(v, 1.0f);
+
+    // Dense reference product: row 0 sums items {1, 3}, row 1 is
+    // empty, row 2 sums items {0, 2, 3}.
+    st::Tensor x(2, 4);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(i + 1);
+    st::Tensor out(2, 3);
+    st::spmv(m, x, out, st::Backend::Scalar);
+    EXPECT_FLOAT_EQ(out.at(0, 0), x.at(0, 1) + x.at(0, 3));
+    EXPECT_FLOAT_EQ(out.at(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 2),
+                    x.at(0, 0) + x.at(0, 2) + x.at(0, 3));
+    EXPECT_FLOAT_EQ(out.at(1, 0), x.at(1, 1) + x.at(1, 3));
+
+    const st::CscMatrix t = st::cscFromCsr(m);
+    EXPECT_EQ(t.nnz(), m.nnz());
+    // spmvT(y) must equal the dense transpose product.
+    st::Tensor y(1, 3);
+    y.data()[0] = 2.0f;
+    y.data()[1] = 5.0f;
+    y.data()[2] = -1.0f;
+    st::Tensor outT(1, 4);
+    st::spmvT(t, y, outT, st::Backend::Scalar);
+    EXPECT_FLOAT_EQ(outT.at(0, 0), -1.0f);        // column 0: row 2
+    EXPECT_FLOAT_EQ(outT.at(0, 1), 2.0f);         // column 1: row 0
+    EXPECT_FLOAT_EQ(outT.at(0, 2), -1.0f);        // column 2: row 2
+    EXPECT_FLOAT_EQ(outT.at(0, 3), 2.0f + -1.0f); // column 3: rows 0,2
+}
+
+TEST(SparseLayout, ScalarAndVectorizedSpmvAgree)
+{
+    // The Scalar backend accumulates in double, Vectorized in float;
+    // they agree to float tolerance, not bitwise.
+    util::Rng rng(0xb0b1);
+    st::SegmentIndex segs = randomSegments(50, 20, rng);
+    const st::CsrMatrix m = st::csrFromSegments(segs, 50);
+    const st::Tensor x = randomTensor(4, 50, rng);
+    st::Tensor slow(4, 20);
+    st::Tensor fast(4, 20);
+    st::spmv(m, x, slow, st::Backend::Scalar);
+    st::spmv(m, x, fast, st::Backend::Vectorized);
+    for (std::size_t i = 0; i < slow.size(); ++i)
+        EXPECT_NEAR(slow.data()[i], fast.data()[i], 1e-4f);
+}

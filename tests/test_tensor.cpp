@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tensor/sparse.hpp"
 #include "tensor/tensor.hpp"
 
 namespace st = smoothe::tensor;

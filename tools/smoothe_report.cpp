@@ -210,8 +210,13 @@ printComparison(const std::vector<LoadedReport>& reports)
             if (means.size() == 2 && means[0] != 0.0) {
                 const double pct =
                     100.0 * (means[1] - means[0]) / means[0];
-                row.push_back((pct >= 0 ? "+" : "") +
-                              util::formatFixed(pct, 1) + "%");
+                // Built with += (not `"+" + std::string&&`): GCC 12's
+                // -Wrestrict false positive (bug 105329) flags the
+                // rvalue insert path under -mavx2 -Werror.
+                std::string change = pct >= 0 ? "+" : "";
+                change += util::formatFixed(pct, 1);
+                change += "%";
+                row.push_back(std::move(change));
             } else {
                 row.push_back("-");
             }
@@ -234,11 +239,13 @@ runCheck(const LoadedReport& baseline, const LoadedReport& candidate,
     std::size_t regressions = 0;
     for (const auto& finding : findings) {
         regressions += finding.regression ? 1 : 0;
+        // See printComparison for why this avoids `"+" + string&&`.
+        std::string change = finding.changePct >= 0 ? "+" : "";
+        change += util::formatFixed(finding.changePct, 1);
+        change += "%";
         table.addRow(
             {finding.measurement, util::formatFixed(finding.baseline, 6),
-             util::formatFixed(finding.candidate, 6),
-             (finding.changePct >= 0 ? "+" : "") +
-                 util::formatFixed(finding.changePct, 1) + "%",
+             util::formatFixed(finding.candidate, 6), std::move(change),
              util::formatFixed(finding.tolerancePct, 1) + "%",
              finding.regression ? "REGRESSION" : "ok"});
     }
