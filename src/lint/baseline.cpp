@@ -1,0 +1,97 @@
+#include "lint/baseline.hpp"
+
+#include <map>
+
+namespace smoothe::lint {
+
+namespace {
+
+constexpr int kBaselineVersion = 1;
+
+bool
+fail(std::string* error, const std::string& message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+std::string
+key(const std::string& rule, const std::string& path,
+    const std::string& message)
+{
+    return rule + "\x1f" + path + "\x1f" + message;
+}
+
+} // namespace
+
+util::Json
+renderBaseline(const std::vector<Finding>& findings)
+{
+    util::Json entries = util::Json::makeArray();
+    for (const Finding& finding : findings) {
+        util::Json entry = util::Json::makeObject();
+        entry.set("rule", finding.rule);
+        entry.set("path", finding.path);
+        entry.set("message", finding.message);
+        entries.push(std::move(entry));
+    }
+    util::Json doc = util::Json::makeObject();
+    doc.set("version", kBaselineVersion);
+    doc.set("suppressions", std::move(entries));
+    return doc;
+}
+
+bool
+parseBaseline(const util::Json& doc, Baseline& out, std::string* error)
+{
+    if (!doc.isObject())
+        return fail(error, "baseline must be a JSON object");
+    const util::Json* version = doc.find("version");
+    if (version == nullptr || !version->isNumber() ||
+        static_cast<int>(version->asNumber()) != kBaselineVersion)
+        return fail(error, "baseline version must be 1");
+    const util::Json* entries = doc.find("suppressions");
+    if (entries == nullptr || !entries->isArray())
+        return fail(error, "baseline.suppressions must be an array");
+    for (const util::Json& entry : entries->asArray()) {
+        if (!entry.isObject())
+            return fail(error, "suppression must be an object");
+        Baseline::Entry parsed;
+        const std::pair<const char*, std::string*> fields[] = {
+            {"rule", &parsed.rule},
+            {"path", &parsed.path},
+            {"message", &parsed.message},
+        };
+        for (const auto& [field, into] : fields) {
+            const util::Json* value = entry.find(field);
+            if (value == nullptr || !value->isString())
+                return fail(error, std::string("suppression.") + field +
+                                       " must be a string");
+            *into = value->asString();
+        }
+        out.entries.push_back(std::move(parsed));
+    }
+    return true;
+}
+
+std::vector<Finding>
+applyBaseline(const Baseline& baseline, std::vector<Finding> findings)
+{
+    std::map<std::string, int> budget;
+    for (const Baseline::Entry& entry : baseline.entries)
+        ++budget[key(entry.rule, entry.path, entry.message)];
+    std::vector<Finding> kept;
+    for (Finding& finding : findings) {
+        const auto it =
+            budget.find(key(finding.rule, finding.path, finding.message));
+        if (it != budget.end() && it->second > 0) {
+            --it->second;
+            continue;
+        }
+        kept.push_back(std::move(finding));
+    }
+    return kept;
+}
+
+} // namespace smoothe::lint

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Suppressions baseline for smoothe_lint: a checked-in JSON file of
+ * known findings that new runs subtract before reporting, so a new
+ * rule can land without same-PR churn across the whole tree.
+ *
+ * Entries are keyed by (rule, path, message) — deliberately not line
+ * numbers, so unrelated edits that shift a finding up or down do not
+ * invalidate the baseline. Matching is multiset-style: each baseline
+ * entry absorbs at most one finding, so a *second* identical violation
+ * in the same file still surfaces.
+ */
+
+#ifndef SMOOTHE_LINT_BASELINE_HPP
+#define SMOOTHE_LINT_BASELINE_HPP
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "util/json.hpp"
+
+namespace smoothe::lint {
+
+/** A parsed baseline file. */
+struct Baseline
+{
+    struct Entry
+    {
+        std::string rule;
+        std::string path;
+        std::string message;
+    };
+    std::vector<Entry> entries;
+};
+
+/** Serializes findings as a baseline document. */
+util::Json renderBaseline(const std::vector<Finding>& findings);
+
+/**
+ * Parses a baseline document. Returns false (and fills `error`) on a
+ * malformed file — a silently ignored baseline would un-suppress the
+ * whole tree.
+ */
+bool parseBaseline(const util::Json& doc, Baseline& out,
+                   std::string* error = nullptr);
+
+/**
+ * Removes findings matched by the baseline (each entry absorbs one
+ * finding) and returns the survivors in the original order.
+ */
+std::vector<Finding> applyBaseline(const Baseline& baseline,
+                                   std::vector<Finding> findings);
+
+} // namespace smoothe::lint
+
+#endif // SMOOTHE_LINT_BASELINE_HPP

@@ -86,19 +86,22 @@ class Lexer
                 continue;
             }
             atLineStart = false;
-            if (c == 'R' && peek(1) == '"') {
-                rawString();
-                continue;
-            }
-            if (c == '"') {
-                quoted('"');
-                emit(TokenKind::StringLiteral, "");
-                continue;
-            }
-            if (c == '\'') {
-                quoted('\'');
-                emit(TokenKind::CharLiteral, "");
-                continue;
+            {
+                bool raw = false;
+                const std::size_t pre = literalPrefix(raw);
+                if (pre != std::string::npos) {
+                    pos_ += pre; // on the R of R"..." or on the quote
+                    if (raw) {
+                        rawString();
+                    } else {
+                        const char delim = src_[pos_];
+                        std::string text = quoted(delim);
+                        emit(delim == '"' ? TokenKind::StringLiteral
+                                          : TokenKind::CharLiteral,
+                             std::move(text));
+                    }
+                    continue;
+                }
             }
             if (isIdentStart(c)) {
                 emit(TokenKind::Identifier, identifier());
@@ -147,15 +150,42 @@ class Lexer
         return src_.substr(start, pos_ - start);
     }
 
+    /**
+     * If pos_ starts a string/char literal — with an optional u8/u/U/L
+     * encoding prefix and an optional R raw marker — returns the number
+     * of characters before the R or quote and sets `raw`; otherwise
+     * returns std::string::npos. Keeps `u8R"(...)"` from lexing as an
+     * identifier followed by a broken quoted literal.
+     */
+    std::size_t
+    literalPrefix(bool& raw) const
+    {
+        std::size_t n = 0;
+        if (peek(0) == 'u' && peek(1) == '8')
+            n = 2;
+        else if (peek(0) == 'u' || peek(0) == 'U' || peek(0) == 'L')
+            n = 1;
+        if (peek(n) == 'R' && peek(n + 1) == '"') {
+            raw = true;
+            return n;
+        }
+        raw = false;
+        if (peek(n) == '"' || peek(n) == '\'')
+            return n;
+        return std::string::npos;
+    }
+
     std::string
     number()
     {
         const std::size_t start = pos_;
         // Good enough for lint purposes: digits plus the suffix/exponent
-        // alphabet, including hex and digit separators.
+        // alphabet. A ' is a digit separator only when a digit (or hex
+        // letter) follows — `f(1,'x')` must not swallow the char literal.
         while (pos_ < src_.size() &&
                (isIdentBody(src_[pos_]) || src_[pos_] == '.' ||
-                src_[pos_] == '\''))
+                (src_[pos_] == '\'' &&
+                 std::isalnum(static_cast<unsigned char>(peek(1))))))
             ++pos_;
         return src_.substr(start, pos_ - start);
     }
@@ -172,10 +202,16 @@ class Lexer
     void
     blockComment()
     {
+        const std::size_t start = pos_;
         pos_ += 2;
         while (pos_ < src_.size()) {
             if (src_[pos_] == '*' && peek(1) == '/') {
                 pos_ += 2;
+                // An inline `/* smoothe-lint: allow(x) */` suppresses on
+                // the line the comment ends (same line as the code, or
+                // the line above for a comment-only line).
+                recordSuppression(src_.substr(start, pos_ - start), line_,
+                                  out_);
                 return;
             }
             if (src_[pos_] == '\n')
@@ -185,26 +221,37 @@ class Lexer
     }
 
     /** Consumes a quoted literal with backslash escapes (delimiter
-     *  already at pos_). */
-    void
+     *  already at pos_); returns the text between the delimiters. */
+    std::string
     quoted(char delim)
     {
+        std::string text;
         ++pos_;
         while (pos_ < src_.size()) {
             const char c = src_[pos_];
             if (c == '\\') {
+                // Keep the escape verbatim; a backslash-newline line
+                // continuation still advances the line counter so that
+                // `//` on the next source line is not misattributed.
+                if (peek(1) == '\n')
+                    ++line_;
+                text.push_back(c);
+                if (pos_ + 1 < src_.size())
+                    text.push_back(src_[pos_ + 1]);
                 pos_ += 2;
                 continue;
             }
             if (c == '\n') {
                 // Unterminated literal; do not swallow the rest of the
                 // file, the rules prefer noisy tokens over silence.
-                return;
+                return text;
             }
             ++pos_;
             if (c == delim)
-                return;
+                return text;
+            text.push_back(c);
         }
+        return text;
     }
 
     void
@@ -218,11 +265,20 @@ class Lexer
         const std::size_t end = src_.find(close, pos_);
         const std::size_t stop =
             end == std::string::npos ? src_.size() : end + close.size();
+        const std::size_t bodyBegin = pos_ + 1;
+        const std::size_t bodyEnd =
+            end == std::string::npos ? src_.size() : end;
+        std::string text =
+            bodyEnd > bodyBegin
+                ? src_.substr(bodyBegin, bodyEnd - bodyBegin)
+                : std::string();
+        const int beginLine = line_;
         for (; pos_ < stop; ++pos_) {
             if (src_[pos_] == '\n')
                 ++line_;
         }
-        emit(TokenKind::StringLiteral, "");
+        out_.tokens.push_back(
+            Token{TokenKind::StringLiteral, std::move(text), beginLine});
     }
 
     /** Lexes `#directive` and, for #include, the header name; the rest

@@ -28,8 +28,8 @@ enum class TokenKind {
     Punct,        ///< one character, except the folded "::" and "->"
     Preprocessor, ///< directive name; text is e.g. "include", "ifndef"
     HeaderName,   ///< include target with delimiters, e.g. "<iostream>"
-    StringLiteral,///< contents dropped; text is ""
-    CharLiteral,  ///< contents dropped; text is ""
+    StringLiteral,///< text is the literal's contents, delimiters stripped
+    CharLiteral,  ///< text is the literal's contents, delimiters stripped
 };
 
 struct Token

@@ -51,7 +51,8 @@ lintSource(const std::string& path, const std::string& source)
 }
 
 LintReport
-lintPaths(const std::string& root, const std::vector<std::string>& paths)
+lintPaths(const std::string& root, const std::vector<std::string>& paths,
+          const LintOptions& options)
 {
     LintReport report;
     const fs::path rootPath(root);
@@ -74,6 +75,18 @@ lintPaths(const std::string& root, const std::vector<std::string>& paths)
         }
     }
     std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    // Pass 1: lex + scope-parse everything, building the cross-file
+    // project model the semantic rules consult.
+    struct AnalyzedFile
+    {
+        std::string path;
+        LexedFile lexed;
+        ScopeTree scopes;
+    };
+    std::vector<AnalyzedFile> analyzed;
+    ProjectModel model;
     for (const fs::path& file : files) {
         const std::string rel = normalize(rootPath, file);
         const auto source = util::readFile(file.string());
@@ -81,11 +94,36 @@ lintPaths(const std::string& root, const std::vector<std::string>& paths)
             report.errors.push_back("cannot read " + rel);
             continue;
         }
+        AnalyzedFile entry;
+        entry.path = rel;
+        entry.lexed = lex(*source);
+        entry.scopes = buildScopeTree(entry.lexed);
+        model.addFile(rel, entry.lexed, entry.scopes);
+        analyzed.push_back(std::move(entry));
+    }
+
+    // Pass 2: run the rules with the finished model.
+    for (const AnalyzedFile& entry : analyzed) {
         ++report.filesScanned;
-        std::vector<Finding> found = lintSource(rel, *source);
+        const FileContext ctx = classify(entry.path);
+        std::vector<Finding> found =
+            runRules(RuleInputs{ctx, entry.lexed, entry.scopes, &model});
         report.findings.insert(report.findings.end(),
                                std::make_move_iterator(found.begin()),
                                std::make_move_iterator(found.end()));
+    }
+
+    if (!options.rules.empty()) {
+        const auto enabled = [&](const Finding& finding) {
+            return std::find(options.rules.begin(), options.rules.end(),
+                             finding.rule) != options.rules.end();
+        };
+        std::vector<Finding> kept;
+        for (Finding& finding : report.findings) {
+            if (enabled(finding))
+                kept.push_back(std::move(finding));
+        }
+        report.findings = std::move(kept);
     }
     return report;
 }

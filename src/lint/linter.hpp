@@ -5,7 +5,10 @@
  * lintSource() is the unit-testable core: path + contents in, findings
  * out. lintPaths() walks files or directories (only .hpp/.h/.cpp/.cc
  * are scanned), classifying each path relative to the given root so the
- * library-only rules know where they are.
+ * library-only rules know where they are. It runs two passes: pass one
+ * lexes and scope-parses every file into a ProjectModel, pass two runs
+ * the rules with the finished cross-file model — which is what lets
+ * avx2-parity-coverage see kernels_avx2.cpp and test_simd.cpp at once.
  */
 
 #ifndef SMOOTHE_LINT_LINTER_HPP
@@ -30,6 +33,15 @@ struct LintReport
     bool clean() const { return findings.empty() && errors.empty(); }
 };
 
+/** Knobs for a lint run. */
+struct LintOptions
+{
+    /** When non-empty, only findings from these rules are reported
+     *  (raw-delete rides with raw-new, nondet-reduction with
+     *  parallel-capture-race — filtering is by finding name). */
+    std::vector<std::string> rules;
+};
+
 /** Lints one in-memory file; `path` drives the scoping rules. */
 std::vector<Finding> lintSource(const std::string& path,
                                 const std::string& source);
@@ -40,7 +52,8 @@ std::vector<Finding> lintSource(const std::string& path,
  * build directory with root ".." works.
  */
 LintReport lintPaths(const std::string& root,
-                     const std::vector<std::string>& paths);
+                     const std::vector<std::string>& paths,
+                     const LintOptions& options = {});
 
 /** `path:line: [rule] message` lines plus a summary line. */
 std::string renderText(const LintReport& report);

@@ -1,0 +1,168 @@
+#include "lint/project_model.hpp"
+
+#include <algorithm>
+
+namespace smoothe::lint {
+
+namespace {
+
+bool
+endsWith(const std::string& text, const std::string& suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/** True when `scope` or any ancestor is an anonymous namespace. */
+bool
+inAnonymousNamespace(const ScopeTree& scopes, int scope)
+{
+    for (int s = scope; s >= 0; s = scopes.scopes[s].parent) {
+        if (scopes.scopes[s].kind == ScopeKind::Namespace &&
+            scopes.scopes[s].name.empty())
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+unqualify(const std::string& name)
+{
+    const std::size_t at = name.rfind("::");
+    return at == std::string::npos ? name : name.substr(at + 2);
+}
+
+void
+ProjectModel::addFile(const std::string& path, const LexedFile& lexed,
+                      const ScopeTree& scopes)
+{
+    FileFacts facts;
+    facts.path = path;
+
+    for (std::size_t s = 0; s < scopes.scopes.size(); ++s) {
+        const Scope& scope = scopes.scopes[s];
+        if (scope.kind != ScopeKind::Function || scope.name.empty())
+            continue;
+        FunctionDef def;
+        def.name = scope.name;
+        def.line = scope.beginLine;
+        def.internal =
+            inAnonymousNamespace(scopes, static_cast<int>(s));
+        facts.functions.push_back(std::move(def));
+
+        std::set<std::string>& refs =
+            facts.functionRefs[unqualify(scope.name)];
+        const std::size_t end =
+            std::min(scope.endTok, lexed.tokens.size());
+        for (std::size_t i = scope.beginTok; i < end; ++i) {
+            if (lexed.tokens[i].kind == TokenKind::Identifier)
+                refs.insert(lexed.tokens[i].text);
+        }
+    }
+
+    const auto& tokens = lexed.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& tok = tokens[i];
+        if (tok.kind == TokenKind::StringLiteral) {
+            if (!tok.text.empty())
+                facts.stringLiterals.emplace_back(tok.text, tok.line);
+            continue;
+        }
+        if (tok.kind != TokenKind::Identifier)
+            continue;
+        facts.identifiers.insert(tok.text);
+        // avx2::symbol — attribute the reference to the nearest
+        // enclosing *named* function (dispatch bodies are usually
+        // lambdas handed to parallelChunks; the tests call the named
+        // dispatcher around them).
+        if (tok.text == "avx2" && i + 2 < tokens.size() &&
+            tokens[i + 1].kind == TokenKind::Punct &&
+            tokens[i + 1].text == "::" &&
+            tokens[i + 2].kind == TokenKind::Identifier) {
+            for (int s = scopes.scopeAt(i); s >= 0;
+                 s = scopes.scopes[s].parent) {
+                const Scope& scope = scopes.scopes[s];
+                if (scope.kind == ScopeKind::Function &&
+                    !scope.name.empty()) {
+                    facts.avx2Refs[tokens[i + 2].text].insert(
+                        unqualify(scope.name));
+                    break;
+                }
+            }
+        }
+    }
+
+    files_.push_back(std::move(facts));
+}
+
+const FileFacts*
+ProjectModel::file(const std::string& suffix) const
+{
+    for (const FileFacts& facts : files_) {
+        if (endsWith(facts.path, suffix))
+            return &facts;
+    }
+    return nullptr;
+}
+
+bool
+ProjectModel::identifierIn(const std::string& suffix,
+                           const std::string& name) const
+{
+    const FileFacts* facts = file(suffix);
+    return facts != nullptr && facts->identifiers.count(name) > 0;
+}
+
+std::vector<std::string>
+ProjectModel::dispatchersOf(const std::string& symbol,
+                            const std::string& excludeSuffix) const
+{
+    std::vector<std::string> out;
+    for (const FileFacts& facts : files_) {
+        if (endsWith(facts.path, excludeSuffix))
+            continue;
+        const auto it = facts.avx2Refs.find(symbol);
+        if (it == facts.avx2Refs.end())
+            continue;
+        out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::vector<std::string>
+ProjectModel::callersOf(const std::string& name,
+                        const std::string& excludeSuffix) const
+{
+    std::vector<std::string> out;
+    for (const FileFacts& facts : files_) {
+        if (endsWith(facts.path, excludeSuffix))
+            continue;
+        for (const auto& [fn, refs] : facts.functionRefs) {
+            if (fn != name && refs.count(name) > 0)
+                out.push_back(fn);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::set<std::string>
+ProjectModel::stringLiterals(const std::string& pathPart) const
+{
+    std::set<std::string> out;
+    for (const FileFacts& facts : files_) {
+        if (facts.path.find(pathPart) == std::string::npos)
+            continue;
+        for (const auto& [text, line] : facts.stringLiterals)
+            out.insert(text);
+    }
+    return out;
+}
+
+} // namespace smoothe::lint

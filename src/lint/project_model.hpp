@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A cross-file index for smoothe_lint's project-level rules.
+ *
+ * Single-file rules see one token stream; contract rules like
+ * avx2-parity-coverage ("every kernel in kernels_avx2.cpp is exercised
+ * by tests/test_simd.cpp") need facts from several files at once. The
+ * linter's first pass lexes and scope-parses every file and feeds the
+ * results here; the second pass hands the finished model to the rules.
+ *
+ * The model stores *facts*, not token streams: function definitions
+ * (with anonymous-namespace internality), every identifier referenced,
+ * `avx2::symbol` references mapped to their enclosing dispatcher
+ * function, and string literals (which is how profiler kernel-slot
+ * names appear in src/autodiff/program.cpp and src/tensor). Files are
+ * addressed by repo-relative path suffix so tests can build synthetic
+ * models with fake paths.
+ */
+
+#ifndef SMOOTHE_LINT_PROJECT_MODEL_HPP
+#define SMOOTHE_LINT_PROJECT_MODEL_HPP
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/scope_tree.hpp"
+
+namespace smoothe::lint {
+
+/** One function definition found by the scope parser. */
+struct FunctionDef
+{
+    std::string name; ///< as written, e.g. "spmvRows8" or "Csr::spmv"
+    int line = 0;
+    /** True when any enclosing namespace is anonymous — internal
+     *  helpers are exempt from cross-file coverage contracts. */
+    bool internal = false;
+};
+
+/** Facts extracted from one file. */
+struct FileFacts
+{
+    std::string path; ///< repo-relative, forward slashes
+    std::vector<FunctionDef> functions;
+    std::set<std::string> identifiers; ///< every identifier token text
+    /** String literals (text, line) — profiler slot names live here. */
+    std::vector<std::pair<std::string, int>> stringLiterals;
+    /**
+     * avx2::symbol references outside the defining file, keyed by
+     * symbol, valued by the unqualified names of the enclosing
+     * functions (the runtime dispatchers).
+     */
+    std::map<std::string, std::set<std::string>> avx2Refs;
+    /**
+     * Identifiers referenced inside each named function's body, keyed
+     * by the unqualified function name. Feeds callersOf(), which lets
+     * coverage rules walk call chains (kernel → internal helper →
+     * public entry point → test).
+     */
+    std::map<std::string, std::set<std::string>> functionRefs;
+};
+
+class ProjectModel
+{
+  public:
+    /** Indexes one lexed + scope-parsed file. */
+    void addFile(const std::string& path, const LexedFile& lexed,
+                 const ScopeTree& scopes);
+
+    /** The facts for the first file whose path ends with `suffix`, or
+     *  nullptr. */
+    const FileFacts* file(const std::string& suffix) const;
+
+    /** True when the file at `suffix` references identifier `name`. */
+    bool identifierIn(const std::string& suffix,
+                      const std::string& name) const;
+
+    /**
+     * Unqualified names of every function, in any indexed file except
+     * ones matching `excludeSuffix`, whose body references
+     * `avx2::symbol` — i.e. the dispatchers a test can reach the
+     * kernel through.
+     */
+    std::vector<std::string>
+    dispatchersOf(const std::string& symbol,
+                  const std::string& excludeSuffix) const;
+
+    /**
+     * Unqualified names of every function, in any indexed file except
+     * ones matching `excludeSuffix`, whose body references the
+     * identifier `name`. Over-approximate (token match, not call
+     * resolution) — right for reachability questions.
+     */
+    std::vector<std::string>
+    callersOf(const std::string& name,
+              const std::string& excludeSuffix) const;
+
+    /** All string literals from files whose path contains `pathPart`
+     *  (profiler slot names when pointed at program.cpp/kernels). */
+    std::set<std::string> stringLiterals(const std::string& pathPart) const;
+
+    const std::vector<FileFacts>& files() const { return files_; }
+
+  private:
+    std::vector<FileFacts> files_;
+};
+
+/** The unqualified last component of a `::`-qualified name. */
+std::string unqualify(const std::string& name);
+
+} // namespace smoothe::lint
+
+#endif // SMOOTHE_LINT_PROJECT_MODEL_HPP

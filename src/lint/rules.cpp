@@ -1,6 +1,7 @@
 #include "lint/rules.hpp"
 
 #include <algorithm>
+#include <optional>
 
 namespace smoothe::lint {
 
@@ -26,11 +27,30 @@ isText(const Token* token, const char* text)
     return token != nullptr && token->text == text;
 }
 
-void
-rawNewDelete(const FileContext&, const LexedFile& lexed,
-             std::vector<Finding>& out)
+bool
+isPunctAt(const std::vector<Token>& tokens, std::size_t i,
+          const char* text)
 {
-    const auto& tokens = lexed.tokens;
+    return i < tokens.size() && tokens[i].kind == TokenKind::Punct &&
+           tokens[i].text == text;
+}
+
+bool
+startsWith(const std::string& text, const char* head)
+{
+    return text.rfind(head, 0) == 0;
+}
+
+bool
+contains(const std::string& text, const char* needle)
+{
+    return text.find(needle) != std::string::npos;
+}
+
+void
+rawNewDelete(const RuleInputs& in, std::vector<Finding>& out)
+{
+    const auto& tokens = in.lexed.tokens;
     for (std::size_t i = 0; i < tokens.size(); ++i) {
         const Token& tok = tokens[i];
         if (tok.kind != TokenKind::Identifier)
@@ -55,12 +75,11 @@ rawNewDelete(const FileContext&, const LexedFile& lexed,
 }
 
 void
-stdThread(const FileContext& ctx, const LexedFile& lexed,
-          std::vector<Finding>& out)
+stdThread(const RuleInputs& in, std::vector<Finding>& out)
 {
-    if (ctx.path.find("util/thread_pool") != std::string::npos)
+    if (in.ctx.path.find("util/thread_pool") != std::string::npos)
         return;
-    const auto& tokens = lexed.tokens;
+    const auto& tokens = in.lexed.tokens;
     for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
         if (tokens[i].text == "std" && tokens[i + 1].text == "::" &&
             tokens[i + 2].text == "thread" &&
@@ -73,12 +92,11 @@ stdThread(const FileContext& ctx, const LexedFile& lexed,
 }
 
 void
-noRand(const FileContext& ctx, const LexedFile& lexed,
-       std::vector<Finding>& out)
+noRand(const RuleInputs& in, std::vector<Finding>& out)
 {
-    if (!ctx.isLibrary)
+    if (!in.ctx.isLibrary)
         return;
-    const auto& tokens = lexed.tokens;
+    const auto& tokens = in.lexed.tokens;
     for (std::size_t i = 0; i < tokens.size(); ++i) {
         const Token& tok = tokens[i];
         if (tok.kind != TokenKind::Identifier ||
@@ -103,10 +121,9 @@ noRand(const FileContext& ctx, const LexedFile& lexed,
 }
 
 void
-noAssert(const FileContext&, const LexedFile& lexed,
-         std::vector<Finding>& out)
+noAssert(const RuleInputs& in, std::vector<Finding>& out)
 {
-    const auto& tokens = lexed.tokens;
+    const auto& tokens = in.lexed.tokens;
     for (std::size_t i = 0; i < tokens.size(); ++i) {
         const Token& tok = tokens[i];
         if (tok.kind == TokenKind::HeaderName &&
@@ -130,12 +147,11 @@ noAssert(const FileContext&, const LexedFile& lexed,
 }
 
 void
-iostreamHeader(const FileContext& ctx, const LexedFile& lexed,
-               std::vector<Finding>& out)
+iostreamHeader(const RuleInputs& in, std::vector<Finding>& out)
 {
-    if (!ctx.isHeader || !ctx.isLibrary)
+    if (!in.ctx.isHeader || !in.ctx.isLibrary)
         return;
-    for (const Token& tok : lexed.tokens) {
+    for (const Token& tok : in.lexed.tokens) {
         if (tok.kind == TokenKind::HeaderName && tok.text == "<iostream>") {
             out.push_back({"iostream-header", "", tok.line,
                            "<iostream> in a library header — use <iosfwd> "
@@ -146,12 +162,11 @@ iostreamHeader(const FileContext& ctx, const LexedFile& lexed,
 }
 
 void
-includeGuard(const FileContext& ctx, const LexedFile& lexed,
-             std::vector<Finding>& out)
+includeGuard(const RuleInputs& in, std::vector<Finding>& out)
 {
-    if (!ctx.isHeader)
+    if (!in.ctx.isHeader)
         return;
-    const auto& tokens = lexed.tokens;
+    const auto& tokens = in.lexed.tokens;
     for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
         if (tokens[i].kind == TokenKind::Preprocessor &&
             tokens[i].text == "pragma" && tokens[i + 1].text == "once")
@@ -170,7 +185,7 @@ includeGuard(const FileContext& ctx, const LexedFile& lexed,
         }
         if (tokens[i].text == "define" && i + 1 < tokens.size() &&
             !guard.empty() && tokens[i + 1].text == guard) {
-            if (ctx.isLibrary && guard.rfind("SMOOTHE_", 0) != 0) {
+            if (in.ctx.isLibrary && guard.rfind("SMOOTHE_", 0) != 0) {
                 out.push_back({"include-guard", "", tokens[i].line,
                                "include guard `" + guard +
                                    "` must start with SMOOTHE_"});
@@ -184,68 +199,55 @@ includeGuard(const FileContext& ctx, const LexedFile& lexed,
                    "#define, or #pragma once)"});
 }
 
+/**
+ * tape-in-loop, scope-aware since v2. Flags constructions of ad::Tape
+ * inside a Loop scope in library code: `Tape t(...)`, a temporary
+ * `Tape(...)`, or an owning wrapper like std::optional<Tape>. The
+ * scope tree kills v1's false-positive class: `span<Tape>`,
+ * `std::is_same_v<T, Tape>`, and any mention outside a loop no longer
+ * fire.
+ */
 void
-tapeInLoop(const FileContext& ctx, const LexedFile& lexed,
-           std::vector<Finding>& out)
+tapeInLoop(const RuleInputs& in, std::vector<Finding>& out)
 {
-    if (!ctx.isLibrary)
+    if (!in.ctx.isLibrary)
         return;
-    const auto& tokens = lexed.tokens;
-    int braceDepth = 0;
-    int parenDepth = 0;
-    // Brace depths of the loop bodies currently open.
-    std::vector<int> loopBodies;
-    // A for/while/do was seen; the next `{` outside parens opens its body.
-    bool pendingLoop = false;
+    const auto& tokens = in.lexed.tokens;
     for (std::size_t i = 0; i < tokens.size(); ++i) {
         const Token& tok = tokens[i];
-        if (tok.kind == TokenKind::Punct) {
-            if (tok.text == "(") {
-                ++parenDepth;
-            } else if (tok.text == ")") {
-                if (parenDepth > 0)
-                    --parenDepth;
-            } else if (tok.text == "{") {
-                ++braceDepth;
-                if (pendingLoop && parenDepth == 0) {
-                    loopBodies.push_back(braceDepth);
-                    pendingLoop = false;
-                }
-            } else if (tok.text == "}") {
-                if (!loopBodies.empty() && loopBodies.back() == braceDepth)
-                    loopBodies.pop_back();
-                if (braceDepth > 0)
-                    --braceDepth;
-            } else if (tok.text == ";" && parenDepth == 0) {
-                // Brace-less body (`for (...) stmt;`) or the trailing
-                // `while (...)` of a do-while: no body to track.
-                pendingLoop = false;
-            }
+        if (tok.kind != TokenKind::Identifier || tok.text != "Tape")
             continue;
-        }
-        if (tok.kind != TokenKind::Identifier)
-            continue;
-        if (tok.text == "for" || tok.text == "while" || tok.text == "do") {
-            pendingLoop = true;
-            continue;
-        }
-        if (tok.text != "Tape" || loopBodies.empty())
-            continue;
-        // Only declarations that construct: `Tape t(...)`, a temporary
-        // `Tape(...)`, or a wrapper like `optional<Tape>`. References,
-        // pointers, and qualified mentions (`Tape::`) don't allocate.
-        const Token* after =
-            i + 1 < tokens.size() ? &tokens[i + 1] : nullptr;
-        const bool constructs =
-            after != nullptr &&
-            (after->kind == TokenKind::Identifier ||
-             (after->kind == TokenKind::Punct &&
-              (after->text == "(" || after->text == ">")));
-        if (!constructs)
+        const int scope = in.scopes.scopeAt(i);
+        if (in.scopes.scopes[scope].loopDepth == 0)
             continue;
         const Token* before = prev(tokens, i);
+        // Qualified mentions (`Tape::replay`), references, pointers,
+        // and type definitions don't allocate.
+        if (isPunctAt(tokens, i + 1, "::") ||
+            isPunctAt(tokens, i + 1, "&") || isPunctAt(tokens, i + 1, "*"))
+            continue;
         if (isText(before, "class") || isText(before, "struct") ||
             isText(before, "enum"))
+            continue;
+        bool constructs = false;
+        if (i + 1 < tokens.size() &&
+            (tokens[i + 1].kind == TokenKind::Identifier ||
+             isPunctAt(tokens, i + 1, "(") || isPunctAt(tokens, i + 1, "{")))
+            constructs = true; // `Tape t...` or a temporary
+        if (isPunctAt(tokens, i + 1, ">") && i >= 2 &&
+            isPunctAt(tokens, i - 1, "<")) {
+            // `Wrapper<Tape>` constructs only for owning wrappers.
+            static const char* const kOwning[] = {
+                "optional",    "unique_ptr", "shared_ptr",
+                "make_unique", "make_shared", "vector", "deque",
+            };
+            for (const char* owner : kOwning) {
+                if (tokens[i - 2].kind == TokenKind::Identifier &&
+                    tokens[i - 2].text == owner)
+                    constructs = true;
+            }
+        }
+        if (!constructs)
             continue;
         out.push_back({"tape-in-loop", "", tok.line,
                        "Tape constructed inside a loop — record once and "
@@ -254,8 +256,390 @@ tapeInLoop(const FileContext& ctx, const LexedFile& lexed,
     }
 }
 
-using RuleFn = void (*)(const FileContext&, const LexedFile&,
-                        std::vector<Finding>&);
+// ---------------------------------------------------------------------
+// The v2 concurrency & determinism pack.
+// ---------------------------------------------------------------------
+
+bool
+isParallelEntryPoint(const std::string& name)
+{
+    return name == "parallelFor" || name == "parallelForChunks" ||
+           name == "parallelChunks" || name == "parallel_for" ||
+           name == "parallelForEach";
+}
+
+/**
+ * Token spans `(argBegin, argEnd)` of the argument lists of calls to
+ * the thread-pool entry points — lambdas whose body starts inside one
+ * of these spans run concurrently.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+parallelCallSpans(const LexedFile& lexed)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+    const auto& tokens = lexed.tokens;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].kind != TokenKind::Identifier ||
+            !isParallelEntryPoint(tokens[i].text) ||
+            !isPunctAt(tokens, i + 1, "("))
+            continue;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+            if (isPunctAt(tokens, j, "(")) {
+                ++depth;
+            } else if (isPunctAt(tokens, j, ")")) {
+                if (--depth == 0) {
+                    spans.emplace_back(i + 2, j);
+                    break;
+                }
+            }
+        }
+    }
+    return spans;
+}
+
+/** True when `scope` equals or descends from `ancestor`. */
+bool
+withinScope(const ScopeTree& scopes, int scope, int ancestor)
+{
+    for (int s = scope; s >= 0; s = scopes.scopes[s].parent) {
+        if (s == ancestor)
+            return true;
+    }
+    return false;
+}
+
+/** How the lambda at `lambdaScope` captures `name`, resolved against
+ *  the declaration it would bind to. */
+struct CaptureBinding
+{
+    bool byRef = false;
+    const Declaration* decl = nullptr; ///< the captured local, if known
+};
+
+std::optional<CaptureBinding>
+resolveCapture(const ScopeTree& scopes, int lambdaScope,
+               const std::string& name)
+{
+    const Scope& lambda = scopes.scopes[lambdaScope];
+    bool defaultRef = false;
+    bool defaultCopy = false;
+    for (const Capture& cap : lambda.captures) {
+        if (cap.isDefault) {
+            (cap.byRef ? defaultRef : defaultCopy) = true;
+            continue;
+        }
+        if (cap.name != name)
+            continue;
+        if (cap.isInit)
+            return std::nullopt; // init capture owns its own copy
+        CaptureBinding binding;
+        binding.byRef = cap.byRef;
+        binding.decl = scopes.findLocal(lambda.parent, name);
+        return binding;
+    }
+    if (defaultRef || defaultCopy) {
+        const Declaration* decl = scopes.findLocal(lambda.parent, name);
+        if (decl == nullptr)
+            return std::nullopt; // member/global/type — not a capture
+        CaptureBinding binding;
+        binding.byRef = defaultRef;
+        binding.decl = decl;
+        return binding;
+    }
+    return std::nullopt;
+}
+
+bool
+typeLooksAtomic(const std::string& typeText)
+{
+    return contains(typeText, "atomic");
+}
+
+bool
+typeLooksFloating(const std::string& typeText)
+{
+    return contains(typeText, "float") || contains(typeText, "double");
+}
+
+/** True when any scope inside the lambda declares a lock guard — all
+ *  writes in the body are then considered synchronized. */
+bool
+lambdaHoldsLock(const ScopeTree& scopes, int lambdaScope)
+{
+    for (std::size_t s = 0; s < scopes.scopes.size(); ++s) {
+        if (!withinScope(scopes, static_cast<int>(s), lambdaScope))
+            continue;
+        for (const Declaration& decl : scopes.scopes[s].locals) {
+            if (contains(decl.typeText, "lock_guard") ||
+                contains(decl.typeText, "scoped_lock") ||
+                contains(decl.typeText, "unique_lock"))
+                return true;
+        }
+    }
+    return false;
+}
+
+/** The kind of write starting at identifier index i, or none. */
+enum class WriteKind { None, Assign, Accumulate, IncDec };
+
+WriteKind
+classifyWrite(const std::vector<Token>& tokens, std::size_t i)
+{
+    // Subscripted writes (`out[chunk] = ...`) are the sanctioned
+    // disjoint-indexing idiom; member writes we cannot reason about.
+    if (isPunctAt(tokens, i + 1, "["))
+        return WriteKind::None;
+    const Token* before = prev(tokens, i);
+    if (isText(before, ".") || isText(before, "->") ||
+        isText(before, "::"))
+        return WriteKind::None;
+    if (isPunctAt(tokens, i + 1, "=")) {
+        // The lexer splits `==` into two tokens: require a lone `=`.
+        if (isPunctAt(tokens, i + 2, "="))
+            return WriteKind::None;
+        return WriteKind::Assign;
+    }
+    if (i + 2 < tokens.size() && isPunctAt(tokens, i + 2, "=")) {
+        const std::string& op = tokens[i + 1].text;
+        if (tokens[i + 1].kind == TokenKind::Punct &&
+            (op == "+" || op == "-" || op == "*" || op == "/" ||
+             op == "|" || op == "&" || op == "^"))
+            return WriteKind::Accumulate;
+    }
+    const bool postInc = isPunctAt(tokens, i + 1, "+") &&
+                         isPunctAt(tokens, i + 2, "+");
+    const bool postDec = isPunctAt(tokens, i + 1, "-") &&
+                         isPunctAt(tokens, i + 2, "-");
+    const bool preInc = i >= 2 && isPunctAt(tokens, i - 2, "+") &&
+                        isPunctAt(tokens, i - 1, "+");
+    const bool preDec = i >= 2 && isPunctAt(tokens, i - 2, "-") &&
+                        isPunctAt(tokens, i - 1, "-");
+    if (postInc || postDec || preInc || preDec)
+        return WriteKind::IncDec;
+    return WriteKind::None;
+}
+
+/**
+ * parallel-capture-race + nondet-reduction: writes to by-ref-captured
+ * locals inside lambdas that run on the thread pool.
+ */
+void
+parallelCaptureRules(const RuleInputs& in, std::vector<Finding>& out)
+{
+    if (!in.ctx.isLibrary)
+        return;
+    const auto spans = parallelCallSpans(in.lexed);
+    if (spans.empty())
+        return;
+    const auto& tokens = in.lexed.tokens;
+    for (std::size_t s = 0; s < in.scopes.scopes.size(); ++s) {
+        const Scope& lambda = in.scopes.scopes[s];
+        if (lambda.kind != ScopeKind::Lambda)
+            continue;
+        const bool parallel =
+            std::any_of(spans.begin(), spans.end(), [&](const auto& span) {
+                return span.first <= lambda.beginTok &&
+                       lambda.beginTok < span.second;
+            });
+        if (!parallel)
+            continue;
+        const int lambdaScope = static_cast<int>(s);
+        if (lambdaHoldsLock(in.scopes, lambdaScope))
+            continue;
+        for (std::size_t i = lambda.beginTok; i < lambda.endTok; ++i) {
+            if (tokens[i].kind != TokenKind::Identifier)
+                continue;
+            const WriteKind write = classifyWrite(tokens, i);
+            if (write == WriteKind::None)
+                continue;
+            const std::string& name = tokens[i].text;
+            // A name redeclared inside the lambda is per-invocation.
+            const Declaration* inner =
+                in.scopes.findLocal(in.scopes.scopeAt(i), name);
+            const Declaration* outer =
+                in.scopes.findLocal(lambda.parent, name);
+            if (inner != nullptr && inner != outer)
+                continue;
+            const auto binding =
+                resolveCapture(in.scopes, lambdaScope, name);
+            if (!binding || !binding->byRef)
+                continue;
+            const std::string typeText =
+                binding->decl != nullptr ? binding->decl->typeText : "";
+            if (typeLooksAtomic(typeText) || contains(typeText, "mutex"))
+                continue;
+            if (write == WriteKind::Accumulate &&
+                typeLooksFloating(typeText)) {
+                out.push_back(
+                    {"nondet-reduction", "", tokens[i].line,
+                     "floating-point accumulation into by-ref capture `" +
+                         name +
+                         "` inside a parallel lambda — the sum order "
+                         "depends on chunking; reduce into per-chunk "
+                         "buffers and combine in index order"});
+            } else {
+                out.push_back(
+                    {"parallel-capture-race", "", tokens[i].line,
+                     "write to by-ref capture `" + name +
+                         "` inside a parallel lambda without atomics, a "
+                         "lock, or per-chunk indexing"});
+            }
+        }
+    }
+}
+
+/**
+ * fma-in-kernel: the SIMD parity contract (DESIGN.md "Vectorized
+ * backend") requires AVX2 results to be bit-identical to the scalar
+ * loops, which bans fused multiply-add's single rounding.
+ */
+void
+fmaInKernel(const RuleInputs& in, std::vector<Finding>& out)
+{
+    if (!startsWith(in.ctx.path, "src/tensor/"))
+        return;
+    const auto& tokens = in.lexed.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& tok = tokens[i];
+        if (tok.kind == TokenKind::Identifier) {
+            const bool intrinsic = startsWith(tok.text, "_mm256_fmadd") ||
+                                   startsWith(tok.text, "_mm256_fmsub") ||
+                                   startsWith(tok.text, "_mm_fmadd") ||
+                                   startsWith(tok.text, "_mm_fmsub");
+            const bool stdFma =
+                (tok.text == "fma" || tok.text == "fmaf") &&
+                nextIsOpenParen(tokens, i) &&
+                !isText(prev(tokens, i), ".") &&
+                !isText(prev(tokens, i), "->");
+            if (intrinsic || stdFma) {
+                out.push_back({"fma-in-kernel", "", tok.line,
+                               "`" + tok.text +
+                                   "` fuses the multiply-add rounding — "
+                                   "scalar and AVX2 kernels must stay "
+                                   "bit-identical, keep mul and add "
+                                   "separate"});
+                continue;
+            }
+            if (tok.text == "FP_CONTRACT" && i > 0 &&
+                tokens[i - 1].text == "STDC") {
+                out.push_back({"fma-in-kernel", "", tok.line,
+                               "#pragma STDC FP_CONTRACT can fuse "
+                               "multiply-adds — the SIMD parity contract "
+                               "requires explicit rounding"});
+            }
+            continue;
+        }
+        if (tok.kind == TokenKind::StringLiteral &&
+            contains(tok.text, "fast-math")) {
+            out.push_back({"fma-in-kernel", "", tok.line,
+                           "fast-math in a kernel file breaks the "
+                           "bitwise scalar/AVX2 parity contract"});
+        }
+    }
+}
+
+/**
+ * relaxed-atomic-handshake: memory_order_relaxed gives no ordering for
+ * surrounding non-atomic data, so it is reserved for the allowlisted
+ * pure-counter and dispatch-cache patterns.
+ */
+void
+relaxedAtomicHandshake(const RuleInputs& in, std::vector<Finding>& out)
+{
+    if (!in.ctx.isLibrary)
+        return;
+    // The allowlist: telemetry counters (src/obs) and the SIMD level
+    // cache, whose only guarded datum is the atomic itself.
+    static const char* const kAllowedFiles[] = {
+        "src/obs/",
+        "src/tensor/simd.cpp",
+        // Arena used_/peak_ accounting counters — pure counters whose
+        // atomics guard only their own value; readers tolerate stale
+        // totals by design.
+        "src/tensor/tensor.hpp",
+    };
+    for (const char* allowed : kAllowedFiles) {
+        if (contains(in.ctx.path, allowed))
+            return;
+    }
+    for (const Token& tok : in.lexed.tokens) {
+        if (tok.kind == TokenKind::Identifier &&
+            tok.text == "memory_order_relaxed") {
+            out.push_back(
+                {"relaxed-atomic-handshake", "", tok.line,
+                 "memory_order_relaxed outside the allowlisted "
+                 "counter/dispatch-cache patterns — relaxed atomics "
+                 "cannot hand non-atomic data between threads; use "
+                 "acquire/release or justify with a suppression"});
+        }
+    }
+}
+
+/**
+ * avx2-parity-coverage (project-level): every non-internal kernel
+ * defined in kernels_avx2.cpp must be reachable from
+ * tests/test_simd.cpp — either named there directly or through a
+ * dispatcher function that references `avx2::kernel` and is itself
+ * called from the test.
+ */
+void
+avx2ParityCoverage(const RuleInputs& in, std::vector<Finding>& out)
+{
+    constexpr const char* kKernelFile = "kernels_avx2.cpp";
+    constexpr const char* kTestFile = "tests/test_simd.cpp";
+    if (!contains(in.ctx.path, kKernelFile) || in.model == nullptr)
+        return;
+    if (in.model->file(kTestFile) == nullptr)
+        return; // parity tests not in scope of this run
+    for (std::size_t s = 0; s < in.scopes.scopes.size(); ++s) {
+        const Scope& scope = in.scopes.scopes[s];
+        if (scope.kind != ScopeKind::Function || scope.name.empty())
+            continue;
+        bool internal = false;
+        for (int a = static_cast<int>(s); a >= 0;
+             a = in.scopes.scopes[a].parent) {
+            if (in.scopes.scopes[a].kind == ScopeKind::Namespace &&
+                in.scopes.scopes[a].name.empty())
+                internal = true;
+        }
+        if (internal)
+            continue;
+        const std::string symbol = unqualify(scope.name);
+        bool covered = in.model->identifierIn(kTestFile, symbol);
+        // Walk the call chain outward: kernel → dispatcher referencing
+        // avx2::kernel → its callers → ... until a name shows up in the
+        // SIMD test (spmvRows8 is reached as compressedProduct → spmv).
+        std::set<std::string> visited;
+        std::vector<std::string> frontier =
+            in.model->dispatchersOf(symbol, kKernelFile);
+        for (int hop = 0; !covered && hop < 6 && !frontier.empty();
+             ++hop) {
+            std::vector<std::string> next;
+            for (const std::string& fn : frontier) {
+                if (!visited.insert(fn).second)
+                    continue;
+                if (in.model->identifierIn(kTestFile, fn)) {
+                    covered = true;
+                    break;
+                }
+                const auto callers = in.model->callersOf(fn, kKernelFile);
+                next.insert(next.end(), callers.begin(), callers.end());
+            }
+            frontier = std::move(next);
+        }
+        if (covered)
+            continue;
+        out.push_back(
+            {"avx2-parity-coverage", "", scope.beginLine,
+             "AVX2 kernel `" + symbol +
+                 "` is not reachable from tests/test_simd.cpp — add "
+                 "a parity test (directly or via its dispatcher) so "
+                 "the bitwise scalar/AVX2 contract stays enforced"});
+    }
+}
+
+using RuleFn = void (*)(const RuleInputs&, std::vector<Finding>&);
 
 struct Rule
 {
@@ -267,21 +651,106 @@ const std::vector<Rule>&
 rules()
 {
     static const std::vector<Rule> all = {
-        {{"raw-new", "no raw new outside the allocator machinery"},
+        {{"raw-new", "no raw new outside the allocator machinery",
+          "Manual allocations leak on early returns and exceptions; "
+          "ownership lives in containers, std::unique_ptr, or the "
+          "tensor Arena, which also feeds the peak-memory telemetry.",
+          "auto node = std::make_unique<Node>(args);  // not: new Node"},
          &rawNewDelete},
-        {{"raw-delete", "no raw delete (covered by raw-new's walker)"},
+        {{"raw-delete", "no raw delete (covered by raw-new's walker)",
+          "A delete implies a matching raw new somewhere; both sides "
+          "move into an owning type.",
+          "owner.reset();  // not: delete ptr"},
          nullptr},
-        {{"std-thread", "threads only via util::ThreadPool"}, &stdThread},
-        {{"no-rand", "library randomness/time only via util::Rng"},
+        {{"std-thread", "threads only via util::ThreadPool",
+          "Ad-hoc std::thread bypasses --threads, deterministic "
+          "chunking, and centralized shutdown; the pool also keeps "
+          "results bit-identical at any worker count.",
+          "pool.parallelFor(0, n, grain, [&](size_t b, size_t e) "
+          "{ ... });  // not: std::thread t(...)"},
+         &stdThread},
+        {{"no-rand", "library randomness/time only via util::Rng",
+          "rand()/srand()/time() make runs irreproducible; every "
+          "stochastic path must draw from a seeded util::Rng stream.",
+          "util::Rng rng(seed); double u = rng.uniform();  // not: "
+          "rand()"},
          &noRand},
-        {{"no-assert", "contracts instead of assert()"}, &noAssert},
-        {{"iostream-header", "no <iostream> in library headers"},
+        {{"no-assert", "contracts instead of assert()",
+          "assert() compiles out under NDEBUG, so release builds lose "
+          "the check; the SMOOTHE_CHECK family stays on, reports "
+          "through telemetry, and supports failure modes.",
+          "SMOOTHE_CHECK(n > 0, \"empty e-class\");  // not: "
+          "assert(n > 0)"},
+         &noAssert},
+        {{"iostream-header", "no <iostream> in library headers",
+          "<iostream> injects the ios_base static initializer into "
+          "every translation unit that includes the header.",
+          "#include <iosfwd>  // header; <ostream> in the .cpp"},
          &iostreamHeader},
-        {{"include-guard", "SMOOTHE_-prefixed guards or pragma once"},
+        {{"include-guard", "SMOOTHE_-prefixed guards or pragma once",
+          "Unprefixed guards collide across projects; the SMOOTHE_ "
+          "namespace makes every guard unique and greppable.",
+          "#ifndef SMOOTHE_TENSOR_KERNELS_HPP"},
          &includeGuard},
         {{"tape-in-loop",
-          "no per-iteration Tape construction — compile once, replay"},
+          "no per-iteration Tape construction — compile once, replay",
+          "Recording a Tape per iteration rebuilds the whole graph "
+          "every step; DESIGN.md \"Compiled execution plan\" records "
+          "once and replays the compiled ad::Program. Scope-aware "
+          "since v2: only real constructions inside Loop scopes fire.",
+          "ad::Tape tape(...); auto prog = tape.compile(); for (...) "
+          "{ prog.forward(); }  // not: for (...) { Tape t(...); }"},
          &tapeInLoop},
+        {{"parallel-capture-race",
+          "no unsynchronized writes to by-ref captures in parallel "
+          "lambdas",
+          "A lambda handed to ThreadPool::parallelFor runs on several "
+          "workers at once; writing a by-ref-captured local without "
+          "atomics, a lock, or per-chunk indexing is a data race (TSan "
+          "finds it only when the schedule cooperates; this rule finds "
+          "it always).",
+          "std::vector<T> perChunk(chunks); pool.parallelForChunks(..., "
+          "[&](size_t c, ...) { perChunk[c] = ...; });  // not: "
+          "[&total](...) { total = ...; }"},
+         &parallelCaptureRules},
+        {{"nondet-reduction",
+          "no order-dependent float accumulation in parallel lambdas",
+          "Floating-point addition is not associative: accumulating "
+          "+=/*= into a shared capture makes the result depend on "
+          "chunk interleaving, breaking the bit-identical-at-any-"
+          "thread-count contract (PR 3).",
+          "reduce into perChunk[c] inside the lambda, then combine the "
+          "chunk results in index order on the caller"},
+         nullptr},
+        {{"fma-in-kernel",
+          "no FMA / fast-math in src/tensor kernels",
+          "Fused multiply-add rounds once where mul+add round twice, "
+          "so an FMA kernel diverges bitwise from the scalar reference "
+          "— the SIMD parity suite (tests/test_simd.cpp) would fail on "
+          "exactly the inputs it samples.",
+          "acc = _mm256_add_ps(acc, _mm256_mul_ps(a, b));  // not: "
+          "_mm256_fmadd_ps(a, b, acc)"},
+         &fmaInKernel},
+        {{"relaxed-atomic-handshake",
+          "memory_order_relaxed only for allowlisted counters/caches",
+          "Relaxed atomics order nothing but themselves: publishing "
+          "non-atomic data behind a relaxed flag is a race. Telemetry "
+          "counters (src/obs), the SIMD level cache, and the Arena "
+          "accounting counters guard only their own value and are "
+          "allowlisted.",
+          "flag.store(true, std::memory_order_release); ... "
+          "flag.load(std::memory_order_acquire)"},
+         &relaxedAtomicHandshake},
+        {{"avx2-parity-coverage",
+          "every AVX2 kernel is exercised by tests/test_simd.cpp",
+          "An AVX2 kernel without a parity test can silently diverge "
+          "from the scalar reference; the cross-file project model "
+          "checks each kernel symbol is reachable from the SIMD test, "
+          "directly or through its runtime dispatcher.",
+          "add a test in tests/test_simd.cpp that drives the kernel's "
+          "dispatcher at SMOOTHE_SIMD=avx2 and =scalar and compares "
+          "bitwise"},
+         &avx2ParityCoverage},
     };
     return all;
 }
@@ -300,19 +769,29 @@ ruleCatalog()
     return catalog;
 }
 
+const RuleInfo*
+findRule(const std::string& name)
+{
+    for (const RuleInfo& info : ruleCatalog()) {
+        if (name == info.name)
+            return &info;
+    }
+    return nullptr;
+}
+
 std::vector<Finding>
-runRules(const FileContext& ctx, const LexedFile& lexed)
+runRules(const RuleInputs& inputs)
 {
     std::vector<Finding> all;
     for (const Rule& rule : rules()) {
         if (rule.fn != nullptr)
-            rule.fn(ctx, lexed, all);
+            rule.fn(inputs, all);
     }
     std::vector<Finding> kept;
     for (Finding& finding : all) {
-        if (lexed.suppressed(finding.rule, finding.line))
+        if (inputs.lexed.suppressed(finding.rule, finding.line))
             continue;
-        finding.path = ctx.path;
+        finding.path = inputs.ctx.path;
         kept.push_back(std::move(finding));
     }
     std::stable_sort(kept.begin(), kept.end(),
@@ -320,6 +799,13 @@ runRules(const FileContext& ctx, const LexedFile& lexed)
                          return a.line < b.line;
                      });
     return kept;
+}
+
+std::vector<Finding>
+runRules(const FileContext& ctx, const LexedFile& lexed)
+{
+    const ScopeTree scopes = buildScopeTree(lexed);
+    return runRules(RuleInputs{ctx, lexed, scopes, nullptr});
 }
 
 } // namespace smoothe::lint

@@ -2,7 +2,7 @@
  * @file
  * The smoothe_lint rule set. Each rule encodes a project convention the
  * compiler cannot enforce (see DESIGN.md "Correctness tooling & static
- * analysis"):
+ * analysis" and "Static analysis v2"):
  *
  *   raw-new / raw-delete  no manual new/delete; memory goes through
  *                         containers, unique_ptr, or the tensor Arena
@@ -17,11 +17,27 @@
  *                         guard or #pragma once
  *   tape-in-loop          no Tape construction inside loop bodies in
  *                         library code — record once and replay through
- *                         ad::Program (DESIGN.md "Compiled execution
- *                         plan"); suppress for intentional eager paths
+ *                         ad::Program (scope-aware since v2)
+ *
+ * The v2 concurrency & determinism pack (scope tree + project model):
+ *
+ *   parallel-capture-race    lambda passed to parallelFor/parallel_*
+ *                            writes a by-ref-captured local without
+ *                            atomics, a lock, or per-chunk indexing
+ *   nondet-reduction         float += or *= accumulation in a parallel
+ *                            lambda — result depends on chunk order
+ *   fma-in-kernel            FMA intrinsics / std::fma / FP_CONTRACT /
+ *                            -ffast-math in src/tensor (the bitwise
+ *                            SIMD-parity contract bans fused rounding)
+ *   relaxed-atomic-handshake memory_order_relaxed outside the allowlisted
+ *                            counter/dispatch-cache patterns
+ *   avx2-parity-coverage     every kernel defined in kernels_avx2.cpp is
+ *                            reachable from tests/test_simd.cpp (cross-
+ *                            file, needs the project model)
  *
  * Findings on a line with (or directly below) a comment
- * `// smoothe-lint: allow(<rule>)` are suppressed.
+ * `// smoothe-lint: allow(<rule>)` are suppressed; the same marker in a
+ * block comment ending on that line works too.
  */
 
 #ifndef SMOOTHE_LINT_RULES_HPP
@@ -31,6 +47,8 @@
 #include <vector>
 
 #include "lint/lexer.hpp"
+#include "lint/project_model.hpp"
+#include "lint/scope_tree.hpp"
 
 namespace smoothe::lint {
 
@@ -51,20 +69,39 @@ struct FileContext
     bool isLibrary = false;///< under src/ (library conventions apply)
 };
 
-/** Name + summary, for `smoothe_lint --list-rules`. */
+/** Name, summary, and `--explain` material for one rule. */
 struct RuleInfo
 {
     const char* name;
     const char* summary;
+    const char* rationale; ///< why the convention exists
+    const char* fix;       ///< a short fix example
+};
+
+/** Everything a rule may consult for one file. */
+struct RuleInputs
+{
+    const FileContext& ctx;
+    const LexedFile& lexed;
+    const ScopeTree& scopes;
+    /** Cross-file facts; nullptr for single-file runs, in which case
+     *  project-level rules stay silent. */
+    const ProjectModel* model = nullptr;
 };
 
 /** All rules, in the order they run. */
 const std::vector<RuleInfo>& ruleCatalog();
 
+/** The catalog entry for `name`, or nullptr. */
+const RuleInfo* findRule(const std::string& name);
+
 /**
- * Runs every rule over a lexed file and returns the unsuppressed
+ * Runs every rule over one analyzed file and returns the unsuppressed
  * findings, in line order.
  */
+std::vector<Finding> runRules(const RuleInputs& inputs);
+
+/** Single-file convenience: builds the scope tree, no project model. */
 std::vector<Finding> runRules(const FileContext& ctx,
                               const LexedFile& lexed);
 

@@ -1,0 +1,174 @@
+#include "lint/sarif.hpp"
+
+#include "lint/rules.hpp"
+
+namespace smoothe::lint {
+
+namespace {
+
+constexpr const char* kSarifVersion = "2.1.0";
+constexpr const char* kSarifSchema =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json";
+
+bool
+fail(std::string* error, const std::string& message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+util::Json
+renderSarif(const LintReport& report)
+{
+    util::Json rules = util::Json::makeArray();
+    for (const RuleInfo& info : ruleCatalog()) {
+        util::Json rule = util::Json::makeObject();
+        rule.set("id", info.name);
+        util::Json desc = util::Json::makeObject();
+        desc.set("text", info.summary);
+        rule.set("shortDescription", std::move(desc));
+        util::Json full = util::Json::makeObject();
+        full.set("text", info.rationale);
+        rule.set("fullDescription", std::move(full));
+        rules.push(std::move(rule));
+    }
+
+    util::Json driver = util::Json::makeObject();
+    driver.set("name", "smoothe_lint");
+    driver.set("informationUri",
+               "https://github.com/smoothe/smoothe (DESIGN.md \"Static "
+               "analysis v2\")");
+    driver.set("rules", std::move(rules));
+    util::Json tool = util::Json::makeObject();
+    tool.set("driver", std::move(driver));
+
+    util::Json results = util::Json::makeArray();
+    for (const Finding& finding : report.findings) {
+        util::Json message = util::Json::makeObject();
+        message.set("text", finding.message);
+
+        util::Json artifact = util::Json::makeObject();
+        artifact.set("uri", finding.path);
+        util::Json region = util::Json::makeObject();
+        region.set("startLine", finding.line);
+        util::Json physical = util::Json::makeObject();
+        physical.set("artifactLocation", std::move(artifact));
+        physical.set("region", std::move(region));
+        util::Json location = util::Json::makeObject();
+        location.set("physicalLocation", std::move(physical));
+        util::Json locations = util::Json::makeArray();
+        locations.push(std::move(location));
+
+        util::Json result = util::Json::makeObject();
+        result.set("ruleId", finding.rule);
+        result.set("level", "error");
+        result.set("message", std::move(message));
+        result.set("locations", std::move(locations));
+        results.push(std::move(result));
+    }
+
+    util::Json run = util::Json::makeObject();
+    run.set("tool", std::move(tool));
+    run.set("results", std::move(results));
+    util::Json runs = util::Json::makeArray();
+    runs.push(std::move(run));
+
+    util::Json doc = util::Json::makeObject();
+    doc.set("$schema", kSarifSchema);
+    doc.set("version", kSarifVersion);
+    doc.set("runs", std::move(runs));
+    return doc;
+}
+
+bool
+validateSarif(const util::Json& doc, std::string* error)
+{
+    if (!doc.isObject())
+        return fail(error, "document must be an object");
+    const util::Json* version = doc.find("version");
+    if (version == nullptr || !version->isString() ||
+        version->asString() != kSarifVersion)
+        return fail(error, "version must be the string \"2.1.0\"");
+    const util::Json* runs = doc.find("runs");
+    if (runs == nullptr || !runs->isArray())
+        return fail(error, "runs must be an array");
+    for (const util::Json& run : runs->asArray()) {
+        if (!run.isObject())
+            return fail(error, "run must be an object");
+        const util::Json* tool = run.find("tool");
+        if (tool == nullptr || !tool->isObject())
+            return fail(error, "run.tool must be an object");
+        const util::Json* driver = tool->find("driver");
+        if (driver == nullptr || !driver->isObject())
+            return fail(error, "run.tool.driver must be an object");
+        const util::Json* name = driver->find("name");
+        if (name == nullptr || !name->isString())
+            return fail(error, "tool.driver.name must be a string");
+        const util::Json* rules = driver->find("rules");
+        if (rules != nullptr) {
+            if (!rules->isArray())
+                return fail(error, "tool.driver.rules must be an array");
+            for (const util::Json& rule : rules->asArray()) {
+                const util::Json* id =
+                    rule.isObject() ? rule.find("id") : nullptr;
+                if (id == nullptr || !id->isString())
+                    return fail(error, "every rule needs a string id");
+            }
+        }
+        const util::Json* results = run.find("results");
+        if (results == nullptr || !results->isArray())
+            return fail(error, "run.results must be an array");
+        for (const util::Json& result : results->asArray()) {
+            if (!result.isObject())
+                return fail(error, "result must be an object");
+            const util::Json* message = result.find("message");
+            if (message == nullptr || !message->isObject() ||
+                message->find("text") == nullptr ||
+                !message->find("text")->isString())
+                return fail(error,
+                            "result.message.text must be a string");
+            const util::Json* ruleId = result.find("ruleId");
+            if (ruleId == nullptr || !ruleId->isString())
+                return fail(error, "result.ruleId must be a string");
+            const util::Json* locations = result.find("locations");
+            if (locations == nullptr)
+                continue; // locations are optional in the schema
+            if (!locations->isArray())
+                return fail(error, "result.locations must be an array");
+            for (const util::Json& location : locations->asArray()) {
+                const util::Json* physical =
+                    location.isObject()
+                        ? location.find("physicalLocation")
+                        : nullptr;
+                if (physical == nullptr || !physical->isObject())
+                    continue;
+                const util::Json* artifact =
+                    physical->find("artifactLocation");
+                if (artifact == nullptr || !artifact->isObject() ||
+                    artifact->find("uri") == nullptr ||
+                    !artifact->find("uri")->isString())
+                    return fail(error,
+                                "physicalLocation.artifactLocation.uri "
+                                "must be a string");
+                const util::Json* region = physical->find("region");
+                if (region != nullptr) {
+                    const util::Json* startLine =
+                        region->isObject() ? region->find("startLine")
+                                           : nullptr;
+                    if (startLine == nullptr || !startLine->isNumber() ||
+                        startLine->asNumber() < 1)
+                        return fail(error,
+                                    "region.startLine must be a number "
+                                    ">= 1");
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace smoothe::lint

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * SARIF 2.1.0 rendering for smoothe_lint, so CI can upload the report
+ * and code hosts annotate the offending lines.
+ *
+ * Only the required slice of the schema is emitted: one run, one tool
+ * driver carrying the rule catalog, and one result per finding with a
+ * physical location (artifact URI + start line). `validateSarif`
+ * re-checks that shape structurally — the same subset the 2.1.0 schema
+ * marks `required` — so the round-trip is testable without an external
+ * schema validator (no new dependencies allowed in this container).
+ */
+
+#ifndef SMOOTHE_LINT_SARIF_HPP
+#define SMOOTHE_LINT_SARIF_HPP
+
+#include <string>
+
+#include "lint/linter.hpp"
+#include "util/json.hpp"
+
+namespace smoothe::lint {
+
+/** Renders a lint report as a SARIF 2.1.0 document. */
+util::Json renderSarif(const LintReport& report);
+
+/**
+ * Structurally validates a SARIF document against the required-property
+ * subset of the 2.1.0 schema. Returns true when valid; otherwise fills
+ * `error` with the first violated constraint.
+ */
+bool validateSarif(const util::Json& doc, std::string* error = nullptr);
+
+} // namespace smoothe::lint
+
+#endif // SMOOTHE_LINT_SARIF_HPP

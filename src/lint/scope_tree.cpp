@@ -1,0 +1,1002 @@
+#include "lint/scope_tree.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+namespace smoothe::lint {
+
+namespace {
+
+bool
+isPunct(const Token& tok, const char* text)
+{
+    return tok.kind == TokenKind::Punct && tok.text == text;
+}
+
+bool
+isIdent(const Token& tok, const char* text)
+{
+    return tok.kind == TokenKind::Identifier && tok.text == text;
+}
+
+/** Keywords that can never start a declaration statement. */
+bool
+isStatementKeyword(const std::string& text)
+{
+    static const char* const kKeywords[] = {
+        "return",   "if",      "else",    "for",       "while",
+        "do",       "switch",  "case",    "default",   "break",
+        "continue", "goto",    "using",   "typedef",   "template",
+        "public",   "private", "protected", "friend",  "namespace",
+        "class",    "struct",  "enum",    "union",     "extern",
+        "new",      "delete",  "throw",   "try",       "catch",
+        "sizeof",   "operator", "co_return", "co_await", "co_yield",
+        "static_assert", "asm",
+    };
+    for (const char* kw : kKeywords) {
+        if (text == kw)
+            return true;
+    }
+    return false;
+}
+
+/** cv/storage qualifiers skipped (not recorded) before a declared type. */
+bool
+isDeclPrefix(const std::string& text)
+{
+    return text == "static" || text == "const" || text == "constexpr" ||
+           text == "mutable" || text == "thread_local" ||
+           text == "volatile" || text == "inline" || text == "register";
+}
+
+/** Identifiers allowed between a function signature's `)` and its `{`. */
+bool
+isSignatureSuffix(const std::string& text)
+{
+    return text == "const" || text == "noexcept" || text == "override" ||
+           text == "final" || text == "mutable" || text == "constexpr" ||
+           text == "try";
+}
+
+/** One parsed declarator: the shared machinery of parseDecl. */
+struct ParsedDecl
+{
+    Declaration decl;
+    std::size_t next = 0; ///< index of the token after the declared name
+};
+
+/**
+ * Tries to parse `type name` starting at `pos` (statement or parameter
+ * start). Returns std::nullopt when the tokens do not look like a
+ * declaration. Initializers are NOT consumed: `next` points at the
+ * terminator (`=`, `;`, `(`, `{`, `[`, `,`, `:`, `)`).
+ */
+std::optional<ParsedDecl>
+parseDecl(const std::vector<Token>& tokens, std::size_t pos,
+          std::size_t end)
+{
+    std::string typeText;
+    const auto append = [&](const std::string& text) {
+        if (!typeText.empty() && (std::isalnum(static_cast<unsigned char>(
+                                      text[0])) ||
+                                  text[0] == '_'))
+            typeText += ' ';
+        typeText += text;
+    };
+
+    while (pos < end && tokens[pos].kind == TokenKind::Identifier &&
+           isDeclPrefix(tokens[pos].text))
+        ++pos;
+
+    // Type tokens: identifiers, ::, balanced <...>, then * / & suffixes.
+    std::size_t typeIdents = 0;
+    std::string lastIdent;
+    std::size_t lastIdentAt = 0;
+    bool sawRefOrPtr = false;
+    while (pos < end) {
+        const Token& tok = tokens[pos];
+        if (tok.kind == TokenKind::Identifier) {
+            if (isStatementKeyword(tok.text))
+                return std::nullopt;
+            if (sawRefOrPtr) {
+                // `int* x` — the identifier after * / & is the name.
+                break;
+            }
+            // Peek: an identifier followed by another identifier (or a
+            // terminator) is the declared name, unless what we have so
+            // far is empty.
+            lastIdent = tok.text;
+            lastIdentAt = pos;
+            append(tok.text);
+            ++typeIdents;
+            ++pos;
+            continue;
+        }
+        if (isPunct(tok, "::")) {
+            if (pos + 1 >= end ||
+                tokens[pos + 1].kind != TokenKind::Identifier)
+                return std::nullopt;
+            typeText += "::";
+            lastIdent = tokens[pos + 1].text;
+            lastIdentAt = pos + 1;
+            typeText += lastIdent;
+            pos += 2;
+            continue;
+        }
+        if (isPunct(tok, "<")) {
+            // Balanced template argument list; parentheses inside get
+            // their own depth (function types like Fn<void(int)>).
+            int angle = 0;
+            int paren = 0;
+            std::size_t j = pos;
+            for (; j < end; ++j) {
+                const Token& t = tokens[j];
+                if (t.kind != TokenKind::Punct)
+                    continue;
+                if (t.text == "(") {
+                    ++paren;
+                } else if (t.text == ")") {
+                    if (paren == 0)
+                        return std::nullopt;
+                    --paren;
+                } else if (paren == 0 && t.text == "<") {
+                    ++angle;
+                } else if (paren == 0 && t.text == ">") {
+                    if (--angle == 0)
+                        break;
+                } else if (paren == 0 &&
+                           (t.text == ";" || t.text == "{" ||
+                            t.text == "}")) {
+                    return std::nullopt; // comparison, not template args
+                }
+            }
+            if (j >= end)
+                return std::nullopt;
+            for (std::size_t k = pos; k <= j; ++k)
+                typeText += tokens[k].text;
+            pos = j + 1;
+            continue;
+        }
+        if (isPunct(tok, "*") || isPunct(tok, "&")) {
+            if (typeIdents == 0)
+                return std::nullopt;
+            typeText += ' ';
+            typeText += tok.text;
+            sawRefOrPtr = true;
+            ++pos;
+            continue;
+        }
+        break;
+    }
+
+    if (typeIdents == 0)
+        return std::nullopt;
+
+    std::string name;
+    std::size_t nameAt = pos;
+    if (pos < end && tokens[pos].kind == TokenKind::Identifier &&
+        !isStatementKeyword(tokens[pos].text)) {
+        name = tokens[pos].text;
+        ++pos;
+    } else if (!sawRefOrPtr && typeIdents >= 2) {
+        // `std::vector<int> v` consumed v as the last type ident when
+        // the terminator follows directly: back out one identifier.
+        name = lastIdent;
+        nameAt = lastIdentAt;
+        // Remove the trailing identifier (and its separator) from the
+        // type text.
+        const std::size_t cut = typeText.rfind(name);
+        if (cut == std::string::npos || cut + name.size() != typeText.size())
+            return std::nullopt;
+        typeText.erase(cut);
+        while (!typeText.empty() && typeText.back() == ' ')
+            typeText.pop_back();
+        if (!typeText.empty() && typeText.size() >= 2 &&
+            typeText.substr(typeText.size() - 2) == "::")
+            return std::nullopt; // qualified name, not type + name
+        pos = nameAt + 1;
+    } else {
+        return std::nullopt;
+    }
+
+    if (pos < end) {
+        const Token& term = tokens[pos];
+        const bool ok =
+            term.kind == TokenKind::Punct &&
+            (term.text == "=" || term.text == ";" || term.text == "(" ||
+             term.text == "{" || term.text == "[" || term.text == "," ||
+             term.text == ":" || term.text == ")");
+        if (!ok)
+            return std::nullopt;
+        // `=` might be `==` (comparison, so expressions like `a == b`
+        // never parse as declarations).
+        if (term.text == "=" && pos + 1 < end &&
+            isPunct(tokens[pos + 1], "="))
+            return std::nullopt;
+    }
+    // pos == end means the range boundary (parameter-list segment)
+    // terminates the declarator, which is fine.
+
+    ParsedDecl out;
+    out.decl.name = std::move(name);
+    out.decl.typeText = std::move(typeText);
+    out.decl.line = tokens[nameAt].line;
+    out.next = pos;
+    return out;
+}
+
+/** Parses a parameter list in [pos, end) (exclusive of the parens). */
+std::vector<Declaration>
+parseParams(const std::vector<Token>& tokens, std::size_t pos,
+            std::size_t end)
+{
+    std::vector<Declaration> out;
+    std::size_t segment = pos;
+    int depth = 0;
+    for (std::size_t i = pos; i <= end; ++i) {
+        const bool atEnd = i == end;
+        if (!atEnd && tokens[i].kind == TokenKind::Punct) {
+            const std::string& t = tokens[i].text;
+            if (t == "(" || t == "{" || t == "[" || t == "<")
+                ++depth;
+            else if (t == ")" || t == "}" || t == "]" || t == ">")
+                --depth;
+        }
+        if (atEnd || (depth == 0 && isPunct(tokens[i], ","))) {
+            if (auto parsed = parseDecl(tokens, segment, i)) {
+                parsed->decl.isParameter = true;
+                out.push_back(std::move(parsed->decl));
+            }
+            segment = i + 1;
+        }
+    }
+    return out;
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const LexedFile& lexed) : tokens_(lexed.tokens)
+    {
+        Scope file;
+        file.kind = ScopeKind::File;
+        file.beginLine = 1;
+        file.endLine = std::max(1, lexed.lineCount);
+        file.beginTok = 0;
+        file.endTok = tokens_.size();
+        tree_.scopes.push_back(std::move(file));
+        open_.push_back(0);
+        entryParen_.push_back(0);
+    }
+
+    ScopeTree
+    run()
+    {
+        bool atStmtStart = true;
+        for (std::size_t i = 0; i < tokens_.size(); ++i) {
+            const Token& tok = tokens_[i];
+            if (tok.kind == TokenKind::Preprocessor ||
+                tok.kind == TokenKind::HeaderName)
+                continue; // directives do not affect scope structure
+            if (tok.kind == TokenKind::Punct) {
+                const std::string& t = tok.text;
+                if (t == "(") {
+                    ++parenDepth_;
+                    atStmtStart = false;
+                } else if (t == ")") {
+                    if (parenDepth_ > 0)
+                        --parenDepth_;
+                    atStmtStart = false;
+                    maybeEnterCtorInit(i);
+                } else if (t == ";") {
+                    if (stmtDepth() == 0)
+                        pendingReset();
+                    atStmtStart = true;
+                } else if (t == "{") {
+                    if (pendingCtorInit_ && i > 0 &&
+                        tokens_[i - 1].kind == TokenKind::Identifier) {
+                        i = skipBraces(i);
+                        continue;
+                    }
+                    if (stmtDepth() > 0) {
+                        // A brace inside parentheses is a braced init
+                        // (`while (x > T{0})`, `f(Opts{...})`), never a
+                        // scope — lambda bodies were consumed by
+                        // maybeLambda before reaching here.
+                        i = skipBraces(i);
+                        continue;
+                    }
+                    openScopeAt(i);
+                    atStmtStart = true;
+                } else if (t == "}") {
+                    closeScopeAt(i);
+                    atStmtStart = true;
+                } else if (t == "[") {
+                    const std::size_t advanced = maybeLambda(i);
+                    if (advanced != i) {
+                        i = advanced; // now at the lambda body '{'
+                        atStmtStart = true;
+                    } else {
+                        atStmtStart = false;
+                    }
+                } else {
+                    atStmtStart = false;
+                }
+                continue;
+            }
+            // Identifier / Number / literal tokens.
+            if (tok.kind == TokenKind::Identifier) {
+                if (tok.text == "namespace" && stmtDepth() == 0) {
+                    i = pendNamespace(i);
+                    atStmtStart = false;
+                    continue;
+                }
+                if ((tok.text == "class" || tok.text == "struct" ||
+                     tok.text == "union" || tok.text == "enum") &&
+                    stmtDepth() == 0 && !inTemplateHeader(i)) {
+                    pendClass(i);
+                    atStmtStart = false;
+                    continue;
+                }
+                if (tok.text == "for" || tok.text == "while" ||
+                    tok.text == "do") {
+                    pendingKind_ = ScopeKind::Loop;
+                    pendingActive_ = true;
+                    atStmtStart = false;
+                    continue;
+                }
+                if (atStmtStart && stmtDepth() == 0) {
+                    if (auto parsed = parseDecl(tokens_, i, tokens_.size())) {
+                        cur().locals.push_back(parsed->decl);
+                        i = parsed->next - 1; // resume at the terminator
+                        atStmtStart = false;
+                        continue;
+                    }
+                }
+            }
+            atStmtStart = false;
+        }
+        // Close anything a macro left open so ranges stay sane.
+        while (open_.size() > 1)
+            closeScopeAt(tokens_.empty() ? 0 : tokens_.size() - 1);
+        return std::move(tree_);
+    }
+
+  private:
+    Scope& cur() { return tree_.scopes[open_.back()]; }
+
+    int
+    stmtDepth() const
+    {
+        return parenDepth_ - entryParen_.back();
+    }
+
+    void
+    pendingReset()
+    {
+        pendingActive_ = false;
+        pendingKind_ = ScopeKind::Block;
+        pendingName_.clear();
+        pendingCtorInit_ = false;
+        pendingLocals_.clear();
+    }
+
+    /** `) :` at class/namespace level starts a constructor init list:
+     *  remember the signature so the body brace opens a Function. */
+    void
+    maybeEnterCtorInit(std::size_t i)
+    {
+        const ScopeKind k = cur().kind;
+        if (k != ScopeKind::File && k != ScopeKind::Namespace &&
+            k != ScopeKind::Class)
+            return;
+        if (stmtDepth() != 0)
+            return;
+        if (i + 1 >= tokens_.size() || !isPunct(tokens_[i + 1], ":") ||
+            (i + 2 < tokens_.size() && isPunct(tokens_[i + 2], ":")))
+            return;
+        // Match the signature parens backwards from i and name the ctor.
+        int depth = 0;
+        std::size_t p = i;
+        while (true) {
+            if (isPunct(tokens_[p], ")"))
+                ++depth;
+            else if (isPunct(tokens_[p], "(")) {
+                if (--depth == 0)
+                    break;
+            }
+            if (p == 0)
+                return;
+            --p;
+        }
+        if (p == 0 || tokens_[p - 1].kind != TokenKind::Identifier)
+            return;
+        std::string name = tokens_[p - 1].text;
+        std::size_t e = p - 1;
+        while (e >= 2 && isPunct(tokens_[e - 1], "::") &&
+               tokens_[e - 2].kind == TokenKind::Identifier) {
+            name = tokens_[e - 2].text + "::" + name;
+            e -= 2;
+        }
+        pendingCtorInit_ = true;
+        pendingActive_ = true;
+        pendingKind_ = ScopeKind::Function;
+        pendingName_ = std::move(name);
+        pendingLocals_ = parseParams(tokens_, p + 1, i);
+    }
+
+    /** True when token i sits inside a `template <...>` header, so
+     *  `class`/`typename` there are parameter introducers. */
+    bool
+    inTemplateHeader(std::size_t i) const
+    {
+        // Walk back a short window: template < ... [i] — with no
+        // intervening `>` closing the header.
+        int angle = 0;
+        for (std::size_t back = 0; back < 32 && back < i; ++back) {
+            const Token& tok = tokens_[i - 1 - back];
+            if (tok.kind != TokenKind::Punct &&
+                tok.kind != TokenKind::Identifier)
+                return false;
+            if (isPunct(tok, ">"))
+                ++angle;
+            else if (isPunct(tok, "<")) {
+                if (angle == 0) {
+                    // found the opening <: is it preceded by `template`?
+                    const std::size_t at = i - 1 - back;
+                    return at > 0 && isIdent(tokens_[at - 1], "template");
+                }
+                --angle;
+            } else if (isPunct(tok, ";") || isPunct(tok, "{") ||
+                       isPunct(tok, "}")) {
+                return false;
+            }
+        }
+        return false;
+    }
+
+    std::size_t
+    pendNamespace(std::size_t i)
+    {
+        pendingKind_ = ScopeKind::Namespace;
+        pendingActive_ = true;
+        pendingName_.clear();
+        std::size_t j = i + 1;
+        while (j < tokens_.size()) {
+            if (tokens_[j].kind == TokenKind::Identifier)
+                pendingName_ += tokens_[j].text;
+            else if (isPunct(tokens_[j], "::"))
+                pendingName_ += "::";
+            else
+                break;
+            ++j;
+        }
+        return j - 1;
+    }
+
+    void
+    pendClass(std::size_t i)
+    {
+        pendingKind_ = ScopeKind::Class;
+        pendingActive_ = true;
+        pendingName_.clear();
+        // First identifier after the keyword (skipping `class` of
+        // `enum class` and attribute-ish tokens) names the type.
+        for (std::size_t j = i + 1;
+             j < tokens_.size() && j < i + 8; ++j) {
+            const Token& tok = tokens_[j];
+            if (tok.kind == TokenKind::Identifier) {
+                if (tok.text == "class" || tok.text == "struct" ||
+                    tok.text == "final" || tok.text == "alignas")
+                    continue;
+                pendingName_ = tok.text;
+                return;
+            }
+            if (!isPunct(tok, "::"))
+                return; // anonymous or immediate brace
+        }
+    }
+
+    /** Skips a balanced brace group starting at `{` index i; returns
+     *  the index of the matching `}` (or the last token). */
+    std::size_t
+    skipBraces(std::size_t i)
+    {
+        int depth = 0;
+        for (std::size_t j = i; j < tokens_.size(); ++j) {
+            if (isPunct(tokens_[j], "{"))
+                ++depth;
+            else if (isPunct(tokens_[j], "}")) {
+                if (--depth == 0)
+                    return j;
+            }
+        }
+        return tokens_.empty() ? 0 : tokens_.size() - 1;
+    }
+
+    /**
+     * Called on a `[` token. If it introduces a lambda whose body brace
+     * is found, parses captures + parameters, opens the Lambda scope at
+     * the body `{`, and returns that index. Otherwise returns i.
+     */
+    std::size_t
+    maybeLambda(std::size_t i)
+    {
+        if (i + 1 < tokens_.size() && isPunct(tokens_[i + 1], "[")) {
+            // [[attribute]] — skip to the closing ]].
+            for (std::size_t j = i + 2; j + 1 < tokens_.size(); ++j) {
+                if (isPunct(tokens_[j], "]") &&
+                    isPunct(tokens_[j + 1], "]"))
+                    return j + 1;
+            }
+            return i;
+        }
+        if (i > 0) {
+            const Token& before = tokens_[i - 1];
+            const bool subscript =
+                (before.kind == TokenKind::Identifier &&
+                 !isStatementKeyword(before.text)) ||
+                before.kind == TokenKind::Number ||
+                isPunct(before, ")") || isPunct(before, "]");
+            if (subscript)
+                return i;
+        }
+
+        // Parse the capture list up to the matching ].
+        std::vector<Capture> captures;
+        std::size_t j = i + 1;
+        int depth = 1;
+        std::size_t entryStart = j;
+        const auto flushEntry = [&](std::size_t endTok) {
+            if (endTok <= entryStart)
+                return;
+            Capture cap;
+            std::size_t p = entryStart;
+            if (isPunct(tokens_[p], "&")) {
+                cap.byRef = true;
+                ++p;
+            } else if (isPunct(tokens_[p], "=")) {
+                cap.isDefault = true;
+                captures.push_back(cap);
+                return;
+            } else if (isPunct(tokens_[p], "*")) {
+                ++p; // *this
+            }
+            if (p >= endTok) {
+                if (cap.byRef)
+                    cap.isDefault = true; // bare [&]
+                captures.push_back(cap);
+                return;
+            }
+            while (p < endTok && isPunct(tokens_[p], "."))
+                ++p; // pack expansion dots
+            if (p < endTok && tokens_[p].kind == TokenKind::Identifier)
+                cap.name = tokens_[p].text;
+            if (p + 1 < endTok && isPunct(tokens_[p + 1], "="))
+                cap.isInit = true;
+            captures.push_back(cap);
+        };
+        for (; j < tokens_.size(); ++j) {
+            const Token& tok = tokens_[j];
+            if (tok.kind != TokenKind::Punct)
+                continue;
+            if (tok.text == "[" || tok.text == "(" || tok.text == "{")
+                ++depth;
+            else if (tok.text == ")" || tok.text == "}")
+                --depth;
+            else if (tok.text == "]") {
+                if (--depth == 0)
+                    break;
+            } else if (tok.text == "," && depth == 1) {
+                flushEntry(j);
+                entryStart = j + 1;
+            }
+        }
+        if (j >= tokens_.size())
+            return i;
+        flushEntry(j);
+        const std::size_t closeBracket = j;
+
+        // Optional parameter list.
+        std::vector<Declaration> params;
+        std::size_t k = closeBracket + 1;
+        if (k < tokens_.size() && isPunct(tokens_[k], "(")) {
+            int paren = 0;
+            std::size_t close = k;
+            for (; close < tokens_.size(); ++close) {
+                if (isPunct(tokens_[close], "("))
+                    ++paren;
+                else if (isPunct(tokens_[close], ")")) {
+                    if (--paren == 0)
+                        break;
+                }
+            }
+            if (close >= tokens_.size())
+                return i;
+            params = parseParams(tokens_, k + 1, close);
+            k = close + 1;
+        }
+        // Specifiers / trailing return type, up to the body brace.
+        for (; k < tokens_.size(); ++k) {
+            const Token& tok = tokens_[k];
+            if (isPunct(tok, "{"))
+                break;
+            const bool benign =
+                tok.kind == TokenKind::Identifier ||
+                isPunct(tok, "->") || isPunct(tok, "::") ||
+                isPunct(tok, "<") || isPunct(tok, ">") ||
+                isPunct(tok, "&") || isPunct(tok, "*") ||
+                isPunct(tok, ",") || isPunct(tok, "(") ||
+                isPunct(tok, ")");
+            if (!benign)
+                return i; // not a lambda after all
+        }
+        if (k >= tokens_.size())
+            return i;
+
+        // Open the Lambda scope at the body brace.
+        Scope scope;
+        scope.kind = ScopeKind::Lambda;
+        scope.captures = std::move(captures);
+        scope.locals = std::move(params);
+        pushScope(std::move(scope), k);
+        return k;
+    }
+
+    /**
+     * Function-definition detection by backward scan from a `{` at
+     * class/namespace level: ... name ( params ) [suffixes] {.
+     * Returns the (possibly qualified) name, or empty when the brace
+     * does not close a function signature.
+     */
+    std::string
+    functionNameBefore(std::size_t brace) const
+    {
+        std::size_t k = brace;
+        // Skip signature suffixes and a trailing return type.
+        while (k > 0) {
+            const Token& tok = tokens_[k - 1];
+            if (tok.kind == TokenKind::Identifier &&
+                !isSignatureSuffix(tok.text) &&
+                !(k >= 2 && (isPunct(tokens_[k - 2], "->") ||
+                             isPunct(tokens_[k - 2], "::") ||
+                             isPunct(tokens_[k - 2], "<") ||
+                             isPunct(tokens_[k - 2], ","))))
+                break;
+            if (tok.kind == TokenKind::Punct && tok.text != "->" &&
+                tok.text != "::" && tok.text != "<" && tok.text != ">" &&
+                tok.text != "&" && tok.text != "*" && tok.text != ",")
+                break;
+            if (tok.kind != TokenKind::Identifier &&
+                tok.kind != TokenKind::Punct)
+                break;
+            --k;
+        }
+        if (k == 0 || !isPunct(tokens_[k - 1], ")"))
+            return "";
+        // Match the parameter parens backwards.
+        int depth = 0;
+        std::size_t p = k - 1;
+        while (true) {
+            if (isPunct(tokens_[p], ")"))
+                ++depth;
+            else if (isPunct(tokens_[p], "(")) {
+                if (--depth == 0)
+                    break;
+            }
+            if (p == 0)
+                return "";
+            --p;
+        }
+        if (p == 0)
+            return "";
+        // Name before the `(`: ident chain, operator form, or
+        // template-id.
+        std::size_t n = p; // token after the name
+        if (isPunct(tokens_[n - 1], ">")) {
+            // skip a balanced template argument list backwards
+            int angle = 0;
+            while (n > 0) {
+                --n;
+                if (isPunct(tokens_[n], ">"))
+                    ++angle;
+                else if (isPunct(tokens_[n], "<")) {
+                    if (--angle == 0)
+                        break;
+                }
+            }
+            if (n == 0)
+                return "";
+        }
+        std::string name;
+        if (tokens_[n - 1].kind == TokenKind::Identifier) {
+            std::size_t e = n - 1; // the unqualified name
+            name = tokens_[e].text;
+            // operator bool / operator Type
+            if (e > 0 && isIdent(tokens_[e - 1], "operator"))
+                return "operator " + name;
+            // qualifications
+            while (e >= 2 && isPunct(tokens_[e - 1], "::") &&
+                   tokens_[e - 2].kind == TokenKind::Identifier) {
+                name = tokens_[e - 2].text + "::" + name;
+                e -= 2;
+            }
+            // destructor tilde
+            if (e > 0 && isPunct(tokens_[e - 1], "~"))
+                name = "~" + name;
+            if (isStatementKeyword(tokens_[n - 1].text) ||
+                tokens_[n - 1].text == "if" ||
+                tokens_[n - 1].text == "while" ||
+                tokens_[n - 1].text == "switch" ||
+                tokens_[n - 1].text == "for")
+                return "";
+            return name;
+        }
+        // operator() / operator+ / operator<< ...: puncts between
+        // `operator` and the `(`.
+        std::size_t e = n;
+        while (e > 0 && tokens_[e - 1].kind == TokenKind::Punct &&
+               n - e < 4)
+            --e;
+        if (e > 0 && isIdent(tokens_[e - 1], "operator")) {
+            std::string symbols;
+            for (std::size_t q = e; q < n; ++q)
+                symbols += tokens_[q].text;
+            return "operator" + symbols;
+        }
+        return "";
+    }
+
+    void
+    openScopeAt(std::size_t i)
+    {
+        Scope scope;
+        if (pendingActive_ && pendingKind_ != ScopeKind::Block) {
+            scope.kind = pendingKind_;
+            scope.name = pendingName_;
+            if (pendingKind_ == ScopeKind::Loop)
+                scope.locals = loopHeaderDecls(i);
+            else if (pendingKind_ == ScopeKind::Function)
+                scope.locals = std::move(pendingLocals_);
+        } else {
+            const ScopeKind at = cur().kind;
+            if (at == ScopeKind::File || at == ScopeKind::Namespace ||
+                at == ScopeKind::Class) {
+                std::string name = functionNameBefore(i);
+                if (!name.empty()) {
+                    scope.kind = ScopeKind::Function;
+                    scope.name = std::move(name);
+                    scope.locals = functionParamDecls(i);
+                }
+            }
+        }
+        pushScope(std::move(scope), i);
+    }
+
+    /** Declarations in a loop header `for (...)` directly before the
+     *  body brace at i (range-for bindings, for-init declarations). */
+    std::vector<Declaration>
+    loopHeaderDecls(std::size_t brace)
+    {
+        if (brace == 0 || !isPunct(tokens_[brace - 1], ")"))
+            return {};
+        int depth = 0;
+        std::size_t p = brace - 1;
+        while (true) {
+            if (isPunct(tokens_[p], ")"))
+                ++depth;
+            else if (isPunct(tokens_[p], "(")) {
+                if (--depth == 0)
+                    break;
+            }
+            if (p == 0)
+                return {};
+            --p;
+        }
+        // Statement starts: after the ( and after each top-level ;
+        std::vector<Declaration> out;
+        std::size_t start = p + 1;
+        int inner = 0;
+        for (std::size_t j = p + 1; j < brace - 1; ++j) {
+            if (tokens_[j].kind != TokenKind::Punct)
+                continue;
+            const std::string& t = tokens_[j].text;
+            if (t == "(" || t == "[" || t == "{")
+                ++inner;
+            else if (t == ")" || t == "]" || t == "}")
+                --inner;
+            else if (t == ";" && inner == 0) {
+                if (auto parsed = parseDecl(tokens_, start, j))
+                    out.push_back(std::move(parsed->decl));
+                start = j + 1;
+            }
+        }
+        if (auto parsed = parseDecl(tokens_, start, brace - 1))
+            out.push_back(std::move(parsed->decl));
+        return out;
+    }
+
+    /** Parameter declarations of the function whose body opens at i. */
+    std::vector<Declaration>
+    functionParamDecls(std::size_t brace)
+    {
+        // Re-find the parameter parens (same walk as
+        // functionNameBefore).
+        std::size_t k = brace;
+        while (k > 0 && !isPunct(tokens_[k - 1], ")"))
+            --k;
+        if (k == 0)
+            return {};
+        int depth = 0;
+        std::size_t p = k - 1;
+        while (true) {
+            if (isPunct(tokens_[p], ")"))
+                ++depth;
+            else if (isPunct(tokens_[p], "(")) {
+                if (--depth == 0)
+                    break;
+            }
+            if (p == 0)
+                return {};
+            --p;
+        }
+        return parseParams(tokens_, p + 1, k - 1);
+    }
+
+    void
+    pushScope(Scope scope, std::size_t brace)
+    {
+        scope.beginLine = tokens_[brace].line;
+        scope.beginTok = brace;
+        scope.parent = open_.back();
+        scope.loopDepth = tree_.scopes[open_.back()].loopDepth +
+                          (scope.kind == ScopeKind::Loop ? 1 : 0);
+        const int index = static_cast<int>(tree_.scopes.size());
+        tree_.scopes[open_.back()].children.push_back(index);
+        tree_.scopes.push_back(std::move(scope));
+        open_.push_back(index);
+        entryParen_.push_back(parenDepth_);
+        pendingReset();
+    }
+
+    void
+    closeScopeAt(std::size_t i)
+    {
+        if (open_.size() <= 1)
+            return; // unbalanced `}` from a macro; ignore
+        Scope& scope = tree_.scopes[open_.back()];
+        scope.endLine = tokens_.empty() ? 1 : tokens_[i].line;
+        scope.endTok = i + 1;
+        open_.pop_back();
+        entryParen_.pop_back();
+        pendingReset();
+    }
+
+    const std::vector<Token>& tokens_;
+    ScopeTree tree_;
+    std::vector<int> open_;
+    std::vector<int> entryParen_;
+    int parenDepth_ = 0;
+
+    bool pendingActive_ = false;
+    ScopeKind pendingKind_ = ScopeKind::Block;
+    std::string pendingName_;
+    bool pendingCtorInit_ = false;
+    std::vector<Declaration> pendingLocals_;
+};
+
+const char*
+kindName(ScopeKind kind)
+{
+    switch (kind) {
+      case ScopeKind::File:
+        return "file";
+      case ScopeKind::Namespace:
+        return "namespace";
+      case ScopeKind::Class:
+        return "class";
+      case ScopeKind::Function:
+        return "function";
+      case ScopeKind::Lambda:
+        return "lambda";
+      case ScopeKind::Loop:
+        return "loop";
+      case ScopeKind::Block:
+        return "block";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+ScopeTree::scopeAt(std::size_t tok) const
+{
+    int best = 0;
+    for (std::size_t s = 1; s < scopes.size(); ++s) {
+        const Scope& scope = scopes[s];
+        if (scope.beginTok <= tok && tok < scope.endTok &&
+            scope.beginTok >= scopes[best].beginTok)
+            best = static_cast<int>(s);
+    }
+    return best;
+}
+
+const Declaration*
+ScopeTree::findLocal(int scope, const std::string& name) const
+{
+    for (int s = scope; s >= 0; s = scopes[s].parent) {
+        for (const Declaration& decl : scopes[s].locals) {
+            if (decl.name == name)
+                return &decl;
+        }
+    }
+    return nullptr;
+}
+
+int
+ScopeTree::enclosingFunction(int scope) const
+{
+    for (int s = scope; s >= 0; s = scopes[s].parent) {
+        if (scopes[s].kind == ScopeKind::Function ||
+            scopes[s].kind == ScopeKind::Lambda)
+            return s;
+    }
+    return -1;
+}
+
+std::string
+ScopeTree::dump() const
+{
+    std::ostringstream oss;
+    // Depth-first, children in source order (construction order).
+    std::vector<std::pair<int, int>> stack = {{0, 0}};
+    while (!stack.empty()) {
+        const auto [index, indent] = stack.back();
+        stack.pop_back();
+        const Scope& scope = scopes[index];
+        oss << std::string(static_cast<std::size_t>(indent) * 2, ' ')
+            << kindName(scope.kind);
+        if (!scope.name.empty())
+            oss << " " << scope.name;
+        if (scope.kind == ScopeKind::Lambda) {
+            oss << " [";
+            bool first = true;
+            for (const Capture& cap : scope.captures) {
+                if (!first)
+                    oss << ",";
+                first = false;
+                if (cap.isDefault)
+                    oss << (cap.byRef ? "&" : "=");
+                else
+                    oss << (cap.byRef ? "&" : "") << cap.name
+                        << (cap.isInit ? "=init" : "");
+            }
+            oss << "]";
+        }
+        oss << " " << scope.beginLine << "-" << scope.endLine;
+        if (scope.kind == ScopeKind::Loop)
+            oss << " depth=" << scope.loopDepth;
+        oss << "\n";
+        for (const Declaration& decl : scope.locals) {
+            oss << std::string(static_cast<std::size_t>(indent) * 2 + 2,
+                               ' ')
+                << (decl.isParameter ? "param " : "decl ") << decl.name
+                << " : `" << decl.typeText << "` @" << decl.line << "\n";
+        }
+        for (auto it = scope.children.rbegin();
+             it != scope.children.rend(); ++it)
+            stack.push_back({*it, indent + 1});
+    }
+    return oss.str();
+}
+
+ScopeTree
+buildScopeTree(const LexedFile& lexed)
+{
+    return Parser(lexed).run();
+}
+
+} // namespace smoothe::lint

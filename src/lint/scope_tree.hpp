@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A brace/scope micro-parser over the lint lexer's token stream.
+ *
+ * smoothe_lint v2 rules need more than tokens: "is this write inside a
+ * lambda passed to parallelFor?", "what is the rough type of this
+ * local?", "how many loops enclose this line?". This parser recovers
+ * exactly that much structure — namespaces, class bodies, function and
+ * method definitions, lambda expressions with parsed capture lists and
+ * parameters, block/loop scopes with nesting depth, and per-scope local
+ * declarations with rough type text — without being a C++ front end.
+ *
+ * It is resilient by construction: unbalanced braces (macros that open
+ * scopes, truncated files) clamp instead of failing, unknown constructs
+ * fall back to plain Block scopes, and declaration parsing is a
+ * heuristic that prefers missing a declaration over inventing one.
+ * Golden dumps under tests/golden/scope/ pin the output on adversarial
+ * inputs (nested lambdas, templates with >>, operator overloads,
+ * if constexpr, macros spanning braces).
+ */
+
+#ifndef SMOOTHE_LINT_SCOPE_TREE_HPP
+#define SMOOTHE_LINT_SCOPE_TREE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace smoothe::lint {
+
+/** What kind of construct opened a scope. */
+enum class ScopeKind : std::uint8_t {
+    File,      ///< the implicit whole-file scope
+    Namespace, ///< namespace X { } (anonymous: name "")
+    Class,     ///< class/struct/union/enum body
+    Function,  ///< free function, method, or constructor definition
+    Lambda,    ///< lambda expression body
+    Loop,      ///< for/while/do body
+    Block,     ///< any other braced scope (if/else/switch/try/plain)
+};
+
+/** One local declaration (or parameter) made directly in a scope. */
+struct Declaration
+{
+    std::string name;
+    /**
+     * Rough declared type as token text, e.g. "std::atomic<int>" or
+     * "const float *". Heuristic: cv/storage keywords are dropped,
+     * template arguments are included, declarator stars/ampersands are
+     * appended. Empty only for constructs the parser gave up on.
+     */
+    std::string typeText;
+    int line = 0;
+    bool isParameter = false;
+};
+
+/** One entry of a lambda capture list. */
+struct Capture
+{
+    std::string name; ///< empty for the [&] / [=] defaults and *this
+    bool byRef = false;
+    bool isDefault = false; ///< a bare & or = capturing everything
+    bool isInit = false;    ///< init capture [x = expr] (owns a copy)
+};
+
+/** One scope; scopes form a tree via parent/children indices. */
+struct Scope
+{
+    ScopeKind kind = ScopeKind::Block;
+    /** Namespace/class/function name ("" for anonymous/blocks). Method
+     *  definitions keep their qualification, e.g. "CsrMatrix::spmv". */
+    std::string name;
+    int beginLine = 0;
+    int endLine = 0;
+    /** Token range [beginTok, endTok) of the scope body including its
+     *  braces; the File scope spans every token. */
+    std::size_t beginTok = 0;
+    std::size_t endTok = 0;
+    /** Number of enclosing Loop scopes, counting this one if a Loop. */
+    int loopDepth = 0;
+    std::vector<Capture> captures; ///< Lambda scopes only
+    std::vector<Declaration> locals;
+    int parent = -1; ///< index into ScopeTree::scopes; -1 for the root
+    std::vector<int> children;
+};
+
+/** The parsed scope structure of one file. */
+struct ScopeTree
+{
+    /** scopes[0] is always the File scope. */
+    std::vector<Scope> scopes;
+
+    const Scope& root() const { return scopes.front(); }
+
+    /** Index of the innermost scope containing token index `tok`. */
+    int scopeAt(std::size_t tok) const;
+
+    /**
+     * Resolves `name` against the locals of `scope` and its ancestors
+     * (innermost wins). Returns nullptr when no enclosing scope
+     * declares it — i.e. the name is a global, member, or unknown.
+     */
+    const Declaration* findLocal(int scope, const std::string& name) const;
+
+    /** Index of the nearest enclosing Function or Lambda scope
+     *  (including `scope` itself), or -1. */
+    int enclosingFunction(int scope) const;
+
+    /** Stable indented text rendering, for the golden scope dumps. */
+    std::string dump() const;
+};
+
+/** Parses the scope structure of a lexed file. Never fails. */
+ScopeTree buildScopeTree(const LexedFile& lexed);
+
+} // namespace smoothe::lint
+
+#endif // SMOOTHE_LINT_SCOPE_TREE_HPP

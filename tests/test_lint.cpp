@@ -11,8 +11,13 @@
 
 #include <algorithm>
 
+#include "lint/baseline.hpp"
 #include "lint/lexer.hpp"
 #include "lint/linter.hpp"
+#include "lint/project_model.hpp"
+#include "lint/sarif.hpp"
+#include "lint/scope_tree.hpp"
+#include "util/json.hpp"
 
 namespace lint = smoothe::lint;
 
@@ -343,6 +348,614 @@ TEST(LintLexer, RecordsSuppressionsPerRule)
     EXPECT_TRUE(lexed.suppressed("no-rand", 2)); // line-above form
     EXPECT_FALSE(lexed.suppressed("no-assert", 1));
     EXPECT_FALSE(lexed.suppressed("raw-new", 3));
+}
+
+TEST(LintLexer, PrefixedRawStringsDoNotLeakTheirContents)
+{
+    // Every encoding prefix, including custom delimiters: the body must
+    // lex as one literal, not as code.
+    EXPECT_FALSE(fires(kLibCpp, "auto a = u8R\"(new int)\";\n", "raw-new"));
+    EXPECT_FALSE(fires(kLibCpp, "auto b = LR\"(delete p)\";\n",
+                       "raw-delete"));
+    EXPECT_FALSE(fires(kLibCpp,
+                       "auto c = uR\"sep(int* p = new int;)sep\";\n",
+                       "raw-new"));
+    // A ")" inside the body does not close a delimited raw string.
+    EXPECT_FALSE(fires(kLibCpp,
+                       "auto d = R\"x(close ) now: new int)x\";\n",
+                       "raw-new"));
+    // Lexing resumes correctly after the literal.
+    const auto findings = lint::lintSource(
+        kLibCpp, "auto a = u8R\"(line1\nline2)\";\nint* p = new int;\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintLexer, DigitSeparatorsAreNotCharLiterals)
+{
+    // 1'000'000 must lex as one number — a naive lexer treats the first
+    // apostrophe as a char literal and swallows the rest of the line.
+    EXPECT_TRUE(fires(kLibCpp, "int n = 1'000'000; int* p = new int;\n",
+                      "raw-new"));
+    const lint::LexedFile lexed = lint::lex("auto n = 0xFF'00 + 1'2e3;\n");
+    std::vector<std::string> numbers;
+    for (const lint::Token& tok : lexed.tokens) {
+        if (tok.kind == lint::TokenKind::Number)
+            numbers.push_back(tok.text);
+    }
+    ASSERT_EQ(numbers.size(), 2u);
+    EXPECT_EQ(numbers[0], "0xFF'00");
+    EXPECT_EQ(numbers[1], "1'2e3");
+    // A real char literal right after a number still lexes as one.
+    EXPECT_FALSE(fires(kLibCpp, "char c = 'n'; use(c, 2 'x');\n",
+                       "raw-new"));
+}
+
+TEST(LintLexer, CommentSlashesInsideStringsDoNotOpenComments)
+{
+    // "http://..." must not comment out the rest of the line.
+    EXPECT_TRUE(fires(kLibCpp,
+                      "const char* u = \"http://x.com\"; int* p = new int;\n",
+                      "raw-new"));
+    EXPECT_TRUE(fires(kLibCpp,
+                      "const char* s = \"/* not a comment\"; "
+                      "int* p = new int;\n",
+                      "raw-new"));
+}
+
+TEST(LintLexer, BackslashNewlineInStringsKeepsLineNumbers)
+{
+    const auto findings = lint::lintSource(
+        kLibCpp, "const char* s = \"a\\\nb\";\nint* p = new int;\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintLexer, BlockCommentSuppressionAppliesAtItsEndLine)
+{
+    EXPECT_FALSE(fires(kLibCpp,
+                       "/* smoothe-lint:\n   allow(raw-new) */ "
+                       "int* p = new int;\n",
+                       "raw-new"));
+}
+
+TEST(LintLexer, LiteralTokensCarryInnerTextOnly)
+{
+    const lint::LexedFile lexed =
+        lint::lex("auto s = \"hi\"; auto c = 'x'; auto r = R\"(raw)\";\n");
+    std::vector<std::string> literals;
+    for (const lint::Token& tok : lexed.tokens) {
+        if (tok.kind == lint::TokenKind::StringLiteral ||
+            tok.kind == lint::TokenKind::CharLiteral)
+            literals.push_back(tok.text);
+    }
+    ASSERT_EQ(literals.size(), 3u);
+    EXPECT_EQ(literals[0], "hi");
+    EXPECT_EQ(literals[1], "x");
+    EXPECT_EQ(literals[2], "raw");
+}
+
+// ------------------------------------------------- parallel-capture-race
+
+// All parallel-rule snippets use the thread-pool entry-point names the
+// rule recognizes (parallelFor / parallelChunks / ...).
+
+TEST(LintParallelCapture, FiresOnPlainAssignToByRefCapture)
+{
+    EXPECT_TRUE(fires(kLibCpp,
+                      "void f() {\n"
+                      "  int winner = 0;\n"
+                      "  pool.parallelFor(0, n, [&](std::size_t i) {\n"
+                      "    winner = static_cast<int>(i);\n"
+                      "  });\n"
+                      "}\n",
+                      "parallel-capture-race"));
+}
+
+TEST(LintParallelCapture, FiresOnIncrementAndIntAccumulate)
+{
+    EXPECT_TRUE(fires(kLibCpp,
+                      "void f() {\n"
+                      "  int hits = 0;\n"
+                      "  pool.parallelFor(0, n, [&](std::size_t i) {\n"
+                      "    if (keep(i)) ++hits;\n"
+                      "  });\n"
+                      "}\n",
+                      "parallel-capture-race"));
+    // Integer += is still a race (not a nondet-reduction: int addition
+    // is associative, the write itself is the bug).
+    EXPECT_TRUE(fires(kLibCpp,
+                      "void f() {\n"
+                      "  int total = 0;\n"
+                      "  pool.parallelChunks(n, [&](std::size_t c) {\n"
+                      "    total += 1;\n"
+                      "  });\n"
+                      "}\n",
+                      "parallel-capture-race"));
+}
+
+TEST(LintParallelCapture, ExplicitByRefCaptureAlsoFires)
+{
+    EXPECT_TRUE(fires(kLibCpp,
+                      "void f() {\n"
+                      "  int winner = 0;\n"
+                      "  pool.parallelFor(0, n, [&winner](std::size_t i) {\n"
+                      "    winner = static_cast<int>(i);\n"
+                      "  });\n"
+                      "}\n",
+                      "parallel-capture-race"));
+}
+
+TEST(LintParallelCapture, QuietOnTheSanctionedPatterns)
+{
+    // Subscripted writes are the disjoint-chunk idiom.
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f(float* out) {\n"
+                       "  pool.parallelFor(0, n, [&](std::size_t i) {\n"
+                       "    out[i] = weight(i);\n"
+                       "  });\n"
+                       "}\n",
+                       "parallel-capture-race"));
+    // Atomics synchronize themselves.
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f() {\n"
+                       "  std::atomic<int> hits{0};\n"
+                       "  pool.parallelFor(0, n, [&](std::size_t i) {\n"
+                       "    ++hits;\n"
+                       "  });\n"
+                       "}\n",
+                       "parallel-capture-race"));
+    // A lock guard in the lambda body synchronizes its writes.
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f() {\n"
+                       "  int winner = 0;\n"
+                       "  pool.parallelFor(0, n, [&](std::size_t i) {\n"
+                       "    std::lock_guard<std::mutex> lock(mu);\n"
+                       "    winner = static_cast<int>(i);\n"
+                       "  });\n"
+                       "}\n",
+                       "parallel-capture-race"));
+    // A name redeclared inside the lambda is per-invocation state.
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f() {\n"
+                       "  int acc = 0;\n"
+                       "  pool.parallelFor(0, n, [&](std::size_t i) {\n"
+                       "    int acc = 0;\n"
+                       "    acc = static_cast<int>(i);\n"
+                       "  });\n"
+                       "}\n",
+                       "parallel-capture-race"));
+    // Copy captures mutate the lambda's own copy.
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f() {\n"
+                       "  int seed = 7;\n"
+                       "  pool.parallelFor(0, n, [=](std::size_t i) mutable "
+                       "{\n"
+                       "    seed = static_cast<int>(i);\n"
+                       "  });\n"
+                       "}\n",
+                       "parallel-capture-race"));
+    // Init captures own their storage.
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f() {\n"
+                       "  int seed = 7;\n"
+                       "  pool.parallelFor(0, n, "
+                       "[s = seed](std::size_t i) mutable {\n"
+                       "    s = static_cast<int>(i);\n"
+                       "  });\n"
+                       "}\n",
+                       "parallel-capture-race"));
+}
+
+TEST(LintParallelCapture, QuietOutsideParallelCallsAndLibrary)
+{
+    // The same write in a lambda that never reaches the pool is fine.
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f() {\n"
+                       "  int winner = 0;\n"
+                       "  auto g = [&](std::size_t i) { winner = 1; };\n"
+                       "  g(0);\n"
+                       "}\n",
+                       "parallel-capture-race"));
+    EXPECT_FALSE(fires(kToolCpp,
+                       "void f() {\n"
+                       "  int winner = 0;\n"
+                       "  pool.parallelFor(0, n, [&](std::size_t i) {\n"
+                       "    winner = static_cast<int>(i);\n"
+                       "  });\n"
+                       "}\n",
+                       "parallel-capture-race"));
+}
+
+TEST(LintParallelCapture, SuppressionWorks)
+{
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f() {\n"
+                       "  int winner = 0;\n"
+                       "  pool.parallelFor(0, n, [&](std::size_t i) {\n"
+                       "    // smoothe-lint: allow(parallel-capture-race)\n"
+                       "    winner = static_cast<int>(i);\n"
+                       "  });\n"
+                       "}\n",
+                       "parallel-capture-race"));
+}
+
+// ----------------------------------------------------- nondet-reduction
+
+TEST(LintNondetReduction, FloatAccumulationIsNondeterministic)
+{
+    const char* source = "void f() {\n"
+                         "  double sum = 0.0;\n"
+                         "  pool.parallelFor(0, n, [&](std::size_t i) {\n"
+                         "    sum += weight(i);\n"
+                         "  });\n"
+                         "}\n";
+    EXPECT_TRUE(fires(kLibCpp, source, "nondet-reduction"));
+    // It is reported as a reduction problem, not a generic race.
+    EXPECT_FALSE(fires(kLibCpp, source, "parallel-capture-race"));
+    EXPECT_TRUE(fires(kLibCpp,
+                      "void f() {\n"
+                      "  float prod = 1.0f;\n"
+                      "  pool.parallelChunks(n, [&](std::size_t c) {\n"
+                      "    prod *= scale(c);\n"
+                      "  });\n"
+                      "}\n",
+                      "nondet-reduction"));
+}
+
+TEST(LintNondetReduction, QuietOnPerChunkBuffers)
+{
+    EXPECT_FALSE(fires(kLibCpp,
+                       "void f(std::vector<double>& perChunk) {\n"
+                       "  pool.parallelChunks(n, [&](std::size_t c) {\n"
+                       "    perChunk[c] += weight(c);\n"
+                       "  });\n"
+                       "}\n",
+                       "nondet-reduction"));
+}
+
+// ------------------------------------------------------- fma-in-kernel
+
+// Kernel-layer file: the FMA ban applies here and only here.
+const char* kTensorCpp = "src/tensor/kernels_avx2.cpp";
+
+TEST(LintFmaInKernel, FiresOnIntrinsicsStdFmaAndPragmas)
+{
+    EXPECT_TRUE(fires(kTensorCpp, "acc = _mm256_fmadd_ps(a, b, acc);\n",
+                      "fma-in-kernel"));
+    EXPECT_TRUE(fires(kTensorCpp, "acc = _mm_fmsub_pd(a, b, acc);\n",
+                      "fma-in-kernel"));
+    EXPECT_TRUE(fires(kTensorCpp, "double r = std::fma(a, b, c);\n",
+                      "fma-in-kernel"));
+    EXPECT_TRUE(fires(kTensorCpp, "float r = fmaf(a, b, c);\n",
+                      "fma-in-kernel"));
+    EXPECT_TRUE(fires(kTensorCpp, "#pragma STDC FP_CONTRACT ON\n",
+                      "fma-in-kernel"));
+    EXPECT_TRUE(fires(kTensorCpp,
+                      "setFlags(\"-ffast-math -O3\");\n",
+                      "fma-in-kernel"));
+}
+
+TEST(LintFmaInKernel, QuietOnSeparateMulAddAndOutsideKernels)
+{
+    EXPECT_FALSE(fires(kTensorCpp,
+                       "acc = _mm256_add_ps(acc, _mm256_mul_ps(a, b));\n",
+                       "fma-in-kernel"));
+    // `fma` as a name, not a call.
+    EXPECT_FALSE(fires(kTensorCpp, "int fma = 3;\n", "fma-in-kernel"));
+    // Member calls are someone else's fma.
+    EXPECT_FALSE(fires(kTensorCpp, "x = obj.fma(a, b);\n", "fma-in-kernel"));
+    // Outside src/tensor the contract does not apply.
+    EXPECT_FALSE(fires("src/autodiff/matexp.cpp",
+                       "double r = std::fma(a, b, c);\n", "fma-in-kernel"));
+}
+
+// --------------------------------------------- relaxed-atomic-handshake
+
+TEST(LintRelaxedAtomic, FiresOutsideTheAllowlist)
+{
+    EXPECT_TRUE(fires(kLibCpp,
+                      "flag.store(true, std::memory_order_relaxed);\n",
+                      "relaxed-atomic-handshake"));
+}
+
+TEST(LintRelaxedAtomic, AllowlistedFilesAndSuppressionsAreQuiet)
+{
+    const char* source = "counter.fetch_add(1, std::memory_order_relaxed);\n";
+    EXPECT_FALSE(fires("src/obs/report.cpp", source,
+                       "relaxed-atomic-handshake"));
+    EXPECT_FALSE(fires("src/tensor/simd.cpp", source,
+                       "relaxed-atomic-handshake"));
+    EXPECT_FALSE(fires("src/tensor/tensor.hpp", source,
+                       "relaxed-atomic-handshake"));
+    // Non-library code may do as it pleases.
+    EXPECT_FALSE(fires(kToolCpp, source, "relaxed-atomic-handshake"));
+    EXPECT_FALSE(
+        fires(kLibCpp,
+              "// self-contained flag. smoothe-lint: "
+              "allow(relaxed-atomic-handshake)\n"
+              "mode.store(m, std::memory_order_relaxed);\n",
+              "relaxed-atomic-handshake"));
+}
+
+// ----------------------------------------------- avx2-parity-coverage
+
+/** An in-memory multi-file project for the cross-file rules. */
+struct SyntheticProject
+{
+    struct File
+    {
+        std::string path;
+        lint::LexedFile lexed;
+        lint::ScopeTree scopes;
+    };
+    std::vector<File> files;
+    lint::ProjectModel model;
+
+    void
+    add(const std::string& path, const std::string& source)
+    {
+        File file;
+        file.path = path;
+        file.lexed = lint::lex(source);
+        file.scopes = lint::buildScopeTree(file.lexed);
+        model.addFile(path, file.lexed, file.scopes);
+        files.push_back(std::move(file));
+    }
+
+    std::vector<std::string>
+    run(const std::string& path) const
+    {
+        for (const File& file : files) {
+            if (file.path != path)
+                continue;
+            lint::FileContext ctx;
+            ctx.path = path;
+            ctx.isHeader = path.size() > 4 &&
+                           path.compare(path.size() - 4, 4, ".hpp") == 0;
+            ctx.isLibrary = path.rfind("src/", 0) == 0;
+            std::vector<std::string> names;
+            for (const lint::Finding& finding : lint::runRules(
+                     lint::RuleInputs{ctx, file.lexed, file.scopes,
+                                      &model})) {
+                if (finding.rule == "avx2-parity-coverage")
+                    names.push_back(finding.message);
+            }
+            return names;
+        }
+        return {};
+    }
+};
+
+const char* kSynthKernels = "src/tensor/kernels_avx2.cpp";
+const char* kSynthKernelSource =
+    "namespace smoothe::tensor::avx2 {\n"
+    "void addRows(const float* a, float* out) { body(a, out); }\n"
+    "void mulRows(const float* a, float* out) { body(a, out); }\n"
+    "namespace {\n"
+    "void internalHelper(float* out) { body(out); }\n"
+    "} // namespace\n"
+    "} // namespace smoothe::tensor::avx2\n";
+// Dispatchers: `add` calls the kernel directly; `mul` reaches it through
+// an intermediate helper, so coverage must walk the call chain.
+const char* kSynthDispatch = "src/tensor/kernels.cpp";
+const char* kSynthDispatchSource =
+    "namespace smoothe::tensor {\n"
+    "void add(const float* a, float* out) { avx2::addRows(a, out); }\n"
+    "void mulImpl(const float* a, float* out) { avx2::mulRows(a, out); }\n"
+    "void mul(const float* a, float* out) { mulImpl(a, out); }\n"
+    "} // namespace smoothe::tensor\n";
+const char* kSynthTest = "tests/test_simd.cpp";
+
+TEST(LintAvx2Parity, CleanWhenEveryKernelIsReachableFromTheTest)
+{
+    SyntheticProject project;
+    project.add(kSynthKernels, kSynthKernelSource);
+    project.add(kSynthDispatch, kSynthDispatchSource);
+    project.add(kSynthTest,
+                "void parity() { add(a, out); mul(a, out); }\n");
+    EXPECT_TRUE(project.run(kSynthKernels).empty());
+}
+
+TEST(LintAvx2Parity, DroppingATestReferenceBreaksCoverage)
+{
+    // Same project, but the test no longer drives `mul` — the kernel it
+    // reaches through two hops must be reported as uncovered.
+    SyntheticProject project;
+    project.add(kSynthKernels, kSynthKernelSource);
+    project.add(kSynthDispatch, kSynthDispatchSource);
+    project.add(kSynthTest, "void parity() { add(a, out); }\n");
+    const auto messages = project.run(kSynthKernels);
+    ASSERT_EQ(messages.size(), 1u);
+    EXPECT_NE(messages[0].find("mulRows"), std::string::npos)
+        << messages[0];
+}
+
+TEST(LintAvx2Parity, DirectKernelReferenceInTheTestCounts)
+{
+    SyntheticProject project;
+    project.add(kSynthKernels, kSynthKernelSource);
+    project.add(kSynthTest,
+                "void parity() { avx2::addRows(a, out); "
+                "avx2::mulRows(a, out); }\n");
+    EXPECT_TRUE(project.run(kSynthKernels).empty());
+}
+
+TEST(LintAvx2Parity, InternalHelpersAreExempt)
+{
+    SyntheticProject project;
+    project.add(kSynthKernels, kSynthKernelSource);
+    project.add(kSynthDispatch, kSynthDispatchSource);
+    project.add(kSynthTest, "void parity() {}\n");
+    for (const std::string& message : project.run(kSynthKernels))
+        EXPECT_EQ(message.find("internalHelper"), std::string::npos)
+            << message;
+}
+
+TEST(LintAvx2Parity, SilentWithoutAModelOrWithoutTheTestFile)
+{
+    // Single-file runs have no project model: the rule must not guess.
+    EXPECT_FALSE(
+        fires(kSynthKernels, kSynthKernelSource, "avx2-parity-coverage"));
+    // A scoped run that excludes tests/ must not flag every kernel.
+    SyntheticProject project;
+    project.add(kSynthKernels, kSynthKernelSource);
+    project.add(kSynthDispatch, kSynthDispatchSource);
+    EXPECT_TRUE(project.run(kSynthKernels).empty());
+}
+
+// --------------------------------------------------------------- SARIF
+
+lint::LintReport
+sampleReport()
+{
+    lint::LintReport report;
+    report.filesScanned = 2;
+    report.findings = lint::lintSource(
+        kLibCpp, "int* p = new int;\nint x = rand();\n");
+    return report;
+}
+
+TEST(LintSarif, RenderedReportValidates)
+{
+    const lint::LintReport report = sampleReport();
+    ASSERT_EQ(report.findings.size(), 2u);
+    const smoothe::util::Json doc = lint::renderSarif(report);
+    std::string error;
+    EXPECT_TRUE(lint::validateSarif(doc, &error)) << error;
+
+    const std::string text = doc.dump();
+    EXPECT_NE(text.find("\"2.1.0\""), std::string::npos);
+    EXPECT_NE(text.find("\"smoothe_lint\""), std::string::npos);
+    EXPECT_NE(text.find("\"raw-new\""), std::string::npos);
+    EXPECT_NE(text.find("src/foo/bar.cpp"), std::string::npos);
+}
+
+TEST(LintSarif, EmptyReportStillValidates)
+{
+    lint::LintReport report;
+    report.filesScanned = 1;
+    std::string error;
+    EXPECT_TRUE(lint::validateSarif(lint::renderSarif(report), &error))
+        << error;
+}
+
+TEST(LintSarif, ValidatorRejectsStructurallyBrokenDocuments)
+{
+    namespace util = smoothe::util;
+    std::string error;
+    // Not even an object.
+    EXPECT_FALSE(lint::validateSarif(util::Json::makeArray(), &error));
+
+    // Missing version.
+    util::Json doc = util::Json::makeObject();
+    doc.set("runs", util::Json::makeArray());
+    EXPECT_FALSE(lint::validateSarif(doc, &error));
+    EXPECT_FALSE(error.empty());
+
+    // A result without a message.
+    util::Json result = util::Json::makeObject();
+    result.set("ruleId", "raw-new");
+    util::Json results = util::Json::makeArray();
+    results.push(std::move(result));
+    util::Json driver = util::Json::makeObject();
+    driver.set("name", "smoothe_lint");
+    util::Json tool = util::Json::makeObject();
+    tool.set("driver", std::move(driver));
+    util::Json run = util::Json::makeObject();
+    run.set("tool", std::move(tool));
+    run.set("results", std::move(results));
+    util::Json runs = util::Json::makeArray();
+    runs.push(std::move(run));
+    util::Json bad = util::Json::makeObject();
+    bad.set("version", "2.1.0");
+    bad.set("runs", std::move(runs));
+    EXPECT_FALSE(lint::validateSarif(bad, &error));
+}
+
+// ------------------------------------------------------------ baseline
+
+TEST(LintBaseline, RoundTripsThroughJson)
+{
+    const lint::LintReport report = sampleReport();
+    const smoothe::util::Json doc = lint::renderBaseline(report.findings);
+    lint::Baseline baseline;
+    std::string error;
+    ASSERT_TRUE(lint::parseBaseline(doc, baseline, &error)) << error;
+    ASSERT_EQ(baseline.entries.size(), 2u);
+    EXPECT_EQ(baseline.entries[0].rule, "raw-new");
+    EXPECT_EQ(baseline.entries[0].path, kLibCpp);
+
+    // A baseline written from the current findings absorbs all of them.
+    EXPECT_TRUE(
+        lint::applyBaseline(baseline, sampleReport().findings).empty());
+}
+
+TEST(LintBaseline, SurvivesLineDriftButCountsMultiplicity)
+{
+    lint::Baseline baseline;
+    baseline.entries.push_back({"raw-new", "src/a.cpp", "msg"});
+
+    // Same finding at a different line: still absorbed (keyed without
+    // line numbers)...
+    std::vector<lint::Finding> drifted = {{"raw-new", "src/a.cpp", 99,
+                                           "msg"}};
+    EXPECT_TRUE(lint::applyBaseline(baseline, drifted).empty());
+
+    // ...but a second identical violation exceeds the budget.
+    std::vector<lint::Finding> doubled = {
+        {"raw-new", "src/a.cpp", 3, "msg"},
+        {"raw-new", "src/a.cpp", 99, "msg"}};
+    const auto survivors = lint::applyBaseline(baseline, doubled);
+    ASSERT_EQ(survivors.size(), 1u);
+    EXPECT_EQ(survivors[0].line, 99); // first occurrence absorbed
+
+    // Different rule or path never matches.
+    std::vector<lint::Finding> other = {{"no-rand", "src/a.cpp", 3, "msg"}};
+    EXPECT_EQ(lint::applyBaseline(baseline, other).size(), 1u);
+}
+
+TEST(LintBaseline, MalformedDocumentsAreErrorsNotNoOps)
+{
+    namespace util = smoothe::util;
+    lint::Baseline baseline;
+    std::string error;
+
+    EXPECT_FALSE(
+        lint::parseBaseline(util::Json::makeArray(), baseline, &error));
+    EXPECT_FALSE(error.empty());
+
+    util::Json noList = util::Json::makeObject();
+    noList.set("version", 1);
+    EXPECT_FALSE(lint::parseBaseline(noList, baseline, &error));
+
+    util::Json badEntry = util::Json::makeObject();
+    badEntry.set("rule", 7); // wrong type
+    util::Json list = util::Json::makeArray();
+    list.push(std::move(badEntry));
+    util::Json doc = util::Json::makeObject();
+    doc.set("version", 1);
+    doc.set("suppressions", std::move(list));
+    EXPECT_FALSE(lint::parseBaseline(doc, baseline, &error));
+}
+
+// ------------------------------------------------------------- catalog
+
+TEST(LintCatalog, CoversTheV2RulePack)
+{
+    const auto& catalog = lint::ruleCatalog();
+    EXPECT_GE(catalog.size(), 11u);
+    for (const lint::RuleInfo& info : catalog) {
+        EXPECT_NE(info.summary[0], '\0') << info.name;
+        EXPECT_NE(info.rationale[0], '\0') << info.name;
+        EXPECT_NE(info.fix[0], '\0') << info.name;
+    }
+    for (const char* rule :
+         {"parallel-capture-race", "nondet-reduction", "fma-in-kernel",
+          "relaxed-atomic-handshake", "avx2-parity-coverage"}) {
+        EXPECT_NE(lint::findRule(rule), nullptr) << rule;
+    }
+    EXPECT_EQ(lint::findRule("no-such-rule"), nullptr);
 }
 
 } // namespace

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the lint scope micro-parser (src/lint/scope_tree.hpp).
+ *
+ * Two layers: API assertions (scopeAt / findLocal / enclosingFunction /
+ * loopDepth / captures) on small snippets, and golden dumps under
+ * tests/golden/scope/ that pin the full tree shape on adversarial
+ * inputs — nested lambdas, templates with >>, operator overloads,
+ * constructor init lists, if constexpr, unbalanced macro braces.
+ *
+ * Regenerate the goldens after an intentional parser change with
+ *   SMOOTHE_UPDATE_GOLDEN=1 ctest -R test_scope_tree
+ * and review the diff: the dump IS the parser's contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "lint/lexer.hpp"
+#include "lint/scope_tree.hpp"
+#include "util/json.hpp"
+
+namespace lint = smoothe::lint;
+namespace util = smoothe::util;
+
+#ifndef SMOOTHE_GOLDEN_DIR
+#define SMOOTHE_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+lint::ScopeTree
+parse(const std::string& source)
+{
+    return lint::buildScopeTree(lint::lex(source));
+}
+
+/** Finds the first scope with `kind` and, when given, `name`. */
+int
+findScope(const lint::ScopeTree& tree, lint::ScopeKind kind,
+          const std::string& name = "")
+{
+    for (std::size_t s = 0; s < tree.scopes.size(); ++s) {
+        if (tree.scopes[s].kind == kind &&
+            (name.empty() || tree.scopes[s].name == name))
+            return static_cast<int>(s);
+    }
+    return -1;
+}
+
+void
+expectGolden(const std::string& name, const std::string& source)
+{
+    const std::string path =
+        std::string(SMOOTHE_GOLDEN_DIR) + "/scope/" + name + ".txt";
+    const std::string dump = parse(source).dump();
+    if (std::getenv("SMOOTHE_UPDATE_GOLDEN") != nullptr) {
+        ASSERT_TRUE(util::writeFile(path, dump)) << path;
+        return;
+    }
+    const auto expected = util::readFile(path);
+    ASSERT_TRUE(expected) << "missing golden " << path
+                          << " — regenerate with SMOOTHE_UPDATE_GOLDEN=1";
+    EXPECT_EQ(*expected, dump)
+        << "scope dump drifted from " << path
+        << " — review and regenerate with SMOOTHE_UPDATE_GOLDEN=1";
+}
+
+// ------------------------------------------------------------------ API
+
+TEST(ScopeTree, RootSpansTheWholeFile)
+{
+    const lint::ScopeTree tree = parse("int a;\nint b;\n");
+    ASSERT_FALSE(tree.scopes.empty());
+    EXPECT_EQ(tree.root().kind, lint::ScopeKind::File);
+    EXPECT_EQ(tree.root().parent, -1);
+    EXPECT_EQ(tree.scopeAt(0), 0);
+}
+
+TEST(ScopeTree, FunctionsRecordParametersAsLocals)
+{
+    const lint::ScopeTree tree =
+        parse("void f(const float* x, std::size_t n) {\n"
+              "  double acc = 0.0;\n"
+              "}\n");
+    const int fn = findScope(tree, lint::ScopeKind::Function, "f");
+    ASSERT_GE(fn, 0);
+    const lint::Declaration* x = tree.findLocal(fn, "x");
+    ASSERT_NE(x, nullptr);
+    EXPECT_TRUE(x->isParameter);
+    EXPECT_NE(x->typeText.find("float"), std::string::npos);
+    EXPECT_NE(x->typeText.find("*"), std::string::npos);
+    const lint::Declaration* acc = tree.findLocal(fn, "acc");
+    ASSERT_NE(acc, nullptr);
+    EXPECT_FALSE(acc->isParameter);
+    EXPECT_EQ(acc->typeText, "double");
+}
+
+TEST(ScopeTree, FindLocalPrefersTheInnermostShadower)
+{
+    const lint::ScopeTree tree = parse("void f() {\n"
+                                       "  int v = 1;\n"
+                                       "  {\n"
+                                       "    double v = 2.0;\n"
+                                       "    use(v);\n"
+                                       "  }\n"
+                                       "}\n");
+    const int block = findScope(tree, lint::ScopeKind::Block);
+    ASSERT_GE(block, 0);
+    const lint::Declaration* inner = tree.findLocal(block, "v");
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->typeText, "double");
+    // From the function scope the outer declaration wins.
+    const int fn = findScope(tree, lint::ScopeKind::Function, "f");
+    const lint::Declaration* outer = tree.findLocal(fn, "v");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->typeText, "int");
+    EXPECT_EQ(tree.findLocal(block, "unknown"), nullptr);
+}
+
+TEST(ScopeTree, LoopDepthCountsNesting)
+{
+    const lint::ScopeTree tree =
+        parse("void f() {\n"
+              "  for (int i = 0; i < n; ++i) {\n"
+              "    while (more()) {\n"
+              "      step();\n"
+              "    }\n"
+              "  }\n"
+              "}\n");
+    int seen = 0;
+    for (const lint::Scope& scope : tree.scopes) {
+        if (scope.kind != lint::ScopeKind::Loop)
+            continue;
+        ++seen;
+        EXPECT_EQ(scope.loopDepth, seen); // outer 1, inner 2
+    }
+    EXPECT_EQ(seen, 2);
+    const int fn = findScope(tree, lint::ScopeKind::Function, "f");
+    EXPECT_EQ(tree.scopes[fn].loopDepth, 0);
+}
+
+TEST(ScopeTree, LambdaCapturesAreParsed)
+{
+    const lint::ScopeTree tree =
+        parse("void f() {\n"
+              "  int a = 0; int b = 0;\n"
+              "  auto g = [&, b, c = a + 1](int arg) { use(arg); };\n"
+              "}\n");
+    const int lambda = findScope(tree, lint::ScopeKind::Lambda);
+    ASSERT_GE(lambda, 0);
+    const auto& captures = tree.scopes[lambda].captures;
+    ASSERT_EQ(captures.size(), 3u);
+    EXPECT_TRUE(captures[0].isDefault);
+    EXPECT_TRUE(captures[0].byRef);
+    EXPECT_EQ(captures[1].name, "b");
+    EXPECT_FALSE(captures[1].byRef);
+    EXPECT_EQ(captures[2].name, "c");
+    EXPECT_TRUE(captures[2].isInit);
+    const lint::Declaration* arg = tree.findLocal(lambda, "arg");
+    ASSERT_NE(arg, nullptr);
+    EXPECT_TRUE(arg->isParameter);
+}
+
+TEST(ScopeTree, EnclosingFunctionWalksPastBlocksAndLoops)
+{
+    const lint::ScopeTree tree = parse("void f() {\n"
+                                       "  for (;;) {\n"
+                                       "    if (x) {\n"
+                                       "      auto g = [&] { body(); };\n"
+                                       "    }\n"
+                                       "  }\n"
+                                       "}\n");
+    const int lambda = findScope(tree, lint::ScopeKind::Lambda);
+    ASSERT_GE(lambda, 0);
+    // From the lambda itself: the lambda.
+    EXPECT_EQ(tree.enclosingFunction(lambda), lambda);
+    // From the if-block around it: the function.
+    const int fn = findScope(tree, lint::ScopeKind::Function, "f");
+    const int block = tree.scopes[lambda].parent;
+    EXPECT_EQ(tree.enclosingFunction(block), fn);
+    EXPECT_EQ(tree.enclosingFunction(0), -1);
+}
+
+TEST(ScopeTree, MethodNamesKeepTheirQualification)
+{
+    const lint::ScopeTree tree =
+        parse("void CsrMatrix::spmv(const float* x, float* y) {\n"
+              "  body(x, y);\n"
+              "}\n");
+    EXPECT_GE(findScope(tree, lint::ScopeKind::Function, "CsrMatrix::spmv"),
+              0);
+}
+
+TEST(ScopeTree, SubscriptsAndAttributesAreNotLambdas)
+{
+    const lint::ScopeTree tree =
+        parse("void f(std::vector<int>& v) {\n"
+              "  v[0] = 1;\n"
+              "  [[maybe_unused]] int y = v[1];\n"
+              "}\n");
+    EXPECT_EQ(findScope(tree, lint::ScopeKind::Lambda), -1);
+}
+
+TEST(ScopeTree, BracedInitsInLoopHeadersDoNotStealTheBody)
+{
+    const lint::ScopeTree tree =
+        parse("void f() {\n"
+              "  while (acc > T{100}) {\n"
+              "    int inner = 0;\n"
+              "  }\n"
+              "  for (int x : std::vector<int>{1, 2}) {\n"
+              "    use(x);\n"
+              "  }\n"
+              "}\n");
+    int loops = 0;
+    for (const lint::Scope& scope : tree.scopes) {
+        if (scope.kind != lint::ScopeKind::Loop)
+            continue;
+        ++loops;
+        // Each Loop scope must span its real body, not the braced init.
+        EXPECT_LT(scope.beginLine, scope.endLine)
+            << "loop at line " << scope.beginLine;
+    }
+    EXPECT_EQ(loops, 2);
+}
+
+TEST(ScopeTree, UnbalancedBracesClampInsteadOfFailing)
+{
+    // A macro that opens a scope the parser never sees closed.
+    const lint::ScopeTree truncated =
+        parse("void f() {\n  int a = 0;\n"); // missing }
+    const int fn = findScope(truncated, lint::ScopeKind::Function, "f");
+    ASSERT_GE(fn, 0);
+    EXPECT_GE(truncated.scopes[fn].endTok, truncated.scopes[fn].beginTok);
+    // A stray close brace must not underflow the scope stack.
+    const lint::ScopeTree stray = parse("}\n}\nint a;\nvoid g() { b(); }\n");
+    EXPECT_GE(findScope(stray, lint::ScopeKind::Function, "g"), 0);
+}
+
+// --------------------------------------------------------------- golden
+
+TEST(ScopeGolden, NestedLambdasAndCaptures)
+{
+    expectGolden("nested_lambdas",
+                 "namespace smoothe {\n"
+                 "void drive(util::ThreadPool& pool) {\n"
+                 "  int outer = 0;\n"
+                 "  pool.parallelFor(0, 8, [&, seed = 7](std::size_t i) {\n"
+                 "    auto inner = [=](int j) mutable { return j + seed; };\n"
+                 "    use(inner(static_cast<int>(i)), outer);\n"
+                 "  });\n"
+                 "}\n"
+                 "} // namespace smoothe\n");
+}
+
+TEST(ScopeGolden, TemplatesAndDoubleCloseAngle)
+{
+    expectGolden("templates",
+                 "template <typename T, typename U>\n"
+                 "std::vector<std::pair<T, U>> zip(const std::vector<T>& a,\n"
+                 "                                 const std::vector<U>& b)\n"
+                 "{\n"
+                 "  std::vector<std::pair<T, U>> out;\n"
+                 "  for (std::size_t i = 0; i < a.size(); ++i) {\n"
+                 "    out.emplace_back(a[i], b[i]);\n"
+                 "  }\n"
+                 "  return out;\n"
+                 "}\n"
+                 "template <class T>\n"
+                 "struct Holder {\n"
+                 "  T value;\n"
+                 "  T get() const { return value; }\n"
+                 "};\n");
+}
+
+TEST(ScopeGolden, OperatorsAndDestructors)
+{
+    expectGolden("operators",
+                 "struct Fixture {\n"
+                 "  ~Fixture() { release(); }\n"
+                 "  bool operator==(const Fixture& other) const {\n"
+                 "    return id == other.id;\n"
+                 "  }\n"
+                 "  int operator()(int x) { return x + id; }\n"
+                 "  int id = 0;\n"
+                 "};\n"
+                 "Fixture operator+(const Fixture& a, const Fixture& b)\n"
+                 "{\n"
+                 "  Fixture out;\n"
+                 "  out.id = a.id + b.id;\n"
+                 "  return out;\n"
+                 "}\n");
+}
+
+TEST(ScopeGolden, ConstructorInitLists)
+{
+    expectGolden("ctor_init",
+                 "class Arena {\n"
+                 " public:\n"
+                 "  Arena(std::size_t budget, int flags)\n"
+                 "      : budget_(budget), flags_{flags}, peak_{0} {\n"
+                 "    validate();\n"
+                 "  }\n"
+                 " private:\n"
+                 "  std::size_t budget_;\n"
+                 "  int flags_;\n"
+                 "  std::size_t peak_;\n"
+                 "};\n"
+                 "Arena::Arena(std::size_t budget)\n"
+                 "    : budget_(budget), flags_{0}, peak_{0} {\n"
+                 "  validate();\n"
+                 "}\n");
+}
+
+TEST(ScopeGolden, IfConstexprAndLoopKinds)
+{
+    expectGolden("if_constexpr",
+                 "template <typename T>\n"
+                 "T reduce(const T* data, std::size_t n)\n"
+                 "{\n"
+                 "  T acc{};\n"
+                 "  if constexpr (std::is_floating_point_v<T>) {\n"
+                 "    for (std::size_t i = 0; i < n; ++i) {\n"
+                 "      acc += data[i];\n"
+                 "    }\n"
+                 "  } else {\n"
+                 "    std::size_t i = 0;\n"
+                 "    do {\n"
+                 "      acc += data[i];\n"
+                 "    } while (++i < n);\n"
+                 "  }\n"
+                 "  while (acc > T{100}) {\n"
+                 "    acc /= T{2};\n"
+                 "  }\n"
+                 "  return acc;\n"
+                 "}\n");
+}
+
+TEST(ScopeGolden, AdversarialBracesInLiteralsAndMacros)
+{
+    expectGolden("adversarial_braces",
+                 "const char* kJson = R\"({\"key\": {\"nested\": 1}})\";\n"
+                 "const char kOpen = '{';\n"
+                 "#define WRAP(x) { x; }\n"
+                 "void f()\n"
+                 "{\n"
+                 "  // braces in comments: } } {\n"
+                 "  emit(\"{\");\n"
+                 "  WRAP(int y = 2)\n"
+                 "}\n");
+}
+
+} // namespace

@@ -1,37 +1,75 @@
 /**
  * @file
  * smoothe_lint: the project's own static analyzer (DESIGN.md
- * "Correctness tooling & static analysis").
+ * "Correctness tooling & static analysis" and "Static analysis v2").
  *
  * Usage:
- *   smoothe_lint [--root DIR] [--json] [--list-rules] PATH...
+ *   smoothe_lint [--root DIR] [--json] [--sarif-out FILE]
+ *                [--rules a,b,...] [--baseline FILE] [--write-baseline]
+ *                [--report-out FILE] [--list-rules] [--explain RULE]
+ *                PATH...
  *
  * PATHs are files or directories (scanned recursively for
  * .hpp/.h/.cpp/.cc), interpreted relative to --root (default: the
  * current directory). Exits 0 when clean, 1 when there are findings or
  * unreadable paths, 2 on usage errors. Suppress a deliberate violation
- * with `// smoothe-lint: allow(<rule>)` on or directly above the line.
+ * with `// smoothe-lint: allow(<rule>)` on or directly above the line;
+ * park a whole rule's pre-existing findings in a baseline file with
+ * --write-baseline and subtract them with --baseline.
+ *
+ * --sarif-out writes a SARIF 2.1.0 report for CI annotation upload;
+ * --report-out records `lint.runtime_ms` through obs::Report so the
+ * perf gate catches analyzer slowdowns (budget: full tree < 2 s).
  *
  * CI runs `smoothe_lint --root . src tools bench tests` as the
  * `lint_sources` ctest; see .github/workflows/ci.yml.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "lint/baseline.hpp"
 #include "lint/linter.hpp"
+#include "lint/sarif.hpp"
+#include "obs/report.hpp"
+#include "util/json.hpp"
 
 namespace {
 
 int
 usage(const char* program)
 {
-    std::fprintf(stderr,
-                 "usage: %s [--root DIR] [--json] [--list-rules] PATH...\n",
-                 program);
+    std::fprintf(
+        stderr,
+        "usage: %s [--root DIR] [--json] [--sarif-out FILE]\n"
+        "          [--rules a,b,...] [--baseline FILE] "
+        "[--write-baseline]\n"
+        "          [--report-out FILE] [--list-rules] [--explain RULE] "
+        "PATH...\n",
+        program);
     return 2;
+}
+
+std::vector<std::string>
+splitCommas(const std::string& list)
+{
+    std::vector<std::string> out;
+    std::string name;
+    for (const char c : list) {
+        if (c == ',') {
+            if (!name.empty())
+                out.push_back(name);
+            name.clear();
+        } else {
+            name.push_back(c);
+        }
+    }
+    if (!name.empty())
+        out.push_back(name);
+    return out;
 }
 
 } // namespace
@@ -43,20 +81,65 @@ main(int argc, char** argv)
 
     std::string root = ".";
     bool json = false;
+    bool writeBaseline = false;
+    std::string sarifOut;
+    std::string baselinePath;
+    std::string reportOut;
+    lint::LintOptions options;
     std::vector<std::string> paths;
+
+    const auto valueOf = [&](const char* flag, int& i,
+                             std::string& into) -> bool {
+        const std::size_t flagLen = std::strlen(flag);
+        if (std::strcmp(argv[i], flag) == 0) {
+            if (i + 1 >= argc)
+                return false;
+            into = argv[++i];
+            return true;
+        }
+        if (std::strncmp(argv[i], flag, flagLen) == 0 &&
+            argv[i][flagLen] == '=') {
+            into = argv[i] + flagLen + 1;
+            return true;
+        }
+        return false;
+    };
+
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
+        std::string value;
         if (std::strcmp(arg, "--json") == 0) {
             json = true;
-        } else if (std::strcmp(arg, "--root") == 0) {
-            if (i + 1 >= argc)
-                return usage(argv[0]);
-            root = argv[++i];
-        } else if (std::strncmp(arg, "--root=", 7) == 0) {
-            root = arg + 7;
+        } else if (std::strcmp(arg, "--write-baseline") == 0) {
+            writeBaseline = true;
+        } else if (valueOf("--root", i, root) ||
+                   valueOf("--sarif-out", i, sarifOut) ||
+                   valueOf("--baseline", i, baselinePath) ||
+                   valueOf("--report-out", i, reportOut)) {
+            // value captured
+        } else if (valueOf("--rules", i, value)) {
+            options.rules = splitCommas(value);
+            for (const std::string& name : options.rules) {
+                if (lint::findRule(name) == nullptr) {
+                    std::fprintf(stderr, "%s: unknown rule %s\n", argv[0],
+                                 name.c_str());
+                    return 2;
+                }
+            }
+        } else if (valueOf("--explain", i, value)) {
+            const lint::RuleInfo* info = lint::findRule(value);
+            if (info == nullptr) {
+                std::fprintf(stderr,
+                             "%s: unknown rule %s (try --list-rules)\n",
+                             argv[0], value.c_str());
+                return 2;
+            }
+            std::printf("%s — %s\n\nWhy: %s\n\nFix: %s\n", info->name,
+                        info->summary, info->rationale, info->fix);
+            return 0;
         } else if (std::strcmp(arg, "--list-rules") == 0) {
             for (const lint::RuleInfo& rule : lint::ruleCatalog())
-                std::printf("%-16s %s\n", rule.name, rule.summary);
+                std::printf("%-24s %s\n", rule.name, rule.summary);
             return 0;
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
@@ -71,8 +154,77 @@ main(int argc, char** argv)
     }
     if (paths.empty())
         return usage(argv[0]);
+    if (writeBaseline && baselinePath.empty()) {
+        std::fprintf(stderr, "%s: --write-baseline needs --baseline FILE\n",
+                     argv[0]);
+        return 2;
+    }
 
-    const lint::LintReport report = lint::lintPaths(root, paths);
+    if (!reportOut.empty())
+        obs::Report::install("smoothe_lint", reportOut);
+
+    const auto started = std::chrono::steady_clock::now();
+    lint::LintReport report = lint::lintPaths(root, paths, options);
+    const double runtimeMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+
+    if (obs::Report* installed = obs::Report::current()) {
+        installed->measurement("lint.runtime_ms").unit("ms").add(runtimeMs);
+        installed->measurement("lint.files_scanned")
+            .unit("files")
+            .checked(false)
+            .add(static_cast<double>(report.filesScanned));
+        installed->measurement("lint.findings")
+            .unit("count")
+            .checked(false)
+            .add(static_cast<double>(report.findings.size()));
+        obs::Report::flushCurrent();
+    }
+
+    if (writeBaseline) {
+        const util::Json doc = lint::renderBaseline(report.findings);
+        if (!util::writeFile(baselinePath, doc.dumpPretty() + "\n")) {
+            std::fprintf(stderr, "%s: cannot write baseline %s\n", argv[0],
+                         baselinePath.c_str());
+            return 2;
+        }
+        std::printf("smoothe_lint: wrote %zu suppression%s to %s\n",
+                    report.findings.size(),
+                    report.findings.size() == 1 ? "" : "s",
+                    baselinePath.c_str());
+        return 0;
+    }
+
+    if (!baselinePath.empty()) {
+        const auto text = util::readFile(baselinePath);
+        if (!text) {
+            std::fprintf(stderr, "%s: cannot read baseline %s\n", argv[0],
+                         baselinePath.c_str());
+            return 2;
+        }
+        std::string error;
+        const auto doc = util::Json::parse(*text, &error);
+        lint::Baseline baseline;
+        if (!doc || !lint::parseBaseline(*doc, baseline, &error)) {
+            std::fprintf(stderr, "%s: bad baseline %s: %s\n", argv[0],
+                         baselinePath.c_str(), error.c_str());
+            return 2;
+        }
+        report.findings =
+            lint::applyBaseline(baseline, std::move(report.findings));
+    }
+
+    if (!sarifOut.empty()) {
+        const util::Json sarif = lint::renderSarif(report);
+        if (!util::writeFile(sarifOut, sarif.dumpPretty() + "\n")) {
+            std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                         sarifOut.c_str());
+            return 2;
+        }
+    }
+
     if (json)
         std::printf("%s\n", lint::renderJson(report).dumpPretty().c_str());
     else
