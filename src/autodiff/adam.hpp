@@ -39,6 +39,20 @@ class Adam
     void setLearningRate(float lr) { config_.lr = lr; }
     float learningRate() const { return config_.lr; }
 
+    /**
+     * Optimizer-state access for warm starts: a caller resuming
+     * optimization on a grown parameter remaps the first/second moments
+     * element-wise and restores the bias-correction step count so the
+     * carried moments keep their calibration.
+     */
+    long stepCount() const { return step_; }
+    void setStepCount(long step) { step_ = step; }
+    std::size_t numParams() const { return params_.size(); }
+    Tensor& moment1(std::size_t param) { return m_[param]; }
+    Tensor& moment2(std::size_t param) { return v_[param]; }
+    const Tensor& moment1(std::size_t param) const { return m_[param]; }
+    const Tensor& moment2(std::size_t param) const { return v_[param]; }
+
   private:
     std::vector<Param*> params_;
     AdamConfig config_;

@@ -24,6 +24,7 @@ namespace smoothe::datasets {
 enum class TermFlavor {
     Arithmetic, ///< +/*/shift over variables and small constants
     Datapath,   ///< FIR-like multiply-accumulate chains (rover-flavored)
+    Caviar,     ///< Halide-style +/-/*/min/max exprs (caviar-flavored)
 };
 
 /**
@@ -50,6 +51,26 @@ eg::EGraph growEGraph(TermFlavor flavor, std::size_t depth,
  */
 eg::EGraph growFirEGraph(std::size_t taps, std::size_t max_nodes,
                          util::Rng& rng);
+
+/**
+ * Grows a caviar-style e-graph with phased scheduling: the TRS phases
+ * of eqsat::caviarRulePhases() run in order (normalize, expand, min/max
+ * lemmas), each with its own slice of the node budget — the schedule
+ * Caviar uses to keep Halide-style rule sets from blowing up the graph
+ * before the interesting lemmas fire.
+ */
+eg::EGraph growCaviarEGraph(std::size_t depth, std::size_t max_nodes,
+                            util::Rng& rng);
+
+/**
+ * The eighth dataset family: caviar-flavored e-graphs grown by phased
+ * equality saturation from random Halide-style expressions. Unlike the
+ * structure-matched synthetics this family exercises the real rewrite
+ * pipeline, which is what the anytime/incremental benchmarks replay
+ * epoch by epoch. Deterministic in (scale, seed).
+ */
+std::vector<NamedEGraph> generateCaviarFamily(double scale,
+                                              std::uint64_t seed);
 
 } // namespace smoothe::datasets
 

@@ -1,5 +1,6 @@
 #include "datasets/registry.hpp"
 
+#include "datasets/eqsat_grown.hpp"
 #include "datasets/nphard.hpp"
 
 namespace smoothe::datasets {
@@ -9,7 +10,7 @@ allFamilies()
 {
     static const std::vector<std::string> families = {
         "diospyros", "flexc", "impress", "rover",
-        "tensat",    "set",   "maxsat"};
+        "tensat",    "set",   "maxsat",  "caviar"};
     return families;
 }
 
@@ -20,6 +21,8 @@ loadFamily(const std::string& family, double scale, std::uint64_t seed)
         return generateSetFamily(scale, seed);
     if (family == "maxsat")
         return generateMaxSatFamily(scale, seed);
+    if (family == "caviar")
+        return generateCaviarFamily(scale, seed);
     return generateFamily(familyParams(family), scale, seed);
 }
 

@@ -13,7 +13,8 @@
 
 namespace smoothe::datasets {
 
-/** All seven family names in Table 1 order. */
+/** All family names: the seven of Table 1 plus the eqsat-grown
+ *  "caviar" extension (TRS rules with phased scheduling). */
 const std::vector<std::string>& allFamilies();
 
 /**

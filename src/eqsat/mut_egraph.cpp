@@ -20,6 +20,8 @@ MutEGraph::internSymbol(const std::string& name)
     const std::uint32_t id = static_cast<std::uint32_t>(symbols_.size());
     symbols_.push_back(name);
     symbolIds_[name] = id;
+    if (deltaLog_)
+        pendingDelta_.symbolsAdded.push_back(name);
     return id;
 }
 
@@ -77,6 +79,14 @@ MutEGraph::add(const std::string& op, std::vector<Id> children)
     hashcons_[node] = id;
     for (Id child : node.children)
         classes_[child].parents.emplace_back(node, id);
+    if (deltaLog_) {
+        DeltaEntry entry;
+        entry.kind = DeltaEntry::Kind::AddNode;
+        entry.op = node.op;
+        entry.children = node.children;
+        entry.cls = id;
+        pendingDelta_.entries.push_back(std::move(entry));
+    }
     return id;
 }
 
@@ -103,6 +113,13 @@ MutEGraph::merge(Id a, Id b)
     if (classes_[a].parents.size() < classes_[b].parents.size())
         std::swap(a, b);
     parent_[b] = a;
+    if (deltaLog_) {
+        DeltaEntry entry;
+        entry.kind = DeltaEntry::Kind::Merge;
+        entry.from = b;
+        entry.into = a;
+        pendingDelta_.entries.push_back(std::move(entry));
+    }
     // Move nodes and parents into the survivor.
     auto& survivor = classes_[a];
     auto& absorbed = classes_[b];
@@ -219,10 +236,86 @@ MutEGraph::checkInvariants() const
                            cls);
     }
 
+    // Validate the pending delta log against the materialized graph.
+    if (deltaLog_) {
+        if (pendingDelta_.baseNodes + pendingDelta_.numAdds() !=
+            parent_.size())
+            return problem("delta log records ", pendingDelta_.numAdds(),
+                           " adds on a base of ", pendingDelta_.baseNodes,
+                           " ids but the graph holds ", parent_.size());
+        if (pendingDelta_.baseSymbols + pendingDelta_.symbolsAdded.size() !=
+            symbols_.size())
+            return problem("delta log records ",
+                           pendingDelta_.symbolsAdded.size(),
+                           " symbols on a base of ",
+                           pendingDelta_.baseSymbols,
+                           " but the symbol table holds ", symbols_.size());
+        for (std::size_t i = 0; i < pendingDelta_.symbolsAdded.size(); ++i) {
+            if (symbols_[pendingDelta_.baseSymbols + i] !=
+                pendingDelta_.symbolsAdded[i])
+                return problem("delta log symbol ", i, " is \"",
+                               pendingDelta_.symbolsAdded[i],
+                               "\" but the symbol table holds \"",
+                               symbols_[pendingDelta_.baseSymbols + i],
+                               "\"");
+        }
+        Id nextId = static_cast<Id>(pendingDelta_.baseNodes);
+        for (const DeltaEntry& entry : pendingDelta_.entries) {
+            if (entry.kind == DeltaEntry::Kind::AddNode) {
+                if (entry.cls != nextId)
+                    return problem("delta log add created e-class ",
+                                   entry.cls, " out of sequence (expected ",
+                                   nextId, ")");
+                ++nextId;
+                if (entry.op >= symbols_.size())
+                    return problem("delta log add has unknown symbol id ",
+                                   entry.op);
+                for (Id child : entry.children) {
+                    if (child >= entry.cls)
+                        return problem("delta log add for e-class ",
+                                       entry.cls, " references child ",
+                                       child, " from the future");
+                }
+            } else {
+                if (entry.from >= parent_.size() ||
+                    entry.into >= parent_.size())
+                    return problem("delta log merge ", entry.from, " -> ",
+                                   entry.into, " is out of range");
+                if (find(entry.from) != find(entry.into))
+                    return problem("delta log merge ", entry.from, " -> ",
+                                   entry.into,
+                                   " was logged but the classes are not "
+                                   "merged");
+            }
+        }
+    }
+
     // The deep congruence checks only hold once rebuild() has drained the
     // worklist; between merge() and rebuild() staleness is by design.
     if (!worklist_.empty())
         return std::nullopt;
+
+    // With a drained worklist, every logged add must still resolve
+    // through the hashcons into the class it was logged against.
+    if (deltaLog_) {
+        for (const DeltaEntry& entry : pendingDelta_.entries) {
+            if (entry.kind != DeltaEntry::Kind::AddNode)
+                continue;
+            Node form;
+            form.op = entry.op;
+            form.children = entry.children;
+            const Node canon = canonicalize(form);
+            const auto hc = hashcons_.find(canon);
+            if (hc == hashcons_.end())
+                return problem("delta log add \"", symbols_[entry.op],
+                               "\" no longer resolves in the hashcons");
+            if (find(hc->second) != find(entry.cls))
+                return problem("delta log add \"", symbols_[entry.op],
+                               "\" resolves to e-class ", find(hc->second),
+                               " but was logged into e-class ",
+                               find(entry.cls));
+        }
+    }
 
     // Ownership map: canonical node form -> the canonical class storing it.
     std::unordered_map<Node, Id, NodeHash> owner;
@@ -499,6 +592,305 @@ MutEGraph::exportGraph(
                    err ? err->c_str() : "");
     SMOOTHE_DCHECK_OK(out.checkInvariants());
     return out;
+}
+
+void
+MutEGraph::enableDeltaLog(bool on)
+{
+    deltaLog_ = on;
+    pendingDelta_ = Delta{};
+    if (on) {
+        pendingDelta_.baseNodes = parent_.size();
+        pendingDelta_.baseSymbols = symbols_.size();
+    }
+}
+
+Delta
+MutEGraph::drainDelta()
+{
+    SMOOTHE_CHECK(deltaLog_, "drainDelta called with the delta log off");
+    Delta out = std::move(pendingDelta_);
+    pendingDelta_ = Delta{};
+    pendingDelta_.baseNodes = parent_.size();
+    pendingDelta_.baseSymbols = symbols_.size();
+    return out;
+}
+
+void
+MutEGraph::applyDelta(const Delta& delta)
+{
+    SMOOTHE_CHECK(parent_.size() == delta.baseNodes,
+                  "applyDelta: graph holds %zu ids but the delta was "
+                  "logged on a base of %zu",
+                  parent_.size(), delta.baseNodes);
+    SMOOTHE_CHECK(symbols_.size() == delta.baseSymbols,
+                  "applyDelta: graph holds %zu symbols but the delta was "
+                  "logged on a base of %zu",
+                  symbols_.size(), delta.baseSymbols);
+    static obs::Counter& merges = obs::counter("eqsat.merges");
+    for (const std::string& name : delta.symbolsAdded) {
+        const std::uint32_t id = internSymbol(name);
+        SMOOTHE_ASSERT(id + 1 == symbols_.size(),
+                       "applyDelta: symbol \"%s\" was already interned",
+                       name.c_str());
+    }
+    for (const DeltaEntry& entry : delta.entries) {
+        if (entry.kind == DeltaEntry::Kind::AddNode) {
+            // Replay of add()'s hashcons-miss path. The children were
+            // canonical when logged and every prior mutation has been
+            // replayed, so they are canonical here too.
+            Node node;
+            node.op = entry.op;
+            node.children = entry.children;
+            for (Id& child : node.children)
+                child = find(child);
+            SMOOTHE_ASSERT(hashcons_.find(node) == hashcons_.end(),
+                           "applyDelta: replayed add of \"%s\" already "
+                           "exists",
+                           symbols_[entry.op].c_str());
+            const Id id = static_cast<Id>(parent_.size());
+            SMOOTHE_ASSERT(id == entry.cls,
+                           "applyDelta: replayed add created e-class %u "
+                           "but the log expected %u",
+                           id, entry.cls);
+            parent_.push_back(id);
+            classes_.emplace_back();
+            classes_[id].nodes.push_back(node);
+            hashcons_[node] = id;
+            for (Id child : node.children)
+                classes_[child].parents.emplace_back(node, id);
+            if (deltaLog_) {
+                DeltaEntry logged;
+                logged.kind = DeltaEntry::Kind::AddNode;
+                logged.op = node.op;
+                logged.children = node.children;
+                logged.cls = id;
+                pendingDelta_.entries.push_back(std::move(logged));
+            }
+        } else {
+            // Forced-direction union: the log records which side survived,
+            // and replay must reproduce that choice exactly — the usual
+            // union-by-size tie-break could pick differently here because
+            // parent lists are deduplicated lazily.
+            const Id from = entry.from;
+            const Id into = entry.into;
+            SMOOTHE_ASSERT(from < parent_.size() && into < parent_.size(),
+                           "applyDelta: merge %u -> %u is out of range",
+                           entry.from, entry.into);
+            SMOOTHE_ASSERT(find(from) == from && find(into) == into &&
+                               from != into,
+                           "applyDelta: merge %u -> %u does not name two "
+                           "distinct canonical classes",
+                           entry.from, entry.into);
+            merges.add(1);
+            parent_[from] = into;
+            auto& survivor = classes_[into];
+            auto& absorbed = classes_[from];
+            survivor.nodes.insert(survivor.nodes.end(),
+                                  absorbed.nodes.begin(),
+                                  absorbed.nodes.end());
+            survivor.parents.insert(survivor.parents.end(),
+                                    absorbed.parents.begin(),
+                                    absorbed.parents.end());
+            absorbed.nodes.clear();
+            absorbed.nodes.shrink_to_fit();
+            absorbed.parents.clear();
+            absorbed.parents.shrink_to_fit();
+            worklist_.push_back(into);
+            if (deltaLog_) {
+                DeltaEntry logged;
+                logged.kind = DeltaEntry::Kind::Merge;
+                logged.from = from;
+                logged.into = into;
+                pendingDelta_.entries.push_back(logged);
+            }
+        }
+    }
+    // The congruence merges the original run discovered inside rebuild()
+    // are part of the log and were just replayed; this final rebuild only
+    // re-canonicalizes storage so the graphs compare equal.
+    rebuild();
+}
+
+std::optional<std::string>
+MutEGraph::structurallyEquals(const MutEGraph& other) const
+{
+    const auto problem = [](auto&&... parts) {
+        std::ostringstream oss;
+        (oss << ... << parts);
+        return std::optional<std::string>(oss.str());
+    };
+
+    if (!worklist_.empty() || !other.worklist_.empty())
+        return problem("structural comparison requires drained worklists");
+    if (parent_.size() != other.parent_.size())
+        return problem("id counts differ: ", parent_.size(), " vs ",
+                       other.parent_.size());
+    if (symbols_ != other.symbols_)
+        return problem("symbol tables differ");
+
+    // The union-find partitions must induce a bijection between the two
+    // sets of canonical representatives.
+    constexpr Id kUnmapped = static_cast<Id>(-1);
+    std::vector<Id> map(parent_.size(), kUnmapped);
+    std::vector<Id> reverse(parent_.size(), kUnmapped);
+    for (Id id = 0; id < parent_.size(); ++id) {
+        const Id a = find(id);
+        const Id b = other.find(id);
+        if (map[a] == kUnmapped) {
+            if (reverse[b] != kUnmapped)
+                return problem("partitions differ: ids ", id, " and ",
+                               reverse[b],
+                               " are equivalent in one graph only");
+            map[a] = b;
+            reverse[b] = a;
+        } else if (map[a] != b) {
+            return problem("partitions differ at id ", id, ": class ", a,
+                           " maps to both ", map[a], " and ", b);
+        }
+    }
+
+    // Each paired class must store the same set of canonical e-nodes,
+    // compared in the other graph's id space. Node lists may hold stale
+    // forms (rebuild re-canonicalizes lazily), so canonicalize and
+    // deduplicate both sides before comparing.
+    const auto nodeLess = [](const Node& x, const Node& y) {
+        if (x.op != y.op)
+            return x.op < y.op;
+        return x.children < y.children;
+    };
+    const auto canonSet = [&](const MutEGraph& graph, Id cls) {
+        std::vector<Node> out;
+        out.reserve(graph.classes_[cls].nodes.size());
+        for (const Node& node : graph.classes_[cls].nodes) {
+            Node mapped;
+            mapped.op = node.op;
+            mapped.children.reserve(node.children.size());
+            for (Id child : node.children)
+                mapped.children.push_back(other.find(child));
+            out.push_back(std::move(mapped));
+        }
+        std::sort(out.begin(), out.end(), nodeLess);
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        return out;
+    };
+    for (Id cls = 0; cls < parent_.size(); ++cls) {
+        if (find(cls) != cls)
+            continue;
+        const std::vector<Node> mine = canonSet(*this, cls);
+        const std::vector<Node> theirs = canonSet(other, map[cls]);
+        if (!(mine == theirs))
+            return problem("e-class ", cls, " stores ", mine.size(),
+                           " canonical nodes but its counterpart ",
+                           map[cls], " stores ", theirs.size(),
+                           " (or the sets differ)");
+    }
+    return std::nullopt;
+}
+
+ExportResult
+MutEGraph::exportIncremental(
+    Id root,
+    const std::function<double(const std::string&, std::size_t)>& cost_of,
+    ExportState& state) const
+{
+    SMOOTHE_CHECK(worklist_.empty(),
+                  "exportIncremental requires a rebuilt graph");
+    ExportResult result;
+    eg::EGraph& out = result.graph;
+
+    // Identical emission order to exportGraph() — the exported graph is
+    // bit-for-bit the same — additionally recording export ids so the
+    // delta can relate this epoch to the last one held in `state`.
+    std::vector<Id> canonical;
+    std::unordered_map<Id, eg::ClassId> classMap;
+    for (Id id = 0; id < parent_.size(); ++id) {
+        if (find(id) == id) {
+            classMap[id] = out.addClass();
+            canonical.push_back(id);
+        }
+    }
+    std::unordered_map<Node, eg::NodeId, NodeHash> nodeByForm;
+    std::vector<std::size_t> classNodeCount(canonical.size(), 0);
+    for (Id cls : canonical) {
+        for (const Node& node : classes_[cls].nodes) {
+            const Node canon = canonicalize(node);
+            if (nodeByForm.count(canon))
+                continue;
+            std::vector<eg::ClassId> children;
+            children.reserve(canon.children.size());
+            for (Id child : canon.children)
+                children.push_back(classMap.at(find(child)));
+            const std::string& opName = symbols_[canon.op];
+            const eg::NodeId nodeId =
+                out.addNode(classMap.at(cls), opName, std::move(children),
+                            cost_of(opName, canon.children.size()));
+            nodeByForm[canon] = nodeId;
+            ++classNodeCount[classMap.at(cls)];
+        }
+    }
+    out.setRoot(classMap.at(find(root)));
+    const auto err = out.finalize();
+    SMOOTHE_ASSERT(!err.has_value(),
+                   "exported e-graph must be well-formed: %s",
+                   err ? err->c_str() : "");
+    SMOOTHE_DCHECK_OK(out.checkInvariants());
+
+    // Relate the previous export to this one. Saturation is grow-only:
+    // every previous class still exists (possibly merged) and every
+    // previous node's canonical form is still stored (possibly collapsed
+    // with a congruent sibling), so both forward maps are total.
+    eg::GraphDelta& delta = result.delta;
+    if (state.valid) {
+        delta.prevNumNodes = state.prevNumNodes;
+        delta.prevNumClasses = state.prevNumClasses;
+        delta.classForward.resize(state.prevNumClasses);
+        for (const auto& [mutId, prevCls] : state.classOfMut)
+            delta.classForward[prevCls] = classMap.at(find(mutId));
+        delta.nodeForward.resize(state.prevNumNodes);
+        for (const auto& [prevForm, prevNodeId] : state.nodeByForm) {
+            const Node canon = canonicalize(prevForm);
+            const auto it = nodeByForm.find(canon);
+            SMOOTHE_ASSERT(it != nodeByForm.end(),
+                           "exportIncremental: previous node \"%s\" "
+                           "vanished — was the graph rebuilt from scratch?",
+                           symbols_[prevForm.op].c_str());
+            delta.nodeForward[prevNodeId] = it->second;
+        }
+    }
+    delta.deriveReverseMaps(out.numNodes(), out.numClasses());
+
+    // A class is dirty when it was created or merged this epoch, gained
+    // a genuinely new node, or its member count changed (congruent
+    // collapse). Those are exactly the classes whose cost-table rows an
+    // incremental extractor must recompute.
+    std::vector<char> dirty(out.numClasses(), 0);
+    for (eg::ClassId c = 0; c < out.numClasses(); ++c) {
+        if (delta.prevClasses[c].size() != 1) {
+            dirty[c] = 1;
+            continue;
+        }
+        const eg::ClassId p = delta.prevClasses[c][0];
+        if (state.classNodeCount[p] != classNodeCount[c])
+            dirty[c] = 1;
+    }
+    for (eg::NodeId n = 0; n < out.numNodes(); ++n) {
+        if (delta.prevNode[n] == eg::kNoNode)
+            dirty[out.classOf(n)] = 1;
+    }
+    for (eg::ClassId c = 0; c < out.numClasses(); ++c) {
+        if (dirty[c])
+            delta.dirtyClasses.push_back(c);
+    }
+    SMOOTHE_DCHECK_OK(delta.checkConsistent(out));
+
+    state.valid = true;
+    state.prevNumNodes = out.numNodes();
+    state.prevNumClasses = out.numClasses();
+    state.classOfMut = std::move(classMap);
+    state.nodeByForm = std::move(nodeByForm);
+    state.classNodeCount = std::move(classNodeCount);
+    return result;
 }
 
 } // namespace smoothe::eqsat

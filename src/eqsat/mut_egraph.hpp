@@ -21,13 +21,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "egraph/delta.hpp"
 #include "egraph/egraph.hpp"
+#include "eqsat/delta.hpp"
 #include "eqsat/term.hpp"
 
 namespace smoothe::eqsat {
-
-/** Id of an equivalence class in the mutable e-graph. */
-using Id = std::uint32_t;
 
 /** A hashconsed e-node: interned op symbol + canonical child class ids. */
 struct Node
@@ -57,6 +56,32 @@ struct NodeHash
 
 /** Variable bindings produced by e-matching: var name -> e-class. */
 using Subst = std::map<std::string, Id>;
+
+/**
+ * Cross-epoch identity carried by exportIncremental(): how the previous
+ * export's dense node/class ids map onto the mutable graph, so the next
+ * export can emit a GraphDelta relating the two. Value-semantic; owned
+ * by whoever drives the saturation loop.
+ */
+struct ExportState
+{
+    bool valid = false;
+    std::size_t prevNumNodes = 0;
+    std::size_t prevNumClasses = 0;
+    /** prev canonical mutable id -> prev export class. */
+    std::unordered_map<Id, eg::ClassId> classOfMut;
+    /** prev canonical node form -> prev export node id. */
+    std::unordered_map<Node, eg::NodeId, NodeHash> nodeByForm;
+    /** prev export class -> emitted node count. */
+    std::vector<std::size_t> classNodeCount;
+};
+
+/** One incremental export: the new graph plus the delta from the last. */
+struct ExportResult
+{
+    eg::EGraph graph;
+    eg::GraphDelta delta;
+};
 
 /** Statistics for one saturation run. */
 struct RunStats
@@ -115,7 +140,12 @@ class MutEGraph
      * worklist is drained — full hashcons/class-list agreement: every
      * stored node canonicalizes to a hashcons entry resolving back to
      * its class, every hashcons key is canonical, and no node is owned
-     * by two classes. SMOOTHE_DEBUG_INVARIANTS builds run this after
+     * by two classes. While the delta log is enabled it also validates
+     * the pending log against the materialized graph: the id count
+     * equals the log base plus the logged adds, the logged symbols match
+     * the symbol table tail, every logged merge has actually been
+     * applied, and every logged add resolves through the hashcons to
+     * its logged class. SMOOTHE_DEBUG_INVARIANTS builds run this after
      * every rebuild() in run().
      * @return std::nullopt when healthy, else the first problem found.
      */
@@ -161,6 +191,54 @@ class MutEGraph
         const std::function<double(const std::string&, std::size_t)>&
             cost_of) const;
 
+    /**
+     * Exports like exportGraph() (bit-identical graph) and additionally
+     * emits the GraphDelta mapping the previous export recorded in
+     * `state` onto this one. On the first call (state.valid == false)
+     * the delta is the trivial "everything is new" delta. The state is
+     * updated in place for the next epoch.
+     */
+    ExportResult exportIncremental(
+        Id root,
+        const std::function<double(const std::string&, std::size_t)>&
+            cost_of,
+        ExportState& state) const;
+
+    /**
+     * Starts (true) or stops (false) the structural delta log. Starting
+     * opens a fresh epoch: pendingDelta() is reset to empty with the
+     * current node/symbol counts as its base.
+     */
+    void enableDeltaLog(bool on);
+
+    bool deltaLogEnabled() const { return deltaLog_; }
+
+    /** The mutations logged since the log was last opened/drained. */
+    const Delta& pendingDelta() const { return pendingDelta_; }
+
+    /** Returns the pending delta and opens the next epoch. */
+    Delta drainDelta();
+
+    /**
+     * Replays a drained delta onto this graph (which must be the
+     * pre-epoch snapshot): interns the logged symbols, applies every
+     * add/merge in order, then rebuilds. Afterwards
+     * structurallyEquals(post_epoch_graph) holds — the debug cross-check
+     * run after each epoch under SMOOTHE_DEBUG_INVARIANTS.
+     */
+    void applyDelta(const Delta& delta);
+
+    /**
+     * Structural equality with another e-graph over the same id space:
+     * same ids and symbols, identical union-find partition, and each
+     * paired class stores the same set of canonical e-nodes. Internal
+     * representative choices and node order are allowed to differ.
+     * Both graphs must have drained worklists.
+     * @return std::nullopt when equal, else the first difference.
+     */
+    std::optional<std::string>
+    structurallyEquals(const MutEGraph& other) const;
+
   private:
     /** Nodes currently stored in a class (canonical forms, may go stale
      *  between merges and rebuild()). */
@@ -185,6 +263,9 @@ class MutEGraph
     std::vector<ClassData> classes_; // indexed by id (valid at canonical ids)
     std::unordered_map<Node, Id, NodeHash> hashcons_;
     std::vector<Id> worklist_; // classes needing congruence repair
+
+    bool deltaLog_ = false;
+    Delta pendingDelta_;
 };
 
 } // namespace smoothe::eqsat

@@ -33,6 +33,18 @@ const std::vector<Rewrite>& trigRules();
  */
 const std::vector<Rewrite>& datapathRules();
 
+/**
+ * Caviar-style TRS rules over a Halide-flavored expression language
+ * ({+, -, *, min, max, neg} with small constants), split into the
+ * phases Caviar's phased scheduler runs in order: cheap normalization
+ * first, structural expansion second, min/max lemmas last. Each phase
+ * is a self-contained rule set; growCaviarEGraph cycles through them.
+ */
+const std::vector<std::vector<Rewrite>>& caviarRulePhases();
+
+/** All caviar rules flattened into one set (unphased baseline). */
+const std::vector<Rewrite>& caviarRules();
+
 } // namespace smoothe::eqsat
 
 #endif // SMOOTHE_EQSAT_RULES_HPP

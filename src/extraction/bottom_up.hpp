@@ -28,9 +28,22 @@ class BottomUpExtractor : public Extractor
   public:
     std::string name() const override { return "heuristic"; }
 
+    bool supportsIncremental() const override { return true; }
+
   protected:
     ExtractionResult extractImpl(const eg::EGraph& graph,
                                  const ExtractOptions& options) override;
+
+    /**
+     * Carries the converged per-class cost table across epochs; only
+     * classes the delta marks dirty (and their transitive parents) are
+     * re-relaxed, reaching the same fixed point as from scratch.
+     */
+    ExtractionResult
+    extractIncrementalImpl(const eg::EGraph& graph,
+                           const eg::GraphDelta& delta,
+                           IncrementalState& state,
+                           const ExtractOptions& options) override;
 };
 
 /** The extraction-gym "faster-bottom-up" improved heuristic. */
@@ -39,9 +52,22 @@ class FasterBottomUpExtractor : public Extractor
   public:
     std::string name() const override { return "heuristic+"; }
 
+    bool supportsIncremental() const override { return true; }
+
   protected:
     ExtractionResult extractImpl(const eg::EGraph& graph,
                                  const ExtractOptions& options) override;
+
+    /**
+     * Carries the pre-refinement fixed point (the DAG-aware post-pass
+     * is root-dependent and cheap, so it reruns every epoch on top of
+     * the incrementally repaired cost table).
+     */
+    ExtractionResult
+    extractIncrementalImpl(const eg::EGraph& graph,
+                           const eg::GraphDelta& delta,
+                           IncrementalState& state,
+                           const ExtractOptions& options) override;
 };
 
 } // namespace smoothe::extract

@@ -7,10 +7,12 @@
 #ifndef SMOOTHE_EXTRACTION_EXTRACTOR_HPP
 #define SMOOTHE_EXTRACTION_EXTRACTOR_HPP
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "egraph/delta.hpp"
 #include "egraph/egraph.hpp"
 #include "extraction/solution.hpp"
 
@@ -66,7 +68,59 @@ struct ExtractOptions
     bool recordTrace = false;
 };
 
-/** Abstract extractor. Implementations must be stateless across calls. */
+class Extractor;
+
+/** Base class for extractor-specific state carried across epochs. */
+struct IncrementalBlob
+{
+    virtual ~IncrementalBlob() = default;
+};
+
+/**
+ * Opaque cross-epoch state for incremental extraction. One state tracks
+ * one evolving e-graph under one extractor: the base class records which
+ * extractor owns it and the node/class counts of the last graph it saw,
+ * and extractIncremental() rejects a state reused across different
+ * e-graph lineages (see the `stale-delta-state` lint rule). Call reset()
+ * before pointing an existing state at a fresh graph.
+ */
+class IncrementalState
+{
+  public:
+    IncrementalState() = default;
+
+    /** True when no previous extraction has been recorded. */
+    bool empty() const { return blob_ == nullptr; }
+
+    /** Forgets the previous extraction; the next call starts cold. */
+    void reset()
+    {
+        blob_.reset();
+        owner_ = nullptr;
+        epoch_ = 0;
+        graphNodes_ = 0;
+        graphClasses_ = 0;
+    }
+
+    /** Number of extractions recorded into this state. */
+    std::size_t epoch() const { return epoch_; }
+
+  private:
+    friend class Extractor;
+
+    std::unique_ptr<IncrementalBlob> blob_;
+    const Extractor* owner_ = nullptr;
+    std::size_t epoch_ = 0;
+    std::size_t graphNodes_ = 0;
+    std::size_t graphClasses_ = 0;
+};
+
+/**
+ * Abstract extractor. Implementations keep no hidden state across
+ * calls: everything carried between epochs lives in the caller-owned
+ * IncrementalState, so plain extract() stays reproducible and
+ * side-effect free.
+ */
 class Extractor
 {
   public:
@@ -86,10 +140,62 @@ class Extractor
     ExtractionResult extract(const eg::EGraph& graph,
                              const ExtractOptions& options);
 
+    /**
+     * True when extractIncremental() actually reuses previous work;
+     * extractors that leave the default fall back to a from-scratch
+     * extractImpl() on every epoch (still valid, just not faster).
+     */
+    virtual bool supportsIncremental() const { return false; }
+
+    /**
+     * Re-extracts after the e-graph grew. `delta` must relate the graph
+     * `state` last saw to `graph` (eqsat::MutEGraph::exportIncremental
+     * produces exactly that pairing); on a fresh or reset() state the
+     * previous extraction is forgotten and this epoch runs cold. The
+     * call aborts (SMOOTHE_CHECK) when `state` was produced by a
+     * different extractor or against a different e-graph lineage.
+     */
+    ExtractionResult extractIncremental(const eg::EGraph& graph,
+                                        const eg::GraphDelta& delta,
+                                        IncrementalState& state,
+                                        const ExtractOptions& options);
+
   protected:
     /** The extractor-specific search behind extract(). */
     virtual ExtractionResult extractImpl(const eg::EGraph& graph,
                                          const ExtractOptions& options) = 0;
+
+    /**
+     * The extractor-specific incremental search behind
+     * extractIncremental(). The default ignores the delta and state and
+     * re-runs extractImpl() from scratch. Overrides read their carried
+     * state with blobOf<T>() — null on the first epoch or after a
+     * reset() — and persist the new state with storeBlob<T>().
+     */
+    virtual ExtractionResult
+    extractIncrementalImpl(const eg::EGraph& graph,
+                           const eg::GraphDelta& delta,
+                           IncrementalState& state,
+                           const ExtractOptions& options);
+
+    /** Typed view of the carried state; null when absent or foreign. */
+    template <typename T>
+    static T*
+    blobOf(IncrementalState& state)
+    {
+        return dynamic_cast<T*>(state.blob_.get());
+    }
+
+    /** Replaces the carried state with a fresh T, returning it. */
+    template <typename T, typename... Args>
+    static T&
+    storeBlob(IncrementalState& state, Args&&... args)
+    {
+        auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+        T& ref = *owned;
+        state.blob_ = std::move(owned);
+        return ref;
+    }
 };
 
 } // namespace smoothe::extract

@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 
+#include "egraph/delta.hpp"
 #include "extraction/bottom_up.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -28,29 +29,19 @@ struct CostSet
     double cost = kInf;
 };
 
-} // namespace
-
-ExtractionResult
-GreedyDagExtractor::extractImpl(const EGraph& graph,
-                            const ExtractOptions& options)
+/** Carried per-class cost sets for incremental re-extraction. */
+struct CarriedCostSets : IncrementalBlob
 {
-    util::Timer timer;
-    util::Deadline deadline(options.timeLimitSeconds);
-    obs::Span span("greedy_dag.extract", "extraction");
+    std::vector<CostSet> best;
+};
+
+/** The cost-set propagation loop shared by cold and warm starts. */
+void
+relaxCostSets(const EGraph& graph, std::vector<CostSet>& best,
+              std::deque<NodeId>& queue, std::vector<bool>& inQueue,
+              util::Deadline& deadline)
+{
     static obs::Counter& updates = obs::counter("greedy_dag.updates");
-
-    const std::size_t m = graph.numClasses();
-    std::vector<CostSet> best(m);
-
-    std::deque<NodeId> queue;
-    std::vector<bool> inQueue(graph.numNodes(), false);
-    for (NodeId nid = 0; nid < graph.numNodes(); ++nid) {
-        if (graph.node(nid).children.empty()) {
-            queue.push_back(nid);
-            inQueue[nid] = true;
-        }
-    }
-
     while (!queue.empty() && !deadline.expired()) {
         const NodeId nid = queue.front();
         queue.pop_front();
@@ -96,7 +87,13 @@ GreedyDagExtractor::extractImpl(const EGraph& graph,
             }
         }
     }
+}
 
+/** Turns converged cost sets into a validated rooted selection. */
+ExtractionResult
+finishFromCostSets(const EGraph& graph, const std::vector<CostSet>& best,
+                   const util::Timer& timer, const ExtractOptions& options)
+{
     ExtractionResult result;
     result.seconds = timer.seconds();
     if (best[graph.root()].cost == kInf) {
@@ -151,6 +148,104 @@ GreedyDagExtractor::extractImpl(const EGraph& graph,
     result.status = SolveStatus::Feasible;
     result.selection = std::move(rooted);
     result.cost = dagCost(graph, result.selection);
+    return result;
+}
+
+/**
+ * Remaps the previous epoch's cost sets into the new id space. Merged
+ * classes keep the cheaper preimage set; choices that collapse onto the
+ * same new class are resolved keep-first and the cached cost is
+ * recomputed over the deduplicated set. The result may have gone stale
+ * against new cheaper nodes — the dirty-frontier relaxation repairs it.
+ */
+std::vector<CostSet>
+remapCostSets(const EGraph& graph, const eg::GraphDelta& delta,
+              const std::vector<CostSet>& prev)
+{
+    std::vector<CostSet> best(graph.numClasses());
+    for (ClassId p = 0; p < delta.prevNumClasses; ++p) {
+        if (prev[p].cost == kInf)
+            continue;
+        CostSet mapped;
+        mapped.choices.clear();
+        for (const auto& [cls, choice] : prev[p].choices)
+            mapped.choices.emplace(delta.classForward[cls],
+                                   delta.nodeForward[choice]); // keep first
+        mapped.cost = 0.0;
+        for (const auto& [cls, choice] : mapped.choices)
+            mapped.cost += graph.node(choice).cost;
+        const ClassId c = delta.classForward[p];
+        if (mapped.cost + 1e-12 < best[c].cost)
+            best[c] = std::move(mapped);
+    }
+    return best;
+}
+
+} // namespace
+
+ExtractionResult
+GreedyDagExtractor::extractImpl(const EGraph& graph,
+                            const ExtractOptions& options)
+{
+    util::Timer timer;
+    util::Deadline deadline(options.timeLimitSeconds);
+    obs::Span span("greedy_dag.extract", "extraction");
+
+    std::vector<CostSet> best(graph.numClasses());
+    std::deque<NodeId> queue;
+    std::vector<bool> inQueue(graph.numNodes(), false);
+    for (NodeId nid = 0; nid < graph.numNodes(); ++nid) {
+        if (graph.node(nid).children.empty()) {
+            queue.push_back(nid);
+            inQueue[nid] = true;
+        }
+    }
+    relaxCostSets(graph, best, queue, inQueue, deadline);
+    return finishFromCostSets(graph, best, timer, options);
+}
+
+ExtractionResult
+GreedyDagExtractor::extractIncrementalImpl(const EGraph& graph,
+                                           const eg::GraphDelta& delta,
+                                           IncrementalState& state,
+                                           const ExtractOptions& options)
+{
+    util::Timer timer;
+    util::Deadline deadline(options.timeLimitSeconds);
+    obs::Span span("greedy_dag.extract", "extraction");
+
+    const auto* prev = blobOf<CarriedCostSets>(state);
+    std::vector<CostSet> best;
+    std::deque<NodeId> queue;
+    std::vector<bool> inQueue(graph.numNodes(), false);
+    if (prev) {
+        best = remapCostSets(graph, delta, prev->best);
+        for (ClassId c : delta.dirtyClasses) {
+            for (NodeId nid : graph.nodesInClass(c)) {
+                if (!inQueue[nid]) {
+                    queue.push_back(nid);
+                    inQueue[nid] = true;
+                }
+            }
+            for (NodeId parent : graph.parents(c)) {
+                if (!inQueue[parent]) {
+                    queue.push_back(parent);
+                    inQueue[parent] = true;
+                }
+            }
+        }
+    } else {
+        best.assign(graph.numClasses(), CostSet{});
+        for (NodeId nid = 0; nid < graph.numNodes(); ++nid) {
+            if (graph.node(nid).children.empty()) {
+                queue.push_back(nid);
+                inQueue[nid] = true;
+            }
+        }
+    }
+    relaxCostSets(graph, best, queue, inQueue, deadline);
+    ExtractionResult result = finishFromCostSets(graph, best, timer, options);
+    storeBlob<CarriedCostSets>(state).best = std::move(best);
     return result;
 }
 

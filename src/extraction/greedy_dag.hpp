@@ -21,9 +21,22 @@ class GreedyDagExtractor : public Extractor
   public:
     std::string name() const override { return "greedy-dag"; }
 
+    bool supportsIncremental() const override { return true; }
+
   protected:
     ExtractionResult extractImpl(const eg::EGraph& graph,
                                  const ExtractOptions& options) override;
+
+    /**
+     * Carries every class's converged cost set across epochs, remapped
+     * through the delta (merged classes keep the cheaper set) and
+     * re-relaxed from the dirty frontier only.
+     */
+    ExtractionResult
+    extractIncrementalImpl(const eg::EGraph& graph,
+                           const eg::GraphDelta& delta,
+                           IncrementalState& state,
+                           const ExtractOptions& options) override;
 };
 
 } // namespace smoothe::extract

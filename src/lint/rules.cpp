@@ -1,6 +1,7 @@
 #include "lint/rules.hpp"
 
 #include <algorithm>
+#include <map>
 #include <optional>
 
 namespace smoothe::lint {
@@ -639,6 +640,128 @@ avx2ParityCoverage(const RuleInputs& in, std::vector<Finding>& out)
     }
 }
 
+/**
+ * stale-delta-state: an extract::IncrementalState tracks ONE evolving
+ * e-graph lineage; pointing it at a different graph without an
+ * intervening .reset() trips the runtime ownership check (or worse,
+ * silently warm-starts from foreign parameters in release builds
+ * without SMOOTHE_CHECK coverage in the extractor). Flags
+ * `x.extractIncremental(graphA, ...)` / `x.extractIncremental(graphB,
+ * ...)` pairs that reuse the same state expression with different
+ * first arguments and no `state.reset()` between them, within one
+ * function.
+ */
+void
+staleDeltaState(const RuleInputs& in, std::vector<Finding>& out)
+{
+    const auto& tokens = in.lexed.tokens;
+
+    auto enclosingFunction = [&](std::size_t i) {
+        for (int s = in.scopes.scopeAt(i); s >= 0;
+             s = in.scopes.scopes[s].parent) {
+            if (in.scopes.scopes[s].kind == ScopeKind::Function)
+                return s;
+        }
+        return -1;
+    };
+
+    struct LastUse
+    {
+        std::string graph; ///< spelled first argument
+        std::size_t tok = 0;
+        int function = -1;
+    };
+    std::map<std::string, LastUse> lastUse; // state expr -> last call
+
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].kind != TokenKind::Identifier ||
+            tokens[i].text != "extractIncremental" ||
+            !isPunctAt(tokens, i + 1, "("))
+            continue;
+        // Split the argument list at top-level commas.
+        std::vector<std::pair<std::size_t, std::size_t>> argSpans;
+        int depth = 0;
+        std::size_t argBegin = i + 2;
+        std::size_t close = 0;
+        for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+            const std::string& p = tokens[j].text;
+            if (tokens[j].kind == TokenKind::Punct &&
+                (p == "(" || p == "[" || p == "{")) {
+                ++depth;
+            } else if (tokens[j].kind == TokenKind::Punct &&
+                       (p == ")" || p == "]" || p == "}")) {
+                if (--depth == 0) {
+                    argSpans.emplace_back(argBegin, j);
+                    close = j;
+                    break;
+                }
+            } else if (depth == 1 && isPunctAt(tokens, j, ",")) {
+                argSpans.emplace_back(argBegin, j);
+                argBegin = j + 1;
+            }
+        }
+        if (close == 0 || argSpans.size() < 3)
+            continue; // not the protocol call shape
+        auto spelled = [&](const std::pair<std::size_t, std::size_t>& s) {
+            std::string text;
+            for (std::size_t j = s.first; j < s.second; ++j)
+                text += tokens[j].text;
+            return text;
+        };
+        const std::string graphExpr = spelled(argSpans[0]);
+        // The state is the second-to-last argument (graph, delta,
+        // state, options) — tolerate call shapes with defaulted
+        // trailing options by falling back to the third argument.
+        const std::string stateExpr =
+            spelled(argSpans.size() >= 4 ? argSpans[argSpans.size() - 2]
+                                         : argSpans[2]);
+        const int function = enclosingFunction(i);
+
+        const auto it = lastUse.find(stateExpr);
+        if (it != lastUse.end() && it->second.function == function &&
+            it->second.graph != graphExpr) {
+            // Any `<state> . reset (` between the two calls clears it.
+            bool resetBetween = false;
+            for (std::size_t j = it->second.tok; j < i && !resetBetween;
+                 ++j) {
+                if (tokens[j].kind == TokenKind::Identifier &&
+                    tokens[j].text == "reset" && j >= 1 &&
+                    (isText(prev(tokens, j), ".") ||
+                     isText(prev(tokens, j), "->")) &&
+                    nextIsOpenParen(tokens, j)) {
+                    // Match the expression before the dot against the
+                    // tail of the state spelling.
+                    std::string head;
+                    for (std::size_t k = j - 1; k-- > 0;) {
+                        const Token& t = tokens[k];
+                        if (t.kind != TokenKind::Identifier &&
+                            !(t.kind == TokenKind::Punct &&
+                              (t.text == "." || t.text == "->" ||
+                               t.text == "::" || t.text == "]" ||
+                               t.text == "[")))
+                            break;
+                        head = t.text + head;
+                        if (head.size() >= stateExpr.size())
+                            break;
+                    }
+                    if (contains(stateExpr, head.c_str()) || head.empty())
+                        resetBetween = true;
+                }
+            }
+            if (!resetBetween) {
+                out.push_back(
+                    {"stale-delta-state", "", tokens[i].line,
+                     "IncrementalState `" + stateExpr +
+                         "` last fed e-graph `" + it->second.graph +
+                         "` is reused for `" + graphExpr +
+                         "` without .reset() — one state tracks one "
+                         "e-graph lineage"});
+            }
+        }
+        lastUse[stateExpr] = LastUse{graphExpr, i, function};
+    }
+}
+
 using RuleFn = void (*)(const RuleInputs&, std::vector<Finding>&);
 
 struct Rule
@@ -741,6 +864,15 @@ rules()
           "flag.store(true, std::memory_order_release); ... "
           "flag.load(std::memory_order_acquire)"},
          &relaxedAtomicHandshake},
+        {{"stale-delta-state",
+          "one IncrementalState per e-graph lineage",
+          "extract::IncrementalState carries warm-start parameters for "
+          "ONE evolving e-graph; feeding a state grown on graph A into "
+          "extractIncremental(graphB, ...) without .reset() aborts on "
+          "the runtime ownership check at best and warm-starts from "
+          "foreign parameters at worst.",
+          "state.reset();  // before pointing it at a different graph"},
+         &staleDeltaState},
         {{"avx2-parity-coverage",
           "every AVX2 kernel is exercised by tests/test_simd.cpp",
           "An AVX2 kernel without a parity test can silently diverge "

@@ -34,6 +34,10 @@
  *   avx2-parity-coverage     every kernel defined in kernels_avx2.cpp is
  *                            reachable from tests/test_simd.cpp (cross-
  *                            file, needs the project model)
+ *   stale-delta-state        an extract::IncrementalState reused across
+ *                            different e-graph expressions without an
+ *                            intervening .reset() (one state tracks one
+ *                            e-graph lineage)
  *
  * Findings on a line with (or directly below) a comment
  * `// smoothe-lint: allow(<rule>)` are suppressed; the same marker in a

@@ -9,6 +9,7 @@
 #include "autodiff/adam.hpp"
 #include "autodiff/program.hpp"
 #include "autodiff/tape.hpp"
+#include "check/contracts.hpp"
 #include "obs/obs.hpp"
 #include "smoothe/sampler.hpp"
 #include "util/rng.hpp"
@@ -71,6 +72,17 @@ struct Prepared
     std::size_t propIterations = 0;
 
     static Prepared build(const EGraph& graph, const SmoothEConfig& config);
+
+    /**
+     * Rebuilds every index structure for a grown graph without moving
+     * the container objects a compiled Program's op pointers refer to
+     * (classMembers, parentIndex, node2class, each sccs[k].entries).
+     * @return true when the recorded op sequence is preserved — same
+     * SCC count and same propagation depth (the previous depth is kept
+     * when the new auto depth does not exceed it, so a slightly deeper
+     * graph never forces a re-record) — i.e. Program::patch can apply.
+     */
+    bool rebuildInPlace(const EGraph& graph, const SmoothEConfig& config);
 };
 
 Prepared
@@ -190,6 +202,48 @@ Prepared::build(const EGraph& graph, const SmoothEConfig& config)
                                     4, 48);
     }
     return prep;
+}
+
+bool
+Prepared::rebuildInPlace(const EGraph& graph, const SmoothEConfig& config)
+{
+    const std::size_t prevIters = propIterations;
+    Prepared fresh = build(graph, config);
+    numNodes = fresh.numNodes;
+    numClasses = fresh.numClasses;
+    root = fresh.root;
+    // Move the *contents*; the container objects — whose addresses the
+    // recorded ops hold — stay where they are.
+    classMembers.offsets = std::move(fresh.classMembers.offsets);
+    classMembers.items = std::move(fresh.classMembers.items);
+    parentIndex.offsets = std::move(fresh.parentIndex.offsets);
+    parentIndex.items = std::move(fresh.parentIndex.items);
+    node2class = std::move(fresh.node2class);
+    rootMask = std::move(fresh.rootMask);
+    notRootMask = std::move(fresh.notRootMask);
+
+    bool preserved = fresh.sccs.size() == sccs.size();
+    if (preserved) {
+        for (std::size_t k = 0; k < sccs.size(); ++k) {
+            sccs[k].dim = fresh.sccs[k].dim;
+            sccs[k].entries = std::move(fresh.sccs[k].entries);
+        }
+    } else {
+        // The penalty op count changes; the caller re-records anyway, so
+        // entry addresses are free to move.
+        sccs = std::move(fresh.sccs);
+    }
+
+    if (config.propagationIterations == 0 &&
+        fresh.propIterations <= prevIters) {
+        // Pin the carried depth: it already covers the (grow-only)
+        // graph, and keeping it keeps the recorded loop length.
+        propIterations = prevIters;
+    } else {
+        preserved = preserved && fresh.propIterations == prevIters;
+        propIterations = fresh.propIterations;
+    }
+    return preserved;
 }
 
 /** Node handles into one recorded forward pass. */
@@ -321,6 +375,124 @@ effectiveLambda(const SmoothEConfig& config, std::size_t iter)
     return lambda;
 }
 
+/**
+ * Everything one SmoothE run leaves behind for the next epoch: the arena
+ * (declared first so every tensor below dies before it), the index
+ * structures the compiled Program's op pointers refer into, theta with
+ * its Adam state, and the Program itself. A one-shot extractWithCost
+ * uses a stack-local instance; the incremental protocol keeps one alive
+ * inside the caller's IncrementalState.
+ */
+struct WarmState : extract::IncrementalBlob
+{
+    explicit WarmState(std::size_t memory_budget) : arena(memory_budget) {}
+
+    Arena arena;
+    std::optional<Prepared> prep;
+    Param theta;
+    std::optional<ad::Adam> optimizer;
+    std::optional<ad::Program> program;
+    ForwardHandles handles;
+    /** The converged result of the previous epoch; re-emitted verbatim
+     *  when an identity delta proves the graph did not change. */
+    std::optional<ExtractionResult> lastResult;
+};
+
+/**
+ * Carries theta and the Adam moments into the grown id space.
+ *
+ * Carried nodes copy their previous column; brand-new nodes draw fresh
+ * from the cold-start prior N(0, 1), serially in node order so the
+ * result is bit-identical at every thread count. When classes merged,
+ * each source group is re-centered per row: softmax is shift-invariant
+ * within a class, so centering preserves every carried *relative*
+ * preference while removing the arbitrary cross-group offset that would
+ * otherwise bias the merged softmax toward whichever source class
+ * happened to sit higher. Adam moments are carried element-wise (zero
+ * for new columns); the bias-correction step count rides along with the
+ * optimizer object itself.
+ */
+void
+warmStartParams(WarmState& ws, const eg::GraphDelta& delta,
+                const std::vector<std::uint32_t>& prev_node2class,
+                const Prepared& prep, std::size_t batch, util::Rng& rng)
+{
+    const std::size_t numNodes = prep.numNodes;
+    Tensor prevTheta = std::move(ws.theta.value);
+    SMOOTHE_CHECK(prevTheta.rows() == batch,
+                  "smoothe: warm state carries batch %zu but the config "
+                  "asks for %zu",
+                  prevTheta.rows(), batch);
+
+    Tensor theta(batch, numNodes, &ws.arena);
+    for (std::size_t nid = 0; nid < numNodes; ++nid) {
+        const NodeId prev = delta.prevNode[nid];
+        if (prev == kNoNode) {
+            for (std::size_t b = 0; b < batch; ++b)
+                theta.at(b, nid) =
+                    static_cast<float>(rng.normal(0.0, 1.0));
+        } else {
+            for (std::size_t b = 0; b < batch; ++b)
+                theta.at(b, nid) = prevTheta.at(b, prev);
+        }
+    }
+
+    std::vector<NodeId> members;
+    std::vector<std::uint32_t> groupOf;
+    for (ClassId c = 0; c < prep.numClasses; ++c) {
+        if (delta.prevClasses[c].size() < 2)
+            continue;
+        members.clear();
+        groupOf.clear();
+        for (std::uint32_t off = prep.classMembers.offsets[c];
+             off < prep.classMembers.offsets[c + 1]; ++off) {
+            const NodeId nid = prep.classMembers.items[off];
+            const NodeId prev = delta.prevNode[nid];
+            if (prev == kNoNode)
+                continue; // fresh draws carry no stale offset
+            members.push_back(nid);
+            groupOf.push_back(prev_node2class[prev]);
+        }
+        for (const ClassId source : delta.prevClasses[c]) {
+            for (std::size_t b = 0; b < batch; ++b) {
+                double sum = 0.0;
+                std::size_t count = 0;
+                for (std::size_t i = 0; i < members.size(); ++i) {
+                    if (groupOf[i] != source)
+                        continue;
+                    sum += theta.at(b, members[i]);
+                    ++count;
+                }
+                if (count == 0)
+                    continue;
+                const float mean =
+                    static_cast<float>(sum / static_cast<double>(count));
+                for (std::size_t i = 0; i < members.size(); ++i) {
+                    if (groupOf[i] == source)
+                        theta.at(b, members[i]) -= mean;
+                }
+            }
+        }
+    }
+
+    ws.theta.value = std::move(theta);
+    ws.theta.grad = Tensor(batch, numNodes);
+    auto remapMoment = [&](Tensor& moment) {
+        Tensor next(batch, numNodes, &ws.arena);
+        for (std::size_t nid = 0; nid < numNodes; ++nid) {
+            const NodeId prev = delta.prevNode[nid];
+            if (prev == kNoNode)
+                continue;
+            for (std::size_t b = 0; b < batch; ++b)
+                next.at(b, nid) = moment.at(b, prev);
+        }
+        moment = std::move(next);
+    };
+    remapMoment(ws.optimizer->moment1(0));
+    remapMoment(ws.optimizer->moment2(0));
+    obs::counter("smoothe.warm_starts").add(1);
+}
+
 } // namespace
 
 Probabilities
@@ -389,10 +561,20 @@ SmoothEExtractor::extractImpl(const EGraph& graph,
     return extractWithCost(graph, linear, options);
 }
 
+namespace {
+
+/**
+ * The optimization loop shared by one-shot and warm-started runs. A
+ * null `delta` (or an empty ws.prep) starts cold; otherwise the carried
+ * state in `ws` is remapped through the delta and the compiled Program
+ * is patched in place when the growth preserves the recorded op
+ * sequence, re-recorded otherwise.
+ */
 ExtractionResult
-SmoothEExtractor::extractWithCost(const EGraph& graph,
-                                  const cost::CostModel& model,
-                                  const ExtractOptions& options)
+runSmoothE(const EGraph& graph, const cost::CostModel& model,
+           const ExtractOptions& options, const SmoothEConfig& config,
+           SmoothEDiagnostics& diagnostics, WarmState& ws,
+           const eg::GraphDelta* delta)
 {
     static obs::Logger logger("smoothe");
     obs::Counter& iterationsMetric = obs::counter("smoothe.iterations");
@@ -401,39 +583,39 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
     const std::uint64_t samplesTotalBefore = samplesTotal.get();
     const std::uint64_t samplesValidBefore = samplesValid.get();
 
-    diagnostics_ = SmoothEDiagnostics{};
+    diagnostics = SmoothEDiagnostics{};
     ExtractionResult result;
     util::Timer timer;
     util::Deadline deadline(options.timeLimitSeconds);
     util::Rng rng(options.seed);
-    ConvergenceRecorder recorder(config_.convergenceStride,
-                                 config_.convergenceCapacity);
+    ConvergenceRecorder recorder(config.convergenceStride,
+                                 config.convergenceCapacity);
 
-    Arena arena(config_.memoryBudgetBytes);
+    Arena& arena = ws.arena;
 
     // numThreads > 0 pins the process-wide pool; 0 respects whatever the
     // CLI / embedding application configured (auto = hardware threads).
     // Never resize from inside a pool worker (per-graph tool parallelism):
     // the resize would try to join the very thread running this extract.
-    if (config_.numThreads > 0 && !util::ThreadPool::onWorkerThread())
-        util::ThreadPool::setGlobalThreads(config_.numThreads);
-    diagnostics_.threads = util::ThreadPool::global().size();
+    if (config.numThreads > 0 && !util::ThreadPool::onWorkerThread())
+        util::ThreadPool::setGlobalThreads(config.numThreads);
+    diagnostics.threads = util::ThreadPool::global().size();
     obs::gauge("smoothe.threads")
-        .set(static_cast<double>(diagnostics_.threads));
+        .set(static_cast<double>(diagnostics.threads));
 
     obs::Span extractSpan("smoothe.extract");
     logger.info("extract: %zu nodes, %zu classes, batch %zu, assumption %s, "
                 "%zu threads",
                 graph.numNodes(), graph.numClasses(),
-                std::max<std::size_t>(1, config_.numSeeds),
-                toString(config_.assumption), diagnostics_.threads);
+                std::max<std::size_t>(1, config.numSeeds),
+                toString(config.assumption), diagnostics.threads);
 
     // Shared by the success and OOM paths: record peak arena usage and
     // the sampler hit rate for whatever portion of the run completed,
     // and hand the convergence trajectory to diagnostics + the report.
     auto finalizeDiagnostics = [&]() {
-        diagnostics_.convergence = recorder.ordered();
-        diagnostics_.convergenceDropped = recorder.dropped();
+        diagnostics.convergence = recorder.ordered();
+        diagnostics.convergenceDropped = recorder.dropped();
         if (obs::Report* report = obs::Report::current()) {
             // Distinguishes the extractions of a multi-run bench inside
             // one accumulated report series.
@@ -441,11 +623,11 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
             recorder.dumpTo(*report, "smoothe.convergence",
                             runCounter.fetch_add(1));
         }
-        diagnostics_.peakMemoryBytes = arena.peak();
+        diagnostics.peakMemoryBytes = arena.peak();
         obs::gauge("arena.peak_bytes")
             .set(static_cast<double>(arena.peak()));
         obs::gauge("tape.peak_nodes")
-            .set(static_cast<double>(diagnostics_.tapeNodes));
+            .set(static_cast<double>(diagnostics.tapeNodes));
         const std::uint64_t attempts =
             samplesTotal.get() - samplesTotalBefore;
         const std::uint64_t valid = samplesValid.get() - samplesValidBefore;
@@ -457,29 +639,67 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
     };
 
     try {
-        std::optional<Prepared> prepStorage;
-        {
-            auto setupScope = diagnostics_.profile.other();
-            prepStorage.emplace(Prepared::build(graph, config_));
+        // A warm run rebuilds the shared index structures in place (the
+        // compiled Program's op pointers refer into them) and remembers
+        // whether the recorded op sequence survived; a cold run builds
+        // them fresh.
+        const bool warm = ws.prep.has_value() && delta != nullptr;
+
+        // Identity delta on an unchanged graph: the carried state already
+        // converged on this exact extraction problem, so the cached
+        // selection IS the answer — the no-change contract of incremental
+        // computation. Saturation loops hit this every epoch once the
+        // rules quiesce under their node budget.
+        if (warm && ws.lastResult.has_value() && delta->isIdentity() &&
+            ws.prep->numNodes == graph.numNodes() &&
+            ws.prep->numClasses == graph.numClasses()) {
+            obs::counter("smoothe.identity_skips").add(1);
+            logger.debug("identity delta: re-emitting cached extraction "
+                         "(cost %.6g)",
+                         ws.lastResult->cost);
+            finalizeDiagnostics();
+            result = *ws.lastResult;
+            result.seconds = timer.seconds();
+            return result;
         }
-        const Prepared& prep = *prepStorage;
-        diagnostics_.propagationIterations = prep.propIterations;
+
+        bool opPreserved = false;
+        std::vector<std::uint32_t> prevNode2class;
+        {
+            auto setupScope = diagnostics.profile.other();
+            if (warm) {
+                prevNode2class = ws.prep->node2class;
+                opPreserved = ws.prep->rebuildInPlace(graph, config);
+            } else {
+                ws.program.reset();
+                ws.optimizer.reset();
+                ws.prep.emplace(Prepared::build(graph, config));
+            }
+        }
+        const Prepared& prep = *ws.prep;
+        diagnostics.propagationIterations = prep.propIterations;
         obs::gauge("smoothe.propagation_iterations")
             .set(static_cast<double>(prep.propIterations));
-        diagnostics_.sccCount = prep.sccs.size();
+        diagnostics.sccCount = prep.sccs.size();
         for (const auto& scc : prep.sccs)
-            diagnostics_.largestScc =
-                std::max(diagnostics_.largestScc, scc.dim);
+            diagnostics.largestScc =
+                std::max(diagnostics.largestScc, scc.dim);
 
-        const std::size_t batch = std::max<std::size_t>(1, config_.numSeeds);
-        Param theta{Tensor(batch, prep.numNodes, &arena)};
-        for (std::size_t i = 0; i < theta.value.size(); ++i)
-            theta.value.data()[i] = static_cast<float>(rng.normal(0.0, 1.0));
-
-        ad::Adam optimizer({&theta},
-                           ad::AdamConfig{config_.learningRate, 0.9f,
-                                          0.999f, 1e-8f},
-                           &arena);
+        const std::size_t batch = std::max<std::size_t>(1, config.numSeeds);
+        Param& theta = ws.theta;
+        if (warm) {
+            warmStartParams(ws, *delta, prevNode2class, prep, batch, rng);
+        } else {
+            theta = Param{Tensor(batch, prep.numNodes, &arena)};
+            for (std::size_t i = 0; i < theta.value.size(); ++i)
+                theta.value.data()[i] =
+                    static_cast<float>(rng.normal(0.0, 1.0));
+            ws.optimizer.emplace(std::vector<Param*>{&theta},
+                                 ad::AdamConfig{config.learningRate, 0.9f,
+                                                0.999f, 1e-8f},
+                                 &arena);
+        }
+        ad::Adam& optimizer = *ws.optimizer;
 
         // One independent RNG stream per seed so the sampling stage can
         // fan out across workers while staying bit-identical for every
@@ -499,63 +719,93 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
         // the same float expression buildForward bakes into the recording
         // so replay stays bit-identical to an eager rebuild.
         const float penaltyScale =
-            config_.batchedMatexp ? static_cast<float>(batch) : 1.0f;
+            config.batchedMatexp ? static_cast<float>(batch) : 1.0f;
 
         // Compile-once/replay-many: record the iteration graph a single
         // time, plan static buffers, and replay it every Adam step. The
         // eager rebuild below stays available as a debugging fallback
-        // (config_.compiledReplay = false) and for the parity tests.
-        ForwardHandles handles;
-        std::optional<ad::Program> program;
+        // (config.compiledReplay = false) and for the parity tests.
+        ForwardHandles& handles = ws.handles;
+        std::optional<ad::Program>& program = ws.program;
         // Only the compiled replay loop carries per-op kernel slots, so
         // --eager --profile would silently produce an empty profile.
-        if (!config_.compiledReplay && obs::profilerEnabled()) {
+        if (!config.compiledReplay && obs::profilerEnabled()) {
             logger.warn("per-op profiler is on but the eager tape "
                         "rebuild is selected; kernel attribution needs "
                         "the compiled replay (drop --eager)");
         }
-        if (config_.compiledReplay) {
-            auto scope = diagnostics_.profile.loss();
-            obs::Span recordSpan("program.record");
-            Tape recorder(config_.backend, &arena);
-            handles = buildForward(recorder, theta, prep, model, config_,
-                                   effectiveLambda(config_, 0));
-            diagnostics_.tapeNodes =
-                std::max(diagnostics_.tapeNodes, recorder.numNodes());
-            std::vector<VarId> outputs{handles.cp, handles.costs};
-            if (handles.penalty >= 0)
-                outputs.push_back(handles.penalty);
-            program.emplace(std::move(recorder), handles.loss,
-                            std::move(outputs));
-            diagnostics_.compiledReplay = true;
-            diagnostics_.programBuffers = program->stats().valueSlots +
-                                          program->stats().gradSlots;
-            diagnostics_.bufferReuseRatio = program->stats().reuseRatio();
+        if (!config.compiledReplay) {
+            program.reset();
+        } else {
+            // Warm epochs first try to patch the carried Program's
+            // sparse structures and buffer plan in place; only growth
+            // that breaks the recorded op sequence (or the slot pooling)
+            // pays for a fresh record+compile.
+            bool patched = false;
+            if (warm && program.has_value() && opPreserved) {
+                auto scope = diagnostics.profile.loss();
+                ad::StructureDelta growth;
+                Tensor q0(batch, prep.numClasses);
+                for (std::size_t b = 0; b < batch; ++b)
+                    q0.at(b, prep.root) = 1.0f;
+                growth.onehotRows = std::move(q0);
+                growth.maskOneHot = prep.rootMask;
+                growth.maskComplement = prep.notRootMask;
+                if (const auto* linear =
+                        dynamic_cast<const cost::LinearCost*>(&model))
+                    growth.rowWeights = linear->weights();
+                growth.scatterDims.reserve(prep.sccs.size());
+                for (const auto& scc : prep.sccs)
+                    growth.scatterDims.push_back(scc.dim);
+                patched = program->patch(growth);
+            }
+            if (!patched) {
+                if (warm && program.has_value())
+                    obs::counter("program.rerecord").add(1);
+                auto scope = diagnostics.profile.loss();
+                obs::Span recordSpan("program.record");
+                Tape recorder(config.backend, &arena);
+                handles = buildForward(recorder, theta, prep, model,
+                                       config,
+                                       effectiveLambda(config, 0));
+                diagnostics.tapeNodes =
+                    std::max(diagnostics.tapeNodes, recorder.numNodes());
+                std::vector<VarId> outputs{handles.cp, handles.costs};
+                if (handles.penalty >= 0)
+                    outputs.push_back(handles.penalty);
+                program.emplace(std::move(recorder), handles.loss,
+                                std::move(outputs));
+            }
+            diagnostics.compiledReplay = true;
+            diagnostics.programBuffers = program->stats().valueSlots +
+                                         program->stats().gradSlots;
+            diagnostics.bufferReuseRatio = program->stats().reuseRatio();
             obs::gauge("tape.program_buffers")
-                .set(static_cast<double>(diagnostics_.programBuffers));
+                .set(static_cast<double>(diagnostics.programBuffers));
             obs::gauge("arena.reuse_ratio")
-                .set(diagnostics_.bufferReuseRatio);
+                .set(diagnostics.bufferReuseRatio);
             logger.debug("compiled program: %zu ops (%zu fused), "
-                         "%zu slots, reuse %.2fx",
+                         "%zu slots, reuse %.2fx%s",
                          program->numOps(), program->stats().fusedOps,
-                         diagnostics_.programBuffers,
-                         diagnostics_.bufferReuseRatio);
+                         diagnostics.programBuffers,
+                         diagnostics.bufferReuseRatio,
+                         patched ? " (patched in place)" : "");
         }
 
-        for (std::size_t iter = 0; iter < config_.maxIterations; ++iter) {
+        for (std::size_t iter = 0; iter < config.maxIterations; ++iter) {
             if (deadline.expired()) {
                 logger.debug("iteration %zu: deadline expired", iter);
                 break;
             }
-            ++diagnostics_.iterations;
+            ++diagnostics.iterations;
             iterationsMetric.add(1);
 
             obs::Span iterSpan("iteration");
             // smoothe-lint: allow(tape-in-loop) — intentional eager path
             std::optional<Tape> tape;
             {
-                auto scope = diagnostics_.profile.loss();
-                const float lambda = effectiveLambda(config_, iter);
+                auto scope = diagnostics.profile.loss();
+                const float lambda = effectiveLambda(config, iter);
                 if (program) {
                     obs::Span forwardSpan("program.forward");
                     if (handles.lambda >= 0)
@@ -563,11 +813,11 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                                                 lambda * penaltyScale);
                     program->forward();
                 } else {
-                    tape.emplace(config_.backend, &arena);
+                    tape.emplace(config.backend, &arena);
                     handles = buildForward(*tape, theta, prep, model,
-                                           config_, lambda);
-                    diagnostics_.tapeNodes = std::max(
-                        diagnostics_.tapeNodes, tape->numNodes());
+                                           config, lambda);
+                    diagnostics.tapeNodes = std::max(
+                        diagnostics.tapeNodes, tape->numNodes());
                 }
             }
             // Reads a forward value from whichever execution mode ran.
@@ -575,7 +825,7 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                 return program ? program->value(id) : tape->value(id);
             };
             {
-                auto scope = diagnostics_.profile.gradient();
+                auto scope = diagnostics.profile.gradient();
                 obs::Span adamSpan("adam");
                 optimizer.zeroGrad();
                 if (program)
@@ -594,7 +844,7 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
             }
 
             double relaxedLoss = 0.0;
-            if (config_.recordLossCurves) {
+            if (config.recordLossCurves) {
                 const Tensor& costs = val(handles.costs);
                 for (std::size_t b = 0; b < costs.rows(); ++b)
                     relaxedLoss += costs.at(b, 0);
@@ -606,9 +856,9 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
             // serial and in seed order, keeping results identical to the
             // sequential schedule for any thread count.
             double iterBest = kInf;
-            if ((iter % std::max<std::size_t>(1, config_.sampleEvery)) ==
+            if ((iter % std::max<std::size_t>(1, config.sampleEvery)) ==
                 0) {
-                auto scope = diagnostics_.profile.sampling();
+                auto scope = diagnostics.profile.sampling();
                 const Tensor& cp = val(handles.cp);
                 const std::size_t rows = cp.rows();
                 std::vector<std::optional<Selection>> candidates(rows);
@@ -621,8 +871,8 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                         for (std::size_t b = chunkBegin; b < chunkEnd;
                              ++b) {
                             Selection candidate = sampler.sample(
-                                cp.row(b), config_.repairSampling,
-                                config_.sampleTemperature, seedRngs[b]);
+                                cp.row(b), config.repairSampling,
+                                config.sampleTemperature, seedRngs[b]);
                             samplesTotal.add(1);
                             if (!candidate.chosen(graph.root()))
                                 continue;
@@ -656,14 +906,14 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                 ++sinceImprovement;
             }
 
-            if (config_.recordLossCurves) {
+            if (config.recordLossCurves) {
                 LossCurvePoint point;
                 point.iteration = iter;
                 point.relaxedLoss = relaxedLoss;
                 point.sampledLoss = iterBest;
                 if (handles.penalty >= 0)
                     point.penalty = val(handles.penalty).at(0, 0);
-                diagnostics_.lossCurve.push_back(point);
+                diagnostics.lossCurve.push_back(point);
             }
 
             // Convergence telemetry: strided, so the gradient-norm
@@ -690,7 +940,7 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
                 recorder.record(point);
             }
 
-            if (sinceImprovement > config_.patience) {
+            if (sinceImprovement > config.patience) {
                 logger.debug("iteration %zu: patience exhausted", iter);
                 break;
             }
@@ -700,7 +950,8 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
         result.seconds = timer.seconds();
         if (bestCost == kInf) {
             logger.warn("no valid sample after %zu iterations",
-                        diagnostics_.iterations);
+                        diagnostics.iterations);
+            ws.lastResult.reset();
             result.status = SolveStatus::Failed;
             result.cost = kInf;
             result.note = "no valid sample";
@@ -708,25 +959,68 @@ SmoothEExtractor::extractWithCost(const EGraph& graph,
         }
         logger.info("done: cost %.6g after %zu iterations (%.3fs, "
                     "peak %zu bytes)",
-                    bestCost, diagnostics_.iterations, result.seconds,
-                    diagnostics_.peakMemoryBytes);
+                    bestCost, diagnostics.iterations, result.seconds,
+                    diagnostics.peakMemoryBytes);
         result.status = SolveStatus::Feasible;
         result.selection = std::move(bestSelection);
         result.cost = bestCost;
+        ws.lastResult = result;
         return result;
     } catch (const tensor::OomError& oom) {
-        diagnostics_.outOfMemory = true;
+        diagnostics.outOfMemory = true;
         finalizeDiagnostics();
         obs::counter("extraction.oom").add(1);
         obs::traceInstant("smoothe.oom");
         logger.error("out of memory after %zu iterations: %s",
-                     diagnostics_.iterations, oom.what());
+                     diagnostics.iterations, oom.what());
+        // The carried state may be mid-remap: drop it so the next epoch
+        // runs cold instead of warm-starting from inconsistent buffers.
+        ws.program.reset();
+        ws.optimizer.reset();
+        ws.prep.reset();
+        ws.lastResult.reset();
         result.status = SolveStatus::Failed;
         result.cost = kInf;
         result.seconds = timer.seconds();
         result.note = std::string("OOM: ") + oom.what();
         return result;
     }
+}
+
+} // namespace
+
+ExtractionResult
+SmoothEExtractor::extractWithCost(const EGraph& graph,
+                                  const cost::CostModel& model,
+                                  const ExtractOptions& options,
+                                  const eg::GraphDelta* delta,
+                                  extract::IncrementalState* state)
+{
+    SMOOTHE_CHECK(state == nullptr || delta != nullptr,
+                  "smoothe: incremental state requires a delta");
+    if (state != nullptr && delta != nullptr) {
+        // First epoch through a fresh state runs cold but leaves its
+        // converged parameters behind for the next epoch to warm from.
+        WarmState* ws = blobOf<WarmState>(*state);
+        const bool fresh = (ws == nullptr);
+        if (fresh)
+            ws = &storeBlob<WarmState>(*state, config_.memoryBudgetBytes);
+        return runSmoothE(graph, model, options, config_, diagnostics_,
+                          *ws, fresh ? nullptr : delta);
+    }
+    WarmState oneShot(config_.memoryBudgetBytes);
+    return runSmoothE(graph, model, options, config_, diagnostics_,
+                      oneShot, nullptr);
+}
+
+ExtractionResult
+SmoothEExtractor::extractIncrementalImpl(const EGraph& graph,
+                                         const eg::GraphDelta& delta,
+                                         extract::IncrementalState& state,
+                                         const ExtractOptions& options)
+{
+    const cost::LinearCost linear(graph);
+    return extractWithCost(graph, linear, options, &delta, &state);
 }
 
 } // namespace smoothe::core

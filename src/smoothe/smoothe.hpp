@@ -99,10 +99,25 @@ class SmoothEExtractor : public extract::Extractor
 
     std::string name() const override { return "SmoothE"; }
 
-    /** Arbitrary differentiable objective. */
+    bool supportsIncremental() const override { return true; }
+
+    /**
+     * Arbitrary differentiable objective. When `delta` and `state` are
+     * both given, the run warm-starts from the previous epoch carried in
+     * `state`: theta and the Adam moments are remapped through the delta
+     * (new nodes fall back to the softmax prior, merged classes are
+     * re-centered per source group), and the compiled Program is patched
+     * in place when the growth preserves the recorded op sequence —
+     * falling back to a full re-record otherwise (counters
+     * `program.patch` / `program.rerecord`). Callers going through the
+     * generic protocol should prefer Extractor::extractIncremental,
+     * which adds the cross-epoch consistency checks.
+     */
     extract::ExtractionResult
     extractWithCost(const eg::EGraph& graph, const cost::CostModel& model,
-                    const extract::ExtractOptions& options);
+                    const extract::ExtractOptions& options,
+                    const eg::GraphDelta* delta = nullptr,
+                    extract::IncrementalState* state = nullptr);
 
     /** Diagnostics from the most recent extract() call. */
     const SmoothEDiagnostics& diagnostics() const { return diagnostics_; }
@@ -115,6 +130,13 @@ class SmoothEExtractor : public extract::Extractor
     extract::ExtractionResult
     extractImpl(const eg::EGraph& graph,
                 const extract::ExtractOptions& options) override;
+
+    /** The incremental protocol entry: linear objective + warm start. */
+    extract::ExtractionResult
+    extractIncrementalImpl(const eg::EGraph& graph,
+                           const eg::GraphDelta& delta,
+                           extract::IncrementalState& state,
+                           const extract::ExtractOptions& options) override;
 
   private:
     SmoothEConfig config_;

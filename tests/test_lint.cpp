@@ -321,7 +321,8 @@ TEST(LintReporting, RuleCatalogCoversEveryEmittedRule)
         known.push_back(info.name);
     for (const char* rule :
          {"raw-new", "raw-delete", "std-thread", "no-rand", "no-assert",
-          "iostream-header", "include-guard", "tape-in-loop"}) {
+          "iostream-header", "include-guard", "tape-in-loop",
+          "stale-delta-state"}) {
         EXPECT_NE(std::find(known.begin(), known.end(), rule), known.end())
             << rule;
     }
@@ -956,6 +957,67 @@ TEST(LintCatalog, CoversTheV2RulePack)
         EXPECT_NE(lint::findRule(rule), nullptr) << rule;
     }
     EXPECT_EQ(lint::findRule("no-such-rule"), nullptr);
+}
+
+// ------------------------------------------------------- stale delta state
+
+TEST(LintStaleDeltaState, FiresOnStateReuseAcrossGraphs)
+{
+    const char* source =
+        "void f(Extractor& e, IncrementalState& state) {\n"
+        "    auto a = e.extractIncremental(graphA, deltaA, state, opts);\n"
+        "    auto b = e.extractIncremental(graphB, deltaB, state, opts);\n"
+        "}\n";
+    EXPECT_TRUE(fires(kLibCpp, source, "stale-delta-state"));
+    // Call sites live in tools and benches too — not library-only.
+    EXPECT_TRUE(fires(kToolCpp, source, "stale-delta-state"));
+}
+
+TEST(LintStaleDeltaState, QuietWithResetOrSameGraph)
+{
+    EXPECT_FALSE(fires(
+        kLibCpp,
+        "void f() {\n"
+        "    e.extractIncremental(graphA, d1, state, opts);\n"
+        "    state.reset();\n"
+        "    e.extractIncremental(graphB, d2, state, opts);\n"
+        "}\n",
+        "stale-delta-state"));
+    // The same evolving graph expression across epochs is the intended
+    // protocol: one state, one lineage.
+    EXPECT_FALSE(fires(
+        kLibCpp,
+        "void f() {\n"
+        "    for (int i = 0; i < n; ++i)\n"
+        "        e.extractIncremental(epochGraph, delta, state, opts);\n"
+        "}\n",
+        "stale-delta-state"));
+    // Distinct states per graph are fine.
+    EXPECT_FALSE(fires(
+        kLibCpp,
+        "void f() {\n"
+        "    e.extractIncremental(graphA, d1, stateA, opts);\n"
+        "    e.extractIncremental(graphB, d2, stateB, opts);\n"
+        "}\n",
+        "stale-delta-state"));
+    // Same spelling in different functions is unrelated state.
+    EXPECT_FALSE(fires(
+        kLibCpp,
+        "void f() { e.extractIncremental(graphA, d, state, o); }\n"
+        "void g() { e.extractIncremental(graphB, d, state, o); }\n",
+        "stale-delta-state"));
+}
+
+TEST(LintStaleDeltaState, SuppressionSilencesTheFinding)
+{
+    EXPECT_FALSE(fires(
+        kLibCpp,
+        "void f() {\n"
+        "    e.extractIncremental(graphA, d1, state, opts);\n"
+        "    // smoothe-lint: allow(stale-delta-state)\n"
+        "    e.extractIncremental(graphB, d2, state, opts);\n"
+        "}\n",
+        "stale-delta-state"));
 }
 
 } // namespace

@@ -6,11 +6,21 @@
  *   smoothe_extract --input egraph.json [--extractor smoothe]
  *                   [--time-limit 10] [--seed 1] [--seeds 16]
  *                   [--assumption hybrid] [--lambda 8] [--eager]
+ *                   [--incremental] [--epochs N]
  *                   [--output selection.json] [--threads N]
  *                   [--validate] [--log-level debug] [--log-json log.jsonl]
  *                   [--trace-out trace.json] [--metrics-out metrics.json]
  *                   [--profile] [--profile-out prof.folded]
  *                   [--profile-stride N]
+ *
+ * --incremental re-extracts each graph through the incremental protocol
+ * (extractIncremental + a caller-owned IncrementalState), --epochs N
+ * times: epoch 0 runs cold, later epochs warm-start from the carried
+ * state under an identity delta. This exercises exactly the code path a
+ * saturation loop drives (see bench_anytime_eqsat for evolving graphs)
+ * and bumps the per-epoch `extraction.<name>.incremental_runs` counter
+ * visible via --metrics-out. Requires an extractor with incremental
+ * support and the compiled replay (rejected with --eager).
  *
  * A suite of e-graphs can be given as `--inputs a.json,b.json,...`; the
  * graphs are then extracted concurrently on the worker pool (one task per
@@ -139,6 +149,9 @@ main(int argc, char** argv)
     options.seed =
         static_cast<std::uint64_t>(args.getInt("seed", 1));
 
+    const bool incremental = args.getBool("incremental", false);
+    const long epochsArg = args.getInt("epochs", incremental ? 2 : 0);
+
     const std::string output = args.getString("output", "");
     const bool validateResults = args.getBool("validate", false);
     // Hidden test hook, checked below once extraction has produced
@@ -154,6 +167,26 @@ main(int argc, char** argv)
                      "error: --output requires a single --input\n");
         return 2;
     }
+    // Strict --incremental validation: the warm-start path rides on the
+    // compiled replay (Program::patch), so the eager fallback cannot
+    // honor it; epochs only make sense with the protocol enabled.
+    if (incremental && args.getBool("eager", false)) {
+        std::fprintf(stderr,
+                     "error: --incremental requires the compiled replay; "
+                     "drop --eager\n");
+        return 2;
+    }
+    if (args.has("epochs") && !incremental) {
+        std::fprintf(stderr,
+                     "error: --epochs requires --incremental\n");
+        return 2;
+    }
+    if (incremental && epochsArg < 1) {
+        std::fprintf(stderr, "error: --epochs must be >= 1\n");
+        return 2;
+    }
+    const std::size_t epochs =
+        incremental ? static_cast<std::size_t>(epochsArg) : 1;
 
     // One extractor per graph (extractors keep per-run diagnostics), run
     // concurrently on the pool. Results are collected per slot and
@@ -168,13 +201,36 @@ main(int argc, char** argv)
             return 2;
         }
     }
+    if (incremental && !extractors.front()->supportsIncremental()) {
+        std::fprintf(stderr,
+                     "error: extractor \"%s\" has no incremental "
+                     "support\n",
+                     name.c_str());
+        return 2;
+    }
 
     std::vector<extract::ExtractionResult> results(graphs.size());
     util::ThreadPool::global().parallelFor(
         0, graphs.size(), 1, [&](std::size_t g) {
             extract::ExtractOptions graphOptions = options;
             graphOptions.seed = graphSeed(options.seed, g);
-            results[g] = extractors[g]->extract(graphs[g], graphOptions);
+            if (!incremental) {
+                results[g] =
+                    extractors[g]->extract(graphs[g], graphOptions);
+                return;
+            }
+            // Epoch 0 runs cold into the state; later epochs replay
+            // the incremental protocol under an identity delta (the
+            // JSON graph is static), warm-starting from the carried
+            // parameters. Each epoch bumps
+            // extraction.<name>.incremental_runs.
+            extract::IncrementalState state;
+            const eg::GraphDelta delta =
+                eg::GraphDelta::identity(graphs[g]);
+            for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+                results[g] = extractors[g]->extractIncremental(
+                    graphs[g], delta, state, graphOptions);
+            }
         });
 
     if (selftestTerminate)
